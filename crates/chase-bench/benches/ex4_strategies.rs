@@ -1,0 +1,116 @@
+//! E4/E5 — Example 4 vs Theorem 2: the cost of the wrong chase order versus
+//! the statically constructed terminating order.
+//!
+//! The cyclic order diverges (steps = budget, cost grows with the budget);
+//! the Theorem 2 phased order terminates in a handful of steps regardless.
+
+use chase_bench::{print_table, Row};
+use chase_corpus::paper;
+use chase_engine::{chase, ChaseConfig, Strategy};
+use chase_termination::{stratified_order, PrecedenceConfig};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_shape() {
+    let sigma = paper::example4_sigma();
+    let start = paper::example5_instance();
+    let pc = PrecedenceConfig::default();
+    let phases = stratified_order(&sigma, &pc);
+
+    let mut rows = Vec::new();
+    for budget in [50usize, 200, 800] {
+        let bad = chase(
+            &start,
+            &sigma,
+            &ChaseConfig {
+                strategy: Strategy::FixedCycle(vec![0, 1, 2, 3]),
+                max_steps: Some(budget),
+                ..ChaseConfig::default()
+            },
+        );
+        rows.push(Row::new(
+            format!("cyclic order, budget {budget}"),
+            vec![
+                format!("{:?}", bad.reason),
+                bad.steps.to_string(),
+                bad.fresh_nulls.to_string(),
+            ],
+        ));
+    }
+    let good = chase(
+        &start,
+        &sigma,
+        &ChaseConfig {
+            strategy: Strategy::Phased(phases),
+            ..ChaseConfig::default()
+        },
+    );
+    rows.push(Row::new(
+        "Theorem 2 order",
+        vec![
+            format!("{:?}", good.reason),
+            good.steps.to_string(),
+            good.fresh_nulls.to_string(),
+        ],
+    ));
+    let bfs = chase_engine::find_terminating_sequence(&start, &sigma, 20_000);
+    rows.push(Row::new(
+        "BFS strawman (§3.2)",
+        vec![
+            format!(
+                "found {}-step sequence",
+                bfs.sequence.as_ref().map(Vec::len).unwrap_or(0)
+            ),
+            format!("{} nodes expanded", bfs.expanded),
+            "-".into(),
+        ],
+    ));
+    print_table(
+        "Example 4/5 — chase order decides termination",
+        &["run", "outcome", "steps", "fresh nulls"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let sigma = paper::example4_sigma();
+    let start = paper::example5_instance();
+    let pc = PrecedenceConfig::default();
+    let phases = stratified_order(&sigma, &pc);
+
+    let mut g = c.benchmark_group("example4_orders");
+    g.sample_size(10);
+    for budget in [50usize, 200] {
+        let cfg = ChaseConfig {
+            strategy: Strategy::FixedCycle(vec![0, 1, 2, 3]),
+            max_steps: Some(budget),
+            ..ChaseConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("cyclic_until_budget", budget), &cfg, |b, cfg| {
+            b.iter(|| chase(black_box(&start), &sigma, cfg))
+        });
+    }
+    let good_cfg = ChaseConfig {
+        strategy: Strategy::Phased(phases),
+        ..ChaseConfig::default()
+    };
+    g.bench_function("theorem2_order", |b| {
+        b.iter(|| chase(black_box(&start), &sigma, &good_cfg))
+    });
+    g.bench_function("compute_theorem2_order", |b| {
+        b.iter(|| stratified_order(black_box(&sigma), &pc))
+    });
+    // The Section 3.2 strawman: breadth-first search for a terminating
+    // sequence — "rather uneffective" compared to the static order.
+    g.bench_function("bfs_strawman", |b| {
+        b.iter(|| chase_engine::find_terminating_sequence(black_box(&start), &sigma, 20_000))
+    });
+    g.finish();
+}
+
+fn main() {
+    print_shape();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,88 @@
+//! E1 — Figure 1 regenerated: the classification matrix of the corpus under
+//! every termination condition, plus recognizer timings per corpus entry.
+//!
+//! The printed table *is* the figure: each row is a constraint set, each
+//! column a condition; the inclusion structure of Figure 1 can be read off
+//! the yes/no pattern (and is asserted by `tests/classification_matrix.rs`).
+
+use chase_bench::{print_table, Row};
+use chase_corpus::paper;
+use chase_core::ConstraintSet;
+use chase_termination::{
+    analyze, is_inductively_restricted, is_safe, is_stratified, is_weakly_acyclic,
+    PrecedenceConfig,
+};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn corpus() -> Vec<(&'static str, ConstraintSet)> {
+    vec![
+        ("intro-a1", paper::intro_alpha1()),
+        ("intro-a2", paper::intro_alpha2()),
+        ("fig2", paper::fig2_sigma()),
+        ("ex2-gamma", paper::example2_gamma()),
+        ("ex4", paper::example4_sigma()),
+        ("safety-beta", paper::safety_beta()),
+        ("thm4-pair", paper::thm4_safe_not_stratified()),
+        ("ex10", paper::example10_sigma()),
+        ("ex13-prime", paper::example13_sigma_prime()),
+        ("sec37-dprime", paper::sec37_sigma_dprime()),
+        ("fig9-travel", paper::fig9_travel()),
+        ("data-exchange", paper::data_exchange_baseline()),
+    ]
+}
+
+fn print_matrix() {
+    let pc = PrecedenceConfig::default();
+    let rows: Vec<Row> = corpus()
+        .iter()
+        .map(|(name, set)| {
+            let r = analyze(set, 4, &pc);
+            Row::new(
+                *name,
+                vec![
+                    if r.weakly_acyclic { "yes" } else { "no" }.into(),
+                    if r.safe { "yes" } else { "no" }.into(),
+                    r.stratified.to_string(),
+                    r.c_stratified.to_string(),
+                    r.safely_restricted.to_string(),
+                    r.inductively_restricted.to_string(),
+                    r.t_level.map(|k| format!("T[{k}]")).unwrap_or("-".into()),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 1 — classification matrix (corpus × condition)",
+        &["set", "WA", "safe", "strat", "c-strat", "safe-restr", "IR=T[2]", "T-level≤4"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let pc = PrecedenceConfig::default();
+    let mut g = c.benchmark_group("fig1_recognizers");
+    g.sample_size(10);
+    for (name, set) in corpus() {
+        g.bench_with_input(BenchmarkId::new("weak_acyclicity", name), &set, |b, s| {
+            b.iter(|| is_weakly_acyclic(black_box(s)))
+        });
+        g.bench_with_input(BenchmarkId::new("safety", name), &set, |b, s| {
+            b.iter(|| is_safe(black_box(s)))
+        });
+        g.bench_with_input(BenchmarkId::new("stratification", name), &set, |b, s| {
+            b.iter(|| is_stratified(black_box(s), &pc))
+        });
+        g.bench_with_input(BenchmarkId::new("inductive_restriction", name), &set, |b, s| {
+            b.iter(|| is_inductively_restricted(black_box(s), &pc))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_matrix();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

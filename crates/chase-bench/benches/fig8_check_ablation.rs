@@ -1,0 +1,76 @@
+//! E10 — §3.7: the design point of Figure 8's `check` algorithm is the
+//! polynomial safety short-circuit before each restriction-system
+//! computation. This ablation measures `check(Σ, 2)` with and without it on
+//! the worked Σ'' and on scaled families whose decomposition produces safe
+//! components.
+
+use chase_bench::{print_table, Row};
+use chase_corpus::{families, paper};
+use chase_termination::hierarchy::check_without_safety_shortcircuit;
+use chase_termination::{check, PrecedenceConfig};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn workloads() -> Vec<(String, chase_core::ConstraintSet)> {
+    let mut out = vec![("sec37-dprime".to_string(), paper::sec37_sigma_dprime())];
+    for n in [2usize, 4, 6] {
+        out.push((format!("ir-family-{n}"), families::inductively_restricted_family(n)));
+    }
+    for n in [4usize, 8] {
+        out.push((format!("safe-family-{n}"), families::safe_family(n)));
+    }
+    out
+}
+
+fn print_shape() {
+    let pc = PrecedenceConfig::default();
+    let rows: Vec<Row> = workloads()
+        .iter()
+        .map(|(name, set)| {
+            let t0 = Instant::now();
+            let with = check(set, 2, &pc);
+            let with_t = t0.elapsed();
+            let t0 = Instant::now();
+            let without = check_without_safety_shortcircuit(set, 2, &pc);
+            let without_t = t0.elapsed();
+            assert_eq!(with, without, "ablation changed the verdict on {name}");
+            Row::new(
+                name.clone(),
+                vec![
+                    with.to_string(),
+                    format!("{:.2?}", with_t),
+                    format!("{:.2?}", without_t),
+                    format!("{:.1}x", without_t.as_secs_f64() / with_t.as_secs_f64().max(1e-9)),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 8 ablation — check(Σ,2) with vs without the safety short-circuit",
+        &["set", "verdict", "with", "without", "slowdown"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let pc = PrecedenceConfig::default();
+    let mut g = c.benchmark_group("check_ablation");
+    g.sample_size(10);
+    for (name, set) in workloads() {
+        g.bench_with_input(BenchmarkId::new("with_shortcircuit", &name), &set, |b, s| {
+            b.iter(|| check(black_box(s), 2, &pc))
+        });
+        g.bench_with_input(BenchmarkId::new("without_shortcircuit", &name), &set, |b, s| {
+            b.iter(|| check_without_safety_shortcircuit(black_box(s), 2, &pc))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_shape();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

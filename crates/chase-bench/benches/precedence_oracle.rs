@@ -1,0 +1,71 @@
+//! E16 (oracle view) — the coNP core in isolation: cost of individual `≺`,
+//! `≺c` and `≺k,P` queries, as the chain length k grows, on the Example 15
+//! family whose witnesses get deeper with arity.
+
+use chase_bench::{print_table, Row};
+use chase_core::PosSet;
+use chase_corpus::paper;
+use chase_termination::{precedes, precedes_c, precedes_k, PrecedenceConfig};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn print_shape() {
+    let pc = PrecedenceConfig::default();
+    let empty = PosSet::new();
+    let mut rows = Vec::new();
+    for arity in 2..=4usize {
+        let set = paper::sigma_family(arity);
+        for k in 2..=arity + 1 {
+            let seq = vec![0usize; k];
+            let t0 = Instant::now();
+            let verdict = precedes_k(&set, &seq, &empty, &pc);
+            rows.push(Row::new(
+                format!("arity {arity}, ≺{k},∅"),
+                vec![format!("{verdict:?}"), format!("{:.2?}", t0.elapsed())],
+            ));
+        }
+    }
+    print_table(
+        "≺k,P oracle — verdicts and query times on the Example 15 family",
+        &["query", "verdict", "time"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let pc = PrecedenceConfig::default();
+    let empty = PosSet::new();
+    let mut g = c.benchmark_group("precedence_oracle");
+    g.sample_size(10);
+
+    // ≺ and ≺c on Example 4 (where they differ, Figures 4/5).
+    let ex4 = paper::example4_sigma();
+    g.bench_function("precedes_alpha2_alpha4", |b| {
+        b.iter(|| precedes(black_box(&ex4), 1, 3, &pc))
+    });
+    g.bench_function("precedes_c_alpha2_alpha4", |b| {
+        b.iter(|| precedes_c(black_box(&ex4), 1, 3, &pc))
+    });
+
+    // ≺k,∅ chains of growing length.
+    for arity in 2..=4usize {
+        let set = paper::sigma_family(arity);
+        for k in 2..=arity + 1 {
+            let seq = vec![0usize; k];
+            g.bench_with_input(
+                BenchmarkId::new(format!("prec_k{k}"), format!("arity{arity}")),
+                &set,
+                |b, s| b.iter(|| precedes_k(black_box(s), &seq, &empty, &pc)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    print_shape();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

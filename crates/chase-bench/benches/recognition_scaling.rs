@@ -1,0 +1,87 @@
+//! E16 — recognition complexity in practice: the PTIME conditions (weak
+//! acyclicity, safety) versus the coNP conditions (stratification,
+//! inductive restriction) as |Σ| grows.
+
+use chase_bench::print_series;
+use chase_corpus::families;
+use chase_termination::{
+    is_inductively_restricted, is_safe, is_stratified, is_weakly_acyclic, PrecedenceConfig,
+};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_of(f: impl Fn()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// A sized family constructor.
+type Family = fn(usize) -> chase_core::ConstraintSet;
+
+fn print_shapes() {
+    let pc = PrecedenceConfig::default();
+    let family_table: [(&str, Family); 2] = [
+        ("safe family (safety motif × n)", families::safe_family),
+        (
+            "inductively restricted family (Example 10 motif × n)",
+            families::inductively_restricted_family,
+        ),
+    ];
+    for (title, family) in family_table {
+        let mut wa = Vec::new();
+        let mut safe = Vec::new();
+        let mut strat = Vec::new();
+        let mut ir = Vec::new();
+        for n in [1usize, 2, 4, 6] {
+            let set = family(n);
+            let size = set.len() as f64;
+            wa.push((size, time_of(|| {
+                is_weakly_acyclic(black_box(&set));
+            })));
+            safe.push((size, time_of(|| {
+                is_safe(black_box(&set));
+            })));
+            strat.push((size, time_of(|| {
+                is_stratified(black_box(&set), &pc);
+            })));
+            ir.push((size, time_of(|| {
+                is_inductively_restricted(black_box(&set), &pc);
+            })));
+        }
+        print_series(&format!("{title}: weak acyclicity"), "|Σ|", "ms", &wa);
+        print_series(&format!("{title}: safety"), "|Σ|", "ms", &safe);
+        print_series(&format!("{title}: stratification"), "|Σ|", "ms", &strat);
+        print_series(&format!("{title}: inductive restriction"), "|Σ|", "ms", &ir);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let pc = PrecedenceConfig::default();
+    let mut g = c.benchmark_group("recognition_scaling");
+    g.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let set = families::inductively_restricted_family(n);
+        g.bench_with_input(BenchmarkId::new("weak_acyclicity", n), &set, |b, s| {
+            b.iter(|| is_weakly_acyclic(black_box(s)))
+        });
+        g.bench_with_input(BenchmarkId::new("safety", n), &set, |b, s| {
+            b.iter(|| is_safe(black_box(s)))
+        });
+        g.bench_with_input(BenchmarkId::new("stratification", n), &set, |b, s| {
+            b.iter(|| is_stratified(black_box(s), &pc))
+        });
+        g.bench_with_input(BenchmarkId::new("inductive_restriction", n), &set, |b, s| {
+            b.iter(|| is_inductively_restricted(black_box(s), &pc))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_shapes();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

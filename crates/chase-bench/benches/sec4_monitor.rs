@@ -1,0 +1,90 @@
+//! E14 — Section 4.2: monitor-graph overhead on terminating runs, abort
+//! latency on divergent runs, and the Proposition 11 pay-as-you-go sweep.
+
+use chase_bench::{print_table, Row};
+use chase_corpus::{families, paper};
+use chase_engine::{chase, ChaseConfig, StopReason};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_shape() {
+    // Pay-as-you-go: for (Σk, Ik), depth d succeeds iff d ≥ k.
+    let mut rows = Vec::new();
+    for k in 3..=6usize {
+        let (sigma, inst) = paper::prop11_family(k);
+        let outcomes: Vec<String> = (2..=k + 1)
+            .map(|depth| {
+                let res = chase(&inst, &sigma, &ChaseConfig::with_monitor_depth(depth));
+                match res.reason {
+                    StopReason::Satisfied => format!("d{depth}:ok"),
+                    StopReason::MonitorAbort { .. } => format!("d{depth}:abort"),
+                    other => format!("d{depth}:{other:?}"),
+                }
+            })
+            .collect();
+        rows.push(Row::new(format!("Σ{k}/I{k}"), vec![outcomes.join(" ")]));
+    }
+    print_table(
+        "Proposition 11 — pay-as-you-go monitor depth",
+        &["workload", "outcome per depth"],
+        &rows,
+    );
+
+    // Abort latency on the divergent q1.
+    let sigma = paper::fig9_travel();
+    let (frozen, _) = paper::q1().freeze();
+    let rows: Vec<Row> = (2..=6)
+        .map(|depth| {
+            let res = chase(&frozen, &sigma, &ChaseConfig::with_monitor_depth(depth));
+            Row::new(
+                format!("depth {depth}"),
+                vec![format!("{:?}", res.reason), res.steps.to_string()],
+            )
+        })
+        .collect();
+    print_table(
+        "q1 divergence — steps until monitor abort",
+        &["guard", "outcome", "steps"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+
+    // Overhead on a terminating workload: with vs without monitor.
+    let sigma = paper::example10_sigma();
+    for n in [8usize, 24] {
+        let inst = families::cycle_instance(n);
+        let plain = ChaseConfig::with_max_steps(100_000);
+        let monitored = ChaseConfig {
+            keep_monitor: true,
+            ..ChaseConfig::with_max_steps(100_000)
+        };
+        g.bench_with_input(BenchmarkId::new("terminating_plain", n), &inst, |b, i| {
+            b.iter(|| chase(black_box(i), &sigma, &plain))
+        });
+        g.bench_with_input(BenchmarkId::new("terminating_monitored", n), &inst, |b, i| {
+            b.iter(|| chase(black_box(i), &sigma, &monitored))
+        });
+    }
+
+    // Abort latency on the divergent travel query.
+    let travel = paper::fig9_travel();
+    let (frozen, _) = paper::q1().freeze();
+    for depth in [3usize, 5] {
+        let cfg = ChaseConfig::with_monitor_depth(depth);
+        g.bench_with_input(BenchmarkId::new("q1_abort", depth), &frozen, |b, i| {
+            b.iter(|| chase(black_box(i), &travel, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_shape();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

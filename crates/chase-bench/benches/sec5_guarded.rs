@@ -1,0 +1,71 @@
+//! E15 — Section 5: cost of the guarded-class recognizers. Weak
+//! guardedness is a polynomial scan; restricted guardedness pays for a
+//! minimal 2-restriction system first.
+
+use chase_bench::{print_table, Row};
+use chase_corpus::{families, paper};
+use chase_guarded::guards::{is_restrictedly_guarded, is_weakly_guarded};
+use chase_termination::PrecedenceConfig;
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn workloads() -> Vec<(String, chase_core::ConstraintSet)> {
+    let mut out = vec![
+        ("example19".to_string(), paper::example19_guarded()),
+        (
+            "wg-rg-witness".to_string(),
+            chase_core::ConstraintSet::parse(
+                "R(X1,X2,X3), S(X2) -> R(X2,Y,X1)\n\
+                 R(A,U,B), T(U), R(C,V,D), T(V) -> H(U,V)",
+            )
+            .unwrap(),
+        ),
+    ];
+    for n in [2usize, 4] {
+        out.push((format!("safe-family-{n}"), families::safe_family(n)));
+    }
+    out
+}
+
+fn print_shape() {
+    let pc = PrecedenceConfig::default();
+    let rows: Vec<Row> = workloads()
+        .iter()
+        .map(|(name, set)| {
+            Row::new(
+                name.clone(),
+                vec![
+                    if is_weakly_guarded(set) { "yes" } else { "no" }.into(),
+                    is_restrictedly_guarded(set, &pc).to_string(),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Section 5 — guarded-class recognition",
+        &["set", "weakly guarded", "restrictedly guarded"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let pc = PrecedenceConfig::default();
+    let mut g = c.benchmark_group("guarded_recognition");
+    g.sample_size(10);
+    for (name, set) in workloads() {
+        g.bench_with_input(BenchmarkId::new("weakly_guarded", &name), &set, |b, s| {
+            b.iter(|| is_weakly_guarded(black_box(s)))
+        });
+        g.bench_with_input(BenchmarkId::new("restrictedly_guarded", &name), &set, |b, s| {
+            b.iter(|| is_restrictedly_guarded(black_box(s), &pc))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_shape();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

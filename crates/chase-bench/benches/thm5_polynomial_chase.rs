@@ -1,0 +1,99 @@
+//! E11 — Theorems 3/5/6/7: for recognized sets, chase length is polynomial
+//! in |dom(I)|.
+//!
+//! The printed series sweep |dom(I)| for three recognized families and
+//! report chase steps; the expected shapes are linear (safe copy family,
+//! T[k] cascade family) and linear-with-constant-factor (Example 10 on
+//! cycles, where every node gains its 2- and 3-cycles).
+
+use chase_bench::print_series;
+use chase_corpus::{families, paper};
+use chase_engine::{chase, chase_default, ChaseConfig};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn series_example10() -> Vec<(f64, f64)> {
+    let sigma = paper::example10_sigma();
+    (1..=6)
+        .map(|i| {
+            let n = i * 8;
+            let inst = families::cycle_instance(n);
+            let res = chase(&inst, &sigma, &ChaseConfig::with_max_steps(200_000));
+            assert!(res.terminated(), "n={n}");
+            (inst.domain_size() as f64, res.steps as f64)
+        })
+        .collect()
+}
+
+fn series_copy_chain() -> Vec<(f64, f64)> {
+    let sigma = families::copy_chain(6);
+    (1..=6)
+        .map(|i| {
+            let n = i * 16;
+            let inst = families::chain_source_instance(n);
+            let res = chase(&inst, &sigma, &ChaseConfig::with_max_steps(200_000));
+            assert!(res.terminated(), "n={n}");
+            (inst.domain_size() as f64, res.steps as f64)
+        })
+        .collect()
+}
+
+fn series_cascade() -> Vec<(f64, f64)> {
+    // The T[k] family on its canonical instance: steps = arity = |dom| − 1.
+    (2..=7)
+        .map(|k| {
+            let (sigma, inst) = paper::prop11_family(k);
+            let res = chase_default(&inst, &sigma);
+            assert!(res.terminated());
+            (inst.domain_size() as f64, res.steps as f64)
+        })
+        .collect()
+}
+
+fn print_shapes() {
+    print_series(
+        "Theorem 6 — Example 10 (inductively restricted) on n-cycles",
+        "|dom(I)|",
+        "chase steps",
+        &series_example10(),
+    );
+    print_series(
+        "Theorem 5 — weakly acyclic copy chain (6 TGDs)",
+        "|dom(I)|",
+        "chase steps",
+        &series_copy_chain(),
+    );
+    print_series(
+        "Theorem 7 — T[k] cascade family on its canonical instance",
+        "|dom(I)|",
+        "chase steps",
+        &series_cascade(),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polynomial_chase");
+    g.sample_size(10);
+    let sigma10 = paper::example10_sigma();
+    for n in [8usize, 16, 32] {
+        let inst = families::cycle_instance(n);
+        g.bench_with_input(BenchmarkId::new("example10_cycle", n), &inst, |b, i| {
+            b.iter(|| chase(black_box(i), &sigma10, &ChaseConfig::with_max_steps(200_000)))
+        });
+    }
+    let chain = families::copy_chain(6);
+    for n in [16usize, 64] {
+        let inst = families::chain_source_instance(n);
+        g.bench_with_input(BenchmarkId::new("copy_chain", n), &inst, |b, i| {
+            b.iter(|| chase(black_box(i), &chain, &ChaseConfig::with_max_steps(200_000)))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_shapes();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,11 @@
+//! # chase-bench
+//!
+//! Benchmark harness regenerating every figure and quantitative claim of the
+//! paper. The Criterion benchmarks live in `benches/` (one target per
+//! experiment id of DESIGN.md §3); this library hosts the shared row/series
+//! printers so `cargo bench` output doubles as the data behind
+//! EXPERIMENTS.md.
+
+pub mod tables;
+
+pub use tables::{print_series, print_table, Row};

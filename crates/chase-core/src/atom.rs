@@ -1,0 +1,158 @@
+//! Relational atoms.
+
+use crate::schema::Position;
+use crate::symbol::Sym;
+use crate::term::Term;
+use std::fmt;
+
+/// A relational atom `R(t1, …, tn)`.
+///
+/// Atoms appear both in database instances (where every term is ground) and
+/// in constraint bodies/heads and query bodies (where variables occur).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    pred: Sym,
+    terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(pred: impl Into<Sym>, terms: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            terms,
+        }
+    }
+
+    /// The predicate symbol.
+    pub fn pred(&self) -> Sym {
+        self.pred
+    }
+
+    /// The argument terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff no argument is a variable.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.is_ground())
+    }
+
+    /// Distinct variables of the atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// All `(position, term)` pairs of the atom.
+    pub fn entries(&self) -> impl Iterator<Item = (Position, Term)> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| (Position::new(self.pred, i), t))
+    }
+
+    /// Positions (0-based indices wrapped as [`Position`]) where `t` occurs.
+    pub fn positions_of(&self, t: Term) -> Vec<Position> {
+        self.entries()
+            .filter(|&(_, u)| u == t)
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Replace every occurrence of `from` by `to`, returning the new atom.
+    pub fn replace(&self, from: Term, to: Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            terms: self
+                .terms
+                .iter()
+                .map(|&t| if t == from { to } else { t })
+                .collect(),
+        }
+    }
+
+    /// Apply a term-level function to every argument.
+    pub fn map_terms(&self, mut f: impl FnMut(Term) -> Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            terms: self.terms.iter().map(|&t| f(t)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom() -> Atom {
+        Atom::new(
+            "E",
+            vec![Term::var("X"), Term::constant("a"), Term::var("X")],
+        )
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(atom().to_string(), "E(X,a,X)");
+        assert_eq!(Atom::new("S", vec![]).to_string(), "S()");
+    }
+
+    #[test]
+    fn vars_dedup_in_order() {
+        let a = Atom::new("R", vec![Term::var("Y"), Term::var("X"), Term::var("Y")]);
+        assert_eq!(a.vars(), vec![Sym::new("Y"), Sym::new("X")]);
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(!atom().is_ground());
+        assert!(Atom::new("E", vec![Term::constant("a"), Term::null(0)]).is_ground());
+    }
+
+    #[test]
+    fn positions_of_term() {
+        let ps = atom().positions_of(Term::var("X"));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0], Position::new("E", 0));
+        assert_eq!(ps[1], Position::new("E", 2));
+    }
+
+    #[test]
+    fn replace_all_occurrences() {
+        let a = atom().replace(Term::var("X"), Term::null(5));
+        assert_eq!(a.to_string(), "E(_n5,a,_n5)");
+    }
+}

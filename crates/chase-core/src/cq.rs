@@ -1,0 +1,265 @@
+//! Conjunctive queries.
+//!
+//! A CQ is `ans(x) ← ϕ(x, z)` (Section 2). Queries are evaluated by the
+//! homomorphism engine; for semantic query optimization they can be *frozen*
+//! into a canonical instance (variables become labeled nulls) and *thawed*
+//! back after chasing.
+
+use crate::atom::Atom;
+use crate::error::CoreError;
+use crate::fx::FxHashMap;
+use crate::homomorphism::find_all_homs;
+use crate::instance::Instance;
+use crate::symbol::Sym;
+use crate::term::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunctive query `head_pred(head_args) ← body`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    head_pred: Sym,
+    head_args: Vec<Term>,
+    body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Construct a query. Head arguments must be variables occurring in the
+    /// body, or constants; nulls are not allowed anywhere.
+    pub fn new(
+        head_pred: impl Into<Sym>,
+        head_args: Vec<Term>,
+        body: Vec<Atom>,
+    ) -> Result<ConjunctiveQuery, CoreError> {
+        let body_vars: Vec<Sym> = {
+            let mut out = Vec::new();
+            for a in &body {
+                for v in a.vars() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                for t in a.terms() {
+                    if t.is_null() {
+                        return Err(CoreError::InvalidQuery(format!(
+                            "labeled null {t} in query body atom {a}"
+                        )));
+                    }
+                }
+            }
+            out
+        };
+        for t in &head_args {
+            match t {
+                Term::Var(v) if body_vars.contains(v) => {}
+                Term::Var(v) => {
+                    return Err(CoreError::InvalidQuery(format!(
+                        "head variable {v} does not occur in the body"
+                    )))
+                }
+                Term::Const(_) => {}
+                Term::Null(_) => {
+                    return Err(CoreError::InvalidQuery("labeled null in query head".into()))
+                }
+            }
+        }
+        Ok(ConjunctiveQuery {
+            head_pred: head_pred.into(),
+            head_args,
+            body,
+        })
+    }
+
+    /// Parse a query of the form `q(X,Y) <- R(X,Z), S(Z,Y)`.
+    pub fn parse(text: &str) -> Result<ConjunctiveQuery, CoreError> {
+        crate::parser::parse_query(text)
+    }
+
+    /// Head predicate name.
+    pub fn head_pred(&self) -> Sym {
+        self.head_pred
+    }
+
+    /// Head argument terms.
+    pub fn head_args(&self) -> &[Term] {
+        &self.head_args
+    }
+
+    /// Body atoms.
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// Is this a boolean query (empty head)?
+    pub fn is_boolean(&self) -> bool {
+        self.head_args.is_empty()
+    }
+
+    /// Distinct body variables, in first-occurrence order.
+    pub fn body_vars(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        for a in &self.body {
+            for v in a.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluate on an instance; returns the distinct answer tuples, sorted.
+    pub fn evaluate(&self, inst: &Instance) -> Vec<Vec<Term>> {
+        let mut out: BTreeSet<Vec<Term>> = BTreeSet::new();
+        for h in find_all_homs(&self.body, inst) {
+            out.insert(self.head_args.iter().map(|&t| h.apply(t)).collect());
+        }
+        out.into_iter().collect()
+    }
+
+    /// *Certain-answer* evaluation: like [`Self::evaluate`] but tuples
+    /// containing labeled nulls are dropped (nulls are not certain values).
+    pub fn evaluate_certain(&self, inst: &Instance) -> Vec<Vec<Term>> {
+        self.evaluate(inst)
+            .into_iter()
+            .filter(|tup| tup.iter().all(|t| t.is_const()))
+            .collect()
+    }
+
+    /// Boolean satisfaction: does the body embed into the instance?
+    pub fn holds_on(&self, inst: &Instance) -> bool {
+        crate::homomorphism::exists_hom(&self.body, inst)
+    }
+
+    /// Freeze the query into its canonical instance: each body variable maps
+    /// to a fresh labeled null, constants stay fixed. Returns the instance
+    /// and the variable-to-null mapping.
+    pub fn freeze(&self) -> (Instance, FxHashMap<Sym, u32>) {
+        let mut inst = Instance::new();
+        let mut map: FxHashMap<Sym, u32> = FxHashMap::default();
+        // Allocate nulls in first-occurrence order for determinism.
+        for v in self.body_vars() {
+            let n = inst.fresh_null().as_null().expect("fresh null");
+            map.insert(v, n);
+        }
+        for a in &self.body {
+            inst.insert(a.map_terms(|t| match t {
+                Term::Var(v) => Term::Null(map[&v]),
+                other => other,
+            }));
+        }
+        (inst, map)
+    }
+
+    /// Rebuild a query from a chased frozen instance.
+    ///
+    /// `head_args` are the head terms *in frozen form* (nulls/constants);
+    /// every null of the instance becomes a variable `V<id>`.
+    pub fn thaw(
+        inst: &Instance,
+        head_pred: impl Into<Sym>,
+        head_args: &[Term],
+    ) -> Result<ConjunctiveQuery, CoreError> {
+        let unfreeze = |t: Term| match t {
+            Term::Null(n) => Term::var(&format!("V{n}")),
+            other => other,
+        };
+        let body: Vec<Atom> = inst
+            .sorted_atoms()
+            .into_iter()
+            .map(|a| a.map_terms(unfreeze))
+            .collect();
+        let head: Vec<Term> = head_args.iter().map(|&t| unfreeze(t)).collect();
+        ConjunctiveQuery::new(head_pred, head, body)
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head_pred)?;
+        for (i, t) in self.head_args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") <- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let q = ConjunctiveQuery::parse("q(X2) <- rail(c1,X1,Y1), fly(X1,X2,Y2)").unwrap();
+        let q2 = ConjunctiveQuery::parse(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn head_var_must_occur_in_body() {
+        assert!(ConjunctiveQuery::parse("q(X) <- E(Y,Z)").is_err());
+    }
+
+    #[test]
+    fn evaluate_projects_and_dedupes() {
+        let q = ConjunctiveQuery::parse("q(X) <- E(X,Y)").unwrap();
+        let i = Instance::parse("E(a,b). E(a,c). E(b,c).").unwrap();
+        let ans = q.evaluate(&i);
+        assert_eq!(ans, vec![vec![Term::constant("a")], vec![Term::constant("b")]]);
+    }
+
+    #[test]
+    fn certain_answers_drop_nulls() {
+        let q = ConjunctiveQuery::parse("q(X) <- E(X,Y)").unwrap();
+        let i = Instance::parse("E(a,b). E(_n0,c).").unwrap();
+        assert_eq!(q.evaluate(&i).len(), 2);
+        assert_eq!(q.evaluate_certain(&i).len(), 1);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let q = ConjunctiveQuery::parse("q() <- E(X,X)").unwrap();
+        assert!(q.is_boolean());
+        assert!(q.holds_on(&Instance::parse("E(a,a).").unwrap()));
+        assert!(!q.holds_on(&Instance::parse("E(a,b).").unwrap()));
+    }
+
+    #[test]
+    fn freeze_maps_vars_to_nulls_and_keeps_constants() {
+        let q = ConjunctiveQuery::parse("q(X) <- rail(c1,X,Y)").unwrap();
+        let (inst, map) = q.freeze();
+        assert_eq!(inst.len(), 1);
+        let atom = &inst.atoms()[0];
+        assert_eq!(atom.terms()[0], Term::constant("c1"));
+        assert_eq!(atom.terms()[1], Term::Null(map[&Sym::new("X")]));
+        assert_eq!(atom.terms()[2], Term::Null(map[&Sym::new("Y")]));
+    }
+
+    #[test]
+    fn thaw_inverts_freeze_up_to_renaming() {
+        let q = ConjunctiveQuery::parse("q(X) <- rail(c1,X,Y), fly(X,Z,W)").unwrap();
+        let (inst, map) = q.freeze();
+        let head = [Term::Null(map[&Sym::new("X")])];
+        let q2 = ConjunctiveQuery::thaw(&inst, "q", &head).unwrap();
+        // Same number of atoms, same shape: freezing q2 again yields a
+        // hom-equivalent instance.
+        let (inst2, _) = q2.freeze();
+        assert!(crate::homomorphism::hom_equivalent(&inst, &inst2));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or parsing core objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A predicate was used with two different arities.
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Previously observed arity.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// A constraint violates a well-formedness condition of Section 2.
+    InvalidConstraint(String),
+    /// A conjunctive query violates its well-formedness conditions.
+    InvalidQuery(String),
+    /// An instance operation received a non-ground atom.
+    NonGroundAtom(String),
+    /// Parse error with 1-based location.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Human-readable message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate {pred} used with arity {found}, but earlier with arity {expected}"
+            ),
+            CoreError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CoreError::NonGroundAtom(atom) => {
+                write!(f, "instances may only contain ground atoms, got {atom}")
+            }
+            CoreError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::ArityMismatch {
+            pred: "E".into(),
+            expected: 2,
+            found: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('E') && msg.contains('2') && msg.contains('3'));
+    }
+}

@@ -1,0 +1,542 @@
+//! The homomorphism engine.
+//!
+//! A homomorphism from a set of atoms `A1` to a set of atoms `A2` is a
+//! mapping that is the identity on constants and maps each atom of `A1` into
+//! `A2` (Section 2). This module implements backtracking search for such
+//! mappings against an indexed [`Instance`], with two flexibility modes:
+//!
+//! * **pattern mode** (`flex_nulls = false`): only variables are mapped —
+//!   used for constraint bodies, TGD-head extension tests and conjunctive
+//!   queries;
+//! * **instance mode** (`flex_nulls = true`): labeled nulls of the source are
+//!   mapped too — used for homomorphisms *between instances* (e.g. chase
+//!   result equivalence, universal-plan checks).
+//!
+//! Atom ordering is dynamic: at every depth the searcher expands the
+//! remaining atom with the fewest index candidates under the current partial
+//! substitution (the classic "most constrained first" join heuristic).
+
+use crate::atom::Atom;
+use crate::fx::FxHashMap;
+use crate::instance::Instance;
+use crate::symbol::Sym;
+use crate::term::Term;
+use std::fmt;
+
+/// A substitution: finite mapping from variables (and, in instance mode,
+/// labeled nulls) to ground terms. Constants are always fixed.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    vars: FxHashMap<Sym, Term>,
+    nulls: FxHashMap<u32, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Build a substitution from variable bindings.
+    pub fn from_vars(bindings: impl IntoIterator<Item = (Sym, Term)>) -> Subst {
+        Subst {
+            vars: bindings.into_iter().collect(),
+            nulls: FxHashMap::default(),
+        }
+    }
+
+    /// Bind a variable.
+    pub fn bind_var(&mut self, v: Sym, t: Term) {
+        self.vars.insert(v, t);
+    }
+
+    /// Bind a labeled null (instance mode).
+    pub fn bind_null(&mut self, n: u32, t: Term) {
+        self.nulls.insert(n, t);
+    }
+
+    /// Binding of a variable, if any.
+    pub fn var(&self, v: Sym) -> Option<Term> {
+        self.vars.get(&v).copied()
+    }
+
+    /// Binding of a null, if any.
+    pub fn null(&self, n: u32) -> Option<Term> {
+        self.nulls.get(&n).copied()
+    }
+
+    /// Apply to a term: bound variables/nulls are replaced, everything else
+    /// (including unbound variables) is returned unchanged.
+    pub fn apply(&self, t: Term) -> Term {
+        match t {
+            Term::Var(v) => self.vars.get(&v).copied().unwrap_or(t),
+            Term::Null(n) => self.nulls.get(&n).copied().unwrap_or(t),
+            Term::Const(_) => t,
+        }
+    }
+
+    /// Apply to every argument of an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        a.map_terms(|t| self.apply(t))
+    }
+
+    /// Apply to a slice of atoms.
+    pub fn apply_atoms(&self, atoms: &[Atom]) -> Vec<Atom> {
+        atoms.iter().map(|a| self.apply_atom(a)).collect()
+    }
+
+    /// Variable bindings, sorted by variable name (deterministic).
+    pub fn var_bindings(&self) -> Vec<(Sym, Term)> {
+        let mut v: Vec<(Sym, Term)> = self.vars.iter().map(|(&k, &t)| (k, t)).collect();
+        v.sort_by_key(|(k, _)| k.as_str());
+        v
+    }
+
+    /// Null bindings, sorted by null id (deterministic).
+    pub fn null_bindings(&self) -> Vec<(u32, Term)> {
+        let mut v: Vec<(u32, Term)> = self.nulls.iter().map(|(&k, &t)| (k, t)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// True iff no variable or null is bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty() && self.nulls.is_empty()
+    }
+}
+
+impl fmt::Debug for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (v, t) in self.var_bindings() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{v}→{t}")?;
+        }
+        for (n, t) in self.null_bindings() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "_n{n}→{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Tuning knobs for the backtracking searcher — exposed so the benchmark
+/// suite can ablate the two join optimizations (DESIGN.md §8).
+#[derive(Debug, Clone)]
+pub struct HomConfig {
+    /// Use the per-`(predicate, position, term)` index to narrow candidate
+    /// facts; with `false`, every fact of the predicate is scanned.
+    pub use_position_index: bool,
+    /// Expand the most-constrained remaining atom first; with `false`,
+    /// atoms are matched left to right as written.
+    pub dynamic_ordering: bool,
+}
+
+impl Default for HomConfig {
+    fn default() -> HomConfig {
+        HomConfig {
+            use_position_index: true,
+            dynamic_ordering: true,
+        }
+    }
+}
+
+/// What the searcher undoes when backtracking out of an atom match.
+enum Undo {
+    Var(Sym),
+    Null(u32),
+}
+
+struct Searcher<'a> {
+    pattern: &'a [Atom],
+    target: &'a Instance,
+    flex_nulls: bool,
+    subst: Subst,
+    cfg: HomConfig,
+}
+
+impl<'a> Searcher<'a> {
+    /// Positions of `atom` whose value is already determined under the
+    /// current substitution; used for dynamic atom ordering and for the
+    /// index-driven candidate scan.
+    fn fixed_positions(&self, atom: &Atom) -> Vec<(usize, Term)> {
+        let mut fixed = Vec::new();
+        for (i, &raw) in atom.terms().iter().enumerate() {
+            let t = self.subst.apply(raw);
+            let determined = match t {
+                Term::Const(_) => true,
+                Term::Var(_) => false, // unbound variable: wildcard
+                Term::Null(n) => {
+                    // In flex mode an *unbound* null is a wildcard; a bound
+                    // null (even one bound to itself) and any null in rigid
+                    // mode only match that exact term.
+                    !(self.flex_nulls && raw == t && self.subst.null(n).is_none())
+                }
+            };
+            if determined {
+                fixed.push((i, t));
+            }
+        }
+        fixed
+    }
+
+    /// The index key used for candidate lookup, honoring the ablation knob.
+    fn candidate_key(&self, atom: &Atom) -> Vec<(usize, Term)> {
+        if self.cfg.use_position_index {
+            self.fixed_positions(atom)
+        } else {
+            Vec::new() // per-predicate bucket only
+        }
+    }
+
+    /// Try to match `atom` against `fact`, extending the substitution.
+    /// Returns the undo list on success.
+    fn try_match(&mut self, atom: &Atom, fact: &Atom) -> Option<Vec<Undo>> {
+        debug_assert_eq!(atom.pred(), fact.pred());
+        if atom.arity() != fact.arity() {
+            return None;
+        }
+        let mut undo = Vec::new();
+        for (&p, &g) in atom.terms().iter().zip(fact.terms()) {
+            let ok = match p {
+                Term::Const(_) => p == g,
+                Term::Var(v) => match self.subst.var(v) {
+                    Some(t) => t == g,
+                    None => {
+                        self.subst.bind_var(v, g);
+                        undo.push(Undo::Var(v));
+                        true
+                    }
+                },
+                Term::Null(n) => {
+                    if self.flex_nulls {
+                        match self.subst.null(n) {
+                            Some(t) => t == g,
+                            None => {
+                                self.subst.bind_null(n, g);
+                                undo.push(Undo::Null(n));
+                                true
+                            }
+                        }
+                    } else {
+                        p == g
+                    }
+                }
+            };
+            if !ok {
+                self.unwind(undo);
+                return None;
+            }
+        }
+        Some(undo)
+    }
+
+    fn unwind(&mut self, undo: Vec<Undo>) {
+        for u in undo {
+            match u {
+                Undo::Var(v) => {
+                    self.subst.vars.remove(&v);
+                }
+                Undo::Null(n) => {
+                    self.subst.nulls.remove(&n);
+                }
+            }
+        }
+    }
+
+    /// Depth-first search. `remaining` holds indices into `self.pattern`.
+    /// Returns `true` if the callback asked to stop.
+    fn search(&mut self, remaining: &mut Vec<usize>, cb: &mut dyn FnMut(&Subst) -> bool) -> bool {
+        if remaining.is_empty() {
+            return cb(&self.subst);
+        }
+        // Dynamic ordering: expand the most constrained remaining atom.
+        // (Ablated mode matches atoms in written order; `remaining` is kept
+        // in reverse so popping the last slot yields the leftmost atom.)
+        let best_slot = if self.cfg.dynamic_ordering {
+            let mut best_slot = 0;
+            let mut best_len = usize::MAX;
+            for (slot, &ai) in remaining.iter().enumerate() {
+                let atom = &self.pattern[ai];
+                let fixed = self.candidate_key(atom);
+                let len = self.target.candidates(atom.pred(), &fixed).len();
+                if len < best_len {
+                    best_len = len;
+                    best_slot = slot;
+                    if len == 0 {
+                        return false; // some atom has no candidates: dead branch
+                    }
+                }
+            }
+            best_slot
+        } else {
+            let mut best_slot = 0;
+            let mut best_ai = usize::MAX;
+            for (slot, &ai) in remaining.iter().enumerate() {
+                if ai < best_ai {
+                    best_ai = ai;
+                    best_slot = slot;
+                }
+            }
+            best_slot
+        };
+        let ai = remaining.swap_remove(best_slot);
+        let atom = &self.pattern[ai];
+        let fixed = self.candidate_key(atom);
+        // The candidate bucket borrows from `target`; clone the indices so we
+        // can mutate `self` while iterating.
+        let cands: Vec<u32> = self.target.candidates(atom.pred(), &fixed).to_vec();
+        let mut stopped = false;
+        for ci in cands {
+            let fact = self.target.atom_at(ci).clone();
+            if let Some(undo) = self.try_match(&self.pattern[ai], &fact) {
+                if self.search(remaining, cb) {
+                    self.unwind(undo);
+                    stopped = true;
+                    break;
+                }
+                self.unwind(undo);
+            }
+        }
+        // Restore `remaining` exactly (swap_remove reordering is fine — it is
+        // a set — but the element must come back).
+        remaining.push(ai);
+        stopped
+    }
+}
+
+/// Enumerate homomorphisms from `pattern` into `target`, extending `seed`.
+///
+/// The callback receives each complete substitution; returning `true` stops
+/// the enumeration. The function returns `true` iff the callback stopped it.
+pub fn for_each_hom(
+    pattern: &[Atom],
+    target: &Instance,
+    seed: &Subst,
+    flex_nulls: bool,
+    cb: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    for_each_hom_cfg(pattern, target, seed, flex_nulls, &HomConfig::default(), cb)
+}
+
+/// [`for_each_hom`] with explicit searcher tuning (for ablation benchmarks;
+/// all configurations enumerate the same homomorphisms).
+pub fn for_each_hom_cfg(
+    pattern: &[Atom],
+    target: &Instance,
+    seed: &Subst,
+    flex_nulls: bool,
+    cfg: &HomConfig,
+    cb: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    let mut searcher = Searcher {
+        pattern,
+        target,
+        flex_nulls,
+        subst: seed.clone(),
+        cfg: cfg.clone(),
+    };
+    let mut remaining: Vec<usize> = (0..pattern.len()).collect();
+    searcher.search(&mut remaining, cb)
+}
+
+/// First homomorphism from `pattern` into `target`, if any (pattern mode).
+pub fn find_hom(pattern: &[Atom], target: &Instance) -> Option<Subst> {
+    find_hom_seeded(pattern, target, &Subst::new())
+}
+
+/// First homomorphism extending `seed`, if any (pattern mode).
+pub fn find_hom_seeded(pattern: &[Atom], target: &Instance, seed: &Subst) -> Option<Subst> {
+    let mut found = None;
+    for_each_hom(pattern, target, seed, false, &mut |s| {
+        found = Some(s.clone());
+        true
+    });
+    found
+}
+
+/// Does any homomorphism from `pattern` into `target` exist (pattern mode)?
+pub fn exists_hom(pattern: &[Atom], target: &Instance) -> bool {
+    exists_extension(pattern, target, &Subst::new())
+}
+
+/// Does a homomorphism extending `seed` exist (pattern mode)?
+///
+/// This is the TGD-applicability primitive: a TGD with body match `µ` is
+/// *satisfied* for `µ` iff `exists_extension(head, instance, µ)`.
+pub fn exists_extension(pattern: &[Atom], target: &Instance, seed: &Subst) -> bool {
+    for_each_hom(pattern, target, seed, false, &mut |_| true)
+}
+
+/// All homomorphisms from `pattern` into `target` (pattern mode), in the
+/// deterministic order produced by the searcher.
+pub fn find_all_homs(pattern: &[Atom], target: &Instance) -> Vec<Subst> {
+    find_all_homs_seeded(pattern, target, &Subst::new())
+}
+
+/// All homomorphisms extending `seed` (pattern mode).
+pub fn find_all_homs_seeded(pattern: &[Atom], target: &Instance, seed: &Subst) -> Vec<Subst> {
+    let mut out = Vec::new();
+    for_each_hom(pattern, target, seed, false, &mut |s| {
+        out.push(s.clone());
+        false
+    });
+    out
+}
+
+/// A homomorphism **between instances**: constants fixed, nulls of `from`
+/// flexible. Returns the mapping if one exists.
+pub fn instance_hom(from: &Instance, to: &Instance) -> Option<Subst> {
+    let mut found = None;
+    for_each_hom(from.atoms(), to, &Subst::new(), true, &mut |s| {
+        found = Some(s.clone());
+        true
+    });
+    found
+}
+
+/// Are two instances homomorphically equivalent (maps both ways)?
+pub fn hom_equivalent(a: &Instance, b: &Instance) -> bool {
+    instance_hom(a, b).is_some() && instance_hom(b, a).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(text: &str) -> Instance {
+        Instance::parse(text).unwrap()
+    }
+
+    fn atoms(text: &str) -> Vec<Atom> {
+        crate::parser::parse_atom_list(text).unwrap()
+    }
+
+    #[test]
+    fn simple_match() {
+        let i = inst("E(a,b). E(b,c).");
+        let homs = find_all_homs(&atoms("E(X,Y), E(Y,Z)"), &i);
+        assert_eq!(homs.len(), 1);
+        let h = &homs[0];
+        assert_eq!(h.var(Sym::new("X")), Some(Term::constant("a")));
+        assert_eq!(h.var(Sym::new("Z")), Some(Term::constant("c")));
+    }
+
+    #[test]
+    fn shared_variable_constrains() {
+        let i = inst("E(a,b). E(c,d).");
+        assert!(!exists_hom(&atoms("E(X,Y), E(Y,Z)"), &i));
+    }
+
+    #[test]
+    fn constants_are_fixed() {
+        let i = inst("E(a,b).");
+        assert!(exists_hom(&atoms("E(a,Y)"), &i));
+        assert!(!exists_hom(&atoms("E(b,Y)"), &i));
+    }
+
+    #[test]
+    fn empty_pattern_has_exactly_one_hom() {
+        let i = inst("E(a,b).");
+        assert_eq!(find_all_homs(&[], &i).len(), 1);
+        assert!(exists_hom(&[], &Instance::new()));
+    }
+
+    #[test]
+    fn seeded_search_respects_bindings() {
+        let i = inst("E(a,b). E(b,c).");
+        let seed = Subst::from_vars([(Sym::new("X"), Term::constant("b"))]);
+        let homs = find_all_homs_seeded(&atoms("E(X,Y)"), &i, &seed);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].var(Sym::new("Y")), Some(Term::constant("c")));
+    }
+
+    #[test]
+    fn nulls_rigid_in_pattern_mode() {
+        let i = inst("E(a,_n0).");
+        // The pattern contains _n1, which does not occur in the instance; in
+        // pattern mode nulls only match themselves.
+        let pat = vec![Atom::new("E", vec![Term::constant("a"), Term::null(1)])];
+        assert!(!exists_hom(&pat, &i));
+        let pat0 = vec![Atom::new("E", vec![Term::constant("a"), Term::null(0)])];
+        assert!(exists_hom(&pat0, &i));
+    }
+
+    #[test]
+    fn instance_hom_maps_nulls() {
+        let from = inst("E(a,_n0). S(_n0).");
+        let to = inst("E(a,b). S(b). S(c).");
+        let h = instance_hom(&from, &to).expect("hom should exist");
+        assert_eq!(h.null(0), Some(Term::constant("b")));
+        assert!(instance_hom(&to, &from).is_none(), "no hom back: c unmatched");
+    }
+
+    #[test]
+    fn hom_equivalence_detects_isomorphic_cores() {
+        let a = inst("E(a,_n0).");
+        let b = inst("E(a,_n5). E(a,_n6).");
+        assert!(hom_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn all_homs_count() {
+        let i = inst("E(a,b). E(a,c). E(b,c).");
+        assert_eq!(find_all_homs(&atoms("E(X,Y)"), &i).len(), 3);
+        assert_eq!(find_all_homs(&atoms("E(a,Y)"), &i).len(), 2);
+    }
+
+    #[test]
+    fn cartesian_patterns_enumerate_fully() {
+        let i = inst("P(a). P(b). Q(c). Q(d).");
+        assert_eq!(find_all_homs(&atoms("P(X), Q(Y)"), &i).len(), 4);
+    }
+
+    #[test]
+    fn all_searcher_configs_agree() {
+        // The ablation knobs change cost, never results.
+        let i = inst(
+            "E(a,b). E(b,c). E(c,d). E(a,c). S(b). S(c). T(a,b,c). T(b,c,d).",
+        );
+        let patterns = [
+            "E(X,Y), E(Y,Z)",
+            "S(X), E(X,Y), E(Y,Z), S(Z)",
+            "T(X,Y,Z), E(X,Y), S(Y)",
+            "E(X,X)",
+        ];
+        for pat in patterns {
+            let pattern = atoms(pat);
+            let mut counts = Vec::new();
+            for use_idx in [true, false] {
+                for dynamic in [true, false] {
+                    let cfg = HomConfig {
+                        use_position_index: use_idx,
+                        dynamic_ordering: dynamic,
+                    };
+                    let mut n = 0usize;
+                    for_each_hom_cfg(&pattern, &i, &Subst::new(), false, &cfg, &mut |_| {
+                        n += 1;
+                        false
+                    });
+                    counts.push(n);
+                }
+            }
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "configs disagree on {pat}: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Database instances: deduplicated, indexed sets of ground atoms.
+//!
+//! An [`Instance`] stores facts in insertion order (so chase sequences are
+//! reproducible) alongside two indexes used by the homomorphism engine:
+//! a per-predicate index and a per-`(predicate, position, term)` index.
+//! It also owns the counter from which fresh labeled nulls are drawn during
+//! chase steps.
+
+use crate::atom::Atom;
+use crate::error::CoreError;
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::schema::{PosSet, Position, Schema};
+use crate::symbol::Sym;
+use crate::term::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A database instance: a finite set of ground atoms over constants and
+/// labeled nulls.
+#[derive(Clone, Default)]
+pub struct Instance {
+    atoms: Vec<Atom>,
+    set: FxHashSet<Atom>,
+    by_pred: FxHashMap<Sym, Vec<u32>>,
+    by_pos: FxHashMap<(Sym, u32, Term), Vec<u32>>,
+    next_null: u32,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Build an instance from ground atoms. Errors on a non-ground atom.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Atom>) -> Result<Instance, CoreError> {
+        let mut inst = Instance::new();
+        for a in atoms {
+            inst.try_insert(a)?;
+        }
+        Ok(inst)
+    }
+
+    /// Parse an instance from text (see [`crate::parser::parse_instance`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chase_core::Instance;
+    ///
+    /// let i = Instance::parse("S(n1). E(n1,_n0).").unwrap();
+    /// assert_eq!(i.len(), 2);
+    /// assert_eq!(i.nulls().len(), 1);   // the labeled null _n0
+    /// assert_eq!(i.domain_size(), 2);   // n1 (a constant) and _n0
+    /// ```
+    pub fn parse(text: &str) -> Result<Instance, CoreError> {
+        crate::parser::parse_instance(text)
+    }
+
+    /// Insert a ground atom; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the atom contains a variable; use [`Instance::try_insert`]
+    /// for a checked version.
+    pub fn insert(&mut self, atom: Atom) -> bool {
+        self.try_insert(atom).expect("non-ground atom inserted into instance")
+    }
+
+    /// Insert a ground atom; returns `true` if it was new, or an error if the
+    /// atom contains a variable.
+    pub fn try_insert(&mut self, atom: Atom) -> Result<bool, CoreError> {
+        if !atom.is_ground() {
+            return Err(CoreError::NonGroundAtom(atom.to_string()));
+        }
+        if self.set.contains(&atom) {
+            return Ok(false);
+        }
+        let idx = u32::try_from(self.atoms.len()).expect("instance too large");
+        for (i, &t) in atom.terms().iter().enumerate() {
+            if let Term::Null(n) = t {
+                self.next_null = self.next_null.max(n + 1);
+            }
+            self.by_pos
+                .entry((atom.pred(), i as u32, t))
+                .or_default()
+                .push(idx);
+        }
+        self.by_pred.entry(atom.pred()).or_default().push(idx);
+        self.set.insert(atom.clone());
+        self.atoms.push(atom);
+        Ok(true)
+    }
+
+    /// Does the instance contain this exact atom?
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.set.contains(atom)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True iff the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Facts in insertion order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Iterate over facts in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+        self.atoms.iter()
+    }
+
+    /// Facts with the given predicate, in insertion order.
+    pub fn with_pred(&self, pred: Sym) -> impl Iterator<Item = &Atom> {
+        self.by_pred
+            .get(&pred)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&i| &self.atoms[i as usize])
+    }
+
+    /// Indices of candidate facts for a `pred`-atom whose argument at each
+    /// listed `(index, term)` pair is already fixed. Returns the smallest
+    /// applicable index bucket (the caller still has to verify the full
+    /// match). With no fixed positions this is the per-predicate bucket.
+    pub fn candidates(&self, pred: Sym, fixed: &[(usize, Term)]) -> &[u32] {
+        if fixed.is_empty() {
+            return self
+                .by_pred
+                .get(&pred)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+        }
+        let mut best: Option<&[u32]> = None;
+        for &(i, t) in fixed {
+            let bucket = self
+                .by_pos
+                .get(&(pred, i as u32, t))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+            if best.is_none_or(|b| bucket.len() < b.len()) {
+                best = Some(bucket);
+            }
+            if bucket.is_empty() {
+                break;
+            }
+        }
+        best.unwrap_or(&[])
+    }
+
+    /// Fact at a raw index (used with [`Instance::candidates`]).
+    pub fn atom_at(&self, idx: u32) -> &Atom {
+        &self.atoms[idx as usize]
+    }
+
+    /// A fresh labeled null, never used in this instance before.
+    pub fn fresh_null(&mut self) -> Term {
+        let t = Term::Null(self.next_null);
+        self.next_null += 1;
+        t
+    }
+
+    /// Make sure future fresh nulls are numbered at least `floor`.
+    pub fn reserve_nulls(&mut self, floor: u32) {
+        self.next_null = self.next_null.max(floor);
+    }
+
+    /// The domain `dom(I)`: every constant and null occurring in some fact,
+    /// in sorted order.
+    pub fn domain(&self) -> BTreeSet<Term> {
+        let mut out = BTreeSet::new();
+        for a in &self.atoms {
+            out.extend(a.terms().iter().copied());
+        }
+        out
+    }
+
+    /// `|dom(I)|`.
+    pub fn domain_size(&self) -> usize {
+        self.domain().len()
+    }
+
+    /// All labeled nulls occurring in the instance.
+    pub fn nulls(&self) -> BTreeSet<u32> {
+        let mut out = BTreeSet::new();
+        for a in &self.atoms {
+            for t in a.terms() {
+                if let Term::Null(n) = t {
+                    out.insert(*n);
+                }
+            }
+        }
+        out
+    }
+
+    /// All constants occurring in the instance.
+    pub fn constants(&self) -> BTreeSet<Sym> {
+        let mut out = BTreeSet::new();
+        for a in &self.atoms {
+            for t in a.terms() {
+                if let Term::Const(c) = t {
+                    out.insert(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// `null-pos({t}, I)` (Definition 9): the set of positions at which `t`
+    /// occurs in the instance.
+    pub fn positions_of(&self, t: Term) -> PosSet {
+        let mut out = PosSet::new();
+        for a in &self.atoms {
+            for (i, &u) in a.terms().iter().enumerate() {
+                if u == t {
+                    out.insert(Position::new(a.pred(), i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Replace every occurrence of `from` by `to` (the EGD merge primitive).
+    ///
+    /// Rebuilds the indexes; atoms that collapse onto existing atoms are
+    /// deduplicated. Returns the number of facts that were rewritten.
+    pub fn merge_terms(&mut self, from: Term, to: Term) -> usize {
+        if from == to {
+            return 0;
+        }
+        let old = std::mem::take(&mut self.atoms);
+        let next_null = self.next_null;
+        self.set.clear();
+        self.by_pred.clear();
+        self.by_pos.clear();
+        let mut rewritten = 0;
+        for a in old {
+            let b = a.replace(from, to);
+            if b != a {
+                rewritten += 1;
+            }
+            let _ = self.insert(b);
+        }
+        self.next_null = self.next_null.max(next_null);
+        rewritten
+    }
+
+    /// The schema induced by the facts.
+    pub fn schema(&self) -> Result<Schema, CoreError> {
+        Schema::from_atoms(self.atoms.iter())
+    }
+
+    /// Facts in a canonical sorted order (for display and comparison).
+    pub fn sorted_atoms(&self) -> Vec<&Atom> {
+        let mut v: Vec<&Atom> = self.atoms.iter().collect();
+        v.sort_by(|a, b| {
+            a.pred()
+                .as_str()
+                .cmp(b.pred().as_str())
+                .then_with(|| a.terms().cmp(b.terms()))
+        });
+        v
+    }
+}
+
+impl PartialEq for Instance {
+    /// Set equality over facts (insertion order and null counters ignored).
+    fn eq(&self, other: &Instance) -> bool {
+        self.set == other.set
+    }
+}
+
+impl Eq for Instance {}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in self.sorted_atoms() {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "{a}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{self}}}")
+    }
+}
+
+impl Extend<Atom> for Instance {
+    fn extend<T: IntoIterator<Item = Atom>>(&mut self, iter: T) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca(pred: &str, terms: &[&str]) -> Atom {
+        Atom::new(pred, terms.iter().map(|t| Term::constant(t)).collect())
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let mut i = Instance::new();
+        assert!(i.insert(ca("E", &["a", "b"])));
+        assert!(!i.insert(ca("E", &["a", "b"])));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn rejects_variables() {
+        let mut i = Instance::new();
+        let res = i.try_insert(Atom::new("E", vec![Term::var("X")]));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn fresh_nulls_avoid_existing_ids() {
+        let mut i = Instance::new();
+        i.insert(Atom::new("S", vec![Term::null(7)]));
+        assert_eq!(i.fresh_null(), Term::null(8));
+        assert_eq!(i.fresh_null(), Term::null(9));
+    }
+
+    #[test]
+    fn candidates_uses_position_index() {
+        let mut i = Instance::new();
+        i.insert(ca("E", &["a", "b"]));
+        i.insert(ca("E", &["a", "c"]));
+        i.insert(ca("E", &["d", "c"]));
+        let all = i.candidates(Sym::new("E"), &[]);
+        assert_eq!(all.len(), 3);
+        let first_a = i.candidates(Sym::new("E"), &[(0, Term::constant("a"))]);
+        assert_eq!(first_a.len(), 2);
+        let both = i.candidates(
+            Sym::new("E"),
+            &[(0, Term::constant("d")), (1, Term::constant("c"))],
+        );
+        assert_eq!(both.len(), 1);
+        let none = i.candidates(Sym::new("E"), &[(0, Term::constant("zzz"))]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn merge_rewrites_and_dedupes() {
+        let mut i = Instance::new();
+        i.insert(Atom::new("E", vec![Term::constant("a"), Term::null(0)]));
+        i.insert(Atom::new("E", vec![Term::constant("a"), Term::constant("b")]));
+        let rewritten = i.merge_terms(Term::null(0), Term::constant("b"));
+        assert_eq!(rewritten, 1);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&ca("E", &["a", "b"])));
+        // Null counter still advances past the merged null.
+        assert!(i.fresh_null().as_null().unwrap() >= 1);
+    }
+
+    #[test]
+    fn domain_and_positions() {
+        let mut i = Instance::new();
+        i.insert(Atom::new("E", vec![Term::constant("a"), Term::null(1)]));
+        i.insert(Atom::new("S", vec![Term::null(1)]));
+        assert_eq!(i.domain_size(), 2);
+        let pos = i.positions_of(Term::null(1));
+        assert!(pos.contains(&Position::new("E", 1)));
+        assert!(pos.contains(&Position::new("S", 0)));
+        assert_eq!(pos.len(), 2);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let i1 = Instance::from_atoms(vec![ca("E", &["a", "b"]), ca("S", &["a"])]).unwrap();
+        let i2 = Instance::from_atoms(vec![ca("S", &["a"]), ca("E", &["a", "b"])]).unwrap();
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let i = Instance::from_atoms(vec![ca("S", &["b"]), ca("E", &["a", "b"]), ca("S", &["a"])])
+            .unwrap();
+        assert_eq!(i.to_string(), "E(a,b). S(a). S(b).");
+    }
+}

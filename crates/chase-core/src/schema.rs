@@ -1,0 +1,202 @@
+//! Database positions and schemas.
+//!
+//! A *position* `(R, i)` is the `i`-th argument slot of relation `R`
+//! (Section 2 of the paper; written `R^i`, 1-based, in the paper's notation).
+//! Positions are the currency of every termination condition: dependency
+//! graphs, propagation graphs and restriction systems are all graphs over
+//! positions or sets of positions.
+
+use crate::atom::Atom;
+use crate::error::CoreError;
+use crate::fx::FxHashMap;
+use crate::symbol::Sym;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A database position: argument slot `index` (0-based) of predicate `pred`.
+///
+/// Displayed 1-based as in the paper: position 0 of `E` prints as `E^1`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Position {
+    /// The relation symbol.
+    pub pred: Sym,
+    /// 0-based argument index.
+    pub index: usize,
+}
+
+impl Position {
+    /// Construct a position; `index` is 0-based.
+    pub fn new(pred: impl Into<Sym>, index: usize) -> Position {
+        Position {
+            pred: pred.into(),
+            index,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^{}", self.pred, self.index + 1)
+    }
+}
+
+impl fmt::Debug for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A deterministic, ordered set of positions.
+///
+/// `BTreeSet` keeps iteration order stable across runs, which restriction
+/// systems rely on for reproducible fixpoints and which makes reports and
+/// tests deterministic.
+pub type PosSet = BTreeSet<Position>;
+
+/// A relational schema: each predicate with its arity.
+///
+/// Schemas are inferred from atoms rather than declared; [`Schema::observe`]
+/// records a predicate's arity and rejects inconsistent reuse.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    arities: FxHashMap<Sym, usize>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Record that `pred` is used with `arity`. Errors if a different arity
+    /// was seen before.
+    pub fn observe(&mut self, pred: Sym, arity: usize) -> Result<(), CoreError> {
+        match self.arities.get(&pred) {
+            Some(&a) if a != arity => Err(CoreError::ArityMismatch {
+                pred: pred.as_str().to_owned(),
+                expected: a,
+                found: arity,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.arities.insert(pred, arity);
+                Ok(())
+            }
+        }
+    }
+
+    /// Record an atom's predicate and arity.
+    pub fn observe_atom(&mut self, atom: &Atom) -> Result<(), CoreError> {
+        self.observe(atom.pred(), atom.arity())
+    }
+
+    /// Build a schema from atoms, checking arity consistency.
+    pub fn from_atoms<'a>(atoms: impl IntoIterator<Item = &'a Atom>) -> Result<Schema, CoreError> {
+        let mut s = Schema::new();
+        for a in atoms {
+            s.observe_atom(a)?;
+        }
+        Ok(s)
+    }
+
+    /// Arity of `pred`, if known.
+    pub fn arity(&self, pred: Sym) -> Option<usize> {
+        self.arities.get(&pred).copied()
+    }
+
+    /// Does the schema mention `pred`?
+    pub fn contains(&self, pred: Sym) -> bool {
+        self.arities.contains_key(&pred)
+    }
+
+    /// All predicates, sorted by name for determinism.
+    pub fn predicates(&self) -> Vec<Sym> {
+        let mut v: Vec<Sym> = self.arities.keys().copied().collect();
+        v.sort_by_key(|s| s.as_str());
+        v
+    }
+
+    /// Every position of every predicate in the schema.
+    pub fn positions(&self) -> PosSet {
+        let mut out = PosSet::new();
+        for (&pred, &ar) in &self.arities {
+            for i in 0..ar {
+                out.insert(Position::new(pred, i));
+            }
+        }
+        out
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// True if no predicate has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// Merge another schema into this one, checking consistency.
+    pub fn merge(&mut self, other: &Schema) -> Result<(), CoreError> {
+        for (&p, &a) in &other.arities {
+            self.observe(p, a)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for p in self.predicates() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}/{}", p, self.arities[&p])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn position_display_is_one_based() {
+        assert_eq!(Position::new("E", 0).to_string(), "E^1");
+        assert_eq!(Position::new("E", 1).to_string(), "E^2");
+    }
+
+    #[test]
+    fn schema_rejects_arity_clash() {
+        let mut s = Schema::new();
+        s.observe(Sym::new("E"), 2).unwrap();
+        assert!(s.observe(Sym::new("E"), 3).is_err());
+        assert!(s.observe(Sym::new("E"), 2).is_ok());
+    }
+
+    #[test]
+    fn positions_enumerates_all_slots() {
+        let a = Atom::new("E", vec![Term::var("X"), Term::var("Y")]);
+        let b = Atom::new("S", vec![Term::var("X")]);
+        let s = Schema::from_atoms([&a, &b]).unwrap();
+        let pos = s.positions();
+        assert_eq!(pos.len(), 3);
+        assert!(pos.contains(&Position::new("E", 0)));
+        assert!(pos.contains(&Position::new("E", 1)));
+        assert!(pos.contains(&Position::new("S", 0)));
+    }
+
+    #[test]
+    fn merge_checks_consistency() {
+        let mut s1 = Schema::new();
+        s1.observe(Sym::new("R"), 2).unwrap();
+        let mut s2 = Schema::new();
+        s2.observe(Sym::new("R"), 3).unwrap();
+        assert!(s1.merge(&s2).is_err());
+    }
+}

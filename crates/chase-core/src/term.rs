@@ -1,0 +1,137 @@
+//! Terms: constants, labeled nulls and variables.
+//!
+//! The paper fixes three pairwise disjoint infinite sets — constants `∆`,
+//! labeled nulls `∆null` and variables `V` (Section 2). [`Term`] mirrors that
+//! split. Instances hold only *ground* terms (constants and nulls); constraint
+//! bodies/heads and query bodies hold constants and variables.
+
+use crate::symbol::Sym;
+use std::fmt;
+
+/// A term: constant, labeled null, or variable.
+///
+/// `Term` is `Copy` (8 bytes). Labeled nulls are identified by a `u32` drawn
+/// from the owning [`crate::Instance`]'s counter; they display as `_n<id>`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant from `∆`.
+    Const(Sym),
+    /// A labeled null from `∆null`.
+    Null(u32),
+    /// A variable from `V`.
+    Var(Sym),
+}
+
+impl Term {
+    /// Constant with the given name.
+    pub fn constant(name: &str) -> Term {
+        Term::Const(Sym::new(name))
+    }
+
+    /// Variable with the given name.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Sym::new(name))
+    }
+
+    /// Labeled null with the given id.
+    pub fn null(id: u32) -> Term {
+        Term::Null(id)
+    }
+
+    /// Is this a constant?
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Is this a labeled null?
+    pub fn is_null(self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// Is this a variable?
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Ground terms are constants and labeled nulls — everything that may
+    /// appear in a database instance.
+    pub fn is_ground(self) -> bool {
+        !self.is_var()
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(self) -> Option<Sym> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The null id, if this is a labeled null.
+    pub fn as_null(self) -> Option<u32> {
+        match self {
+            Term::Null(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The constant name, if this is a constant.
+    pub fn as_const(self) -> Option<Sym> {
+        match self {
+            Term::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Null(n) => write!(f, "_n{n}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Term::constant("a").is_const());
+        assert!(Term::constant("a").is_ground());
+        assert!(Term::null(3).is_null());
+        assert!(Term::null(3).is_ground());
+        assert!(Term::var("X").is_var());
+        assert!(!Term::var("X").is_ground());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::constant("a").to_string(), "a");
+        assert_eq!(Term::null(7).to_string(), "_n7");
+        assert_eq!(Term::var("X1").to_string(), "X1");
+    }
+
+    #[test]
+    fn disjointness() {
+        // A constant and a variable with the same spelling are different terms.
+        assert_ne!(Term::constant("x"), Term::var("x"));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Term::var("X").as_var(), Some(Sym::new("X")));
+        assert_eq!(Term::null(2).as_null(), Some(2));
+        assert_eq!(Term::constant("c").as_const(), Some(Sym::new("c")));
+        assert_eq!(Term::constant("c").as_var(), None);
+    }
+}

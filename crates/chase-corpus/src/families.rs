@@ -1,0 +1,148 @@
+//! Scalable synthetic constraint-set and instance families.
+//!
+//! Each family scales a structural motif from the paper so the benchmarks
+//! can sweep sizes: recognition cost versus `|Σ|`, chase length versus
+//! `|dom(I)|`, and hierarchy level versus chain arity.
+
+use chase_core::{ConstraintSet, Instance};
+
+fn set(text: &str) -> ConstraintSet {
+    ConstraintSet::parse(text).expect("family constraint set parses")
+}
+
+/// A weakly acyclic copy chain of `n` TGDs:
+/// `R0(x,y) → R1(x,y)`, …, `R{n−1}(x,y) → Rn(x,y)`.
+pub fn copy_chain(n: usize) -> ConstraintSet {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("R{i}(X,Y) -> R{}(X,Y)\n", i + 1));
+    }
+    set(&text)
+}
+
+/// A weakly acyclic "LAV" star: `n` sources each expanding into a hub with
+/// one existential: `Si(x) → Hub(x, y)`.
+pub fn lav_star(n: usize) -> ConstraintSet {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("S{i}(X) -> Hub(X,Y{i})\n"));
+    }
+    set(&text)
+}
+
+/// `n` disjoint copies of the safety example β (safe, not weakly acyclic —
+/// Examples 8/9 scaled).
+pub fn safe_family(n: usize) -> ConstraintSet {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("R{i}(X1,X2,X3), S{i}(X2) -> R{i}(X2,Y,X1)\n"));
+    }
+    set(&text)
+}
+
+/// `n` disjoint copies of γ (Example 2): stratified, not weakly acyclic,
+/// not safe.
+pub fn stratified_family(n: usize) -> ConstraintSet {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!(
+            "E{i}(X1,X2), E{i}(X2,X1) -> E{i}(X1,Y1), E{i}(Y1,Y2), E{i}(Y2,X1)\n"
+        ));
+    }
+    set(&text)
+}
+
+/// A full-TGD cycle of length `n` (safe — no existentials — but cyclic in
+/// every precedence graph): `Ri(x,y) → R{i+1}(y,x)`, wrapping around.
+pub fn full_tgd_cycle(n: usize) -> ConstraintSet {
+    assert!(n >= 1);
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("R{i}(X,Y) -> R{}(Y,X)\n", (i + 1) % n));
+    }
+    set(&text)
+}
+
+/// `n` disjoint copies of the Example 10 motif (inductively restricted but
+/// neither safe nor stratified), scaled for recognition benchmarks.
+pub fn inductively_restricted_family(n: usize) -> ConstraintSet {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("S{i}(X), E{i}(X,Y) -> E{i}(Y,X)\n"));
+        text.push_str(&format!("S{i}(X), E{i}(X,Y) -> E{i}(Y,Z), E{i}(Z,X)\n"));
+    }
+    set(&text)
+}
+
+/// The divergent motif of the Introduction, `n` independent copies:
+/// `Si(x) → ∃y Ei(x,y), Si(y)` — outside every class.
+pub fn divergent_family(n: usize) -> ConstraintSet {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("S{i}(X) -> E{i}(X,Y), S{i}(Y)\n"));
+    }
+    set(&text)
+}
+
+/// A directed-cycle graph instance over the `S`/`E` schema of the
+/// Introduction: `n` nodes `v0 … v{n−1}`, all special, edges `vi → v{i+1}`.
+pub fn cycle_instance(n: usize) -> Instance {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("S(v{i}). E(v{i},v{}).\n", (i + 1) % n));
+    }
+    Instance::parse(&text).expect("cycle instance parses")
+}
+
+/// A path-graph instance over the `S`/`E` schema: nodes `v0 … v{n−1}`,
+/// edges `vi → v{i+1}` (no wrap-around), every node special.
+pub fn path_instance(n: usize) -> Instance {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("S(v{i}). "));
+        if i + 1 < n {
+            text.push_str(&format!("E(v{i},v{}).\n", i + 1));
+        }
+    }
+    Instance::parse(&text).expect("path instance parses")
+}
+
+/// An instance of `n` facts `R0(ci, c{i+1})` feeding [`copy_chain`].
+pub fn chain_source_instance(n: usize) -> Instance {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("R0(c{i},c{}). ", i + 1));
+    }
+    Instance::parse(&text).expect("chain source instance parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_scale_linearly() {
+        assert_eq!(copy_chain(5).len(), 5);
+        assert_eq!(lav_star(7).len(), 7);
+        assert_eq!(safe_family(3).len(), 3);
+        assert_eq!(stratified_family(2).len(), 2);
+        assert_eq!(full_tgd_cycle(4).len(), 4);
+        assert_eq!(inductively_restricted_family(3).len(), 6);
+        assert_eq!(divergent_family(2).len(), 2);
+    }
+
+    #[test]
+    fn instances_have_expected_sizes() {
+        assert_eq!(cycle_instance(5).len(), 10);
+        assert_eq!(path_instance(5).len(), 9);
+        assert_eq!(chain_source_instance(4).len(), 4);
+        assert_eq!(cycle_instance(3).domain_size(), 3);
+    }
+
+    #[test]
+    fn disjoint_copies_use_disjoint_predicates() {
+        let s = safe_family(2);
+        let schema = s.schema().unwrap();
+        assert_eq!(schema.len(), 4); // R0, S0, R1, S1
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # chase-corpus
+//!
+//! Every named constraint set, instance and query from *On Chase Termination
+//! Beyond Stratification* ([`paper`]), scalable synthetic families for
+//! benchmarks ([`families`]), seeded random workload generators
+//! ([`random`]), and the Turing-machine-to-TGD encoding from the proof of
+//! Theorem 8 ([`turing`]).
+//!
+//! The corpus is shared by the integration tests (which pin the paper's
+//! claims), the examples, and the benchmark harness.
+
+pub mod families;
+pub mod paper;
+pub mod random;
+pub mod scenarios;
+pub mod turing;

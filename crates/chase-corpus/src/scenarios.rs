@@ -1,0 +1,80 @@
+//! Realistic application scenarios built from the paper's motivating
+//! domains (data exchange, data integration, SQO) — larger, structured
+//! workloads for examples, tests and benchmarks.
+
+use chase_core::{ConjunctiveQuery, ConstraintSet, Instance};
+
+fn set(text: &str) -> ConstraintSet {
+    ConstraintSet::parse(text).expect("scenario constraint set parses")
+}
+
+/// A data-exchange setting in the style the paper cites from Fagin et al.:
+/// source schema `s_emp(name, dept, city)`, `s_proj(name, lead)`; target
+/// schema with departments, employees, projects and a key on department
+/// locations.
+///
+/// The source-to-target TGDs invent target ids existentially; the target
+/// TGDs complete the org structure; the EGD is a key constraint. The set is
+/// weakly acyclic, so every chase sequence terminates — chasing a source
+/// instance produces a *universal solution*.
+pub fn data_exchange_scenario() -> ConstraintSet {
+    set(
+        "# source-to-target
+         s_emp(N,D,C) -> emp(N,Did), dept(Did,D,C)
+         s_proj(P,L) -> proj(Pid,P), lead(Pid,L)
+         # target constraints
+         lead(Pid,L) -> emp(L,Did)
+         emp(N,Did) -> dept(Did,Dn,Dc)
+         # key: a department id has one location
+         dept(Did,Dn,C1), dept(Did,Dn2,C2) -> C1 = C2",
+    )
+}
+
+/// A small source instance for [`data_exchange_scenario`].
+pub fn data_exchange_source() -> Instance {
+    Instance::parse(
+        "s_emp(alice,sales,berlin). \
+         s_emp(bob,sales,berlin). \
+         s_proj(apollo,alice).",
+    )
+    .expect("source instance parses")
+}
+
+/// Certain-answer query over the exchanged data: names of employees that
+/// lead some project.
+pub fn data_exchange_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::parse("q(L) <- proj(Pid,P), lead(Pid,L)").expect("query parses")
+}
+
+/// A data-integration-flavored *divergent* variant: the org completion is
+/// made cyclic (every department must have a manager who is an employee of
+/// a — possibly new — department), which breaks every data-independent
+/// condition. Used to demonstrate the data-dependent pipeline on a
+/// non-textbook set.
+pub fn integration_divergent_scenario() -> ConstraintSet {
+    set(
+        "s_emp(N,D,C) -> emp(N,Did), dept(Did,D,C)
+         dept(Did,Dn,C) -> mgr(Did,M), emp(M,Did2)
+         emp(N,Did) -> dept(Did,Dn,Dc)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_sets_parse_with_expected_shapes() {
+        let de = data_exchange_scenario();
+        assert_eq!(de.len(), 5);
+        assert_eq!(de.iter().filter(|c| c.is_egd()).count(), 1);
+        let dv = integration_divergent_scenario();
+        assert_eq!(dv.len(), 3);
+    }
+
+    #[test]
+    fn source_and_query_parse() {
+        assert_eq!(data_exchange_source().len(), 3);
+        assert_eq!(data_exchange_query().head_args().len(), 1);
+    }
+}

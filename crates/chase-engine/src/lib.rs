@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # chase-engine
+//!
+//! The chase procedure itself (Section 2 of *On Chase Termination Beyond
+//! Stratification*): standard and oblivious chase steps, EGD merge semantics
+//! with failure, pluggable sequencing [`Strategy`]s (round-robin, fixed
+//! cyclic order, seeded random, phased), step/null budgets, and the
+//! data-dependent *monitor graph* guard of Section 4.2.
+//!
+//! The runner is deliberately able to reproduce **non-terminating** chase
+//! sequences up to a budget — reproducing Example 4's divergence is as much a
+//! part of the paper as reproducing the terminating orders of Theorem 2.
+
+pub mod bfs;
+pub mod core_of;
+pub mod monitor;
+pub mod runner;
+pub mod step;
+pub mod trigger;
+
+pub use bfs::{find_terminating_sequence, BfsOutcome};
+pub use core_of::{core_chase, core_of, is_core, CoreChaseResult};
+pub use monitor::MonitorGraph;
+pub use runner::{
+    chase, chase_default, ChaseConfig, ChaseMode, ChaseResult, StepRecord, StopReason, Strategy,
+};
+pub use step::{apply_step, StepEffect};
+pub use trigger::{active_triggers, first_active_trigger, is_active, oblivious_triggers};

@@ -1,0 +1,301 @@
+//! The monitor graph and k-cyclicity (Definitions 17–19, Section 4.2).
+//!
+//! The monitor graph tracks the provenance of labeled nulls during a chase
+//! run. A node `(n, π)` records a fresh null `n` together with the set of
+//! positions it was created in; an edge
+//! `(n1, π1) --(ϕ, Π)--> (n2, π2)` records that firing constraint `ϕ` with
+//! null `n1` in its body (at body positions `Π`) created `n2`.
+//!
+//! A chase sequence is **k-cyclic** when some path contains `k` pairwise
+//! distinct edges sharing the same *signature* `(π1, ϕ, Π, π2)` — the static
+//! footprint of a null-creating firing. By Lemma 5 every infinite chase
+//! sequence has a k-cyclic prefix for every `k`, so aborting at a chosen
+//! depth `k` is a sound (and pay-as-you-go tunable, Proposition 11) guard
+//! against non-termination.
+//!
+//! The detector is incremental: the monitor graph of a chase sequence is a
+//! DAG layered by creation time (edges always point at the step's fresh
+//! nulls), so per-node signature counters can be merged edge-by-edge and the
+//! longest same-signature chain is maintained in O(#signatures) per step.
+
+use chase_core::fx::FxHashMap;
+use chase_core::{Atom, PosSet, Position, Term};
+use std::fmt;
+
+/// A node `(n, π)`: null id plus the positions it was first created in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorNode {
+    /// The labeled null.
+    pub null: u32,
+    /// Positions of the added atoms in which the null occurs.
+    pub positions: PosSet,
+}
+
+/// An edge of the monitor graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorEdge {
+    /// Source node index.
+    pub src: usize,
+    /// Target node index.
+    pub dst: usize,
+    /// The constraint (by index in the chased set) whose firing created the
+    /// target null.
+    pub constraint: usize,
+    /// Positions in the instantiated body at which the source null occurred.
+    pub body_positions: PosSet,
+}
+
+/// The signature `p2,3,4,6` of an edge: everything except the concrete nulls.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeSignature {
+    /// Creation positions of the source null.
+    pub src_positions: PosSet,
+    /// Constraint index.
+    pub constraint: usize,
+    /// Body positions of the source null in the firing.
+    pub body_positions: PosSet,
+    /// Creation positions of the target null.
+    pub dst_positions: PosSet,
+}
+
+/// The monitor graph of a (running or finished) chase sequence.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorGraph {
+    nodes: Vec<MonitorNode>,
+    node_of_null: FxHashMap<u32, usize>,
+    edges: Vec<MonitorEdge>,
+    /// `counts[v][sig]` = maximum number of `sig`-edges on any path ending
+    /// in `v`.
+    counts: Vec<FxHashMap<EdgeSignature, usize>>,
+    max_chain: usize,
+}
+
+impl MonitorGraph {
+    /// Empty monitor graph.
+    pub fn new() -> MonitorGraph {
+        MonitorGraph::default()
+    }
+
+    /// Nodes in creation order.
+    pub fn nodes(&self) -> &[MonitorNode] {
+        &self.nodes
+    }
+
+    /// Edges in creation order.
+    pub fn edges(&self) -> &[MonitorEdge] {
+        &self.edges
+    }
+
+    /// The largest `k` for which the observed sequence is k-cyclic.
+    pub fn max_chain(&self) -> usize {
+        self.max_chain
+    }
+
+    /// Is the observed sequence k-cyclic (Definition 19)?
+    pub fn is_k_cyclic(&self, k: usize) -> bool {
+        k >= 1 && self.max_chain >= k
+    }
+
+    /// Record a TGD firing (EGD steps leave the monitor graph unchanged by
+    /// Definition 18).
+    ///
+    /// * `constraint` — index of the TGD in the chased set;
+    /// * `ground_body` — the instantiated body `body(ϕ(a))`;
+    /// * `fresh_nulls` — the nulls invented by this step;
+    /// * `added_atoms` — the instantiated head atoms added to the instance.
+    pub fn record_tgd_step(
+        &mut self,
+        constraint: usize,
+        ground_body: &[Atom],
+        fresh_nulls: &[Term],
+        added_atoms: &[Atom],
+    ) {
+        if fresh_nulls.is_empty() {
+            return;
+        }
+        // New nodes, one per fresh null, positioned where the null occurs in
+        // the added atoms.
+        let mut new_nodes = Vec::new();
+        for &n in fresh_nulls {
+            let id = match n {
+                Term::Null(id) => id,
+                _ => continue,
+            };
+            let mut positions = PosSet::new();
+            for a in added_atoms {
+                for (i, &t) in a.terms().iter().enumerate() {
+                    if t == n {
+                        positions.insert(Position::new(a.pred(), i));
+                    }
+                }
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(MonitorNode { null: id, positions });
+            self.counts.push(FxHashMap::default());
+            self.node_of_null.insert(id, idx);
+            new_nodes.push(idx);
+        }
+        // Edges from every pre-existing node whose null occurs in the body.
+        // (Nulls of the original instance have no node and contribute no
+        // edges; Definition 18 only connects chase-created nulls.)
+        let mut body_occurrences: FxHashMap<u32, PosSet> = FxHashMap::default();
+        for a in ground_body {
+            for (i, &t) in a.terms().iter().enumerate() {
+                if let Term::Null(id) = t {
+                    body_occurrences
+                        .entry(id)
+                        .or_default()
+                        .insert(Position::new(a.pred(), i));
+                }
+            }
+        }
+        let mut sources: Vec<(usize, PosSet)> = body_occurrences
+            .into_iter()
+            .filter_map(|(id, pos)| self.node_of_null.get(&id).map(|&s| (s, pos)))
+            .collect();
+        sources.sort_by_key(|&(s, _)| s);
+        for &dst in &new_nodes {
+            for (src, body_positions) in &sources {
+                self.add_edge(*src, dst, constraint, body_positions.clone());
+            }
+        }
+    }
+
+    fn add_edge(&mut self, src: usize, dst: usize, constraint: usize, body_positions: PosSet) {
+        debug_assert!(src < dst, "monitor graph must be layered by creation time");
+        let sig = EdgeSignature {
+            src_positions: self.nodes[src].positions.clone(),
+            constraint,
+            body_positions: body_positions.clone(),
+            dst_positions: self.nodes[dst].positions.clone(),
+        };
+        self.edges.push(MonitorEdge {
+            src,
+            dst,
+            constraint,
+            body_positions,
+        });
+        // Merge the source's chain counters into the target, bumping the
+        // counter of this edge's own signature.
+        let src_counts = self.counts[src].clone();
+        let dst_counts = &mut self.counts[dst];
+        for (s, c) in src_counts {
+            let bump = usize::from(s == sig);
+            let entry = dst_counts.entry(s).or_insert(0);
+            *entry = (*entry).max(c + bump);
+        }
+        let entry = dst_counts.entry(sig).or_insert(0);
+        *entry = (*entry).max(1);
+        self.max_chain = self.max_chain.max(*dst_counts.values().max().unwrap_or(&0));
+    }
+
+    /// GraphViz rendering for reports and debugging.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph monitor {\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let pos: Vec<String> = n.positions.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(out, "  n{i} [label=\"(_n{}, {{{}}})\"];", n.null, pos.join(","));
+        }
+        for e in &self.edges {
+            let pos: Vec<String> = e.body_positions.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"c{}, {{{}}}\"];",
+                e.src,
+                e.dst,
+                e.constraint,
+                pos.join(",")
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for MonitorGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "monitor graph: {} nodes, {} edges, max chain {}",
+            self.nodes.len(),
+            self.edges.len(),
+            self.max_chain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_atom_list;
+
+    fn pos(s: &[(&str, usize)]) -> PosSet {
+        s.iter().map(|&(p, i)| Position::new(p, i)).collect()
+    }
+
+    #[test]
+    fn single_step_creates_node_without_edges() {
+        let mut g = MonitorGraph::new();
+        let body = parse_atom_list("S(a)").unwrap();
+        let added = parse_atom_list("E(a,_n0)").unwrap();
+        g.record_tgd_step(0, &body, &[Term::null(0)], &added);
+        assert_eq!(g.nodes().len(), 1);
+        assert!(g.edges().is_empty());
+        assert_eq!(g.nodes()[0].positions, pos(&[("E", 1)]));
+        assert_eq!(g.max_chain(), 0);
+    }
+
+    #[test]
+    fn chained_creation_builds_signature_chain() {
+        let mut g = MonitorGraph::new();
+        // Step 1: S(a) creates _n0 in E^2.
+        g.record_tgd_step(
+            0,
+            &parse_atom_list("S(a)").unwrap(),
+            &[Term::null(0)],
+            &parse_atom_list("E(a,_n0)").unwrap(),
+        );
+        // Step 2: body E(a,_n0) creates _n1 in E^2.
+        g.record_tgd_step(
+            0,
+            &parse_atom_list("E(a,_n0)").unwrap(),
+            &[Term::null(1)],
+            &parse_atom_list("E(_n0,_n1)").unwrap(),
+        );
+        // Step 3: same shape again.
+        g.record_tgd_step(
+            0,
+            &parse_atom_list("E(_n0,_n1)").unwrap(),
+            &[Term::null(2)],
+            &parse_atom_list("E(_n1,_n2)").unwrap(),
+        );
+        assert_eq!(g.nodes().len(), 3);
+        // _n0 → _n1 (Π = {E^2}) and _n1 → _n2 (Π = {E^2}) share a signature;
+        // _n0 → _n2 (Π = {E^1}) does not.
+        assert_eq!(g.edges().len(), 3);
+        assert!(g.is_k_cyclic(2));
+        assert!(!g.is_k_cyclic(3));
+    }
+
+    #[test]
+    fn full_tgds_do_not_touch_the_graph() {
+        let mut g = MonitorGraph::new();
+        g.record_tgd_step(0, &parse_atom_list("E(a,b)").unwrap(), &[], &parse_atom_list("E(b,a)").unwrap());
+        assert!(g.nodes().is_empty());
+    }
+
+    #[test]
+    fn initial_instance_nulls_are_not_nodes() {
+        let mut g = MonitorGraph::new();
+        // Body contains _n9 which the monitor has never seen: no edge.
+        g.record_tgd_step(
+            0,
+            &parse_atom_list("E(a,_n9)").unwrap(),
+            &[Term::null(10)],
+            &parse_atom_list("E(_n9,_n10)").unwrap(),
+        );
+        assert_eq!(g.nodes().len(), 1);
+        assert!(g.edges().is_empty());
+    }
+}

@@ -1,0 +1,599 @@
+//! The chase runner: sequences of chase steps under a pluggable strategy.
+//!
+//! The paper's chase imposes *no* order on applicable constraints, and its
+//! central negative results (Example 4) hinge on specific orders diverging
+//! while others terminate. The runner therefore makes the order an explicit
+//! [`Strategy`]:
+//!
+//! * [`Strategy::RoundRobin`] — scan constraints cyclically, one step each;
+//! * [`Strategy::FixedCycle`] — apply constraints in a given cyclic order
+//!   (reproduces Example 4's diverging sequence exactly);
+//! * [`Strategy::Random`] — pick a uniformly random active trigger each step
+//!   (seeded, for property tests over "every chase sequence" claims);
+//! * [`Strategy::Phased`] — exhaust constraint groups in order (the
+//!   terminating-order construction of Theorem 2).
+//!
+//! Budgets (`max_steps`, `max_nulls`) and the monitor-graph guard
+//! (`monitor_depth`, Section 4.2) bound runs that would otherwise diverge.
+
+use crate::monitor::MonitorGraph;
+use crate::step::{apply_step, StepEffect};
+use crate::trigger::{is_active, normalize};
+use chase_core::fx::FxHashSet;
+use chase_core::homomorphism::{for_each_hom, Subst};
+use chase_core::{Atom, ConstraintSet, Instance, Sym, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Standard chase (fire only violated triggers) or oblivious chase (fire
+/// every body match once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseMode {
+    /// Fire a trigger only while the instantiated constraint is violated.
+    #[default]
+    Standard,
+    /// Fire every `(constraint, assignment)` pair exactly once, violated or
+    /// not (the oblivious chase used by c-stratification, Definition 4).
+    Oblivious,
+}
+
+/// The order in which applicable constraints are fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Strategy {
+    /// Cycle through constraint indices `0..n`, applying at most one step per
+    /// constraint per pass.
+    #[default]
+    RoundRobin,
+    /// Cycle through the given constraint indices (repetitions allowed),
+    /// applying at most one step per entry per pass.
+    FixedCycle(Vec<usize>),
+    /// Uniformly random choice among all active triggers, from a seeded RNG.
+    Random {
+        /// RNG seed; equal seeds give equal sequences.
+        seed: u64,
+    },
+    /// Chase each group of constraint indices to completion before moving to
+    /// the next group, then finish with a round-robin pass over everything
+    /// (a no-op for correctly stratified phases, Theorem 2).
+    Phased(Vec<Vec<usize>>),
+}
+
+
+/// Chase configuration.
+#[derive(Debug, Clone)]
+pub struct ChaseConfig {
+    /// Standard or oblivious stepping.
+    pub mode: ChaseMode,
+    /// Firing order.
+    pub strategy: Strategy,
+    /// Stop after this many steps (`None` = unbounded — beware, the chase
+    /// need not terminate).
+    pub max_steps: Option<usize>,
+    /// Stop after inventing this many fresh nulls.
+    pub max_nulls: Option<usize>,
+    /// Abort as soon as the monitor graph becomes k-cyclic for this `k`
+    /// (Section 4.2). Implies monitor-graph maintenance.
+    pub monitor_depth: Option<usize>,
+    /// Keep a full step-by-step trace in the result.
+    pub keep_trace: bool,
+    /// Maintain (and return) the monitor graph even without a depth guard.
+    pub keep_monitor: bool,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> ChaseConfig {
+        ChaseConfig {
+            mode: ChaseMode::Standard,
+            strategy: Strategy::RoundRobin,
+            max_steps: Some(10_000),
+            max_nulls: None,
+            monitor_depth: None,
+            keep_trace: false,
+            keep_monitor: false,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// Default configuration with a step budget.
+    pub fn with_max_steps(n: usize) -> ChaseConfig {
+        ChaseConfig {
+            max_steps: Some(n),
+            ..ChaseConfig::default()
+        }
+    }
+
+    /// Default configuration with the Section 4.2 monitor guard.
+    pub fn with_monitor_depth(k: usize) -> ChaseConfig {
+        ChaseConfig {
+            monitor_depth: Some(k),
+            max_steps: None,
+            ..ChaseConfig::default()
+        }
+    }
+}
+
+/// Why the run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// The instance satisfies every constraint: the chase terminated and the
+    /// result is `I^Σ`.
+    Satisfied,
+    /// An EGD tried to equate two distinct constants: the chase fails.
+    Failed,
+    /// The step budget was exhausted with violations remaining.
+    StepLimit(usize),
+    /// The fresh-null budget was exhausted.
+    NullLimit(usize),
+    /// The monitor graph became k-cyclic for the configured depth: the
+    /// sequence is *potentially* infinite and no guarantee can be given.
+    MonitorAbort {
+        /// The configured cycle depth that was reached.
+        depth: usize,
+    },
+}
+
+/// One applied chase step, as recorded in the trace.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Index of the fired constraint.
+    pub constraint: usize,
+    /// The trigger assignment, restricted to universal variables and sorted
+    /// by variable name.
+    pub assignment: Vec<(Sym, Term)>,
+    /// The instantiated body under the assignment.
+    pub ground_body: Vec<Atom>,
+    /// Atoms newly added (TGD steps).
+    pub added: Vec<Atom>,
+    /// Fresh nulls invented (TGD steps).
+    pub fresh_nulls: Vec<Term>,
+    /// Merge performed (EGD steps): `(from, to)`.
+    pub merged: Option<(Term, Term)>,
+}
+
+/// The outcome of a chase run.
+#[derive(Debug, Clone)]
+pub struct ChaseResult {
+    /// The final (or last reached) instance.
+    pub instance: Instance,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Number of chase steps applied (the sequence length `r`).
+    pub steps: usize,
+    /// Number of fresh nulls invented.
+    pub fresh_nulls: usize,
+    /// Per-step trace (only when `keep_trace`).
+    pub trace: Vec<StepRecord>,
+    /// The monitor graph (only when maintained).
+    pub monitor: Option<MonitorGraph>,
+}
+
+impl ChaseResult {
+    /// Did the chase terminate with `I ⊨ Σ`?
+    pub fn terminated(&self) -> bool {
+        self.reason == StopReason::Satisfied
+    }
+
+    /// Did the chase fail on an EGD?
+    pub fn failed(&self) -> bool {
+        self.reason == StopReason::Failed
+    }
+}
+
+impl fmt::Display for ChaseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} after {} steps ({} fresh nulls, {} atoms)",
+            self.reason,
+            self.steps,
+            self.fresh_nulls,
+            self.instance.len()
+        )
+    }
+}
+
+/// Internal mutable state of a run.
+struct Run<'a> {
+    set: &'a ConstraintSet,
+    cfg: &'a ChaseConfig,
+    inst: Instance,
+    steps: usize,
+    fresh_nulls: usize,
+    trace: Vec<StepRecord>,
+    monitor: Option<MonitorGraph>,
+    /// Oblivious mode: triggers that already fired.
+    fired: FxHashSet<(usize, Vec<(Sym, Term)>)>,
+    rng: Option<StdRng>,
+    stop: Option<StopReason>,
+}
+
+impl<'a> Run<'a> {
+    fn new(instance: &Instance, set: &'a ConstraintSet, cfg: &'a ChaseConfig) -> Run<'a> {
+        let monitor = if cfg.monitor_depth.is_some() || cfg.keep_monitor {
+            Some(MonitorGraph::new())
+        } else {
+            None
+        };
+        let rng = match cfg.strategy {
+            Strategy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Run {
+            set,
+            cfg,
+            inst: instance.clone(),
+            steps: 0,
+            fresh_nulls: 0,
+            trace: Vec::new(),
+            monitor,
+            fired: FxHashSet::default(),
+            rng,
+            stop: None,
+        }
+    }
+
+    /// Next fireable trigger for constraint `ci`, honoring the chase mode.
+    fn next_trigger(&self, ci: usize) -> Option<Subst> {
+        let c = &self.set[ci];
+        let mut found = None;
+        for_each_hom(c.body(), &self.inst, &Subst::new(), false, &mut |mu| {
+            let fires = match self.cfg.mode {
+                ChaseMode::Standard => is_active(c, &self.inst, mu),
+                ChaseMode::Oblivious => !self.fired.contains(&(ci, normalize(c, mu))),
+            };
+            if fires {
+                found = Some(mu.clone());
+                true
+            } else {
+                false
+            }
+        });
+        found
+    }
+
+    /// All fireable triggers of every constraint (used by `Random`).
+    fn all_triggers(&self) -> Vec<(usize, Subst)> {
+        let mut out = Vec::new();
+        for (ci, c) in self.set.enumerate() {
+            for_each_hom(c.body(), &self.inst, &Subst::new(), false, &mut |mu| {
+                let fires = match self.cfg.mode {
+                    ChaseMode::Standard => is_active(c, &self.inst, mu),
+                    ChaseMode::Oblivious => !self.fired.contains(&(ci, normalize(c, mu))),
+                };
+                if fires {
+                    let key = normalize(c, mu);
+                    if !out.iter().any(|(cj, k): &(usize, Subst)| {
+                        *cj == ci && normalize(c, k) == key
+                    }) {
+                        out.push((ci, mu.clone()));
+                    }
+                }
+                false
+            });
+        }
+        out
+    }
+
+    /// Apply one step; returns `false` when the run must stop.
+    fn fire(&mut self, ci: usize, mu: &Subst) -> bool {
+        let c = &self.set[ci];
+        if self.cfg.mode == ChaseMode::Oblivious {
+            self.fired.insert((ci, normalize(c, mu)));
+        }
+        let ground_body: Vec<Atom> = mu.apply_atoms(c.body());
+        let effect = apply_step(&mut self.inst, c, mu);
+        self.steps += 1;
+        let (added, fresh, merged) = match &effect {
+            StepEffect::Tgd {
+                added, fresh_nulls, ..
+            } => (added.clone(), fresh_nulls.clone(), None),
+            StepEffect::Merged { from, to } => (Vec::new(), Vec::new(), Some((*from, *to))),
+            StepEffect::Failed => {
+                self.stop = Some(StopReason::Failed);
+                return false;
+            }
+            StepEffect::NoOp => (Vec::new(), Vec::new(), None),
+        };
+        self.fresh_nulls += fresh.len();
+        if let Some(monitor) = &mut self.monitor {
+            if !fresh.is_empty() {
+                monitor.record_tgd_step(ci, &ground_body, &fresh, &added);
+            }
+            if let Some(depth) = self.cfg.monitor_depth {
+                if monitor.is_k_cyclic(depth) {
+                    self.stop = Some(StopReason::MonitorAbort { depth });
+                }
+            }
+        }
+        if self.cfg.keep_trace {
+            self.trace.push(StepRecord {
+                constraint: ci,
+                assignment: normalize(c, mu),
+                ground_body,
+                added,
+                fresh_nulls: fresh,
+                merged,
+            });
+        }
+        if self.stop.is_some() {
+            return false;
+        }
+        if let Some(limit) = self.cfg.max_steps {
+            if self.steps >= limit && !self.satisfied() {
+                self.stop = Some(StopReason::StepLimit(limit));
+                return false;
+            }
+        }
+        if let Some(limit) = self.cfg.max_nulls {
+            if self.fresh_nulls >= limit && !self.satisfied() {
+                self.stop = Some(StopReason::NullLimit(limit));
+                return false;
+            }
+        }
+        true
+    }
+
+    fn satisfied(&self) -> bool {
+        match self.cfg.mode {
+            ChaseMode::Standard => self.set.satisfied_by(&self.inst),
+            // The oblivious chase is done when no unfired trigger remains.
+            ChaseMode::Oblivious => (0..self.set.len()).all(|ci| self.next_trigger(ci).is_none()),
+        }
+    }
+
+    /// Run a cyclic order until a full pass makes no progress.
+    fn run_cycle(&mut self, order: &[usize]) {
+        loop {
+            let mut progressed = false;
+            for &ci in order {
+                if self.stop.is_some() {
+                    return;
+                }
+                if let Some(mu) = self.next_trigger(ci) {
+                    progressed = true;
+                    if !self.fire(ci, &mu) {
+                        return;
+                    }
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn run_random(&mut self) {
+        loop {
+            if self.stop.is_some() {
+                return;
+            }
+            let triggers = self.all_triggers();
+            if triggers.is_empty() {
+                return;
+            }
+            let pick = self
+                .rng
+                .as_mut()
+                .expect("random strategy has an RNG")
+                .gen_range(0..triggers.len());
+            let (ci, mu) = triggers[pick].clone();
+            if !self.fire(ci, &mu) {
+                return;
+            }
+        }
+    }
+
+    fn finish(mut self) -> ChaseResult {
+        let reason = match self.stop.take() {
+            Some(r) => r,
+            None => {
+                debug_assert!(
+                    self.cfg.mode == ChaseMode::Oblivious || self.set.satisfied_by(&self.inst),
+                    "chase stopped without exhausting triggers"
+                );
+                StopReason::Satisfied
+            }
+        };
+        ChaseResult {
+            instance: self.inst,
+            reason,
+            steps: self.steps,
+            fresh_nulls: self.fresh_nulls,
+            trace: self.trace,
+            monitor: self.monitor,
+        }
+    }
+}
+
+/// Run the chase on `instance` with constraint set `set` under `cfg`.
+///
+/// # Examples
+///
+/// ```
+/// use chase_core::{ConstraintSet, Instance};
+/// use chase_engine::{chase, ChaseConfig, StopReason};
+///
+/// let sigma = ConstraintSet::parse("S(X) -> E(X,Y)").unwrap();
+/// let inst = Instance::parse("S(n1). S(n2). E(n1,n2).").unwrap();
+/// let res = chase(&inst, &sigma, &ChaseConfig::default());
+/// assert!(res.terminated());
+/// assert_eq!(res.steps, 1); // only n2 lacked an outgoing edge
+///
+/// // A divergent set is cut off by the monitor guard of Section 4.2.
+/// let bad = ConstraintSet::parse("S(X) -> E(X,Y), S(Y)").unwrap();
+/// let res = chase(&inst, &bad, &ChaseConfig::with_monitor_depth(3));
+/// assert_eq!(res.reason, StopReason::MonitorAbort { depth: 3 });
+/// ```
+pub fn chase(instance: &Instance, set: &ConstraintSet, cfg: &ChaseConfig) -> ChaseResult {
+    let mut run = Run::new(instance, set, cfg);
+    match &cfg.strategy {
+        Strategy::RoundRobin => {
+            let order: Vec<usize> = (0..set.len()).collect();
+            run.run_cycle(&order);
+        }
+        Strategy::FixedCycle(order) => run.run_cycle(order),
+        Strategy::Random { .. } => run.run_random(),
+        Strategy::Phased(phases) => {
+            for phase in phases {
+                if run.stop.is_some() {
+                    break;
+                }
+                run.run_cycle(phase);
+            }
+            if run.stop.is_none() {
+                // Safety net: make the "chase until satisfied" contract hold
+                // even for phase lists that do not cover every violation.
+                let order: Vec<usize> = (0..set.len()).collect();
+                run.run_cycle(&order);
+            }
+        }
+    }
+    run.finish()
+}
+
+/// Run the chase with the default configuration (standard mode, round-robin,
+/// 10 000-step budget).
+pub fn chase_default(instance: &Instance, set: &ConstraintSet) -> ChaseResult {
+    chase(instance, set, &ChaseConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(set: &str, inst: &str) -> (ConstraintSet, Instance) {
+        (
+            ConstraintSet::parse(set).unwrap(),
+            Instance::parse(inst).unwrap(),
+        )
+    }
+
+    #[test]
+    fn intro_alpha1_terminates() {
+        // α1: every special node has an outgoing edge (Introduction).
+        let (set, inst) = parse("S(X) -> E(X,Y)", "S(n1). S(n2). E(n1,n2).");
+        let res = chase_default(&inst, &set);
+        assert!(res.terminated());
+        assert_eq!(res.steps, 1);
+        assert_eq!(res.instance.len(), 4);
+        assert!(set.satisfied_by(&res.instance));
+    }
+
+    #[test]
+    fn intro_alpha2_diverges_until_budget() {
+        // α2: every special node links to a special node — non-terminating on
+        // the Introduction's instance.
+        let (set, inst) = parse("S(X) -> E(X,Y), S(Y)", "S(n1). S(n2). E(n1,n2).");
+        let res = chase(&inst, &set, &ChaseConfig::with_max_steps(50));
+        assert_eq!(res.reason, StopReason::StepLimit(50));
+    }
+
+    #[test]
+    fn intro_alpha2_monitor_aborts() {
+        let (set, inst) = parse("S(X) -> E(X,Y), S(Y)", "S(n1). S(n2). E(n1,n2).");
+        let res = chase(&inst, &set, &ChaseConfig::with_monitor_depth(3));
+        assert_eq!(res.reason, StopReason::MonitorAbort { depth: 3 });
+        assert!(res.monitor.unwrap().is_k_cyclic(3));
+    }
+
+    #[test]
+    fn egd_failure_propagates() {
+        let (set, inst) = parse("E(X,Y), E(X,Z) -> Y = Z", "E(a,b). E(a,c).");
+        let res = chase_default(&inst, &set);
+        assert!(res.failed());
+    }
+
+    #[test]
+    fn egd_merge_terminates() {
+        let (set, inst) = parse("E(X,Y), E(X,Z) -> Y = Z", "E(a,b). E(a,_n0). E(_n0,c).");
+        let res = chase_default(&inst, &set);
+        assert!(res.terminated());
+        assert_eq!(
+            res.instance,
+            Instance::parse("E(a,b). E(b,c).").unwrap()
+        );
+    }
+
+    #[test]
+    fn trace_records_steps() {
+        let (set, inst) = parse("S(X) -> E(X,Y)", "S(a). S(b).");
+        let cfg = ChaseConfig {
+            keep_trace: true,
+            ..ChaseConfig::default()
+        };
+        let res = chase(&inst, &set, &cfg);
+        assert!(res.terminated());
+        assert_eq!(res.trace.len(), 2);
+        assert_eq!(res.trace[0].constraint, 0);
+        assert_eq!(res.trace[0].fresh_nulls.len(), 1);
+    }
+
+    #[test]
+    fn random_strategy_is_reproducible() {
+        let (set, inst) = parse(
+            "S(X) -> T(X)\nT(X) -> U(X,Y)\nU(X,Y) -> V(Y)",
+            "S(a). S(b). S(c).",
+        );
+        let cfg = |seed| ChaseConfig {
+            strategy: Strategy::Random { seed },
+            keep_trace: true,
+            ..ChaseConfig::default()
+        };
+        let r1 = chase(&inst, &set, &cfg(42));
+        let r2 = chase(&inst, &set, &cfg(42));
+        assert!(r1.terminated());
+        assert_eq!(r1.steps, r2.steps);
+        assert_eq!(r1.instance, r2.instance);
+        let order1: Vec<usize> = r1.trace.iter().map(|s| s.constraint).collect();
+        let order2: Vec<usize> = r2.trace.iter().map(|s| s.constraint).collect();
+        assert_eq!(order1, order2);
+    }
+
+    #[test]
+    fn oblivious_chase_fires_satisfied_triggers_once() {
+        // The constraint is already satisfied, but the oblivious chase still
+        // fires the body match exactly once.
+        let (set, inst) = parse("S(X) -> E(X,Y)", "S(a). E(a,b).");
+        let cfg = ChaseConfig {
+            mode: ChaseMode::Oblivious,
+            ..ChaseConfig::default()
+        };
+        let res = chase(&inst, &set, &cfg);
+        assert_eq!(res.steps, 1);
+        assert_eq!(res.fresh_nulls, 1);
+        assert_eq!(res.instance.len(), 3);
+    }
+
+    #[test]
+    fn phased_strategy_follows_phases() {
+        // Phase 0 = {1}, phase 1 = {0}: U-facts must be produced before the
+        // final pass touches constraint 0.
+        let (set, inst) = parse("T(X) -> U(X)\nS(X) -> T(X)", "S(a).");
+        let cfg = ChaseConfig {
+            strategy: Strategy::Phased(vec![vec![1], vec![0]]),
+            keep_trace: true,
+            ..ChaseConfig::default()
+        };
+        let res = chase(&inst, &set, &cfg);
+        assert!(res.terminated());
+        assert_eq!(res.instance.len(), 3);
+        let fired: Vec<usize> = res.trace.iter().map(|s| s.constraint).collect();
+        assert_eq!(fired, vec![1, 0]);
+    }
+
+    #[test]
+    fn null_budget_stops_runaway() {
+        let (set, inst) = parse("S(X) -> E(X,Y), S(Y)", "S(a).");
+        let cfg = ChaseConfig {
+            max_nulls: Some(7),
+            max_steps: None,
+            ..ChaseConfig::default()
+        };
+        let res = chase(&inst, &set, &cfg);
+        assert_eq!(res.reason, StopReason::NullLimit(7));
+        assert_eq!(res.fresh_nulls, 7);
+    }
+}

@@ -1,0 +1,119 @@
+//! Trigger enumeration: which constraint instantiations can fire?
+//!
+//! A *standard* chase step for a TGD applies to `(α, µ)` when `µ` maps the
+//! body into the instance and cannot be extended to a head homomorphism; an
+//! EGD applies when the body maps and the equated terms differ. An
+//! *oblivious* step applies whenever the body maps, regardless of
+//! satisfaction.
+
+use chase_core::homomorphism::{for_each_hom, Subst};
+use chase_core::{Constraint, Instance, Sym, Term};
+
+/// Is `(c, µ)` an active (standard-chase) trigger? Assumes `µ` maps the body
+/// into `inst`; checks the violation side.
+pub fn is_active(c: &Constraint, inst: &Instance, mu: &Subst) -> bool {
+    match c {
+        Constraint::Tgd(t) => !chase_core::exists_extension(t.head(), inst, mu),
+        Constraint::Egd(e) => mu.var(e.left()) != mu.var(e.right()),
+    }
+}
+
+/// First active trigger of `c` in deterministic search order, if any.
+pub fn first_active_trigger(c: &Constraint, inst: &Instance) -> Option<Subst> {
+    let mut found = None;
+    for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
+        if is_active(c, inst, mu) {
+            found = Some(mu.clone());
+            true
+        } else {
+            false
+        }
+    });
+    found
+}
+
+/// All active triggers of `c`, deduplicated, in deterministic order.
+pub fn active_triggers(c: &Constraint, inst: &Instance) -> Vec<Subst> {
+    let mut out: Vec<Subst> = Vec::new();
+    let mut seen: Vec<Vec<(Sym, Term)>> = Vec::new();
+    for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
+        if is_active(c, inst, mu) {
+            let key = normalize(c, mu);
+            if !seen.contains(&key) {
+                seen.push(key);
+                out.push(mu.clone());
+            }
+        }
+        false
+    });
+    out
+}
+
+/// All body homomorphisms of `c` (oblivious triggers), deduplicated.
+pub fn oblivious_triggers(c: &Constraint, inst: &Instance) -> Vec<Subst> {
+    let mut out: Vec<Subst> = Vec::new();
+    let mut seen: Vec<Vec<(Sym, Term)>> = Vec::new();
+    for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
+        let key = normalize(c, mu);
+        if !seen.contains(&key) {
+            seen.push(key);
+            out.push(mu.clone());
+        }
+        false
+    });
+    out
+}
+
+/// Canonical form of an assignment: bindings of the universal variables,
+/// sorted by variable name. Two triggers are "the same" iff they agree here.
+pub fn normalize(c: &Constraint, mu: &Subst) -> Vec<(Sym, Term)> {
+    let mut v: Vec<(Sym, Term)> = c
+        .universals()
+        .into_iter()
+        .filter_map(|u| mu.var(u).map(|t| (u, t)))
+        .collect();
+    v.sort_by_key(|(s, _)| s.as_str());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::ConstraintSet;
+
+    #[test]
+    fn tgd_trigger_only_when_violated() {
+        let set = ConstraintSet::parse("S(X) -> E(X,Y)").unwrap();
+        let sat = Instance::parse("S(a). E(a,b).").unwrap();
+        let unsat = Instance::parse("S(a). S(b). E(b,c).").unwrap();
+        assert!(first_active_trigger(&set[0], &sat).is_none());
+        let mu = first_active_trigger(&set[0], &unsat).unwrap();
+        assert_eq!(mu.var(Sym::new("X")), Some(Term::constant("a")));
+    }
+
+    #[test]
+    fn oblivious_triggers_ignore_satisfaction() {
+        let set = ConstraintSet::parse("S(X) -> E(X,Y)").unwrap();
+        let sat = Instance::parse("S(a). E(a,b).").unwrap();
+        assert_eq!(active_triggers(&set[0], &sat).len(), 0);
+        assert_eq!(oblivious_triggers(&set[0], &sat).len(), 1);
+    }
+
+    #[test]
+    fn egd_trigger_requires_difference() {
+        let set = ConstraintSet::parse("E(X,Y), E(X,Z) -> Y = Z").unwrap();
+        let same = Instance::parse("E(a,b).").unwrap();
+        let diff = Instance::parse("E(a,b). E(a,c).").unwrap();
+        assert!(first_active_trigger(&set[0], &same).is_none());
+        // (b,c) and (c,b) are two distinct violating assignments.
+        assert_eq!(active_triggers(&set[0], &diff).len(), 2);
+    }
+
+    #[test]
+    fn triggers_are_deduplicated() {
+        // The body has one atom; three matching facts, all violating.
+        let set = ConstraintSet::parse("S(X) -> T(X,Y)").unwrap();
+        let inst = Instance::parse("S(a). S(b). S(c).").unwrap();
+        assert_eq!(active_triggers(&set[0], &inst).len(), 3);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # chase-guarded
+//!
+//! Section 5 of the paper: query answering over knowledge bases whose chase
+//! may not terminate, via guarded fragments.
+//!
+//! * [`guards`] — the recognizers: *weakly guarded* TGD sets (Definition 20,
+//!   Calì–Gottlob–Kifer) and the paper's strictly larger class of
+//!   *restrictedly guarded* sets (Definition 22), which replaces affected
+//!   positions with the restriction-system position set `f`.
+//! * [`nullprop`] — the *guarded null property* (Definition 21), checked at
+//!   runtime over chase traces; by Lemma 7 every chase sequence of an RGTGD
+//!   set has it.
+//! * [`qa`] — certain-answer query answering on (terminating or budgeted)
+//!   chases. The paper's Corollary 1 decidability argument goes through
+//!   Courcelle's theorem on bounded-treewidth models; what this crate ships
+//!   is the *class recognition* (the paper's actual §5 contribution) plus
+//!   sound certain-answer computation whenever the chase terminates — see
+//!   DESIGN.md §4.5 for the documented scope substitution.
+
+pub mod guards;
+pub mod nullprop;
+pub mod qa;
+
+pub use guards::{guard_atoms, is_restrictedly_guarded, is_weakly_guarded};
+pub use nullprop::{guarded_null_property, NullPropViolation};
+pub use qa::{certain_answers, QaError};

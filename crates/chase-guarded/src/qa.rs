@@ -1,0 +1,102 @@
+//! Certain-answer query answering on chased knowledge bases.
+//!
+//! When the chase of `I` with `Σ` terminates, the certain answers of a
+//! conjunctive query are its null-free answers on `I^Σ` (the chase result is
+//! a universal model). This module runs a budgeted chase and evaluates
+//! queries on the result, refusing to answer when no termination occurred —
+//! the honest subset of Section 5's program (see crate docs).
+
+use chase_core::{ConjunctiveQuery, ConstraintSet, Instance, Term};
+use chase_engine::{chase, ChaseConfig, StopReason};
+use std::fmt;
+
+/// Why certain answers could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QaError {
+    /// The chase did not terminate within the configured budget; no sound
+    /// answer set can be produced from a partial chase.
+    NoTerminationWithinBudget(StopReason),
+    /// The chase failed on an EGD (inconsistent knowledge base).
+    ChaseFailed,
+}
+
+impl fmt::Display for QaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QaError::NoTerminationWithinBudget(r) => {
+                write!(f, "chase did not terminate within budget ({r:?})")
+            }
+            QaError::ChaseFailed => write!(f, "chase failed: knowledge base is inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for QaError {}
+
+/// Certain answers of `q` over the knowledge base `(I, Σ)`: the null-free
+/// answers on the terminating chase result.
+pub fn certain_answers(
+    inst: &Instance,
+    set: &ConstraintSet,
+    q: &ConjunctiveQuery,
+    cfg: &ChaseConfig,
+) -> Result<Vec<Vec<Term>>, QaError> {
+    let res = chase(inst, set, cfg);
+    match res.reason {
+        StopReason::Satisfied => Ok(q.evaluate_certain(&res.instance)),
+        StopReason::Failed => Err(QaError::ChaseFailed),
+        other => Err(QaError::NoTerminationWithinBudget(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_include_implied_facts() {
+        let set = ConstraintSet::parse("emp(E,D) -> dept(D)").unwrap();
+        let inst = Instance::parse("emp(alice,sales). emp(bob,hr).").unwrap();
+        let q = ConjunctiveQuery::parse("q(D) <- dept(D)").unwrap();
+        let ans = certain_answers(&inst, &set, &q, &ChaseConfig::default()).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![Term::constant("sales")]));
+    }
+
+    #[test]
+    fn null_answers_are_not_certain() {
+        // dept gains a manager null; asking for managers certain-answers ∅.
+        let set = ConstraintSet::parse("dept(D) -> mgr(D,M)").unwrap();
+        let inst = Instance::parse("dept(sales).").unwrap();
+        let q = ConjunctiveQuery::parse("q(M) <- mgr(D,M)").unwrap();
+        let ans = certain_answers(&inst, &set, &q, &ChaseConfig::default()).unwrap();
+        assert!(ans.is_empty());
+        // But the boolean query "some manager exists" is certain.
+        let b = ConjunctiveQuery::parse("q() <- mgr(D,M)").unwrap();
+        let ans = certain_answers(&inst, &set, &b, &ChaseConfig::default()).unwrap();
+        assert_eq!(ans, vec![Vec::<Term>::new()]);
+    }
+
+    #[test]
+    fn divergence_is_refused() {
+        let set = ConstraintSet::parse("S(X) -> E(X,Y), S(Y)").unwrap();
+        let inst = Instance::parse("S(a).").unwrap();
+        let q = ConjunctiveQuery::parse("q(X) <- S(X)").unwrap();
+        let cfg = ChaseConfig::with_max_steps(25);
+        assert!(matches!(
+            certain_answers(&inst, &set, &q, &cfg),
+            Err(QaError::NoTerminationWithinBudget(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_kb_is_reported() {
+        let set = ConstraintSet::parse("E(X,Y), E(X,Z) -> Y = Z").unwrap();
+        let inst = Instance::parse("E(a,b). E(a,c).").unwrap();
+        let q = ConjunctiveQuery::parse("q() <- E(a,b)").unwrap();
+        assert_eq!(
+            certain_answers(&inst, &set, &q, &ChaseConfig::default()),
+            Err(QaError::ChaseFailed)
+        );
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # chase-sqo
+//!
+//! Semantic query optimization with the chase — the application domain
+//! motivating the paper's data-dependent analysis (Section 4).
+//!
+//! The pipeline mirrors Deutsch–Popa–Tannen query reformulation as the paper
+//! describes it:
+//!
+//! 1. freeze the conjunctive query into its canonical instance
+//!    ([`chase_core::ConjunctiveQuery::freeze`]),
+//! 2. chase it under the constraint set into the **universal plan**
+//!    ([`universal_plan`]) — guarded by budgets/monitors because the chase
+//!    need not terminate,
+//! 3. enumerate subqueries of the universal plan that remain equivalent
+//!    under the constraints ([`rewrite::equivalent_subqueries`],
+//!    [`rewrite::minimal_rewritings`]), yielding join-elimination and
+//!    join-introduction rewritings like the paper's q2'' and q2'''.
+//!
+//! Containment and equivalence under constraints live in [`containment`].
+
+pub mod containment;
+pub mod rewrite;
+
+pub use containment::{contained_under, equivalent_under};
+pub use rewrite::{equivalent_subqueries, minimal_rewritings, universal_plan, SqoError};

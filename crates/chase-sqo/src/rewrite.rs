@@ -1,0 +1,218 @@
+//! Universal plans and rewriting enumeration (Section 4's SQO scenario).
+//!
+//! Chasing a frozen query yields the *universal plan*: a query incorporating
+//! every constraint-implied atom. Any subquery of the plan that remains
+//! equivalent to the original under `Σ` is a valid rewriting; dropping atoms
+//! is join **elimination** (the paper's q2''), keeping implied atoms absent
+//! from the original is join **introduction** (q2''').
+
+use crate::containment::{chased_canonical, equivalent_under};
+use chase_core::{ConjunctiveQuery, ConstraintSet, CoreError, Instance};
+use chase_engine::ChaseConfig;
+use std::fmt;
+
+/// Errors of the rewriting pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqoError {
+    /// The chase of the frozen query did not terminate within its budget;
+    /// use the data-dependent analyses of Section 4 before retrying.
+    NonTerminatingChase,
+    /// The universal plan has too many atoms for exhaustive subset
+    /// enumeration.
+    PlanTooLarge(usize),
+    /// Query construction failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for SqoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqoError::NonTerminatingChase => {
+                write!(f, "the chase of the frozen query did not terminate within budget")
+            }
+            SqoError::PlanTooLarge(n) => {
+                write!(f, "universal plan has {n} atoms; subset enumeration refused")
+            }
+            SqoError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqoError {}
+
+impl From<CoreError> for SqoError {
+    fn from(e: CoreError) -> SqoError {
+        SqoError::Core(e)
+    }
+}
+
+/// The universal plan of `q` under `Σ`: the frozen query chased to
+/// completion and thawed back into a query.
+///
+/// # Examples
+///
+/// ```
+/// use chase_core::{ConjunctiveQuery, ConstraintSet};
+/// use chase_engine::ChaseConfig;
+/// use chase_sqo::rewrite::{body_signature, universal_plan};
+///
+/// let sigma = ConstraintSet::parse("emp(E,D) -> dept(D)").unwrap();
+/// let q = ConjunctiveQuery::parse("q(E) <- emp(E,D)").unwrap();
+/// let plan = universal_plan(&q, &sigma, &ChaseConfig::default()).unwrap();
+/// assert_eq!(body_signature(&plan), vec!["dept", "emp"]);
+/// ```
+pub fn universal_plan(
+    q: &ConjunctiveQuery,
+    set: &ConstraintSet,
+    cfg: &ChaseConfig,
+) -> Result<ConjunctiveQuery, SqoError> {
+    let (chased, head) = chased_canonical(q, set, cfg).ok_or(SqoError::NonTerminatingChase)?;
+    Ok(ConjunctiveQuery::thaw(&chased, q.head_pred(), &head)?)
+}
+
+/// All subqueries of the universal plan of `q` that are equivalent to `q`
+/// under `Σ`, smallest bodies first (ties in deterministic subset order).
+///
+/// `max_plan_atoms` bounds the exhaustive subset enumeration (the plan for a
+/// hand-written query is small; refuse absurd inputs instead of hanging).
+pub fn equivalent_subqueries(
+    q: &ConjunctiveQuery,
+    set: &ConstraintSet,
+    cfg: &ChaseConfig,
+    max_plan_atoms: usize,
+) -> Result<Vec<ConjunctiveQuery>, SqoError> {
+    let plan = universal_plan(q, set, cfg)?;
+    let atoms = plan.body().to_vec();
+    if atoms.len() > max_plan_atoms {
+        return Err(SqoError::PlanTooLarge(atoms.len()));
+    }
+    // Head variables must keep occurring in the kept atoms.
+    let head_vars: Vec<_> = plan
+        .head_args()
+        .iter()
+        .filter_map(|t| t.as_var())
+        .collect();
+    let mut masks: Vec<u32> = (1..(1u32 << atoms.len())).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    let mut out = Vec::new();
+    for mask in masks {
+        let body: Vec<_> = atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let covered = head_vars.iter().all(|v| {
+            body.iter().any(|a| a.vars().contains(v))
+        });
+        if !covered {
+            continue;
+        }
+        let cand = match ConjunctiveQuery::new(q.head_pred(), plan.head_args().to_vec(), body) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if equivalent_under(&cand, q, set, cfg) == Some(true) {
+            out.push(cand);
+        }
+    }
+    Ok(out)
+}
+
+/// The minimum-size equivalent rewritings of `q` under `Σ` (all subqueries
+/// of the universal plan with the fewest body atoms).
+pub fn minimal_rewritings(
+    q: &ConjunctiveQuery,
+    set: &ConstraintSet,
+    cfg: &ChaseConfig,
+    max_plan_atoms: usize,
+) -> Result<Vec<ConjunctiveQuery>, SqoError> {
+    let all = equivalent_subqueries(q, set, cfg, max_plan_atoms)?;
+    let min = match all.iter().map(|c| c.body().len()).min() {
+        Some(m) => m,
+        None => return Ok(Vec::new()),
+    };
+    Ok(all.into_iter().filter(|c| c.body().len() == min).collect())
+}
+
+/// Convenience: does `inst` (a frozen-query canonical database) have the
+/// same atoms as `q`'s freeze, up to homomorphic equivalence? Used by tests
+/// comparing rewritings structurally.
+pub fn queries_hom_equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    let fa: Instance = a.freeze().0;
+    let fb: Instance = b.freeze().0;
+    chase_core::homomorphism::hom_equivalent(&fa, &fb)
+}
+
+/// Body signature of a query as sorted predicate names — handy for asserting
+/// which rewriting shape was produced.
+pub fn body_signature(q: &ConjunctiveQuery) -> Vec<String> {
+    let mut v: Vec<String> = q.body().iter().map(|a| a.pred().as_str().to_owned()).collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn universal_plan_adds_implied_atoms() {
+        let set = ConstraintSet::parse("emp(E,D) -> dept(D)").unwrap();
+        let query = q("q(E) <- emp(E,D)");
+        let plan = universal_plan(&query, &set, &ChaseConfig::default()).unwrap();
+        assert_eq!(plan.body().len(), 2);
+        assert_eq!(body_signature(&plan), vec!["dept", "emp"]);
+    }
+
+    #[test]
+    fn join_elimination_via_symmetry() {
+        let set = ConstraintSet::parse("rail(X,Y,D) -> rail(Y,X,D)").unwrap();
+        let query = q("q(X) <- rail(c,X,D), rail(X,c,D)");
+        let minimal = minimal_rewritings(&query, &set, &ChaseConfig::default(), 12).unwrap();
+        assert!(!minimal.is_empty());
+        assert_eq!(minimal[0].body().len(), 1, "one rail atom suffices");
+    }
+
+    #[test]
+    fn equivalent_subqueries_include_the_plan_itself() {
+        let set = ConstraintSet::parse("emp(E,D) -> dept(D)").unwrap();
+        let query = q("q(E) <- emp(E,D)");
+        let subs = equivalent_subqueries(&query, &set, &ChaseConfig::default(), 12).unwrap();
+        // emp alone, and emp+dept.
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].body().len(), 1);
+        assert_eq!(subs[1].body().len(), 2);
+    }
+
+    #[test]
+    fn nonterminating_chase_is_an_error() {
+        let set = ConstraintSet::parse("S(X) -> E(X,Y), S(Y)").unwrap();
+        let query = q("q(X) <- S(X)");
+        let cfg = ChaseConfig::with_max_steps(10);
+        assert_eq!(
+            universal_plan(&query, &set, &cfg),
+            Err(SqoError::NonTerminatingChase)
+        );
+    }
+
+    #[test]
+    fn head_variables_are_never_dropped() {
+        let set = ConstraintSet::new();
+        let query = q("q(X,Z) <- E(X,Y), E(Y,Z)");
+        let subs = equivalent_subqueries(&query, &set, &ChaseConfig::default(), 12).unwrap();
+        for s in &subs {
+            let vars: Vec<_> = s.body().iter().flat_map(|a| a.vars()).collect();
+            assert!(vars.contains(&chase_core::Sym::new("V0")) || !s.body().is_empty());
+            for h in s.head_args() {
+                if let Some(v) = h.as_var() {
+                    assert!(s.body().iter().any(|a| a.vars().contains(&v)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Affected positions (Definition 6, after Calì–Gottlob–Kifer).
+//!
+//! `aff(Σ)` over-approximates the set of positions in which a labeled null
+//! *created during the chase* may ever occur: existential head positions are
+//! affected, and a head position of a universal variable is affected when
+//! every body occurrence of that variable is at an affected position.
+
+use chase_core::{ConstraintSet, PosSet};
+
+/// The affected positions `aff(Σ)` of the TGDs of `Σ` (least fixpoint).
+pub fn affected_positions(set: &ConstraintSet) -> PosSet {
+    let mut aff = PosSet::new();
+    // Base: existential positions.
+    for (_, tgd) in set.tgds() {
+        for &y in tgd.existentials() {
+            aff.extend(tgd.head_positions_of(y));
+        }
+    }
+    // Induction: propagate universal variables whose body occurrences are
+    // all affected.
+    loop {
+        let mut changed = false;
+        for (_, tgd) in set.tgds() {
+            for &x in tgd.frontier() {
+                let body_pos = tgd.body_positions_of(x);
+                debug_assert!(!body_pos.is_empty(), "frontier variable occurs in body");
+                if body_pos.iter().all(|p| aff.contains(p)) {
+                    for p in tgd.head_positions_of(x) {
+                        if aff.insert(p) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return aff;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::Position;
+
+    fn aff(text: &str) -> PosSet {
+        affected_positions(&ConstraintSet::parse(text).unwrap())
+    }
+
+    #[test]
+    fn example8_only_r2_affected() {
+        // β := R(x1,x2,x3), S(x2) → ∃y R(x2,y,x1) — Example 8: aff = {R^2}.
+        let a = aff("R(X1,X2,X3), S(X2) -> R(X2,Y,X1)");
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&Position::new("R", 1)));
+    }
+
+    #[test]
+    fn example10_both_edge_positions_affected() {
+        // Example 10: aff(Σ) = {E^1, E^2}.
+        let a = aff(
+            "S(X), E(X,Y) -> E(Y,X)\n\
+             S(X), E(X,Y) -> E(Y,Z), E(Z,X)",
+        );
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(&Position::new("E", 0)));
+        assert!(a.contains(&Position::new("E", 1)));
+    }
+
+    #[test]
+    fn propagation_requires_all_body_occurrences_affected() {
+        // x2 occurs at E^2 (affected) and S^1 (not): head position of x2 is
+        // not affected.
+        let a = aff("E(X1,X2), S(X2) -> E(X2,Y)");
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&Position::new("E", 1)));
+    }
+
+    #[test]
+    fn full_tgds_have_no_affected_positions() {
+        assert!(aff("E(X,Y) -> E(Y,X)").is_empty());
+    }
+
+    #[test]
+    fn transitive_propagation() {
+        // Null born at T^1 flows T^1 → U^1 → V^1.
+        let a = aff(
+            "S(X) -> T(Y)\n\
+             T(X) -> U(X)\n\
+             U(X) -> V(X)",
+        );
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(&Position::new("T", 0)));
+        assert!(a.contains(&Position::new("U", 0)));
+        assert!(a.contains(&Position::new("V", 0)));
+    }
+
+    #[test]
+    fn example19_affected_set() {
+        // Example 19: aff(Σ) = {S^1, S^2, R^1, R^2}.
+        let a = aff(
+            "R(X1,X2), S(X1,X2) -> S(X2,Y)\n\
+             S(X1,X2), S(X3,X1) -> R(X2,X1)\n\
+             T(X1,X2) -> S(Y,X2)",
+        );
+        let expect: PosSet = [
+            Position::new("S", 0),
+            Position::new("S", 1),
+            Position::new("R", 0),
+            Position::new("R", 1),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(a, expect);
+    }
+}

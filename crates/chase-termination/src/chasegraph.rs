@@ -1,0 +1,114 @@
+//! Chase graphs (Definition 3) and c-chase graphs (Definition 5).
+//!
+//! Nodes are constraint indices; an edge `(α, β)` records `α ≺ β`
+//! (respectively `α ≺c β`): firing `α` can newly violate `β`. Oracle
+//! queries that hit a resource limit are recorded as edges *and* flagged —
+//! extra edges can only merge strongly connected components, which keeps
+//! every "yes, terminates" conclusion drawn from the graph sound.
+
+use crate::graphs::Digraph;
+use crate::precedence::{precedes, precedes_c, PrecedenceConfig, Verdict};
+use chase_core::ConstraintSet;
+
+/// A chase graph over the constraints of a set.
+#[derive(Debug, Clone)]
+pub struct ChaseGraph {
+    /// The underlying digraph; node `i` is constraint `i`.
+    pub graph: Digraph,
+    /// Edges that were added conservatively because the precedence oracle
+    /// gave up, as `(from, to)` pairs.
+    pub unknown_edges: Vec<(usize, usize)>,
+}
+
+impl ChaseGraph {
+    /// Did every oracle query complete (no conservative edges)?
+    pub fn is_definite(&self) -> bool {
+        self.unknown_edges.is_empty()
+    }
+
+    /// DOT rendering with constraint indices as labels.
+    pub fn to_dot(&self, name: &str) -> String {
+        self.graph.to_dot(name, |v| format!("α{}", v + 1))
+    }
+}
+
+fn build(
+    set: &ConstraintSet,
+    cfg: &PrecedenceConfig,
+    oracle: impl Fn(&ConstraintSet, usize, usize, &PrecedenceConfig) -> Verdict,
+) -> ChaseGraph {
+    let n = set.len();
+    let mut graph = Digraph::new(n);
+    let mut unknown_edges = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            match oracle(set, a, b, cfg) {
+                Verdict::Holds => graph.add_edge(a, b, false),
+                Verdict::Fails => {}
+                Verdict::ResourceLimit => {
+                    graph.add_edge(a, b, false);
+                    unknown_edges.push((a, b));
+                }
+            }
+        }
+    }
+    ChaseGraph {
+        graph,
+        unknown_edges,
+    }
+}
+
+/// The chase graph `G(Σ)` built from `≺` (Definition 3).
+pub fn chase_graph(set: &ConstraintSet, cfg: &PrecedenceConfig) -> ChaseGraph {
+    build(set, cfg, precedes)
+}
+
+/// The c-chase graph `Gc(Σ)` built from `≺c` (Definition 5).
+pub fn c_chase_graph(set: &ConstraintSet, cfg: &PrecedenceConfig) -> ChaseGraph {
+    build(set, cfg, precedes_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PrecedenceConfig {
+        PrecedenceConfig::default()
+    }
+
+    fn example4() -> ConstraintSet {
+        ConstraintSet::parse(
+            "R(X1) -> S(X1,X1)\n\
+             S(X1,X2) -> T(X2,Z)\n\
+             S(X1,X2) -> T(X1,X2), T(X2,X1)\n\
+             T(X1,X2), T(X1,X3), T(X3,X1) -> R(X2)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example4_chase_graph_alpha2_has_no_successor() {
+        // Figure 4: in G(Σ), α2 (index 1) has no outgoing edge — the flaw
+        // that made original stratification unsound.
+        let g = chase_graph(&example4(), &cfg());
+        assert!(g.is_definite());
+        assert!(g.graph.successors(1).is_empty(), "α2 must be a sink in G(Σ)");
+        // The full-TGD cycle α1 → α3 → α4 → α1 exists.
+        assert!(g.graph.has_edge(0, 2));
+        assert!(g.graph.has_edge(2, 3));
+        assert!(g.graph.has_edge(3, 0));
+    }
+
+    #[test]
+    fn example7_c_chase_graph_closes_the_cycle() {
+        // Figure 5: in Gc(Σ), α2 → α4 exists, putting α2 on a cycle through
+        // the existential constraint.
+        let g = c_chase_graph(&example4(), &cfg());
+        assert!(g.is_definite());
+        assert!(g.graph.has_edge(1, 3), "α2 ≺c α4");
+        assert!(g.graph.has_edge(0, 1), "α1 ≺c α2");
+        // The single non-trivial SCC is the whole set.
+        let sccs = g.graph.nontrivial_sccs();
+        assert_eq!(sccs, vec![vec![0, 1, 2, 3]]);
+    }
+}

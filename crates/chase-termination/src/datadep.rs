@@ -1,0 +1,192 @@
+//! Data-dependent termination, static part (Section 4.1).
+//!
+//! Given a *fixed* instance `I` (typically a frozen query in semantic query
+//! optimization), constraints that can never fire while chasing `I` may be
+//! ignored when looking for termination guarantees (Lemma 4). Exact
+//! `(I,Σ)`-irrelevance is undecidable (Theorem 8), but Proposition 7 gives a
+//! sufficient test: encode `I` as an empty-body constraint `αI` and check
+//! reachability from `αI` in the c-chase graph of `Σ ∪ {αI}`.
+
+use crate::chasegraph::c_chase_graph;
+use crate::hierarchy::{check, Recognition};
+use crate::precedence::PrecedenceConfig;
+use chase_core::{Constraint, ConstraintSet, CoreError, Instance, Term, Tgd};
+
+/// The instance constraint `αI := → ∃x ⋀ I` of Proposition 7: one empty-body
+/// TGD whose head is the instance with labeled nulls promoted to existential
+/// variables.
+pub fn instance_constraint(inst: &Instance) -> Result<Constraint, CoreError> {
+    if inst.is_empty() {
+        return Err(CoreError::InvalidConstraint(
+            "αI of an empty instance would have an empty head".into(),
+        ));
+    }
+    let head = inst
+        .sorted_atoms()
+        .into_iter()
+        .map(|a| {
+            a.map_terms(|t| match t {
+                Term::Null(n) => Term::var(&format!("NI{n}")),
+                other => other,
+            })
+        })
+        .collect();
+    Ok(Constraint::Tgd(Tgd::new(Vec::new(), head)?))
+}
+
+/// The constraints of `Σ` that are *possibly relevant* when chasing `I`:
+/// those reachable from `αI` (or from an empty-body constraint of `Σ`
+/// itself, which can fire regardless of the instance) in the c-chase graph
+/// of `Σ ∪ {αI}`.
+///
+/// Returns the sorted relevant indices and a flag that is `true` when some
+/// precedence query was indefinite (edges were added conservatively, which
+/// can only enlarge the relevant set — still a sound input to Lemma 4).
+pub fn relevant_subset(
+    inst: &Instance,
+    set: &ConstraintSet,
+    cfg: &PrecedenceConfig,
+) -> Result<(Vec<usize>, bool), CoreError> {
+    let alpha_i = instance_constraint(inst)?;
+    let mut extended = set.clone();
+    extended.push(alpha_i);
+    let ai_index = set.len();
+    let g = c_chase_graph(&extended, cfg);
+    let mut relevant = vec![false; set.len()];
+    let mark_from = |start: usize, relevant: &mut Vec<bool>| {
+        for (i, reach) in g.graph.reachable_from(start).into_iter().enumerate() {
+            if reach && i < set.len() {
+                relevant[i] = true;
+            }
+        }
+    };
+    mark_from(ai_index, &mut relevant);
+    // Proposition 7 assumes every constraint of Σ has a non-empty body;
+    // empty-body constraints fire unconditionally, so treat them as
+    // additional sources (and as relevant themselves).
+    for (i, c) in set.enumerate() {
+        if c.body().is_empty() {
+            relevant[i] = true;
+            mark_from(i, &mut relevant);
+        }
+    }
+    let out: Vec<usize> = (0..set.len()).filter(|&i| relevant[i]).collect();
+    Ok((out, !g.unknown_edges.is_empty()))
+}
+
+/// The `(I,Σ)`-irrelevant constraints found by the Proposition 7 test
+/// (complement of [`relevant_subset`]).
+pub fn irrelevant_constraints(
+    inst: &Instance,
+    set: &ConstraintSet,
+    cfg: &PrecedenceConfig,
+) -> Result<(Vec<usize>, bool), CoreError> {
+    let (relevant, unknown) = relevant_subset(inst, set, cfg)?;
+    let out = (0..set.len()).filter(|i| !relevant.contains(i)).collect();
+    Ok((out, unknown))
+}
+
+/// Data-dependent termination test (Lemma 4): does the chase of `I` with `Σ`
+/// terminate because the possibly-firing subset lies in `T[k]`?
+///
+/// `Recognition::Yes` guarantees termination of every chase sequence of `I`
+/// with `Σ`; `No`/`Unknown` mean the *static* analysis gives no guarantee
+/// (fall back to the dynamic monitor guard of Section 4.2).
+pub fn data_dependent_terminates(
+    inst: &Instance,
+    set: &ConstraintSet,
+    k: usize,
+    cfg: &PrecedenceConfig,
+) -> Result<Recognition, CoreError> {
+    let (relevant, _unknown) = relevant_subset(inst, set, cfg)?;
+    // The relevant subset is itself a valid Σ' for Lemma 4 even when
+    // conservative edges enlarged it: Σ \ Σ' remains (I,Σ)-irrelevant.
+    let subset = set.subset(&relevant);
+    if subset.is_empty() {
+        return Ok(Recognition::Yes);
+    }
+    Ok(check(&subset, k, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PrecedenceConfig {
+        PrecedenceConfig::default()
+    }
+
+    fn travel() -> ConstraintSet {
+        // Figure 9.
+        ConstraintSet::parse(
+            "fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2)\n\
+             rail(C1,C2,D) -> rail(C2,C1,D)\n\
+             fly(C1,C2,D) -> fly(C2,C3,D2)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alpha_i_encodes_nulls_as_existentials() {
+        let i = Instance::parse("rail(c1,_n0,_n1). fly(_n0,_n2,_n3).").unwrap();
+        let c = instance_constraint(&i).unwrap();
+        let t = c.as_tgd().unwrap();
+        assert!(t.body().is_empty());
+        assert_eq!(t.head().len(), 2);
+        assert_eq!(t.existentials().len(), 4);
+        // The constant c1 stays a constant.
+        assert!(t
+            .head()
+            .iter()
+            .any(|a| a.terms().contains(&Term::constant("c1"))));
+    }
+
+    #[test]
+    fn example16_q2_irrelevance() {
+        // q2 (frozen): rail(c1,x1,y1), fly(x1,x2,y2), fly(x2,x1,y2),
+        // rail(x1,c1,y1). Example 16: α2 and α3 are (I,Σ)-irrelevant, the
+        // rest ({α1}) is inductively restricted, so the chase terminates.
+        let set = travel();
+        let q2 = Instance::parse(
+            "rail(c1,_n0,_n1). fly(_n0,_n2,_n3). fly(_n2,_n0,_n3). rail(_n0,c1,_n1).",
+        )
+        .unwrap();
+        let (irrelevant, unknown) = irrelevant_constraints(&q2, &set, &cfg()).unwrap();
+        assert!(!unknown);
+        assert_eq!(irrelevant, vec![1, 2], "α2 and α3 are irrelevant");
+        assert_eq!(
+            data_dependent_terminates(&q2, &set, 2, &cfg()).unwrap(),
+            Recognition::Yes
+        );
+    }
+
+    #[test]
+    fn q1_gets_no_static_guarantee() {
+        // q1 (frozen): rail(c1,x1,y1), fly(x1,x2,y2) — α3 is relevant and
+        // the relevant subset is not in the hierarchy.
+        let set = travel();
+        let q1 = Instance::parse("rail(c1,_n0,_n1). fly(_n0,_n2,_n3).").unwrap();
+        let (relevant, unknown) = relevant_subset(&q1, &set, &cfg()).unwrap();
+        assert!(!unknown);
+        assert!(relevant.contains(&2), "α3 may fire on q1");
+        assert_eq!(
+            data_dependent_terminates(&q1, &set, 3, &cfg()).unwrap(),
+            Recognition::No
+        );
+    }
+
+    #[test]
+    fn empty_body_constraints_are_always_relevant() {
+        let set = ConstraintSet::parse(
+            "-> S(X)\n\
+             S(X) -> T(X)\n\
+             U(X) -> V(X)",
+        )
+        .unwrap();
+        let inst = Instance::parse("W(a).").unwrap();
+        let (relevant, _) = relevant_subset(&inst, &set, &cfg()).unwrap();
+        assert!(relevant.contains(&0), "empty-body fires regardless");
+        assert!(relevant.contains(&1), "fed by the empty-body constraint");
+        assert!(!relevant.contains(&2), "U is never produced");
+    }
+}

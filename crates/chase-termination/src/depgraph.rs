@@ -1,0 +1,183 @@
+//! The dependency graph and weak acyclicity (Definition 1, after Fagin et
+//! al.).
+//!
+//! Nodes are the positions occurring in the TGDs of `Σ`; a normal edge
+//! `π1 → π2` tracks a universal variable copied from body position `π1` to
+//! head position `π2`, and a special edge `π1 *→ π2` records that a fresh
+//! null is created at `π2` while the body binds a value at `π1`. `Σ` is
+//! weakly acyclic iff no cycle passes through a special edge.
+
+use crate::graphs::Digraph;
+use chase_core::fx::FxHashMap;
+use chase_core::{ConstraintSet, PosSet, Position};
+
+/// A graph over database positions (dependency or propagation graph).
+#[derive(Debug, Clone)]
+pub struct PositionGraph {
+    /// Node id → position, sorted ascending; node ids index this vector.
+    pub positions: Vec<Position>,
+    /// Inverse of `positions`.
+    pub index: FxHashMap<Position, usize>,
+    /// The underlying digraph; special edges are the paper's `∗`-edges.
+    pub graph: Digraph,
+}
+
+impl PositionGraph {
+    /// Build an edgeless position graph over the given node set.
+    pub fn over(positions: PosSet) -> PositionGraph {
+        let positions: Vec<Position> = positions.into_iter().collect();
+        let index: FxHashMap<Position, usize> =
+            positions.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let graph = Digraph::new(positions.len());
+        PositionGraph {
+            positions,
+            index,
+            graph,
+        }
+    }
+
+    /// Add an edge between positions (both must be nodes).
+    pub fn add_edge(&mut self, from: Position, to: Position, special: bool) {
+        let f = self.index[&from];
+        let t = self.index[&to];
+        self.graph.add_edge(f, t, special);
+    }
+
+    /// Does the graph contain a cycle through a special edge?
+    pub fn has_special_cycle(&self) -> bool {
+        self.graph.has_special_cycle()
+    }
+
+    /// The rank of every position — the maximum number of special edges on
+    /// any incoming path, the quantity the proof of Theorem 5 partitions
+    /// positions by (`N0, …, Np`). `None` when a special cycle makes ranks
+    /// infinite (i.e. the acyclicity condition of this graph fails).
+    pub fn special_ranks(&self) -> Option<Vec<(Position, usize)>> {
+        let ranks = self.graph.special_ranks()?;
+        Some(
+            self.positions
+                .iter()
+                .copied()
+                .zip(ranks)
+                .collect(),
+        )
+    }
+
+    /// Edges as position pairs `(from, to, special)`, sorted.
+    pub fn edges(&self) -> Vec<(Position, Position, bool)> {
+        self.graph
+            .edges()
+            .map(|(u, v, s)| (self.positions[u], self.positions[v], s))
+            .collect()
+    }
+
+    /// DOT rendering in the style of the paper's Figure 3/6.
+    pub fn to_dot(&self, name: &str) -> String {
+        self.graph
+            .to_dot(name, |v| self.positions[v].to_string())
+    }
+}
+
+/// The dependency graph `dep(Σ)` (Definition 1). Only TGDs contribute.
+pub fn dependency_graph(set: &ConstraintSet) -> PositionGraph {
+    // Nodes: positions occurring in some TGD (body or head).
+    let mut nodes = PosSet::new();
+    for (_, tgd) in set.tgds() {
+        nodes.extend(tgd.body_positions());
+        nodes.extend(tgd.head_positions());
+    }
+    let mut g = PositionGraph::over(nodes);
+    for (_, tgd) in set.tgds() {
+        for &x in tgd.frontier() {
+            for p1 in tgd.body_positions_of(x) {
+                // Normal edges: x copied into each of its head positions.
+                for p2 in tgd.head_positions_of(x) {
+                    g.add_edge(p1, p2, false);
+                }
+                // Special edges: a fresh null is created at every
+                // existential position while x is bound at p1.
+                for &y in tgd.existentials() {
+                    for p2 in tgd.head_positions_of(y) {
+                        g.add_edge(p1, p2, true);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Is `Σ` weakly acyclic (Definition 1)? Decidable in polynomial time.
+pub fn is_weakly_acyclic(set: &ConstraintSet) -> bool {
+    !dependency_graph(set).has_special_cycle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> ConstraintSet {
+        ConstraintSet::parse(text).unwrap()
+    }
+
+    #[test]
+    fn copy_only_tgds_are_weakly_acyclic() {
+        let s = parse("E(X,Y) -> E(Y,X)");
+        assert!(is_weakly_acyclic(&s));
+        let g = dependency_graph(&s);
+        assert_eq!(g.positions.len(), 2);
+        // E^1 → E^2 and E^2 → E^1, no special edges.
+        assert_eq!(g.edges().len(), 2);
+        assert!(g.edges().iter().all(|&(_, _, s)| !s));
+    }
+
+    #[test]
+    fn intro_alpha2_is_not_weakly_acyclic() {
+        // S(x) → ∃y E(x,y), S(y): special self-reachability through S^1.
+        let s = parse("S(X) -> E(X,Y), S(Y)");
+        assert!(!is_weakly_acyclic(&s));
+    }
+
+    #[test]
+    fn fig9_travel_constraints_not_weakly_acyclic() {
+        // Figure 3: self-loop fly^2 *→ fly^2 via α3.
+        let s = parse(
+            "fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2)\n\
+             rail(C1,C2,D) -> rail(C2,C1,D)\n\
+             fly(C1,C2,D) -> fly(C2,C3,D2)",
+        );
+        assert!(!is_weakly_acyclic(&s));
+        let g = dependency_graph(&s);
+        let fly2 = Position::new("fly", 1);
+        let f = g.index[&fly2];
+        // The witness from Example 1: special edge fly^2 *→ fly^2... which
+        // arises from α3 binding C2 at fly^2 and creating C3/D2 ... the
+        // self-loop is fly^2 → fly^1 (copy) plus fly^2 *→ fly^2 (C3 fresh at
+        // fly^2 while C2 at fly^2).
+        assert!(g
+            .graph
+            .edges()
+            .any(|(u, v, s)| u == f && v == f && s));
+    }
+
+    #[test]
+    fn example2_three_cycle_constraint_not_weakly_acyclic() {
+        // γ from Example 2/3: stratified but not weakly acyclic.
+        let s = parse("E(X1,X2), E(X2,X1) -> E(X1,Y1), E(Y1,Y2), E(Y2,X1)");
+        assert!(!is_weakly_acyclic(&s));
+    }
+
+    #[test]
+    fn egds_do_not_contribute() {
+        let s = parse("E(X,Y), E(X,Z) -> Y = Z");
+        let g = dependency_graph(&s);
+        assert_eq!(g.positions.len(), 0);
+        assert!(is_weakly_acyclic(&s));
+    }
+
+    #[test]
+    fn data_exchange_copy_dependency_is_weakly_acyclic() {
+        let s = parse("src(X,Y) -> dst(X,Y)\ndst(X,Y) -> link(X,Z)");
+        assert!(is_weakly_acyclic(&s));
+    }
+}

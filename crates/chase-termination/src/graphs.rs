@@ -1,0 +1,365 @@
+//! Small directed-graph toolkit: graphs with *special* edges, strongly
+//! connected components (iterative Tarjan), special-cycle detection and DOT
+//! export.
+//!
+//! Both graph families of the paper reduce to these primitives:
+//! dependency/propagation graphs are position graphs whose weak-acyclicity /
+//! safety test is "no cycle through a special edge", and chase graphs /
+//! restriction systems are constraint graphs analyzed via their strongly
+//! connected components.
+
+use std::collections::BTreeSet;
+
+/// A directed graph over nodes `0..n` whose edges carry a `special` flag.
+///
+/// Parallel edges collapse (an edge is at most normal + special); self-loops
+/// are allowed and count as cycles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Digraph {
+    n: usize,
+    edges: BTreeSet<(usize, usize, bool)>,
+}
+
+impl Digraph {
+    /// Graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Digraph {
+        Digraph {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Add an edge; `special = true` marks the paper's `∗`-edges.
+    pub fn add_edge(&mut self, from: usize, to: usize, special: bool) {
+        assert!(from < self.n && to < self.n, "edge endpoint out of range");
+        self.edges.insert((from, to, special));
+    }
+
+    /// Is there an edge `from → to` (of either kind)?
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.edges.contains(&(from, to, false)) || self.edges.contains(&(from, to, true))
+    }
+
+    /// All edges, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Successors of `v` (deduplicated over the special flag).
+    pub fn successors(&self, v: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .range((v, 0, false)..(v + 1, 0, false))
+            .map(|&(_, t, _)| t)
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Strongly connected components, via iterative Tarjan.
+    ///
+    /// Components are returned in **reverse topological order** of the
+    /// condensation (Tarjan's natural output order): if component `A` has an
+    /// edge into component `B`, then `B` appears before `A`.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        #[derive(Clone)]
+        struct Frame {
+            v: usize,
+            child: usize,
+        }
+        let adj: Vec<Vec<usize>> = (0..self.n).map(|v| self.successors(v)).collect();
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; self.n];
+        let mut low = vec![UNSET; self.n];
+        let mut on_stack = vec![false; self.n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+
+        for root in 0..self.n {
+            if index[root] != UNSET {
+                continue;
+            }
+            let mut frames = vec![Frame { v: root, child: 0 }];
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(frame) = frames.last_mut() {
+                let v = frame.v;
+                if frame.child < adj[v].len() {
+                    let w = adj[v][frame.child];
+                    frame.child += 1;
+                    if index[w] == UNSET {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push(Frame { v: w, child: 0 });
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        out.push(comp);
+                    }
+                    frames.pop();
+                    if let Some(parent) = frames.last() {
+                        let pv = parent.v;
+                        low[pv] = low[pv].min(low[v]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Strongly connected components in **topological order** of the
+    /// condensation.
+    pub fn sccs_topological(&self) -> Vec<Vec<usize>> {
+        let mut sccs = self.sccs();
+        sccs.reverse();
+        sccs
+    }
+
+    /// The *non-trivial* SCCs: components containing at least one edge
+    /// (size ≥ 2, or a single node with a self-loop). These are exactly the
+    /// unions of cycles, which is what the paper's `part`/`check` algorithms
+    /// recurse on.
+    pub fn nontrivial_sccs(&self) -> Vec<Vec<usize>> {
+        self.sccs_topological()
+            .into_iter()
+            .filter(|comp| comp.len() > 1 || self.has_edge(comp[0], comp[0]))
+            .collect()
+    }
+
+    /// Is there a cycle through a special edge — i.e. a special edge both of
+    /// whose endpoints lie in the same SCC? (The weak-acyclicity / safety
+    /// criterion.)
+    pub fn has_special_cycle(&self) -> bool {
+        let mut comp_of = vec![usize::MAX; self.n];
+        for (ci, comp) in self.sccs().iter().enumerate() {
+            for &v in comp {
+                comp_of[v] = ci;
+            }
+        }
+        self.edges
+            .iter()
+            .any(|&(u, v, special)| special && comp_of[u] == comp_of[v])
+    }
+
+    /// The *rank* of every node: the maximum number of special edges on any
+    /// incoming path (the quantity bounding null depth in the proof of
+    /// Theorem 5). `None` when a special cycle makes some rank infinite.
+    ///
+    /// Nodes of one strongly connected component share a rank (normal
+    /// intra-component edges do not increase it; special intra-component
+    /// edges are exactly the special cycles that make ranks undefined).
+    pub fn special_ranks(&self) -> Option<Vec<usize>> {
+        if self.has_special_cycle() {
+            return None;
+        }
+        let sccs = self.sccs_topological();
+        let mut comp_of = vec![usize::MAX; self.n];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &v in comp {
+                comp_of[v] = ci;
+            }
+        }
+        // Relax cross-component edges with sources in topological order;
+        // every edge into a later component is seen after its source
+        // component's rank is final.
+        let mut comp_rank = vec![0usize; sccs.len()];
+        for ci in 0..sccs.len() {
+            for &(u, v, special) in &self.edges {
+                let (cu, cv) = (comp_of[u], comp_of[v]);
+                if cu == ci && cv != ci {
+                    debug_assert!(cv > ci, "edges respect topological order");
+                    comp_rank[cv] = comp_rank[cv].max(comp_rank[ci] + usize::from(special));
+                }
+            }
+        }
+        Some((0..self.n).map(|v| comp_rank[comp_of[v]]).collect())
+    }
+
+    /// Nodes reachable from `start` (including `start`).
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        let mut work = vec![start];
+        seen[start] = true;
+        while let Some(v) = work.pop() {
+            for w in self.successors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    work.push(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// DOT rendering with a caller-supplied node labeler. Special edges are
+    /// drawn dashed with a `*` label, as in the paper's figures.
+    pub fn to_dot(&self, name: &str, label: impl Fn(usize) -> String) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        for v in 0..self.n {
+            let _ = writeln!(out, "  n{v} [label=\"{}\"];", label(v));
+        }
+        for &(u, v, special) in &self.edges {
+            if special {
+                let _ = writeln!(out, "  n{u} -> n{v} [style=dashed, label=\"*\"];");
+            } else {
+                let _ = writeln!(out, "  n{u} -> n{v};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sccs_of_a_cycle() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 2, false);
+        g.add_edge(2, 0, false);
+        g.add_edge(2, 3, false);
+        let sccs = g.sccs_topological();
+        assert_eq!(sccs, vec![vec![0, 1, 2], vec![3]]);
+        assert_eq!(g.nontrivial_sccs(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn self_loop_is_nontrivial() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 0, false);
+        assert_eq!(g.nontrivial_sccs(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn special_cycle_detection() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 0, true);
+        assert!(g.has_special_cycle());
+
+        let mut h = Digraph::new(3);
+        h.add_edge(0, 1, true); // special but acyclic
+        h.add_edge(1, 2, false);
+        assert!(!h.has_special_cycle());
+
+        let mut s = Digraph::new(1);
+        s.add_edge(0, 0, true); // special self-loop
+        assert!(s.has_special_cycle());
+    }
+
+    #[test]
+    fn topological_order_of_condensation() {
+        // 0 → 1 ⇄ 2 → 3: condensation order must list {0} before {1,2}
+        // before {3}.
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 2, false);
+        g.add_edge(2, 1, false);
+        g.add_edge(2, 3, false);
+        assert_eq!(g.sccs_topological(), vec![vec![0], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 2, true);
+        let r = g.reachable_from(0);
+        assert_eq!(r, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn parallel_normal_and_special_edges_coexist() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, false);
+        g.add_edge(0, 1, true);
+        g.add_edge(0, 1, true); // duplicate collapses
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn special_ranks_on_a_chain() {
+        // 0 → 1 *→ 2 → 3 *→ 4: ranks 0,0,1,1,2.
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 2, true);
+        g.add_edge(2, 3, false);
+        g.add_edge(3, 4, true);
+        assert_eq!(g.special_ranks(), Some(vec![0, 0, 1, 1, 2]));
+    }
+
+    #[test]
+    fn special_ranks_share_within_sccs() {
+        // A normal 2-cycle fed by one special edge: both cycle nodes rank 1.
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, true);
+        g.add_edge(1, 2, false);
+        g.add_edge(2, 1, false);
+        assert_eq!(g.special_ranks(), Some(vec![0, 1, 1]));
+    }
+
+    #[test]
+    fn special_ranks_undefined_on_special_cycles() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, true);
+        g.add_edge(1, 0, false);
+        assert_eq!(g.special_ranks(), None);
+    }
+
+    #[test]
+    fn special_ranks_take_the_maximum_path() {
+        // Two routes into node 3: one with 2 specials, one with 0.
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, true);
+        g.add_edge(1, 3, true);
+        g.add_edge(0, 2, false);
+        g.add_edge(2, 3, false);
+        assert_eq!(g.special_ranks(), Some(vec![0, 1, 0, 2]));
+    }
+
+    #[test]
+    fn large_path_does_not_overflow_stack() {
+        // 100k-node path: iterative Tarjan must handle it.
+        let n = 100_000;
+        let mut g = Digraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, false);
+        }
+        assert_eq!(g.sccs().len(), n);
+    }
+}

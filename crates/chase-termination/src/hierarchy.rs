@@ -1,0 +1,379 @@
+//! Inductive restriction, safe restriction and the T-hierarchy
+//! (Definitions 13/16, Figures 7–8).
+//!
+//! * [`part`] implements the decomposition algorithm of Figure 7: recursively
+//!   split `Σ` along the non-trivial strongly connected components of its
+//!   minimal k-restriction system.
+//! * `Σ` is *inductively restricted* iff every `Σ' ∈ part(Σ, 2)` is safe
+//!   (Definition 13) — equivalently `Σ ∈ T[2]` (Proposition 5).
+//! * [`check`] implements the membership algorithm of Figure 8, whose point
+//!   (Section 3.7) is to test the *polynomial* safety condition before ever
+//!   computing a costly k-restriction system; the `use_safety_shortcircuit`
+//!   knob exists so the benchmark suite can ablate exactly that design
+//!   choice.
+//!
+//! All recognizers return a three-valued [`Recognition`]: the precedence
+//! oracles are resource-bounded, and a budgeted-out computation must never
+//! masquerade as a definite answer.
+
+use crate::precedence::PrecedenceConfig;
+use crate::propgraph::is_safe;
+use crate::restriction::minimal_restriction_system;
+use chase_core::ConstraintSet;
+use std::fmt;
+
+/// Three-valued recognizer outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recognition {
+    /// Definitely in the class.
+    Yes,
+    /// Definitely not in the class.
+    No,
+    /// The analysis hit a resource limit; no definite answer.
+    Unknown,
+}
+
+impl Recognition {
+    /// Is this a definite yes?
+    pub fn is_yes(self) -> bool {
+        self == Recognition::Yes
+    }
+
+    /// Three-valued conjunction: `No` dominates, then `Unknown`.
+    pub fn and(self, other: Recognition) -> Recognition {
+        use Recognition::*;
+        match (self, other) {
+            (No, _) | (_, No) => No,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Yes, Yes) => Yes,
+        }
+    }
+
+    /// From a boolean (definite) test.
+    pub fn from_bool(b: bool) -> Recognition {
+        if b {
+            Recognition::Yes
+        } else {
+            Recognition::No
+        }
+    }
+}
+
+impl fmt::Display for Recognition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Recognition::Yes => write!(f, "yes"),
+            Recognition::No => write!(f, "no"),
+            Recognition::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// The decomposition `part(Σ, k)` of Figure 7. Returns the leaf constraint
+/// sets plus a flag that is `true` when any restriction system involved a
+/// conservative (resource-limited) edge — in which case the decomposition
+/// itself is only an over-approximation.
+pub fn part(set: &ConstraintSet, k: usize, cfg: &PrecedenceConfig) -> (Vec<ConstraintSet>, bool) {
+    let rs = minimal_restriction_system(set, k, cfg);
+    let comps = rs.graph.nontrivial_sccs();
+    let mut unknown = rs.unknown;
+    // n == 0: no cyclic component at all.
+    if comps.is_empty() {
+        return (Vec::new(), unknown);
+    }
+    // n == 1.
+    if comps.len() == 1 {
+        let c1 = set.subset(&comps[0]);
+        if c1.len() != set.len() {
+            let (d, u) = part(&c1, k, cfg);
+            return (d, unknown | u);
+        }
+        return (vec![c1], unknown);
+    }
+    // n > 1: recurse into every component.
+    let mut d = Vec::new();
+    for comp in comps {
+        let (di, u) = part(&set.subset(&comp), k, cfg);
+        d.extend(di);
+        unknown |= u;
+    }
+    (d, unknown)
+}
+
+/// Is `Σ` *safely restricted* (\[18\], §3.5): every non-trivial strongly
+/// connected component of the minimal 2-restriction system safe?
+pub fn is_safely_restricted(set: &ConstraintSet, cfg: &PrecedenceConfig) -> Recognition {
+    let rs = minimal_restriction_system(set, 2, cfg);
+    if rs.unknown {
+        return Recognition::Unknown;
+    }
+    Recognition::from_bool(
+        rs.graph
+            .nontrivial_sccs()
+            .iter()
+            .all(|comp| is_safe(&set.subset(comp))),
+    )
+}
+
+/// Is `Σ` *inductively restricted* (Definition 13): every
+/// `Σ' ∈ part(Σ, 2)` safe? Equivalent to `Σ ∈ T[2]` (Proposition 5).
+pub fn is_inductively_restricted(set: &ConstraintSet, cfg: &PrecedenceConfig) -> Recognition {
+    let (parts, unknown) = part(set, 2, cfg);
+    if unknown {
+        return Recognition::Unknown;
+    }
+    Recognition::from_bool(parts.iter().all(is_safe))
+}
+
+/// `sub(Σ, k)` of Figure 8, with the safety short-circuit optionally
+/// disabled for ablation benchmarks.
+fn sub(
+    set: &ConstraintSet,
+    k: usize,
+    cfg: &PrecedenceConfig,
+    use_safety_shortcircuit: bool,
+) -> Recognition {
+    if use_safety_shortcircuit && is_safe(set) {
+        return Recognition::Yes;
+    }
+    let rs = minimal_restriction_system(set, k, cfg);
+    let comps = rs.graph.nontrivial_sccs();
+    if comps.is_empty() {
+        // Figure 8, n == 0: an acyclic restriction system means
+        // `part(Σ, k) = ∅`, and Definition 16 is vacuously satisfied.
+        // Conservative extra edges can only *add* components, so an empty
+        // component list is definite even under a resource limit.
+        return Recognition::Yes;
+    }
+    if rs.unknown {
+        // The decomposition itself is unreliable: give no guarantee.
+        return Recognition::Unknown;
+    }
+    if comps.len() == 1 {
+        let c1 = set.subset(&comps[0]);
+        if c1.len() == set.len() {
+            return Recognition::No;
+        }
+        return check_inner(&c1, k, cfg, use_safety_shortcircuit);
+    }
+    let mut acc = Recognition::Yes;
+    for comp in comps {
+        acc = acc.and(check_inner(&set.subset(&comp), k, cfg, use_safety_shortcircuit));
+        if acc == Recognition::No {
+            return Recognition::No;
+        }
+    }
+    acc
+}
+
+fn check_inner(
+    set: &ConstraintSet,
+    k: usize,
+    cfg: &PrecedenceConfig,
+    use_safety_shortcircuit: bool,
+) -> Recognition {
+    let mut saw_unknown = false;
+    for i in (2..=k).rev() {
+        match sub(set, i, cfg, use_safety_shortcircuit) {
+            Recognition::Yes => return Recognition::Yes,
+            Recognition::Unknown => saw_unknown = true,
+            Recognition::No => {}
+        }
+    }
+    if saw_unknown {
+        Recognition::Unknown
+    } else {
+        Recognition::No
+    }
+}
+
+/// `check(Σ, k)` of Figure 8: decides membership in `T[k]`
+/// (Proposition 6).
+pub fn check(set: &ConstraintSet, k: usize, cfg: &PrecedenceConfig) -> Recognition {
+    assert!(k >= 2, "the T-hierarchy starts at T[2]");
+    check_inner(set, k, cfg, true)
+}
+
+/// `check` with the Figure 8 safety short-circuit disabled — every
+/// membership test computes restriction systems even when the polynomial
+/// safety test would settle it. Exists purely for the §3.7 ablation
+/// benchmark.
+pub fn check_without_safety_shortcircuit(
+    set: &ConstraintSet,
+    k: usize,
+    cfg: &PrecedenceConfig,
+) -> Recognition {
+    assert!(k >= 2, "the T-hierarchy starts at T[2]");
+    check_inner(set, k, cfg, false)
+}
+
+/// The smallest hierarchy level admitting `Σ`, searched up to `max_k`.
+///
+/// Returns `(Some(k), _)` for the least `k ∈ [2, max_k]` with `Σ ∈ T[k]`;
+/// the flag reports whether any level's test was indefinite (in which case
+/// `None` means "not recognized up to `max_k`", not a proof of absence).
+pub fn t_level(
+    set: &ConstraintSet,
+    max_k: usize,
+    cfg: &PrecedenceConfig,
+) -> (Option<usize>, bool) {
+    let mut saw_unknown = false;
+    for k in 2..=max_k {
+        match sub(set, k, cfg, true) {
+            Recognition::Yes => return (Some(k), saw_unknown),
+            Recognition::Unknown => saw_unknown = true,
+            Recognition::No => {}
+        }
+    }
+    (None, saw_unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stratification::is_stratified;
+
+    fn cfg() -> PrecedenceConfig {
+        PrecedenceConfig::default()
+    }
+
+    fn parse(text: &str) -> ConstraintSet {
+        ConstraintSet::parse(text).unwrap()
+    }
+
+    #[test]
+    fn example14_sigma_prime_is_inductively_restricted() {
+        // Σ' of Examples 13/14: neither safe, nor stratified, nor safely
+        // restricted — but part(Σ', 2) = ∅, so inductively restricted.
+        let s = parse(
+            "S(X), E(X,Y) -> E(Y,X)\n\
+             S(X), E(X,Y) -> E(Y,Z), E(Z,X)\n\
+             -> S(X), E(X,Y)",
+        );
+        assert!(!is_safe(&s));
+        assert_eq!(is_stratified(&s, &cfg()), Recognition::No);
+        assert_eq!(is_safely_restricted(&s, &cfg()), Recognition::No);
+        let (parts, unknown) = part(&s, 2, &cfg());
+        assert!(!unknown);
+        assert!(parts.is_empty(), "part(Σ', 2) = ∅ (Example 14)");
+        assert_eq!(is_inductively_restricted(&s, &cfg()), Recognition::Yes);
+        assert_eq!(check(&s, 2, &cfg()), Recognition::Yes, "Σ' ∈ T[2]");
+    }
+
+    #[test]
+    fn example10_sigma_is_safely_restricted() {
+        // Σ = {α1, α2}: minimal 2-restriction system has no SCC.
+        let s = parse(
+            "S(X), E(X,Y) -> E(Y,X)\n\
+             S(X), E(X,Y) -> E(Y,Z), E(Z,X)",
+        );
+        assert!(!is_safe(&s));
+        assert_eq!(is_safely_restricted(&s, &cfg()), Recognition::Yes);
+        assert_eq!(is_inductively_restricted(&s, &cfg()), Recognition::Yes);
+    }
+
+    #[test]
+    fn safe_sets_are_inductively_restricted() {
+        for text in [
+            "R(X1,X2,X3), S(X2) -> R(X2,Y,X1)",
+            "E(X,Y) -> E(Y,X)",
+            "S(X) -> E(X,Y)",
+        ] {
+            let s = parse(text);
+            assert!(is_safe(&s), "{text}");
+            assert_eq!(is_inductively_restricted(&s, &cfg()), Recognition::Yes, "{text}");
+            assert_eq!(check(&s, 2, &cfg()), Recognition::Yes, "{text}");
+        }
+    }
+
+    #[test]
+    fn example4_stratified_but_not_inductively_restricted() {
+        // Proposition 2, bullet two.
+        let s = parse(
+            "R(X1) -> S(X1,X1)\n\
+             S(X1,X2) -> T(X2,Z)\n\
+             S(X1,X2) -> T(X1,X2), T(X2,X1)\n\
+             T(X1,X2), T(X1,X3), T(X3,X1) -> R(X2)",
+        );
+        assert_eq!(is_stratified(&s, &cfg()), Recognition::Yes);
+        assert_eq!(is_inductively_restricted(&s, &cfg()), Recognition::No);
+    }
+
+    #[test]
+    fn fig2_constraint_sits_at_t3() {
+        // The paper's headline example: Σ from Figure 2 is in T[3] \ T[2].
+        let s = parse("S(X2), E(X1,X2) -> E(Y,X1)");
+        assert_eq!(check(&s, 2, &cfg()), Recognition::No);
+        assert_eq!(check(&s, 3, &cfg()), Recognition::Yes);
+        assert_eq!(t_level(&s, 5, &cfg()), (Some(3), false));
+        // T[3] ⊆ T[4] (Proposition 5).
+        assert_eq!(check(&s, 4, &cfg()), Recognition::Yes);
+    }
+
+    #[test]
+    fn sigma_arity3_sits_at_t4() {
+        // The next level of the Example 15 family.
+        let s = parse("S(X3), R(X1,X2,X3) -> R(Y,X1,X2)");
+        assert_eq!(check(&s, 3, &cfg()), Recognition::No);
+        assert_eq!(check(&s, 4, &cfg()), Recognition::Yes);
+        assert_eq!(t_level(&s, 6, &cfg()), (Some(4), false));
+    }
+
+    #[test]
+    fn section37_sigma_double_prime_in_t2() {
+        // Σ'' of §3.7: Σ' plus α4: E(x1,x2) → T(x1,x2) and
+        // α5: T(x1,x2) → T(x2,x1). check avoids restriction systems for the
+        // safe tail and still lands in T[2].
+        let s = parse(
+            "S(X), E(X,Y) -> E(Y,X)\n\
+             S(X), E(X,Y) -> E(Y,Z), E(Z,X)\n\
+             -> S(X), E(X,Y)\n\
+             E(X1,X2) -> T(X1,X2)\n\
+             T(X1,X2) -> T(X2,X1)",
+        );
+        assert!(!is_safe(&s));
+        assert_eq!(check(&s, 2, &cfg()), Recognition::Yes);
+        assert_eq!(
+            check_without_safety_shortcircuit(&s, 2, &cfg()),
+            Recognition::Yes,
+            "ablated variant must agree"
+        );
+    }
+
+    #[test]
+    fn inductive_restriction_coincides_with_t2() {
+        // Proposition 5, bullet one, across a mixed corpus.
+        for text in [
+            "S(X), E(X,Y) -> E(Y,X)\nS(X), E(X,Y) -> E(Y,Z), E(Z,X)\n-> S(X), E(X,Y)",
+            "S(X2), E(X1,X2) -> E(Y,X1)",
+            "S(X) -> E(X,Y), S(Y)",
+            "E(X,Y) -> E(Y,X)",
+            "R(X1,X2,X3), S(X2) -> R(X2,Y,X1)",
+            "R(X1) -> S(X1,X1)\nS(X1,X2) -> T(X2,Z)\nS(X1,X2) -> T(X1,X2), T(X2,X1)\nT(X1,X2), T(X1,X3), T(X3,X1) -> R(X2)",
+        ] {
+            let s = parse(text);
+            assert_eq!(
+                is_inductively_restricted(&s, &cfg()),
+                check(&s, 2, &cfg()),
+                "Def. 13 vs Fig. 8 disagree on {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn intro_alpha2_outside_the_hierarchy() {
+        let s = parse("S(X) -> E(X,Y), S(Y)");
+        for k in 2..=4 {
+            assert_eq!(check(&s, k, &cfg()), Recognition::No, "T[{k}]");
+        }
+    }
+
+    #[test]
+    fn recognition_conjunction() {
+        use Recognition::*;
+        assert_eq!(Yes.and(Yes), Yes);
+        assert_eq!(Yes.and(No), No);
+        assert_eq!(Unknown.and(No), No);
+        assert_eq!(Unknown.and(Yes), Unknown);
+    }
+}

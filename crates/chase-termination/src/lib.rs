@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # chase-termination
+//!
+//! Every termination condition of *On Chase Termination Beyond
+//! Stratification* (Meier, Schmidt, Lausen; VLDB 2009), from the classical
+//! to the paper's contributions:
+//!
+//! | condition | paper | complexity | module |
+//! |-----------|-------|------------|--------|
+//! | weak acyclicity | Def. 1 | PTIME | [`depgraph`] |
+//! | stratification | Defs. 2–3 | coNP | [`stratification`] |
+//! | c-stratification | Defs. 4–5 | coNP | [`stratification`] |
+//! | safety | Defs. 6–8 | PTIME | [`propgraph`] |
+//! | safe restriction | §3.5 / \[18\] | coNP | [`hierarchy`] |
+//! | inductive restriction | Def. 13 | coNP | [`hierarchy`] |
+//! | T-hierarchy `T[k]` | Def. 16 | coNP | [`hierarchy`] |
+//!
+//! plus the data-dependent analyses of Section 4 ([`datadep`]) and a combined
+//! [`report`].
+//!
+//! The coNP conditions are built on the precedence oracles `≺`, `≺c` and
+//! `≺k,P` ([`precedence`]), which enumerate bounded candidate databases
+//! exactly as in the paper's decidability proofs (Prop. 1/3). The oracles are
+//! resource-bounded: on budget exhaustion they report
+//! [`precedence::Verdict::ResourceLimit`], and every recognizer degrades
+//! *soundly* (an unknown precedence edge is treated as present, an unknown
+//! class membership as "not recognized" — we may under-approximate a class,
+//! never over-approximate a termination guarantee).
+
+pub mod affected;
+pub mod chasegraph;
+pub mod datadep;
+pub mod depgraph;
+pub mod graphs;
+pub mod hierarchy;
+pub mod precedence;
+pub mod propgraph;
+pub mod report;
+pub mod restriction;
+pub mod stratification;
+
+pub use affected::affected_positions;
+pub use chasegraph::{c_chase_graph, chase_graph, ChaseGraph};
+pub use datadep::{
+    data_dependent_terminates, instance_constraint, irrelevant_constraints, relevant_subset,
+};
+pub use depgraph::{dependency_graph, is_weakly_acyclic};
+pub use hierarchy::{
+    check, is_inductively_restricted, is_safely_restricted, part, t_level, Recognition,
+};
+pub use precedence::{precedes, precedes_c, precedes_k, PrecedenceConfig, Verdict};
+pub use propgraph::{is_safe, null_rank_bound, propagation_graph};
+pub use report::{analyze, AnalysisReport};
+pub use restriction::{aff_cl, minimal_restriction_system, RestrictionSystem};
+pub use stratification::{is_c_stratified, is_stratified, stratified_order};

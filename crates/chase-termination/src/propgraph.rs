@@ -1,0 +1,154 @@
+//! The propagation graph and safety (Definitions 7–8).
+//!
+//! The propagation graph restricts the dependency graph to the *flow of
+//! labeled nulls*: its nodes are the affected positions, and a TGD
+//! contributes edges from a body position `π1` of a universal variable `x`
+//! **only when every body occurrence of `x` is affected** — otherwise `x` can
+//! never be bound to a chase-created null and the firing cannot cascade.
+//! `Σ` is safe iff the propagation graph has no cycle through a special edge
+//! (Theorem 4: safety strictly generalizes weak acyclicity).
+
+use crate::affected::affected_positions;
+use crate::depgraph::PositionGraph;
+use chase_core::ConstraintSet;
+
+/// The propagation graph `prop(Σ)` over `aff(Σ)` (Definition 7).
+pub fn propagation_graph(set: &ConstraintSet) -> PositionGraph {
+    let aff = affected_positions(set);
+    let mut g = PositionGraph::over(aff.clone());
+    for (_, tgd) in set.tgds() {
+        for &x in tgd.frontier() {
+            let body_pos = tgd.body_positions_of(x);
+            if body_pos.is_empty() || !body_pos.iter().all(|p| aff.contains(p)) {
+                continue; // x can never carry a chase-created null
+            }
+            for p1 in body_pos {
+                for p2 in tgd.head_positions_of(x) {
+                    debug_assert!(aff.contains(&p2), "Def. 6 makes head positions of fully-affected variables affected");
+                    g.add_edge(p1, p2, false);
+                }
+                for &y in tgd.existentials() {
+                    for p2 in tgd.head_positions_of(y) {
+                        g.add_edge(p1, p2, true);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Is `Σ` safe (Definition 8)? Decidable in polynomial time.
+pub fn is_safe(set: &ConstraintSet) -> bool {
+    !propagation_graph(set).has_special_cycle()
+}
+
+/// For a safe `Σ`: the maximum propagation-graph rank `r` (Theorem 5's
+/// proof bounds the nesting depth of chase-created nulls by it). `None`
+/// when `Σ` is not safe.
+pub fn null_rank_bound(set: &ConstraintSet) -> Option<usize> {
+    let ranks = propagation_graph(set).special_ranks()?;
+    Some(ranks.into_iter().map(|(_, r)| r).max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::{dependency_graph, is_weakly_acyclic};
+    use chase_core::PosSet;
+
+    fn parse(text: &str) -> ConstraintSet {
+        ConstraintSet::parse(text).unwrap()
+    }
+
+    #[test]
+    fn example9_safe_but_not_weakly_acyclic() {
+        // β from Examples 8/9 and Figure 6: dependency graph has a special
+        // cycle, propagation graph has no edges at all.
+        let s = parse("R(X1,X2,X3), S(X2) -> R(X2,Y,X1)");
+        assert!(!is_weakly_acyclic(&s));
+        assert!(is_safe(&s));
+        let g = propagation_graph(&s);
+        assert_eq!(g.positions.len(), 1, "only R^2 is affected");
+        assert_eq!(g.edges().len(), 0, "Figure 6 (right): no edges");
+    }
+
+    #[test]
+    fn theorem4_prop_is_subgraph_of_dep() {
+        for text in [
+            "R(X1,X2,X3), S(X2) -> R(X2,Y,X1)",
+            "S(X), E(X,Y) -> E(Y,X)\nS(X), E(X,Y) -> E(Y,Z), E(Z,X)",
+            "S(X) -> E(X,Y), S(Y)",
+            "E(X1,X2), E(X2,X1) -> E(X1,Y1), E(Y1,Y2), E(Y2,X1)",
+        ] {
+            let s = parse(text);
+            let dep = dependency_graph(&s);
+            let prop = propagation_graph(&s);
+            let dep_nodes: PosSet = dep.positions.iter().copied().collect();
+            for p in &prop.positions {
+                assert!(dep_nodes.contains(p), "{p} not a dep node for {text}");
+            }
+            for (u, v, special) in prop.edges() {
+                assert!(
+                    dep.edges().contains(&(u, v, special)),
+                    "edge {u}→{v} (special={special}) missing in dep graph for {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem4_weakly_acyclic_implies_safe() {
+        for text in [
+            "E(X,Y) -> E(Y,X)",
+            "src(X,Y) -> dst(X,Y)\ndst(X,Y) -> link(X,Z)",
+            "S(X) -> E(X,Y)",
+        ] {
+            let s = parse(text);
+            assert!(is_weakly_acyclic(&s));
+            assert!(is_safe(&s), "WA set must be safe: {text}");
+        }
+    }
+
+    #[test]
+    fn theorem4_gamma_stratified_but_not_safe() {
+        // γ (Example 2): both T positions affected, so prop = dep, which has
+        // a special cycle.
+        let s = parse("T(X1,X2), T(X2,X1) -> T(X1,Y1), T(Y1,Y2), T(Y2,X1)");
+        assert!(!is_safe(&s));
+    }
+
+    #[test]
+    fn intro_alpha2_not_safe() {
+        let s = parse("S(X) -> E(X,Y), S(Y)");
+        assert!(!is_safe(&s));
+    }
+
+    #[test]
+    fn example10_not_safe() {
+        let s = parse("S(X), E(X,Y) -> E(Y,X)\nS(X), E(X,Y) -> E(Y,Z), E(Z,X)");
+        assert!(!is_safe(&s));
+    }
+
+    #[test]
+    fn rank_bound_for_safe_sets() {
+        // β (Ex. 8/9): the propagation graph is edgeless, so every rank is 0.
+        let s = parse("R(X1,X2,X3), S(X2) -> R(X2,Y,X1)");
+        assert_eq!(null_rank_bound(&s), Some(0));
+        // A two-stage cascade: nulls born at T^1 (rank 0, no incoming
+        // propagation edge — S^1 is unaffected) flow into the creation of
+        // deeper nulls at U^2 (rank 1).
+        let s = parse("S(X) -> T(Y)\nT(X) -> U(X,Z)");
+        assert_eq!(null_rank_bound(&s), Some(1));
+        // Unsafe sets have no bound.
+        let s = parse("S(X) -> E(X,Y), S(Y)");
+        assert_eq!(null_rank_bound(&s), None);
+    }
+
+    #[test]
+    fn fig2_constraint_not_safe() {
+        // Σ from Figure 2: S(x2), E(x1,x2) → ∃y E(y,x1).
+        let s = parse("S(X2), E(X1,X2) -> E(Y,X1)");
+        assert!(!is_safe(&s));
+    }
+}

@@ -1,0 +1,171 @@
+//! A combined analysis report over every termination condition — the
+//! programmatic form of the paper's Figure 1 for one constraint set.
+
+use crate::affected::affected_positions;
+use crate::depgraph::is_weakly_acyclic;
+use crate::hierarchy::{is_inductively_restricted, is_safely_restricted, t_level, Recognition};
+use crate::precedence::PrecedenceConfig;
+use crate::propgraph::{is_safe, null_rank_bound};
+use crate::stratification::{is_c_stratified, is_stratified};
+use chase_core::{ConstraintSet, PosSet};
+use std::fmt;
+
+/// Results of every recognizer on one constraint set.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Weak acyclicity (Definition 1).
+    pub weakly_acyclic: bool,
+    /// Safety (Definition 8).
+    pub safe: bool,
+    /// Stratification (Definition 3) — guarantees *some* terminating
+    /// sequence (Theorem 1).
+    pub stratified: Recognition,
+    /// C-stratification (Definition 5) — guarantees every sequence
+    /// terminates (Theorem 3).
+    pub c_stratified: Recognition,
+    /// Safe restriction (§3.5).
+    pub safely_restricted: Recognition,
+    /// Inductive restriction = T\[2\] (Definition 13).
+    pub inductively_restricted: Recognition,
+    /// Least hierarchy level in `2..=max_k`, if recognized.
+    pub t_level: Option<usize>,
+    /// Whether the level search was indefinite somewhere below `t_level`.
+    pub t_level_unknown: bool,
+    /// The `max_k` used for the level search.
+    pub max_k: usize,
+    /// Affected positions `aff(Σ)` (Definition 6).
+    pub affected: PosSet,
+    /// For safe sets: the propagation-graph rank bound on null nesting
+    /// depth (Theorem 5's proof).
+    pub null_rank_bound: Option<usize>,
+}
+
+impl AnalysisReport {
+    /// Does *some* recognized condition guarantee termination of **every**
+    /// chase sequence on every instance?
+    pub fn guarantees_all_sequences(&self) -> bool {
+        self.weakly_acyclic
+            || self.safe
+            || self.c_stratified.is_yes()
+            || self.inductively_restricted.is_yes()
+            || self.t_level.is_some()
+    }
+
+    /// Does some recognized condition guarantee at least one terminating
+    /// sequence (includes plain stratification, Theorem 1)?
+    pub fn guarantees_some_sequence(&self) -> bool {
+        self.guarantees_all_sequences() || self.stratified.is_yes()
+    }
+}
+
+/// Run every recognizer on `Σ`, searching the T-hierarchy up to `max_k`.
+///
+/// # Examples
+///
+/// ```
+/// use chase_core::ConstraintSet;
+/// use chase_termination::{analyze, PrecedenceConfig};
+///
+/// // The paper's Figure 2 constraint sits in T[3] \ T[2].
+/// let sigma = ConstraintSet::parse("S(X2), E(X1,X2) -> E(Y,X1)").unwrap();
+/// let report = analyze(&sigma, 4, &PrecedenceConfig::default());
+/// assert!(!report.weakly_acyclic && !report.safe);
+/// assert_eq!(report.t_level, Some(3));
+/// assert!(report.guarantees_all_sequences());
+/// ```
+pub fn analyze(set: &ConstraintSet, max_k: usize, cfg: &PrecedenceConfig) -> AnalysisReport {
+    let (level, level_unknown) = t_level(set, max_k, cfg);
+    AnalysisReport {
+        weakly_acyclic: is_weakly_acyclic(set),
+        safe: is_safe(set),
+        stratified: is_stratified(set, cfg),
+        c_stratified: is_c_stratified(set, cfg),
+        safely_restricted: is_safely_restricted(set, cfg),
+        inductively_restricted: is_inductively_restricted(set, cfg),
+        t_level: level,
+        t_level_unknown: level_unknown,
+        max_k,
+        affected: affected_positions(set),
+        null_rank_bound: null_rank_bound(set),
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "weakly acyclic:         {}", if self.weakly_acyclic { "yes" } else { "no" })?;
+        writeln!(f, "safe:                   {}", if self.safe { "yes" } else { "no" })?;
+        writeln!(f, "stratified:             {}", self.stratified)?;
+        writeln!(f, "c-stratified:           {}", self.c_stratified)?;
+        writeln!(f, "safely restricted:      {}", self.safely_restricted)?;
+        writeln!(f, "inductively restricted: {}", self.inductively_restricted)?;
+        match self.t_level {
+            Some(k) => writeln!(f, "T-hierarchy level:      T[{k}]")?,
+            None => writeln!(
+                f,
+                "T-hierarchy level:      not recognized up to T[{}]{}",
+                self.max_k,
+                if self.t_level_unknown { " (indefinite)" } else { "" }
+            )?,
+        }
+        let aff: Vec<String> = self.affected.iter().map(|p| p.to_string()).collect();
+        writeln!(f, "affected positions:     {{{}}}", aff.join(", "))?;
+        if let Some(r) = self.null_rank_bound {
+            writeln!(f, "null-depth rank bound:  {r} (Theorem 5)")?;
+        }
+        write!(
+            f,
+            "verdict:                {}",
+            if self.guarantees_all_sequences() {
+                "every chase sequence terminates (polynomial data complexity)"
+            } else if self.guarantees_some_sequence() {
+                "a terminating chase sequence exists and is constructible (Theorem 2)"
+            } else {
+                "no data-independent guarantee; consider data-dependent analysis (Section 4)"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PrecedenceConfig {
+        PrecedenceConfig::default()
+    }
+
+    #[test]
+    fn fig2_report() {
+        let s = ConstraintSet::parse("S(X2), E(X1,X2) -> E(Y,X1)").unwrap();
+        let r = analyze(&s, 4, &cfg());
+        assert!(!r.weakly_acyclic);
+        assert!(!r.safe);
+        assert_eq!(r.t_level, Some(3));
+        assert!(r.guarantees_all_sequences());
+        let text = r.to_string();
+        assert!(text.contains("T[3]"));
+    }
+
+    #[test]
+    fn example4_report_only_guarantees_some_sequence() {
+        let s = ConstraintSet::parse(
+            "R(X1) -> S(X1,X1)\n\
+             S(X1,X2) -> T(X2,Z)\n\
+             S(X1,X2) -> T(X1,X2), T(X2,X1)\n\
+             T(X1,X2), T(X1,X3), T(X3,X1) -> R(X2)",
+        )
+        .unwrap();
+        let r = analyze(&s, 3, &cfg());
+        assert!(!r.guarantees_all_sequences());
+        assert!(r.guarantees_some_sequence());
+        assert!(r.to_string().contains("Theorem 2"));
+    }
+
+    #[test]
+    fn intro_alpha2_report_gives_no_guarantee() {
+        let s = ConstraintSet::parse("S(X) -> E(X,Y), S(Y)").unwrap();
+        let r = analyze(&s, 3, &cfg());
+        assert!(!r.guarantees_some_sequence());
+        assert!(r.to_string().contains("Section 4"));
+    }
+}

@@ -1,0 +1,56 @@
+//! The Introduction's graph-database scenario: how one changed constraint
+//! flips the chase from terminating to divergent, and what each analysis
+//! layer says about it.
+//!
+//! ```sh
+//! cargo run --example graph_constraints
+//! ```
+
+use chase::prelude::*;
+use chase_corpus::paper;
+
+fn main() {
+    let instance = paper::intro_instance();
+    println!("I = {instance}\n");
+    let pc = PrecedenceConfig::default();
+
+    // α1: every special node has an outgoing edge — terminating.
+    let a1 = paper::intro_alpha1();
+    println!("α1: {a1}");
+    let res = chase_default(&instance, &a1);
+    println!("  chase: {res}");
+    println!("  result: {}", res.instance);
+    println!("  weakly acyclic: {}\n", is_weakly_acyclic(&a1));
+
+    // α2: every special node links to a *special* node — divergent.
+    let a2 = paper::intro_alpha2();
+    println!("α2: {a2}");
+    println!("  weakly acyclic: {}", is_weakly_acyclic(&a2));
+    println!("  safe:           {}", is_safe(&a2));
+    println!("  stratified:     {}", is_stratified(&a2, &pc));
+    println!("  T-level ≤ 4:    {:?}", t_level(&a2, 4, &pc).0);
+    let res = chase(&instance, &a2, &ChaseConfig::with_max_steps(12));
+    println!("  chase (budget 12): {res}");
+    let res = chase(&instance, &a2, &ChaseConfig::with_monitor_depth(3));
+    println!("  chase (monitor depth 3): {res}\n");
+
+    // The flow-supervision pair β1, β2 (idea 3 of the Introduction /
+    // Example 10): no earlier condition recognizes it, inductive
+    // restriction does.
+    let flow = paper::example10_sigma();
+    println!("{{β1, β2}}:");
+    for c in flow.iter() {
+        println!("  {c}");
+    }
+    println!("  weakly acyclic:         {}", is_weakly_acyclic(&flow));
+    println!("  safe:                   {}", is_safe(&flow));
+    println!("  stratified:             {}", is_stratified(&flow, &pc));
+    println!(
+        "  inductively restricted: {}",
+        is_inductively_restricted(&flow, &pc)
+    );
+    let cycle = chase_corpus::families::cycle_instance(4);
+    let res = chase_default(&cycle, &flow);
+    println!("  chase on a 4-cycle: {res}");
+    assert!(res.terminated());
+}

@@ -1,0 +1,76 @@
+//! Termination analyzer: run every recognizer of the paper over a
+//! constraint file (or the built-in corpus) and print a report per set,
+//! including DOT renderings of the graphs behind the verdicts.
+//!
+//! ```sh
+//! cargo run --example termination_analyzer                 # built-in corpus
+//! cargo run --example termination_analyzer -- file.chase   # your constraints
+//! cargo run --example termination_analyzer -- --dot file.chase
+//! ```
+//!
+//! File format: one TGD/EGD per line, e.g. `S(X), E(X,Y) -> E(Y,Z), E(Z,X)`.
+
+use chase::prelude::*;
+use chase_corpus::paper;
+
+fn analyze_one(name: &str, set: &ConstraintSet, dot: bool) {
+    let pc = PrecedenceConfig::default();
+    println!("────────────────────────────────────────────────────────");
+    println!("{name}");
+    for (i, c) in set.enumerate() {
+        println!("  α{}: {c}", i + 1);
+    }
+    println!();
+    println!("{}", analyze(set, 4, &pc));
+    println!();
+    if dot {
+        println!("dependency graph (DOT):\n{}", dependency_graph(set).to_dot("dep"));
+        println!("propagation graph (DOT):\n{}", propagation_graph(set).to_dot("prop"));
+        println!("chase graph (DOT):\n{}", chase_graph(set, &pc).to_dot("chase"));
+        let rs = minimal_restriction_system(set, 2, &pc);
+        println!("minimal 2-restriction system: {rs}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dot = args.iter().any(|a| a == "--dot");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if files.is_empty() {
+        println!("No file given — analyzing the paper's corpus.\n");
+        let corpus: Vec<(&str, ConstraintSet)> = vec![
+            ("Introduction α1 (terminating)", paper::intro_alpha1()),
+            ("Introduction α2 (divergent)", paper::intro_alpha2()),
+            ("Figure 2 (the motivating constraint)", paper::fig2_sigma()),
+            ("Example 2 γ (2-cycles force 3-cycles)", paper::example2_gamma()),
+            ("Example 4 (stratification counterexample)", paper::example4_sigma()),
+            ("Examples 8/9 β (safety)", paper::safety_beta()),
+            ("Theorem 4 pair (safe, not stratified)", paper::thm4_safe_not_stratified()),
+            ("Example 10 (flow supervision)", paper::example10_sigma()),
+            ("Example 13 Σ' (inductive restriction)", paper::example13_sigma_prime()),
+            ("Section 3.7 Σ'' (check-algorithm input)", paper::sec37_sigma_dprime()),
+            ("Figure 9 (travel agency)", paper::fig9_travel()),
+        ];
+        for (name, set) in &corpus {
+            analyze_one(name, set, dot);
+        }
+    } else {
+        for f in files {
+            let text = match std::fs::read_to_string(f) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {f}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match ConstraintSet::parse(&text) {
+                Ok(set) => analyze_one(f, &set, dot),
+                Err(e) => {
+                    eprintln!("cannot parse {f}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

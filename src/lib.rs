@@ -1,0 +1,59 @@
+//! # chase — *On Chase Termination Beyond Stratification*, as a library
+//!
+//! Umbrella crate re-exporting the full reproduction of Meier, Schmidt &
+//! Lausen (VLDB 2009):
+//!
+//! * `core` ([`chase_core`]) — terms, atoms, instances, homomorphisms, TGDs/EGDs,
+//!   conjunctive queries, parser;
+//! * `engine` ([`chase_engine`]) — the chase procedure (standard/oblivious),
+//!   strategies, budgets, and the monitor-graph guard of Section 4.2;
+//! * `termination` ([`chase_termination`]) — weak acyclicity, (c-)stratification,
+//!   safety, restriction systems, inductive restriction, the T-hierarchy,
+//!   and data-dependent analysis;
+//! * `guarded` ([`chase_guarded`]) — weakly/restrictedly guarded TGDs (Section 5);
+//! * `sqo` ([`chase_sqo`]) — semantic query optimization with the chase
+//!   (universal plans, equivalence under constraints, rewriting enumeration);
+//! * `corpus` ([`chase_corpus`]) — every example of the paper plus synthetic
+//!   workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chase::prelude::*;
+//!
+//! let sigma = ConstraintSet::parse("S(X2), E(X1,X2) -> E(Y,X1)").unwrap();
+//! let report = analyze(&sigma, 4, &PrecedenceConfig::default());
+//! assert_eq!(report.t_level, Some(3)); // the paper's Figure 2 constraint
+//!
+//! let instance = Instance::parse("S(n1). S(n2). E(n1,n2).").unwrap();
+//! let result = chase_default(&instance, &sigma);
+//! assert!(result.terminated());
+//! ```
+
+pub use chase_core as core;
+pub use chase_corpus as corpus;
+pub use chase_engine as engine;
+pub use chase_guarded as guarded;
+pub use chase_sqo as sqo;
+pub use chase_termination as termination;
+
+/// Everything most callers need, in one import.
+pub mod prelude {
+    pub use chase_core::{
+        Atom, ConjunctiveQuery, Constraint, ConstraintSet, CoreError, Egd, Instance, PosSet,
+        Position, Schema, Subst, Sym, Term, Tgd,
+    };
+    pub use chase_engine::{
+        chase, chase_default, core_chase, core_of, find_terminating_sequence, is_core,
+        BfsOutcome, ChaseConfig, ChaseMode, ChaseResult, CoreChaseResult, MonitorGraph,
+        StopReason, Strategy,
+    };
+    pub use chase_termination::{
+        affected_positions, analyze, c_chase_graph, chase_graph, check,
+        data_dependent_terminates, dependency_graph, irrelevant_constraints,
+        is_c_stratified, is_inductively_restricted, is_safe, is_safely_restricted,
+        is_stratified, is_weakly_acyclic, minimal_restriction_system, precedes, precedes_c,
+        precedes_k, propagation_graph, stratified_order, t_level, AnalysisReport,
+        PrecedenceConfig, Recognition, Verdict,
+    };
+}

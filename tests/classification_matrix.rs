@@ -1,0 +1,269 @@
+//! E1 — Figure 1: the hierarchy of termination conditions.
+//!
+//! Classifies every corpus constraint set against every recognizer and pins
+//! the expected verdicts, then checks each strict inclusion and
+//! incomparability of Figure 1 on concrete witnesses.
+
+use chase::prelude::*;
+use chase_corpus::paper;
+
+fn cfg() -> PrecedenceConfig {
+    PrecedenceConfig::default()
+}
+
+/// Expected classification of one corpus entry.
+struct Expected {
+    name: &'static str,
+    set: ConstraintSet,
+    weakly_acyclic: bool,
+    safe: bool,
+    stratified: Recognition,
+    c_stratified: Recognition,
+    inductively_restricted: Recognition,
+    /// Least T-level within 2..=4, if any.
+    t_level: Option<usize>,
+}
+
+fn matrix() -> Vec<Expected> {
+    use Recognition::{No, Yes};
+    vec![
+        Expected {
+            name: "intro α1 (S→E)",
+            set: paper::intro_alpha1(),
+            weakly_acyclic: true,
+            safe: true,
+            stratified: Yes,
+            c_stratified: Yes,
+            inductively_restricted: Yes,
+            t_level: Some(2),
+        },
+        Expected {
+            name: "intro α2 (divergent)",
+            set: paper::intro_alpha2(),
+            weakly_acyclic: false,
+            safe: false,
+            stratified: No,
+            c_stratified: No,
+            inductively_restricted: No,
+            t_level: None,
+        },
+        Expected {
+            name: "fig2 Σ",
+            set: paper::fig2_sigma(),
+            weakly_acyclic: false,
+            safe: false,
+            stratified: No,
+            c_stratified: No,
+            inductively_restricted: No,
+            t_level: Some(3),
+        },
+        Expected {
+            name: "example2 γ",
+            set: paper::example2_gamma(),
+            weakly_acyclic: false,
+            safe: false,
+            stratified: Yes,
+            c_stratified: Yes,
+            inductively_restricted: Yes,
+            t_level: Some(2),
+        },
+        Expected {
+            name: "example4 Σ",
+            set: paper::example4_sigma(),
+            weakly_acyclic: false,
+            safe: false,
+            stratified: Yes,
+            c_stratified: No,
+            inductively_restricted: No,
+            t_level: None,
+        },
+        Expected {
+            name: "safety β",
+            set: paper::safety_beta(),
+            weakly_acyclic: false,
+            safe: true,
+            stratified: Yes,
+            c_stratified: Yes,
+            inductively_restricted: Yes,
+            t_level: Some(2),
+        },
+        Expected {
+            name: "thm4 {α,β}",
+            set: paper::thm4_safe_not_stratified(),
+            weakly_acyclic: false,
+            safe: true,
+            stratified: No,
+            c_stratified: No,
+            inductively_restricted: Yes,
+            t_level: Some(2),
+        },
+        Expected {
+            name: "example10 Σ",
+            set: paper::example10_sigma(),
+            weakly_acyclic: false,
+            safe: false,
+            stratified: No,
+            c_stratified: No,
+            inductively_restricted: Yes,
+            t_level: Some(2),
+        },
+        Expected {
+            name: "example13 Σ'",
+            set: paper::example13_sigma_prime(),
+            weakly_acyclic: false,
+            safe: false,
+            stratified: No,
+            c_stratified: No,
+            inductively_restricted: Yes,
+            t_level: Some(2),
+        },
+        Expected {
+            name: "§3.7 Σ''",
+            set: paper::sec37_sigma_dprime(),
+            weakly_acyclic: false,
+            safe: false,
+            stratified: No,
+            c_stratified: No,
+            inductively_restricted: Yes,
+            t_level: Some(2),
+        },
+        Expected {
+            name: "fig9 travel",
+            set: paper::fig9_travel(),
+            weakly_acyclic: false,
+            safe: false,
+            stratified: No,
+            c_stratified: No,
+            inductively_restricted: No,
+            t_level: None,
+        },
+        Expected {
+            // The copy cycle emp → dept → mgr → emp never passes through
+            // the special edge into mgr^2, so the set is weakly acyclic.
+            name: "data-exchange baseline",
+            set: paper::data_exchange_baseline(),
+            weakly_acyclic: true,
+            safe: true,
+            stratified: Yes,
+            c_stratified: Yes,
+            inductively_restricted: Yes,
+            t_level: Some(2),
+        },
+    ]
+}
+
+#[test]
+fn corpus_classification_matches_the_paper() {
+    for e in matrix() {
+        assert_eq!(
+            is_weakly_acyclic(&e.set),
+            e.weakly_acyclic,
+            "weak acyclicity of {}",
+            e.name
+        );
+        assert_eq!(is_safe(&e.set), e.safe, "safety of {}", e.name);
+        assert_eq!(
+            is_stratified(&e.set, &cfg()),
+            e.stratified,
+            "stratification of {}",
+            e.name
+        );
+        assert_eq!(
+            is_c_stratified(&e.set, &cfg()),
+            e.c_stratified,
+            "c-stratification of {}",
+            e.name
+        );
+        assert_eq!(
+            is_inductively_restricted(&e.set, &cfg()),
+            e.inductively_restricted,
+            "inductive restriction of {}",
+            e.name
+        );
+        let (level, indefinite) = t_level(&e.set, 4, &cfg());
+        assert!(!indefinite, "indefinite T-level search for {}", e.name);
+        assert_eq!(level, e.t_level, "T-level of {}", e.name);
+    }
+}
+
+#[test]
+fn figure1_inclusions_hold_on_the_corpus() {
+    for e in matrix() {
+        // WA ⊂ safe ⊂ IR = T[2] ⊆ T[3] ⊆ T[4]; WA ⊂ stratified;
+        // c-stratified ⊂ IR.
+        if e.weakly_acyclic {
+            assert!(e.safe, "{}: WA ⇒ safe", e.name);
+            assert!(e.stratified.is_yes(), "{}: WA ⇒ stratified", e.name);
+            assert!(e.c_stratified.is_yes(), "{}: WA ⇒ c-stratified", e.name);
+        }
+        if e.safe {
+            assert!(e.inductively_restricted.is_yes(), "{}: safe ⇒ IR", e.name);
+        }
+        if e.c_stratified.is_yes() {
+            assert!(
+                e.inductively_restricted.is_yes(),
+                "{}: c-stratified ⇒ IR",
+                e.name
+            );
+            assert!(e.stratified.is_yes(), "{}: c-stratified ⇒ stratified", e.name);
+        }
+        if e.inductively_restricted.is_yes() {
+            assert_eq!(e.t_level, Some(2), "{}: IR = T[2]", e.name);
+        }
+        // Any T-level membership propagates upward.
+        if let Some(k) = e.t_level {
+            for k2 in k..=4 {
+                assert!(
+                    check(&e.set, k2, &cfg()).is_yes(),
+                    "{}: T[{k}] ⊆ T[{k2}]",
+                    e.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure1_strictness_witnesses() {
+    // Safe but not weakly acyclic: β (Examples 8/9).
+    let beta = paper::safety_beta();
+    assert!(is_safe(&beta) && !is_weakly_acyclic(&beta));
+    // Stratified but not safe: γ (Theorem 4).
+    let gamma = paper::example2_gamma();
+    assert!(is_stratified(&gamma, &cfg()).is_yes() && !is_safe(&gamma));
+    // Safe but not stratified: Theorem 4's pair.
+    let pair = paper::thm4_safe_not_stratified();
+    assert!(is_safe(&pair) && !is_stratified(&pair, &cfg()).is_yes());
+    // IR but neither safe nor c-stratified: Σ' (Proposition 2).
+    let sp = paper::example13_sigma_prime();
+    assert!(is_inductively_restricted(&sp, &cfg()).is_yes());
+    assert!(!is_safe(&sp) && !is_c_stratified(&sp, &cfg()).is_yes());
+    // Stratified but not IR: Example 4 (Proposition 2).
+    let e4 = paper::example4_sigma();
+    assert!(is_stratified(&e4, &cfg()).is_yes());
+    assert!(!is_inductively_restricted(&e4, &cfg()).is_yes());
+    // T[3] \ T[2]: Figure 2 (Proposition 5 strictness).
+    let f2 = paper::fig2_sigma();
+    assert!(!check(&f2, 2, &cfg()).is_yes() && check(&f2, 3, &cfg()).is_yes());
+}
+
+#[test]
+fn analysis_report_is_consistent_with_the_matrix() {
+    for e in matrix() {
+        let r = analyze(&e.set, 4, &cfg());
+        assert_eq!(r.weakly_acyclic, e.weakly_acyclic, "{}", e.name);
+        assert_eq!(r.safe, e.safe, "{}", e.name);
+        assert_eq!(r.stratified, e.stratified, "{}", e.name);
+        assert_eq!(r.t_level, e.t_level, "{}", e.name);
+        // The report's headline verdicts.
+        if e.t_level.is_some() || e.c_stratified.is_yes() {
+            assert!(r.guarantees_all_sequences(), "{}", e.name);
+        }
+        if e.name == "example4 Σ" {
+            assert!(!r.guarantees_all_sequences() && r.guarantees_some_sequence());
+        }
+        if e.name == "fig9 travel" {
+            assert!(!r.guarantees_some_sequence());
+        }
+    }
+}

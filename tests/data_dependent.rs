@@ -1,0 +1,146 @@
+//! E13 — the Section 4 travel-agency scenario, end to end: static
+//! irrelevance (Example 16), dynamic guards for q1, and the SQO pipeline
+//! producing the paper's rewritings q2'' and q2'''.
+
+use chase::prelude::*;
+use chase_corpus::paper;
+use chase_sqo::rewrite::{body_signature, equivalent_subqueries, minimal_rewritings, universal_plan};
+
+fn pc() -> PrecedenceConfig {
+    PrecedenceConfig::default()
+}
+
+#[test]
+fn travel_constraints_have_no_data_independent_guarantee() {
+    let sigma = paper::fig9_travel();
+    let report = analyze(&sigma, 3, &pc());
+    assert!(!report.guarantees_some_sequence());
+}
+
+#[test]
+fn q1_chase_diverges_and_the_monitor_stops_it() {
+    let sigma = paper::fig9_travel();
+    let (frozen, _) = paper::q1().freeze();
+    // Static analysis: no guarantee.
+    assert_eq!(
+        data_dependent_terminates(&frozen, &sigma, 3, &pc()).unwrap(),
+        Recognition::No
+    );
+    // Dynamic guard: the run is cut off.
+    let res = chase(&frozen, &sigma, &ChaseConfig::with_monitor_depth(3));
+    assert_eq!(res.reason, StopReason::MonitorAbort { depth: 3 });
+    // And indeed a plain budgeted run never satisfies Σ.
+    let res = chase(&frozen, &sigma, &ChaseConfig::with_max_steps(200));
+    assert_eq!(res.reason, StopReason::StepLimit(200));
+}
+
+#[test]
+fn example16_q2_static_guarantee_via_irrelevance() {
+    let sigma = paper::fig9_travel();
+    let (frozen, _) = paper::q2().freeze();
+    let (irrelevant, unknown) = irrelevant_constraints(&frozen, &sigma, &pc()).unwrap();
+    assert!(!unknown);
+    assert_eq!(irrelevant, vec![1, 2], "Example 16: α2, α3 irrelevant");
+    assert_eq!(
+        data_dependent_terminates(&frozen, &sigma, 2, &pc()).unwrap(),
+        Recognition::Yes
+    );
+    // The guaranteed chase indeed terminates.
+    let res = chase_default(&frozen, &sigma);
+    assert!(res.terminated());
+}
+
+/// Chase configuration for candidate rewritings: divergent candidates are
+/// cut off by the Section 4.2 monitor guard instead of burning the whole
+/// step budget (exactly the pipeline the paper advocates).
+fn guarded_cfg() -> ChaseConfig {
+    ChaseConfig {
+        monitor_depth: Some(3),
+        max_steps: Some(2_000),
+        ..ChaseConfig::default()
+    }
+}
+
+#[test]
+fn q2_universal_plan_is_the_papers_q2_prime() {
+    let sigma = paper::fig9_travel();
+    let cfg = guarded_cfg();
+    let plan = universal_plan(&paper::q2(), &sigma, &cfg).unwrap();
+    // q2' = q2 plus hasAirport(x1), hasAirport(x2).
+    assert_eq!(
+        body_signature(&plan),
+        vec!["fly", "fly", "hasAirport", "hasAirport", "rail", "rail"]
+    );
+    // Structurally the paper's q2' (hom-equivalent canonical instances).
+    let expected = paper::q2_universal_plan();
+    assert!(chase_sqo::rewrite::queries_hom_equivalent(&plan, &expected));
+}
+
+#[test]
+fn q2_rewritings_include_the_papers_q2pp_and_q2ppp() {
+    let sigma = paper::fig9_travel();
+    let cfg = guarded_cfg();
+    let q2 = paper::q2();
+    let all = equivalent_subqueries(&q2, &sigma, &cfg, 12).unwrap();
+    assert!(!all.is_empty());
+    // q2'' (3 atoms, rail-fly-fly) is among the minimal rewritings.
+    let minimal = minimal_rewritings(&q2, &sigma, &cfg, 12).unwrap();
+    let q2pp_sig = vec!["fly".to_string(), "fly".into(), "rail".into()];
+    assert!(
+        minimal.iter().any(|c| body_signature(c) == q2pp_sig),
+        "q2'' missing from minimal rewritings: {minimal:?}"
+    );
+    // q2''' (q2'' + hasAirport filter) is among the equivalent subqueries.
+    let q2ppp_sig = vec![
+        "fly".to_string(),
+        "fly".into(),
+        "hasAirport".into(),
+        "rail".into(),
+    ];
+    assert!(
+        all.iter().any(|c| body_signature(c) == q2ppp_sig),
+        "q2''' missing from equivalent subqueries"
+    );
+    // Every enumerated rewriting is genuinely equivalent to q2 under Σ.
+    for c in &all {
+        assert_eq!(
+            chase_sqo::containment::equivalent_under(c, &q2, &sigma, &cfg),
+            Some(true)
+        );
+    }
+}
+
+#[test]
+fn q2_and_its_rewritings_agree_on_data() {
+    // Sanity beyond theory: evaluate q2, q2'' and q2''' on a concrete
+    // Σ-satisfying database and compare answers.
+    let db = Instance::parse(
+        "rail(c1,hub,d1). rail(hub,c1,d1). \
+         fly(hub,far,d2). fly(far,hub,d2). \
+         fly(far,xyz,d3). fly(xyz,far,d3). \
+         hasAirport(hub). hasAirport(far). hasAirport(xyz).",
+    )
+    .unwrap();
+    let sigma = paper::fig9_travel();
+    assert!(sigma.satisfied_by(&db), "test database must satisfy Σ");
+    let a0 = paper::q2().evaluate(&db);
+    let a1 = paper::q2_rewritten().evaluate(&db);
+    let a2 = paper::q2_rewritten_with_filter().evaluate(&db);
+    assert_eq!(a0, a1);
+    assert_eq!(a0, a2);
+    assert_eq!(a0, vec![vec![Term::constant("far")]]);
+}
+
+#[test]
+fn monitor_depth_sweep_on_q1_is_monotone() {
+    // Pay-as-you-go: larger depths only run longer before aborting.
+    let sigma = paper::fig9_travel();
+    let (frozen, _) = paper::q1().freeze();
+    let mut last_steps = 0;
+    for depth in 2..=5 {
+        let res = chase(&frozen, &sigma, &ChaseConfig::with_monitor_depth(depth));
+        assert_eq!(res.reason, StopReason::MonitorAbort { depth });
+        assert!(res.steps >= last_steps, "depth {depth}");
+        last_steps = res.steps;
+    }
+}

@@ -1,0 +1,209 @@
+//! Edge-case coverage across crates: intro idea 2 (harmless nulls), EGD
+//! merge cascades, empty-body constraints, parser failure modes, strategy
+//! corner cases.
+
+use chase::prelude::*;
+use chase_corpus::paper;
+
+fn pc() -> PrecedenceConfig {
+    PrecedenceConfig::default()
+}
+
+#[test]
+fn intro_idea2_harmless_nulls_are_safe() {
+    // α3 := S(x), E(x,y) → ∃z E(z,x): creates nulls at E^1, but S^1 is
+    // never affected, so the cascade is bounded — exactly the paper's
+    // "identification of harmless null values". Safety recognizes it.
+    let s = paper::intro_alpha3();
+    assert!(!is_weakly_acyclic(&s));
+    assert!(is_safe(&s));
+    // And the chase indeed terminates: on a path only the head node lacks
+    // a predecessor, and the invented one is never special, so the cascade
+    // stops immediately.
+    let inst = chase_corpus::families::path_instance(6);
+    let res = chase_default(&inst, &s);
+    assert!(res.terminated());
+    assert_eq!(res.fresh_nulls, 1, "only v0 needs an invented predecessor");
+    // On a cycle every node already has one: zero steps.
+    let res = chase_default(&chase_corpus::families::cycle_instance(6), &s);
+    assert!(res.terminated());
+    assert_eq!(res.steps, 0);
+}
+
+#[test]
+fn egd_merge_cascades_through_shared_nulls() {
+    // Functional dependency firing twice, second firing enabled by the
+    // first merge.
+    let set = ConstraintSet::parse("F(X,Y), F(X,Z) -> Y = Z").unwrap();
+    let inst = Instance::parse("F(a,_n0). F(a,b). F(_n0,c). F(b,_n1).").unwrap();
+    let res = chase_default(&inst, &set);
+    assert!(res.terminated());
+    // _n0 merged into b; then F(b,c) and F(b,_n1) force _n1 = c.
+    assert_eq!(
+        res.instance,
+        Instance::parse("F(a,b). F(b,c).").unwrap()
+    );
+}
+
+#[test]
+fn egd_failure_after_merge() {
+    // First merge succeeds, the uncovered constant pair then fails.
+    let set = ConstraintSet::parse("F(X,Y), F(X,Z) -> Y = Z").unwrap();
+    let inst = Instance::parse("F(a,_n0). F(a,b). F(b,c). F(b,d).").unwrap();
+    let res = chase_default(&inst, &set);
+    assert!(res.failed());
+}
+
+#[test]
+fn empty_body_tgd_fires_once_even_on_empty_instance() {
+    let set = ConstraintSet::parse("-> S(X), E(X,Y)").unwrap();
+    let res = chase_default(&Instance::new(), &set);
+    assert!(res.terminated());
+    assert_eq!(res.steps, 1);
+    assert_eq!(res.instance.len(), 2);
+    assert_eq!(res.fresh_nulls, 2);
+}
+
+#[test]
+fn constants_in_constraints_are_respected() {
+    let set = ConstraintSet::parse("E(c1,X) -> marked(X)").unwrap();
+    let inst = Instance::parse("E(c1,a). E(c2,b).").unwrap();
+    let res = chase_default(&inst, &set);
+    assert!(res.terminated());
+    assert!(res.instance.contains(&chase_core::parser::parse_atom("marked(a)").unwrap()));
+    assert!(!res.instance.contains(&chase_core::parser::parse_atom("marked(b)").unwrap()));
+}
+
+#[test]
+fn fixed_cycle_with_repeats_and_gaps() {
+    // A cycle order may repeat constraints and omit others; the final
+    // round-robin guarantee comes from termination detection per pass.
+    let set = ConstraintSet::parse("S(X) -> T(X)\nT(X) -> U(X)").unwrap();
+    let inst = Instance::parse("S(a).").unwrap();
+    let cfg = ChaseConfig {
+        strategy: Strategy::FixedCycle(vec![1, 1, 0]),
+        ..ChaseConfig::default()
+    };
+    let res = chase(&inst, &set, &cfg);
+    assert!(res.terminated());
+    assert_eq!(res.instance.len(), 3);
+}
+
+#[test]
+fn phased_strategy_covers_missing_constraints() {
+    // Phases that omit a constraint still end satisfied thanks to the
+    // safety-net pass.
+    let set = ConstraintSet::parse("S(X) -> T(X)\nT(X) -> U(X)").unwrap();
+    let inst = Instance::parse("S(a).").unwrap();
+    let cfg = ChaseConfig {
+        strategy: Strategy::Phased(vec![vec![0]]),
+        ..ChaseConfig::default()
+    };
+    let res = chase(&inst, &set, &cfg);
+    assert!(res.terminated());
+    assert!(set.satisfied_by(&res.instance));
+}
+
+#[test]
+fn parser_rejects_malformed_inputs() {
+    for bad in [
+        "S(X) ->",                    // missing head
+        "-> ",                        // empty everything
+        "S(X) -> T(X",
+        "S(X) T(X)",                  // missing arrow
+        "S(X) -> X = ",               // half an EGD
+        "s(X) -> T(X) extra(Y)",      // trailing garbage
+        "E(X,Y) -> x = Y",            // EGD over a constant
+    ] {
+        assert!(ConstraintSet::parse(bad).is_err(), "accepted: {bad}");
+    }
+    for bad in ["S(X).", "S(_weird).", "S(a"] {
+        assert!(Instance::parse(bad).is_err(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn arity_consistency_is_enforced_across_sides() {
+    assert!(ConstraintSet::parse("S(X) -> S(X,Y)").is_err());
+    assert!(ConstraintSet::parse("S(X) -> T(X)\nT(X,Y) -> S(X)").is_err());
+}
+
+#[test]
+fn analysis_of_single_constraint_families_is_stable() {
+    // Sweep the corpus families at size 1 — degenerate but legal inputs.
+    use chase_corpus::families::*;
+    for set in [
+        copy_chain(1),
+        lav_star(1),
+        safe_family(1),
+        stratified_family(1),
+        full_tgd_cycle(1),
+        divergent_family(1),
+    ] {
+        // No panics, definite verdicts.
+        let r = analyze(&set, 3, &pc());
+        let _ = r.to_string();
+        assert!(!r.t_level_unknown);
+    }
+}
+
+#[test]
+fn full_tgd_cycles_are_safe_and_terminate() {
+    let set = chase_corpus::families::full_tgd_cycle(4);
+    assert!(is_safe(&set), "no existentials ⇒ safe");
+    let inst = Instance::parse("R0(a,b).").unwrap();
+    let res = chase_default(&inst, &set);
+    assert!(res.terminated());
+    // The fact orbits the cycle: R1(b,a), R2(a,b), R3(b,a), R0(a,b)✓ …
+    assert_eq!(res.instance.len(), 4);
+}
+
+#[test]
+fn monitor_and_null_budget_compose() {
+    let set = paper::intro_alpha2();
+    let inst = Instance::parse("S(a).").unwrap();
+    // Whichever guard trips first stops the run.
+    let cfg = ChaseConfig {
+        monitor_depth: Some(50), // effectively disabled
+        max_nulls: Some(5),
+        max_steps: None,
+        ..ChaseConfig::default()
+    };
+    let res = chase(&inst, &set, &cfg);
+    assert_eq!(res.reason, StopReason::NullLimit(5));
+    let cfg = ChaseConfig {
+        monitor_depth: Some(2),
+        max_nulls: Some(1_000),
+        max_steps: None,
+        ..ChaseConfig::default()
+    };
+    let res = chase(&inst, &set, &cfg);
+    assert_eq!(res.reason, StopReason::MonitorAbort { depth: 2 });
+}
+
+#[test]
+fn core_chase_is_exposed_through_the_prelude() {
+    let set = ConstraintSet::parse(
+        "D(X) -> E(X,Y)\nE(X,Y) -> D(Y)\nE(X,Y) -> E(X,X)",
+    )
+    .unwrap();
+    let inst = Instance::parse("D(a).").unwrap();
+    let res = core_chase(&inst, &set, 20);
+    assert!(res.satisfied);
+    assert_eq!(res.instance, Instance::parse("D(a). E(a,a).").unwrap());
+    assert!(is_core(&res.instance));
+}
+
+#[test]
+fn deeply_chained_instances_stress_the_indexes() {
+    // A 300-fact chain through the homomorphism engine and the chase.
+    let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> P(X,Z)").unwrap();
+    let mut text = String::new();
+    for i in 0..300 {
+        text.push_str(&format!("E(v{i},v{}). ", i + 1));
+    }
+    let inst = Instance::parse(&text).unwrap();
+    let res = chase(&inst, &set, &ChaseConfig::with_max_steps(5_000));
+    assert!(res.terminated());
+    assert_eq!(res.instance.len(), 300 + 299);
+}

@@ -1,0 +1,130 @@
+//! E4/E5 — Example 4 (stratified but divergent) and Example 5 / Theorem 2
+//! (the statically constructed terminating order).
+
+use chase::prelude::*;
+use chase_corpus::paper;
+
+fn cfg() -> PrecedenceConfig {
+    PrecedenceConfig::default()
+}
+
+#[test]
+fn example4_cyclic_order_reproduces_the_papers_prefix() {
+    // The paper's diverging sequence applies α1, α2, α3, α4 cyclically from
+    // {R(a)}. Reproduce the first 8 steps exactly (the paper displays two
+    // full rounds; its nulls n1, n2 are our _n0, _n1).
+    let sigma = paper::example4_sigma();
+    let start = paper::example4_instance();
+    let chase_cfg = ChaseConfig {
+        strategy: Strategy::FixedCycle(vec![0, 1, 2, 3]),
+        max_steps: Some(8),
+        keep_trace: true,
+        ..ChaseConfig::default()
+    };
+    let res = chase(&start, &sigma, &chase_cfg);
+    assert_eq!(res.reason, StopReason::StepLimit(8), "still diverging");
+    let fired: Vec<usize> = res.trace.iter().map(|s| s.constraint).collect();
+    assert_eq!(fired, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    let expected = Instance::parse(
+        "R(a). S(a,a). T(a,_n0). T(a,a). R(_n0). \
+         S(_n0,_n0). T(_n0,_n1). T(_n0,_n0). R(_n1).",
+    )
+    .unwrap();
+    assert_eq!(res.instance, expected, "the paper's 8-step instance");
+}
+
+#[test]
+fn example4_diverges_under_larger_budgets_too() {
+    let sigma = paper::example4_sigma();
+    let start = paper::example4_instance();
+    for budget in [100, 1000] {
+        let chase_cfg = ChaseConfig {
+            strategy: Strategy::FixedCycle(vec![0, 1, 2, 3]),
+            max_steps: Some(budget),
+            ..ChaseConfig::default()
+        };
+        let res = chase(&start, &sigma, &chase_cfg);
+        assert_eq!(res.reason, StopReason::StepLimit(budget));
+    }
+}
+
+#[test]
+fn example4_monitor_catches_the_divergence() {
+    let sigma = paper::example4_sigma();
+    let start = paper::example4_instance();
+    let chase_cfg = ChaseConfig {
+        strategy: Strategy::FixedCycle(vec![0, 1, 2, 3]),
+        ..ChaseConfig::with_monitor_depth(4)
+    };
+    let res = chase(&start, &sigma, &chase_cfg);
+    assert_eq!(res.reason, StopReason::MonitorAbort { depth: 4 });
+}
+
+#[test]
+fn example5_theorem2_order_terminates_with_the_papers_result() {
+    // Theorem 2: chase the SCCs of G(Σ) in topological order. On
+    // {R(a), T(b,b)} this terminates with exactly the paper's instance.
+    let sigma = paper::example4_sigma();
+    let start = paper::example5_instance();
+    let phases = stratified_order(&sigma, &cfg());
+    let chase_cfg = ChaseConfig {
+        strategy: Strategy::Phased(phases),
+        ..ChaseConfig::default()
+    };
+    let res = chase(&start, &sigma, &chase_cfg);
+    assert!(res.terminated());
+    assert_eq!(res.instance, paper::example5_expected_result());
+    assert_eq!(res.fresh_nulls, 0, "the good order invents no nulls here");
+}
+
+#[test]
+fn theorem2_order_terminates_from_example4s_own_instance() {
+    // Even from {R(a)} — where the cyclic order diverges — the Theorem 2
+    // order terminates.
+    let sigma = paper::example4_sigma();
+    let start = paper::example4_instance();
+    let phases = stratified_order(&sigma, &cfg());
+    let chase_cfg = ChaseConfig {
+        strategy: Strategy::Phased(phases),
+        max_steps: Some(1000),
+        ..ChaseConfig::default()
+    };
+    let res = chase(&start, &sigma, &chase_cfg);
+    assert!(res.terminated(), "stopped as {:?}", res.reason);
+    assert!(sigma.satisfied_by(&res.instance));
+}
+
+#[test]
+fn theorem2_order_terminates_on_random_instances() {
+    // Theorem 1: for *every* instance some terminating sequence exists; the
+    // Theorem 2 order realizes it. Sweep seeded random instances.
+    use chase_corpus::random::{random_instance, RandomInstanceConfig};
+    let sigma = paper::example4_sigma();
+    let phases = stratified_order(&sigma, &cfg());
+    for seed in 0..10 {
+        let inst = random_instance(
+            &sigma,
+            &RandomInstanceConfig {
+                facts: 12,
+                domain: 4,
+                seed,
+            },
+        );
+        let chase_cfg = ChaseConfig {
+            strategy: Strategy::Phased(phases.clone()),
+            max_steps: Some(20_000),
+            ..ChaseConfig::default()
+        };
+        let res = chase(&inst, &sigma, &chase_cfg);
+        assert!(res.terminated(), "seed {seed}: {:?}", res.reason);
+        assert!(sigma.satisfied_by(&res.instance), "seed {seed}");
+    }
+}
+
+#[test]
+fn example4_is_the_stratification_counterexample() {
+    // The crux of the correction: stratified yes, c-stratified no.
+    let sigma = paper::example4_sigma();
+    assert!(is_stratified(&sigma, &cfg()).is_yes());
+    assert_eq!(is_c_stratified(&sigma, &cfg()), Recognition::No);
+}

@@ -1,0 +1,80 @@
+//! E3 — the position graphs of Figures 3 and 6, with DOT exports.
+
+use chase::prelude::*;
+use chase_corpus::paper;
+
+#[test]
+fn figure3_dependency_graph_of_the_travel_schema() {
+    let sigma = paper::fig9_travel();
+    let g = dependency_graph(&sigma);
+    // Nodes: every position of fly, rail, hasAirport (3 + 3 + 1).
+    assert_eq!(g.positions.len(), 7);
+    // Example 1's witness: the special self-loop fly^2 *→ fly^2 from α3.
+    let fly2 = Position::new("fly", 1);
+    assert!(g.edges().contains(&(fly2, fly2, true)));
+    // α2 gives rail-position swaps.
+    let rail1 = Position::new("rail", 0);
+    let rail2 = Position::new("rail", 1);
+    assert!(g.edges().contains(&(rail1, rail2, false)));
+    assert!(g.edges().contains(&(rail2, rail1, false)));
+    // α1 copies fly positions into hasAirport.
+    let fly1 = Position::new("fly", 0);
+    let ha = Position::new("hasAirport", 0);
+    assert!(g.edges().contains(&(fly1, ha, false)));
+    assert!(g.edges().contains(&(fly2, ha, false)));
+    assert!(g.has_special_cycle());
+}
+
+#[test]
+fn figure6_dependency_vs_propagation_graph() {
+    // Left of Figure 6: dep(β) has a special cycle; right: prop(β) has the
+    // single node R^2 and no edges.
+    let beta = paper::safety_beta();
+    let dep = dependency_graph(&beta);
+    assert!(dep.has_special_cycle());
+    let prop = propagation_graph(&beta);
+    assert_eq!(prop.positions, vec![Position::new("R", 1)]);
+    assert!(prop.edges().is_empty());
+}
+
+#[test]
+fn dot_exports_are_well_formed() {
+    let sigma = paper::fig9_travel();
+    let dep = dependency_graph(&sigma).to_dot("dep");
+    assert!(dep.starts_with("digraph dep {"));
+    assert!(dep.contains("fly^2"));
+    assert!(dep.contains("style=dashed"), "special edges drawn dashed");
+    assert!(dep.trim_end().ends_with('}'));
+
+    let pc = PrecedenceConfig::default();
+    let cg = chase_graph(&paper::example4_sigma(), &pc).to_dot("chase");
+    assert!(cg.contains("α1") && cg.contains("α4"));
+}
+
+#[test]
+fn affected_positions_of_the_travel_schema() {
+    // α3 invents values in fly^2 and fly^3; fly^2 feeds itself and fly^1
+    // via the copy of C2... Exact fixpoint:
+    let sigma = paper::fig9_travel();
+    let aff = affected_positions(&sigma);
+    assert!(aff.contains(&Position::new("fly", 1)));
+    assert!(aff.contains(&Position::new("fly", 2)));
+    // hasAirport^1 receives C2 which occurs at the affected fly^2 — but C2
+    // (in α1) also occurs nowhere else, so hasAirport^1 is affected via α1
+    // once fly^1/fly^2 are.
+    assert!(aff.contains(&Position::new("hasAirport", 0)));
+}
+
+#[test]
+fn example4_chase_graphs_figures_4_and_5() {
+    let sigma = paper::example4_sigma();
+    let pc = PrecedenceConfig::default();
+    // Figure 4 (standard ≺): α2 is a sink; cycle α1 → α3 → α4 → α1.
+    let g = chase_graph(&sigma, &pc);
+    assert!(g.graph.successors(1).is_empty());
+    let sccs = g.graph.nontrivial_sccs();
+    assert_eq!(sccs, vec![vec![0, 2, 3]]);
+    // Figure 5 (≺c): one component containing everything.
+    let gc = c_chase_graph(&sigma, &pc);
+    assert_eq!(gc.graph.nontrivial_sccs(), vec![vec![0, 1, 2, 3]]);
+}

@@ -1,0 +1,124 @@
+//! E14 — the monitor graph (Examples 17/18) and the pay-as-you-go guard
+//! (Proposition 11).
+
+use chase::prelude::*;
+use chase_corpus::paper;
+
+#[test]
+fn example17_monitor_graph_matches_the_paper() {
+    // Σ3 (arity 3) on {S(a1), S(a2), S(a3), R(a1,a2,a3)}: the only chase
+    // sequence has three steps; the monitor graph is the path
+    // (y1) → (y2) → (y3) sharing one signature, plus the edge (y1) → (y3)
+    // with a different body-position label.
+    let sigma = paper::sigma_family(3);
+    let inst = paper::example17_instance();
+    let cfg = ChaseConfig {
+        keep_monitor: true,
+        ..ChaseConfig::default()
+    };
+    let res = chase(&inst, &sigma, &cfg);
+    assert!(res.terminated());
+    assert_eq!(res.steps, 3);
+    let g = res.monitor.expect("monitor kept");
+    assert_eq!(g.nodes().len(), 3);
+    assert_eq!(g.edges().len(), 3);
+    // All three nulls were created in position R^1.
+    for n in g.nodes() {
+        let pos: Vec<String> = n.positions.iter().map(|p| p.to_string()).collect();
+        assert_eq!(pos, vec!["R^1"]);
+    }
+    // Example 18: 2-cyclic but not 3-cyclic.
+    assert!(g.is_k_cyclic(2));
+    assert!(!g.is_k_cyclic(3));
+    assert_eq!(g.max_chain(), 2);
+}
+
+#[test]
+fn prop11_sequences_are_exactly_k_minus_1_cyclic() {
+    for k in 2..=6 {
+        let (sigma, inst) = paper::prop11_family(k);
+        let cfg = ChaseConfig {
+            keep_monitor: true,
+            ..ChaseConfig::default()
+        };
+        let res = chase(&inst, &sigma, &cfg);
+        assert!(res.terminated(), "k={k}");
+        let g = res.monitor.expect("monitor kept");
+        assert!(g.is_k_cyclic(k - 1), "k={k}: must be (k−1)-cyclic");
+        assert!(!g.is_k_cyclic(k), "k={k}: must not be k-cyclic");
+    }
+}
+
+#[test]
+fn prop11_pay_as_you_go_depth_choice() {
+    // Depth k lets the chase finish; depth k−1 aborts it. "For larger
+    // k-values the chase succeeds in more cases."
+    for k in 3..=6 {
+        let (sigma, inst) = paper::prop11_family(k);
+        let permissive = chase(&inst, &sigma, &ChaseConfig::with_monitor_depth(k));
+        assert!(permissive.terminated(), "k={k} with depth k");
+        let strict = chase(&inst, &sigma, &ChaseConfig::with_monitor_depth(k - 1));
+        assert_eq!(
+            strict.reason,
+            StopReason::MonitorAbort { depth: k - 1 },
+            "k={k} with depth k−1"
+        );
+    }
+}
+
+#[test]
+fn prop11_family_is_not_inductively_restricted() {
+    // Proposition 11(a): the data-independent conditions all fail, yet the
+    // chase terminates on Ik — the motivation for data-dependent guards.
+    let pc = PrecedenceConfig::default();
+    for k in 2..=3 {
+        let (sigma, _) = paper::prop11_family(k);
+        assert_eq!(
+            is_inductively_restricted(&sigma, &pc),
+            Recognition::No,
+            "k={k}"
+        );
+    }
+}
+
+#[test]
+fn genuinely_divergent_runs_trip_any_depth() {
+    // Lemma 5: an infinite sequence has k-cyclic prefixes for every k.
+    let sigma = paper::intro_alpha2();
+    let inst = paper::intro_instance();
+    for depth in 2..=5 {
+        let res = chase(&inst, &sigma, &ChaseConfig::with_monitor_depth(depth));
+        assert_eq!(res.reason, StopReason::MonitorAbort { depth });
+    }
+}
+
+#[test]
+fn terminating_runs_have_bounded_chains() {
+    // For every terminating sequence there is a k such that it is not
+    // k-cyclic — the converse direction justifying pay-as-you-go.
+    let sigma = paper::example10_sigma();
+    let inst = chase_corpus::families::cycle_instance(4);
+    let cfg = ChaseConfig {
+        keep_monitor: true,
+        ..ChaseConfig::default()
+    };
+    let res = chase(&inst, &sigma, &cfg);
+    assert!(res.terminated());
+    let g = res.monitor.expect("monitor kept");
+    assert!(!g.is_k_cyclic(g.max_chain() + 1));
+}
+
+#[test]
+fn monitor_overhead_reports_graph_size() {
+    // The monitor graph is polynomial in the run: nodes = fresh nulls.
+    let sigma = paper::intro_alpha2();
+    let inst = Instance::parse("S(a).").unwrap();
+    let cfg = ChaseConfig {
+        keep_monitor: true,
+        max_steps: Some(40),
+        ..ChaseConfig::default()
+    };
+    let res = chase(&inst, &sigma, &cfg);
+    let g = res.monitor.expect("monitor kept");
+    assert_eq!(g.nodes().len(), res.fresh_nulls);
+}

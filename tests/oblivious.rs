@@ -1,0 +1,91 @@
+//! The oblivious chase (Definition of Section 2 / Definition 4's substrate):
+//! fires every body match exactly once, satisfied or not. C-stratification's
+//! termination guarantee (Theorem 3) is about *standard* sequences, but the
+//! `≺c` oracle models oblivious steps — these tests pin the engine-level
+//! semantics the oracle relies on.
+
+use chase::prelude::*;
+use chase_corpus::paper;
+
+fn oblivious(max_steps: usize) -> ChaseConfig {
+    ChaseConfig {
+        mode: ChaseMode::Oblivious,
+        max_steps: Some(max_steps),
+        ..ChaseConfig::default()
+    }
+}
+
+#[test]
+fn oblivious_fires_each_trigger_once() {
+    // Two S-facts, one already served: standard fires once, oblivious twice.
+    let set = ConstraintSet::parse("S(X) -> E(X,Y)").unwrap();
+    let inst = Instance::parse("S(a). S(b). E(a,c).").unwrap();
+    let std_res = chase_default(&inst, &set);
+    assert_eq!(std_res.steps, 1);
+    let obl_res = chase(&inst, &set, &oblivious(100));
+    assert_eq!(obl_res.reason, StopReason::Satisfied);
+    assert_eq!(obl_res.steps, 2);
+    assert_eq!(obl_res.fresh_nulls, 2);
+}
+
+#[test]
+fn oblivious_terminates_on_weakly_acyclic_sets() {
+    let set = paper::data_exchange_baseline();
+    let inst = Instance::parse("emp(alice,sales). emp(bob,hr).").unwrap();
+    let res = chase(&inst, &set, &oblivious(10_000));
+    assert_eq!(res.reason, StopReason::Satisfied);
+    assert!(set.satisfied_by(&res.instance));
+}
+
+#[test]
+fn c_stratified_sets_terminate_obliviously_too() {
+    // γ (Example 2) is c-stratified: even the oblivious chase terminates —
+    // the fresh 3-cycles never form new 2-cycles.
+    let gamma = paper::example2_gamma();
+    let inst = Instance::parse("E(a,b). E(b,a).").unwrap();
+    assert!(chase_default(&inst, &gamma).terminated());
+    let obl_res = chase(&inst, &gamma, &oblivious(1_000));
+    assert_eq!(obl_res.reason, StopReason::Satisfied);
+}
+
+#[test]
+fn oblivious_diverges_where_a_standard_order_terminates() {
+    // Example 4's set is stratified but not c-stratified: the Theorem 2
+    // standard order terminates from {R(a), T(b,b)}, while the oblivious
+    // chase walks the same null-cascade the bad standard order does.
+    let sigma = paper::example4_sigma();
+    let inst = paper::example5_instance();
+    let pc = PrecedenceConfig::default();
+    let good = chase(
+        &inst,
+        &sigma,
+        &ChaseConfig {
+            strategy: Strategy::Phased(stratified_order(&sigma, &pc)),
+            ..ChaseConfig::default()
+        },
+    );
+    assert!(good.terminated());
+    let obl_res = chase(&inst, &sigma, &oblivious(300));
+    assert_eq!(obl_res.reason, StopReason::StepLimit(300));
+}
+
+#[test]
+fn oblivious_never_refires_the_same_assignment() {
+    // A full TGD whose head equals its body: one oblivious firing per
+    // match, then done — the fired-set must dedupe.
+    let set = ConstraintSet::parse("E(X,Y) -> E(X,Y)").unwrap();
+    let inst = Instance::parse("E(a,b). E(b,c).").unwrap();
+    let res = chase(&inst, &set, &oblivious(100));
+    assert_eq!(res.reason, StopReason::Satisfied);
+    assert_eq!(res.steps, 2);
+    assert_eq!(res.instance, inst);
+}
+
+#[test]
+fn oblivious_egd_steps_follow_standard_semantics() {
+    let set = ConstraintSet::parse("F(X,Y), F(X,Z) -> Y = Z").unwrap();
+    let inst = Instance::parse("F(a,_n0). F(a,b).").unwrap();
+    let res = chase(&inst, &set, &oblivious(100));
+    assert_eq!(res.reason, StopReason::Satisfied);
+    assert_eq!(res.instance, Instance::parse("F(a,b).").unwrap());
+}

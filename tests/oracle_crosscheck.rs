@@ -1,0 +1,161 @@
+//! Independent ground truth for the precedence oracle: brute-force `≺` and
+//! `≺c` by enumerating *all* small candidate instances directly (every
+//! ≤(|body α|+|body β|)-atom instance over a fresh-constant domain — the
+//! paper's Prop. 1 bound), and compare against the candidate-search oracle
+//! on randomized tiny TGD pairs.
+//!
+//! For TGD-only pairs the side conditions of Definitions 2 and 4 are
+//! insensitive to constants-vs-nulls, so a constant-only enumeration is
+//! complete.
+
+use chase::prelude::*;
+use chase_corpus::random::{random_tgds, RandomTgdConfig};
+use chase_engine::apply_step;
+use chase_core::homomorphism::{for_each_hom, Subst};
+
+/// All ground atoms over the schema of `set` with the given constant pool.
+fn ground_atoms(set: &ConstraintSet, domain: &[Term]) -> Vec<Atom> {
+    let schema = set.schema().unwrap();
+    let mut out = Vec::new();
+    for pred in schema.predicates() {
+        let ar = schema.arity(pred).unwrap();
+        let count = domain.len().pow(ar as u32);
+        for mut code in 0..count {
+            let mut terms = Vec::with_capacity(ar);
+            for _ in 0..ar {
+                terms.push(domain[code % domain.len()]);
+                code /= domain.len();
+            }
+            out.push(Atom::new(pred, terms));
+        }
+    }
+    out
+}
+
+/// Enumerate all instances with at most `max_atoms` atoms from `atoms`,
+/// calling `f`; stops early when `f` returns true.
+fn for_each_instance(atoms: &[Atom], max_atoms: usize, f: &mut dyn FnMut(&Instance) -> bool) -> bool {
+    fn rec(
+        atoms: &[Atom],
+        start: usize,
+        left: usize,
+        current: &mut Vec<Atom>,
+        f: &mut dyn FnMut(&Instance) -> bool,
+    ) -> bool {
+        let inst = Instance::from_atoms(current.iter().cloned()).unwrap();
+        if f(&inst) {
+            return true;
+        }
+        if left == 0 {
+            return false;
+        }
+        for i in start..atoms.len() {
+            current.push(atoms[i].clone());
+            if rec(atoms, i + 1, left - 1, current, f) {
+                current.pop();
+                return true;
+            }
+            current.pop();
+        }
+        false
+    }
+    rec(atoms, 0, max_atoms, &mut Vec::new(), f)
+}
+
+/// Brute-force `α ≺ β` (standard = true) or `α ≺c β` (standard = false).
+fn brute_force_precedes(set: &ConstraintSet, a: usize, b: usize, standard: bool) -> bool {
+    let alpha = &set[a];
+    let beta = &set[b];
+    let max_atoms = alpha.body().len() + beta.body().len();
+    // Fresh constants, enough for every variable in the pair.
+    let nvars = alpha.universals().len() + beta.universals().len();
+    let domain: Vec<Term> = (0..nvars.max(1))
+        .map(|i| Term::constant(&format!("bf{i}")))
+        .collect();
+    let atoms = ground_atoms(set, &domain);
+    for_each_instance(&atoms, max_atoms, &mut |i0| {
+        // Every oblivious trigger of α on I0.
+        let mut witnessed = false;
+        for_each_hom(alpha.body(), i0, &Subst::new(), false, &mut |mu| {
+            if standard && alpha.satisfied_with(i0, mu) {
+                return false; // not a standard trigger
+            }
+            let mut j = i0.clone();
+            if apply_step(&mut j, alpha, mu) == chase_engine::StepEffect::Failed { return false }
+            // Some assignment b with J ⊭ β(b) and I0 ⊨ β(b)?
+            let mut found = false;
+            for_each_hom(beta.body(), &j, &Subst::new(), false, &mut |nu| {
+                let violated_in_j = !beta.satisfied_with(&j, nu);
+                if violated_in_j && beta.satisfied_with(i0, nu) {
+                    found = true;
+                    true
+                } else {
+                    false
+                }
+            });
+            if found {
+                witnessed = true;
+                true
+            } else {
+                false
+            }
+        });
+        witnessed
+    })
+}
+
+fn tiny_pairs(seed: u64) -> ConstraintSet {
+    random_tgds(&RandomTgdConfig {
+        constraints: 2,
+        predicates: 2,
+        max_arity: 2,
+        body_atoms: (1, 2),
+        head_atoms: (1, 1),
+        existential_prob: 0.4,
+        seed,
+    })
+}
+
+#[test]
+fn oracle_matches_brute_force_on_random_tiny_pairs() {
+    let pc = PrecedenceConfig::default();
+    for seed in 0..8 {
+        let set = tiny_pairs(seed);
+        for a in 0..2 {
+            for b in 0..2 {
+                let expected_c = brute_force_precedes(&set, a, b, false);
+                let got_c = precedes_c(&set, a, b, &pc);
+                assert!(got_c.definite(), "seed {seed} ({a},{b}): oracle gave up on\n{set}");
+                assert_eq!(
+                    got_c.holds(),
+                    expected_c,
+                    "≺c mismatch at seed {seed} ({a},{b}) on\n{set}"
+                );
+                let expected_s = brute_force_precedes(&set, a, b, true);
+                let got_s = precedes(&set, a, b, &pc);
+                assert!(got_s.definite(), "seed {seed} ({a},{b}): oracle gave up on\n{set}");
+                assert_eq!(
+                    got_s.holds(),
+                    expected_s,
+                    "≺ mismatch at seed {seed} ({a},{b}) on\n{set}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_matches_brute_force_on_paper_pairs() {
+    let pc = PrecedenceConfig::default();
+    // Example 4's set: the documented ≺ / ≺c difference must also show up
+    // under brute force.
+    let set = chase_corpus::paper::example4_sigma();
+    assert!(!brute_force_precedes(&set, 1, 3, true), "α2 ⊀ α4");
+    assert!(brute_force_precedes(&set, 1, 3, false), "α2 ≺c α4");
+    assert_eq!(precedes(&set, 1, 3, &pc), Verdict::Fails);
+    assert_eq!(precedes_c(&set, 1, 3, &pc), Verdict::Holds);
+    // γ from Example 2/6.
+    let gamma = chase_corpus::paper::example2_gamma();
+    assert!(!brute_force_precedes(&gamma, 0, 0, true));
+    assert!(!brute_force_precedes(&gamma, 0, 0, false));
+}

@@ -1,0 +1,205 @@
+//! Property-based tests over random TGD sets and instances: the paper's
+//! class-inclusion lattice (Figure 1), chase soundness, and structural
+//! invariants must hold on *arbitrary* well-formed inputs, not just the
+//! corpus.
+
+use chase::prelude::*;
+use chase_corpus::random::{random_instance, random_tgds, RandomInstanceConfig, RandomTgdConfig};
+use chase_engine::Strategy as ChaseStrategy;
+use chase_termination::restriction::minimal_restriction_system;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+fn pc() -> PrecedenceConfig {
+    PrecedenceConfig::default()
+}
+
+/// Strategy: a seeded random TGD set, small enough for the coNP oracles.
+fn arb_tgds() -> impl proptest::strategy::Strategy<Value = ConstraintSet> {
+    (any::<u64>(), 1usize..=4, 2usize..=3).prop_map(|(seed, constraints, preds)| {
+        random_tgds(&RandomTgdConfig {
+            constraints,
+            predicates: preds,
+            max_arity: 3,
+            body_atoms: (1, 2),
+            head_atoms: (1, 2),
+            existential_prob: 0.35,
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn weak_acyclicity_implies_safety(set in arb_tgds()) {
+        if is_weakly_acyclic(&set) {
+            prop_assert!(is_safe(&set), "WA ⇒ safe failed on:\n{set}");
+        }
+    }
+
+    #[test]
+    fn propagation_graph_is_a_subgraph_of_dependency_graph(set in arb_tgds()) {
+        let dep = dependency_graph(&set);
+        let prop = propagation_graph(&set);
+        for p in &prop.positions {
+            prop_assert!(dep.index.contains_key(p), "node {p} missing in dep graph");
+        }
+        for e in prop.edges() {
+            prop_assert!(dep.edges().contains(&e), "edge {e:?} missing in dep graph");
+        }
+    }
+
+    #[test]
+    fn restriction_f_is_contained_in_affected(set in arb_tgds()) {
+        let aff = affected_positions(&set);
+        let rs = minimal_restriction_system(&set, 2, &pc());
+        for p in &rs.f {
+            prop_assert!(aff.contains(p), "f position {p} not affected:\n{set}");
+        }
+    }
+
+    #[test]
+    fn safety_implies_membership_in_t2(set in arb_tgds()) {
+        if is_safe(&set) {
+            let r = is_inductively_restricted(&set, &pc());
+            prop_assert!(r != Recognition::No, "safe but IR says No:\n{set}");
+            let c = check(&set, 2, &pc());
+            prop_assert!(c != Recognition::No, "safe but T[2] says No:\n{set}");
+        }
+    }
+
+    #[test]
+    fn definition13_and_figure8_agree_on_t2(set in arb_tgds()) {
+        let a = is_inductively_restricted(&set, &pc());
+        let b = check(&set, 2, &pc());
+        if a != Recognition::Unknown && b != Recognition::Unknown {
+            prop_assert_eq!(a, b, "Def 13 vs Fig 8 disagree on:\n{}", set);
+        }
+    }
+
+    #[test]
+    fn t_levels_are_upward_closed(set in arb_tgds()) {
+        let two = check(&set, 2, &pc());
+        let three = check(&set, 3, &pc());
+        if two == Recognition::Yes {
+            prop_assert!(three != Recognition::No, "T[2] ⊄ T[3] on:\n{set}");
+        }
+    }
+
+    #[test]
+    fn weak_acyclicity_implies_stratification(set in arb_tgds()) {
+        if is_weakly_acyclic(&set) {
+            prop_assert!(
+                is_stratified(&set, &pc()) != Recognition::No,
+                "WA but not stratified:\n{set}"
+            );
+            prop_assert!(
+                is_c_stratified(&set, &pc()) != Recognition::No,
+                "WA but not c-stratified:\n{set}"
+            );
+        }
+    }
+
+    #[test]
+    fn precedence_is_monotone_in_p(set in arb_tgds()) {
+        // Definition 10's null-position condition only weakens as P grows:
+        // ≺∅ ⊆ ≺pos(Σ).
+        let empty = chase_core::PosSet::new();
+        let full = set.positions();
+        for a in 0..set.len() {
+            for b in 0..set.len() {
+                let small = precedes_k(&set, &[a, b], &empty, &pc());
+                let big = precedes_k(&set, &[a, b], &full, &pc());
+                if small == Verdict::Holds {
+                    prop_assert_eq!(
+                        big, Verdict::Holds,
+                        "≺∅ held but ≺pos(Σ) failed for ({},{}) on:\n{}", a, b, set
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip(set in arb_tgds()) {
+        let reparsed = ConstraintSet::parse(&set.to_string()).expect("display parses");
+        prop_assert_eq!(reparsed.to_string(), set.to_string());
+    }
+
+    #[test]
+    fn chase_terminated_means_satisfied(
+        set in arb_tgds(),
+        facts in 1usize..12,
+        dom in 2usize..5,
+        iseed in any::<u64>(),
+    ) {
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: dom, seed: iseed });
+        let res = chase(&inst, &set, &ChaseConfig::with_max_steps(400));
+        if res.terminated() {
+            prop_assert!(set.satisfied_by(&res.instance), "terminated but unsatisfied:\n{set}\non {inst}");
+        }
+    }
+
+    #[test]
+    fn safe_sets_terminate_under_random_orders(
+        seed in any::<u64>(),
+        order_seed in any::<u64>(),
+        facts in 1usize..10,
+    ) {
+        // Restrict to generated sets that happen to be safe; Theorem 5 says
+        // every sequence terminates polynomially.
+        let set = random_tgds(&RandomTgdConfig {
+            constraints: 3,
+            predicates: 2,
+            max_arity: 2,
+            body_atoms: (1, 2),
+            head_atoms: (1, 1),
+            existential_prob: 0.3,
+            seed,
+        });
+        prop_assume!(is_safe(&set));
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 3, seed });
+        let cfg = ChaseConfig {
+            strategy: ChaseStrategy::Random { seed: order_seed },
+            max_steps: Some(50_000),
+            ..ChaseConfig::default()
+        };
+        let res = chase(&inst, &set, &cfg);
+        prop_assert!(res.terminated(), "safe set did not terminate:\n{set}\non {inst}");
+    }
+
+    #[test]
+    fn monitor_cyclicity_is_monotone(
+        set in arb_tgds(),
+        facts in 1usize..8,
+        iseed in any::<u64>(),
+    ) {
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 3, seed: iseed });
+        let cfg = ChaseConfig {
+            keep_monitor: true,
+            max_steps: Some(120),
+            ..ChaseConfig::default()
+        };
+        let res = chase(&inst, &set, &cfg);
+        let g = res.monitor.expect("monitor kept");
+        for k in 1..=g.max_chain() {
+            prop_assert!(g.is_k_cyclic(k));
+        }
+        prop_assert!(!g.is_k_cyclic(g.max_chain() + 1));
+        prop_assert_eq!(g.nodes().len(), res.fresh_nulls);
+    }
+
+    #[test]
+    fn instance_display_roundtrip(
+        facts in 1usize..15,
+        dom in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let set = random_tgds(&RandomTgdConfig { constraints: 2, seed, ..RandomTgdConfig::default() });
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: dom, seed });
+        let reparsed = Instance::parse(&inst.to_string()).expect("display parses");
+        prop_assert_eq!(reparsed, inst);
+    }
+}

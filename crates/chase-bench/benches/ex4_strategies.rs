@@ -89,6 +89,12 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("cyclic_until_budget", budget), &cfg, |b, cfg| {
             b.iter(|| chase(black_box(&start), &sigma, cfg))
         });
+        // The seed engine's behaviour: full trigger re-enumeration per step.
+        g.bench_with_input(
+            BenchmarkId::new("cyclic_until_budget_naive", budget),
+            &cfg,
+            |b, cfg| b.iter(|| chase_engine::chase_naive(black_box(&start), &sigma, cfg)),
+        );
     }
     let good_cfg = ChaseConfig {
         strategy: Strategy::Phased(phases),
@@ -96,6 +102,9 @@ fn bench(c: &mut Criterion) {
     };
     g.bench_function("theorem2_order", |b| {
         b.iter(|| chase(black_box(&start), &sigma, &good_cfg))
+    });
+    g.bench_function("theorem2_order_naive", |b| {
+        b.iter(|| chase_engine::chase_naive(black_box(&start), &sigma, &good_cfg))
     });
     g.bench_function("compute_theorem2_order", |b| {
         b.iter(|| stratified_order(black_box(&sigma), &pc))

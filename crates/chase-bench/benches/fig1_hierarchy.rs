@@ -7,7 +7,9 @@
 
 use chase_bench::{print_table, Row};
 use chase_corpus::paper;
+use chase_corpus::random::{random_instance, RandomInstanceConfig};
 use chase_core::ConstraintSet;
+use chase_engine::{chase, chase_naive, ChaseConfig};
 use chase_termination::{
     analyze, is_inductively_restricted, is_safe, is_stratified, is_weakly_acyclic,
     PrecedenceConfig,
@@ -75,6 +77,33 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("inductive_restriction", name), &set, |b, s| {
             b.iter(|| is_inductively_restricted(black_box(s), &pc))
+        });
+    }
+    g.finish();
+
+    // The chase itself over every Figure 1 corpus entry: the delta-driven
+    // trigger queue versus the seed engine's per-step re-enumeration, on
+    // identical chase sequences (the engines select identically).
+    let mut g = c.benchmark_group("fig1_chase_engines");
+    g.sample_size(10);
+    let cfg = ChaseConfig {
+        max_steps: Some(300),
+        ..ChaseConfig::default()
+    };
+    for (name, set) in corpus() {
+        let inst = random_instance(
+            &set,
+            &RandomInstanceConfig {
+                facts: 30,
+                domain: 5,
+                seed: 0xF161,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("delta", name), &inst, |b, i| {
+            b.iter(|| chase(black_box(i), &set, &cfg))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", name), &inst, |b, i| {
+            b.iter(|| chase_naive(black_box(i), &set, &cfg))
         });
     }
     g.finish();

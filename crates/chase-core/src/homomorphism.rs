@@ -397,6 +397,38 @@ pub fn find_all_homs_seeded(pattern: &[Atom], target: &Instance, seed: &Subst) -
     out
 }
 
+/// Unify one pattern atom with one ground fact, extending `seed` (pattern
+/// mode: variables bind or must agree; constants and nulls only match
+/// themselves). Returns the extended substitution on success.
+///
+/// This is the single-atom, persistent-substitution counterpart of the
+/// searcher's internal `try_match` and must keep the same per-position
+/// semantics — the delta-driven trigger engine seeds its re-matching with it
+/// and then completes through [`for_each_hom`], so a disagreement between
+/// the two would make delta enumeration diverge from full enumeration (see
+/// `unify_atom_agrees_with_searcher`).
+pub fn unify_atom(pattern: &Atom, fact: &Atom, seed: &Subst) -> Option<Subst> {
+    if pattern.pred() != fact.pred() || pattern.arity() != fact.arity() {
+        return None;
+    }
+    let mut mu = seed.clone();
+    for (&p, &g) in pattern.terms().iter().zip(fact.terms()) {
+        match p {
+            Term::Var(v) => match mu.var(v) {
+                Some(t) if t == g => {}
+                Some(_) => return None,
+                None => mu.bind_var(v, g),
+            },
+            _ => {
+                if p != g {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(mu)
+}
+
 /// A homomorphism **between instances**: constants fixed, nulls of `from`
 /// flexible. Returns the mapping if one exists.
 pub fn instance_hom(from: &Instance, to: &Instance) -> Option<Subst> {
@@ -502,6 +534,53 @@ mod tests {
     fn cartesian_patterns_enumerate_fully() {
         let i = inst("P(a). P(b). Q(c). Q(d).");
         assert_eq!(find_all_homs(&atoms("P(X), Q(Y)"), &i).len(), 4);
+    }
+
+    #[test]
+    fn unify_atom_agrees_with_searcher() {
+        // For a single-atom pattern, `unify_atom` against each fact must
+        // produce exactly the substitutions the backtracking searcher
+        // enumerates — the contract the delta-driven trigger engine relies
+        // on.
+        let i = inst("E(a,b). E(b,b). E(a,_n0). S(a). T(a,b,c).");
+        let patterns = [
+            "E(X,Y)",
+            "E(X,X)",
+            "E(a,Y)",
+            "S(X)",
+            "T(X,Y,Z)",
+            "T(X,X,Z)",
+        ];
+        for pat in patterns {
+            let pattern = &atoms(pat)[0];
+            let mut via_unify: Vec<Vec<(Sym, Term)>> = i
+                .iter()
+                .filter_map(|fact| unify_atom(pattern, fact, &Subst::new()))
+                .map(|mu| mu.var_bindings())
+                .collect();
+            let mut via_search: Vec<Vec<(Sym, Term)>> =
+                find_all_homs(std::slice::from_ref(pattern), &i)
+                    .into_iter()
+                    .map(|mu| mu.var_bindings())
+                    .collect();
+            via_unify.sort();
+            via_search.sort();
+            assert_eq!(via_unify, via_search, "disagreement on {pat}");
+        }
+        // Rigid nulls and fixed seeds behave the same way, too.
+        let pat = &atoms("E(X,_n0)")[0];
+        assert_eq!(
+            i.iter()
+                .filter_map(|f| unify_atom(pat, f, &Subst::new()))
+                .count(),
+            1
+        );
+        let seed = Subst::from_vars([(Sym::new("X"), Term::constant("a"))]);
+        let pat = &atoms("E(X,Y)")[0];
+        assert_eq!(
+            i.iter().filter_map(|f| unify_atom(pat, f, &seed)).count(),
+            2
+        );
     }
 
     #[test]

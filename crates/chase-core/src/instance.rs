@@ -370,6 +370,71 @@ mod tests {
         assert!(i.fresh_null().as_null().unwrap() >= 1);
     }
 
+    /// The position index must agree with a brute-force scan — the
+    /// delta-driven engine trusts `candidates` to seed trigger re-matching,
+    /// so a stale bucket after a merge would silently shrink the trigger
+    /// set.
+    fn assert_index_consistent(i: &Instance) {
+        let mut preds: BTreeSet<Sym> = BTreeSet::new();
+        for a in i.atoms() {
+            preds.insert(a.pred());
+        }
+        for &p in &preds {
+            for t in i.domain() {
+                let max_arity = i
+                    .atoms()
+                    .iter()
+                    .filter(|a| a.pred() == p)
+                    .map(|a| a.terms().len())
+                    .max()
+                    .unwrap_or(0);
+                for pos in 0..max_arity {
+                    let indexed: Vec<u32> = i.candidates(p, &[(pos, t)]).to_vec();
+                    let scanned: Vec<u32> = i
+                        .atoms()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| {
+                            a.pred() == p && a.terms().get(pos) == Some(&t)
+                        })
+                        .map(|(idx, _)| idx as u32)
+                        .collect();
+                    assert_eq!(
+                        indexed, scanned,
+                        "stale index bucket for ({p}, {pos}, {t}) in {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_keeps_position_index_consistent() {
+        let mut i = Instance::new();
+        i.insert(Atom::new("E", vec![Term::constant("a"), Term::null(0)]));
+        i.insert(Atom::new("E", vec![Term::null(0), Term::constant("c")]));
+        i.insert(Atom::new("E", vec![Term::constant("a"), Term::constant("b")]));
+        i.insert(Atom::new("S", vec![Term::null(0)]));
+        i.insert(Atom::new("S", vec![Term::constant("b")]));
+        assert_index_consistent(&i);
+        i.merge_terms(Term::null(0), Term::constant("b"));
+        assert_index_consistent(&i);
+        // The merged-away null must have vanished from every bucket.
+        assert!(i.candidates(Sym::new("E"), &[(0, Term::null(0))]).is_empty());
+        assert!(i.candidates(Sym::new("E"), &[(1, Term::null(0))]).is_empty());
+        assert!(i.candidates(Sym::new("S"), &[(0, Term::null(0))]).is_empty());
+        // Chained merges (null into null, then into a constant) stay clean.
+        let mut j = Instance::new();
+        j.insert(Atom::new("E", vec![Term::null(1), Term::null(2)]));
+        j.insert(Atom::new("E", vec![Term::null(2), Term::null(1)]));
+        j.merge_terms(Term::null(2), Term::null(1));
+        assert_index_consistent(&j);
+        j.merge_terms(Term::null(1), Term::constant("x"));
+        assert_index_consistent(&j);
+        assert!(j.contains(&ca("E", &["x", "x"])));
+        assert_eq!(j.len(), 1);
+    }
+
     #[test]
     fn domain_and_positions() {
         let mut i = Instance::new();

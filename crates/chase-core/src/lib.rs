@@ -37,7 +37,9 @@ pub use atom::Atom;
 pub use constraint::{Constraint, ConstraintSet, Egd, Tgd};
 pub use cq::ConjunctiveQuery;
 pub use error::CoreError;
-pub use homomorphism::{exists_extension, exists_hom, find_all_homs, find_hom, HomConfig, Subst};
+pub use homomorphism::{
+    exists_extension, exists_hom, find_all_homs, find_hom, unify_atom, HomConfig, Subst,
+};
 pub use instance::Instance;
 pub use schema::{PosSet, Position, Schema};
 pub use symbol::Sym;

@@ -23,7 +23,11 @@ pub use bfs::{find_terminating_sequence, BfsOutcome};
 pub use core_of::{core_chase, core_of, is_core, CoreChaseResult};
 pub use monitor::MonitorGraph;
 pub use runner::{
-    chase, chase_default, ChaseConfig, ChaseMode, ChaseResult, StepRecord, StopReason, Strategy,
+    chase, chase_default, chase_naive, ChaseConfig, ChaseMode, ChaseResult, StepRecord,
+    StopReason, Strategy,
 };
 pub use step::{apply_step, StepEffect};
-pub use trigger::{active_triggers, first_active_trigger, is_active, oblivious_triggers};
+pub use trigger::{
+    active_triggers, first_active_trigger, for_each_delta_match, is_active, match_atom,
+    oblivious_triggers,
+};

@@ -6,8 +6,9 @@
 //! *oblivious* step applies whenever the body maps, regardless of
 //! satisfaction.
 
+use chase_core::fx::FxHashSet;
 use chase_core::homomorphism::{for_each_hom, Subst};
-use chase_core::{Constraint, Instance, Sym, Term};
+use chase_core::{Atom, Constraint, Instance, Sym, Term};
 
 /// Is `(c, µ)` an active (standard-chase) trigger? Assumes `µ` maps the body
 /// into `inst`; checks the violation side.
@@ -35,12 +36,11 @@ pub fn first_active_trigger(c: &Constraint, inst: &Instance) -> Option<Subst> {
 /// All active triggers of `c`, deduplicated, in deterministic order.
 pub fn active_triggers(c: &Constraint, inst: &Instance) -> Vec<Subst> {
     let mut out: Vec<Subst> = Vec::new();
-    let mut seen: Vec<Vec<(Sym, Term)>> = Vec::new();
+    let mut seen: FxHashSet<Vec<(Sym, Term)>> = FxHashSet::default();
     for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
         if is_active(c, inst, mu) {
             let key = normalize(c, mu);
-            if !seen.contains(&key) {
-                seen.push(key);
+            if seen.insert(key) {
                 out.push(mu.clone());
             }
         }
@@ -52,16 +52,56 @@ pub fn active_triggers(c: &Constraint, inst: &Instance) -> Vec<Subst> {
 /// All body homomorphisms of `c` (oblivious triggers), deduplicated.
 pub fn oblivious_triggers(c: &Constraint, inst: &Instance) -> Vec<Subst> {
     let mut out: Vec<Subst> = Vec::new();
-    let mut seen: Vec<Vec<(Sym, Term)>> = Vec::new();
+    let mut seen: FxHashSet<Vec<(Sym, Term)>> = FxHashSet::default();
     for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
         let key = normalize(c, mu);
-        if !seen.contains(&key) {
-            seen.push(key);
+        if seen.insert(key) {
             out.push(mu.clone());
         }
         false
     });
     out
+}
+
+/// Unify one body atom with one ground fact, extending `seed` — re-exported
+/// from `chase_core` so the single-atom semantics live next to the full
+/// searcher they must agree with.
+pub use chase_core::homomorphism::unify_atom as match_atom;
+
+/// Semi-naive delta enumeration: every body homomorphism of `c` into `inst`
+/// that maps at least one body atom onto an atom of `delta` (which must be a
+/// subset of `inst`).
+///
+/// Each body slot is pinned to each delta atom in turn and the remaining
+/// body atoms are completed through the regular index-driven searcher, so
+/// the cost scales with the delta, not the instance. A match using several
+/// delta atoms is reported once per delta atom it uses; callers deduplicate
+/// by normalized assignment (they already must, because distinct
+/// homomorphisms can normalize to the same trigger).
+pub fn for_each_delta_match(
+    c: &Constraint,
+    inst: &Instance,
+    delta: &[Atom],
+    cb: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    let body = c.body();
+    for (j, pattern) in body.iter().enumerate() {
+        let mut rest: Vec<Atom> = Vec::with_capacity(body.len() - 1);
+        let mut have_rest = false;
+        for a in delta {
+            let Some(mu0) = match_atom(pattern, a, &Subst::new()) else {
+                continue;
+            };
+            if !have_rest {
+                rest.extend(body.iter().enumerate().filter(|&(k, _)| k != j).map(|(_, b)| b.clone()));
+                have_rest = true;
+            }
+            if for_each_hom(&rest, inst, &mu0, false, cb) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Canonical form of an assignment: bindings of the universal variables,

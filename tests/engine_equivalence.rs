@@ -1,0 +1,182 @@
+//! Equivalence of the delta-driven engine and the naive reference engine.
+//!
+//! The delta-driven trigger queue promises *identical semantics* to naive
+//! per-step re-enumeration — same trigger fired at every step, so the same
+//! trace, step count, fresh-null count, and final instance. These tests hold
+//! the two engines against each other over the `chase-corpus` random
+//! families and the named corpus families, across strategies and chase
+//! modes. On terminating runs the results must additionally be
+//! homomorphically equivalent (they are in fact equal, which is stronger;
+//! the hom check guards the contract the chase actually promises).
+
+use chase_core::homomorphism::hom_equivalent;
+use chase_corpus::families;
+use chase_corpus::random::{random_instance, random_tgds, RandomInstanceConfig, RandomTgdConfig};
+use chase_engine::{chase, chase_naive, ChaseConfig, ChaseMode, Strategy};
+use proptest::prelude::*;
+
+fn assert_equivalent(
+    set: &chase_core::ConstraintSet,
+    inst: &chase_core::Instance,
+    cfg: &ChaseConfig,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut cfg = cfg.clone();
+    cfg.keep_trace = true;
+    let fast = chase(inst, set, &cfg);
+    let slow = chase_naive(inst, set, &cfg);
+    prop_assert_eq!(
+        &fast.reason, &slow.reason,
+        "engines disagree on stop reason for:\n{}\non {}", set, inst
+    );
+    prop_assert_eq!(
+        fast.steps, slow.steps,
+        "engines disagree on step count for:\n{}\non {}", set, inst
+    );
+    prop_assert_eq!(
+        fast.fresh_nulls, slow.fresh_nulls,
+        "engines disagree on fresh nulls for:\n{}\non {}", set, inst
+    );
+    for (i, (a, b)) in fast.trace.iter().zip(&slow.trace).enumerate() {
+        prop_assert_eq!(
+            a.constraint, b.constraint,
+            "step {} fired different constraints for:\n{}\non {}", i, set, inst
+        );
+        prop_assert_eq!(
+            &a.assignment, &b.assignment,
+            "step {} fired different assignments for:\n{}\non {}", i, set, inst
+        );
+    }
+    prop_assert_eq!(
+        &fast.instance, &slow.instance,
+        "engines disagree on the final instance for:\n{}\non {}", set, inst
+    );
+    if fast.terminated() {
+        prop_assert!(
+            hom_equivalent(&fast.instance, &slow.instance),
+            "terminating results not hom-equivalent for:\n{}\non {}", set, inst
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_families_agree_round_robin(
+        seed in any::<u64>(),
+        constraints in 1usize..=4,
+        facts in 1usize..10,
+    ) {
+        let set = random_tgds(&RandomTgdConfig {
+            constraints,
+            predicates: 3,
+            max_arity: 3,
+            body_atoms: (1, 2),
+            head_atoms: (1, 2),
+            existential_prob: 0.35,
+            seed,
+        });
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 4, seed });
+        assert_equivalent(&set, &inst, &ChaseConfig::with_max_steps(300))?;
+    }
+
+    #[test]
+    fn random_families_agree_random_strategy(
+        seed in any::<u64>(),
+        order_seed in any::<u64>(),
+        facts in 1usize..8,
+    ) {
+        let set = random_tgds(&RandomTgdConfig {
+            constraints: 3,
+            predicates: 2,
+            max_arity: 2,
+            body_atoms: (1, 2),
+            head_atoms: (1, 1),
+            existential_prob: 0.3,
+            seed,
+        });
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 3, seed });
+        let cfg = ChaseConfig {
+            strategy: Strategy::Random { seed: order_seed },
+            max_steps: Some(300),
+            ..ChaseConfig::default()
+        };
+        assert_equivalent(&set, &inst, &cfg)?;
+    }
+
+    #[test]
+    fn random_families_agree_oblivious(
+        seed in any::<u64>(),
+        facts in 1usize..8,
+    ) {
+        let set = random_tgds(&RandomTgdConfig {
+            constraints: 2,
+            predicates: 2,
+            max_arity: 2,
+            body_atoms: (1, 2),
+            head_atoms: (1, 1),
+            existential_prob: 0.3,
+            seed,
+        });
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 3, seed });
+        let cfg = ChaseConfig {
+            mode: ChaseMode::Oblivious,
+            max_steps: Some(200),
+            ..ChaseConfig::default()
+        };
+        assert_equivalent(&set, &inst, &cfg)?;
+    }
+}
+
+#[test]
+fn corpus_families_agree_across_strategies() {
+    let cases: Vec<(chase_core::ConstraintSet, chase_core::Instance)> = vec![
+        (families::copy_chain(4), families::chain_source_instance(3)),
+        (families::lav_star(3), families::chain_source_instance(3)),
+        (families::safe_family(3), families::path_instance(4)),
+        (families::stratified_family(3), families::path_instance(3)),
+        (families::full_tgd_cycle(3), families::cycle_instance(3)),
+        (families::divergent_family(2), families::cycle_instance(2)),
+    ];
+    for (set, inst) in &cases {
+        for cfg in [
+            ChaseConfig::with_max_steps(200),
+            ChaseConfig {
+                strategy: Strategy::Random { seed: 7 },
+                max_steps: Some(200),
+                ..ChaseConfig::default()
+            },
+            ChaseConfig {
+                strategy: Strategy::FixedCycle((0..set.len()).rev().collect()),
+                max_steps: Some(200),
+                ..ChaseConfig::default()
+            },
+        ] {
+            assert_equivalent(set, inst, &cfg).unwrap_or_else(|e| panic!("{e:?}"));
+        }
+    }
+}
+
+/// EGD-heavy workload: merges force the delta engine down its rebuild path.
+#[test]
+fn egd_workloads_agree() {
+    let set = chase_core::ConstraintSet::parse(
+        "E(X,Y), E(X,Z) -> Y = Z\nS(X) -> E(X,Y)\nE(X,Y) -> T(Y)",
+    )
+    .unwrap();
+    let inst =
+        chase_core::Instance::parse("S(a). S(b). E(a,_n0). E(_n0,c). E(b,_n1). E(b,d).").unwrap();
+    for strategy in [
+        Strategy::RoundRobin,
+        Strategy::Random { seed: 3 },
+        Strategy::FixedCycle(vec![2, 1, 0]),
+    ] {
+        let cfg = ChaseConfig {
+            strategy,
+            max_steps: Some(200),
+            ..ChaseConfig::default()
+        };
+        assert_equivalent(&set, &inst, &cfg).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+}

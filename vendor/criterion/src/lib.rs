@@ -1,0 +1,307 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the sliver of criterion's API the bench targets use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with `sample_size`,
+//! `bench_function` / `bench_with_input`, and a [`Bencher`] with `iter`.
+//!
+//! Measurement is deliberately simple — per sample, run the closure in a
+//! timed batch sized to take roughly a millisecond, and report the median
+//! and min/max of the per-iteration times across samples. That is enough to
+//! compare engine variants by an order of magnitude, which is what the
+//! paper-figure benches do; it makes no claim to criterion's statistical
+//! rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark entry point; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accept a substring filter as the first CLI argument, skipping flags
+    /// (`cargo bench -- <filter>`). Other criterion flags are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n## {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name,
+            sample_size: None,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.label(), self.sample_size, self.filter.as_deref(), &mut f);
+        self
+    }
+
+    /// Print the closing line criterion's real `final_summary` ends with.
+    pub fn final_summary(&mut self) {
+        println!();
+    }
+}
+
+/// A named group of related benchmarks; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Run `f` as the benchmark `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.group, id.into().label());
+        run_benchmark(
+            &label,
+            self.effective_sample_size(),
+            self.criterion.filter.as_deref(),
+            &mut f,
+        );
+        self
+    }
+
+    /// Run `f(bencher, input)` as the benchmark `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.group, id.into().label());
+        run_benchmark(
+            &label,
+            self.effective_sample_size(),
+            self.criterion.filter.as_deref(),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (a no-op here; criterion writes reports at this point).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus an optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier from a bare function name.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if !self.function.is_empty() => format!("{}/{}", self.function, p),
+            Some(p) => p.clone(),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Timer handed to the benchmark closure; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    /// Iterations per timed batch (tuned by the harness before sampling).
+    iters_per_sample: u64,
+    /// Collected per-sample durations of one batch each.
+    samples: Vec<Duration>,
+    /// Calibration mode: measure one iteration instead of a batch.
+    calibrating: bool,
+    calibration: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it in batches as configured by the harness.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.calibrating {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.calibration = start.elapsed();
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, filter: Option<&str>, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(pat) = filter {
+        if !label.contains(pat) {
+            return;
+        }
+    }
+    // Calibrate: one untimed-batch run to size batches near ~1 ms, capped so
+    // slow benches still finish promptly.
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        calibrating: true,
+        calibration: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.calibration.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(1);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    b.calibrating = false;
+    b.iters_per_sample = iters;
+    let budget = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut b);
+        // Keep any single benchmark under ~2 s of sampling.
+        if budget.elapsed() > Duration::from_secs(2) {
+            break;
+        }
+    }
+    report(label, iters, &b.samples);
+}
+
+fn report(label: &str, iters: u64, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{label:<60} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export matching `criterion::black_box` (benches here import
+/// `std::hint::black_box` directly, but the alias keeps the API honest).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut runs = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 1), &7u32, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}

@@ -86,9 +86,11 @@ fn bench(c: &mut Criterion) {
             max_steps: Some(budget),
             ..ChaseConfig::default()
         };
-        g.bench_with_input(BenchmarkId::new("cyclic_until_budget", budget), &cfg, |b, cfg| {
-            b.iter(|| chase(black_box(&start), &sigma, cfg))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cyclic_until_budget", budget),
+            &cfg,
+            |b, cfg| b.iter(|| chase(black_box(&start), &sigma, cfg)),
+        );
         // The seed engine's behaviour: full trigger re-enumeration per step.
         g.bench_with_input(
             BenchmarkId::new("cyclic_until_budget_naive", budget),

@@ -6,13 +6,12 @@
 //! the yes/no pattern (and is asserted by `tests/classification_matrix.rs`).
 
 use chase_bench::{print_table, Row};
+use chase_core::ConstraintSet;
 use chase_corpus::paper;
 use chase_corpus::random::{random_instance, RandomInstanceConfig};
-use chase_core::ConstraintSet;
 use chase_engine::{chase, chase_naive, ChaseConfig};
 use chase_termination::{
-    analyze, is_inductively_restricted, is_safe, is_stratified, is_weakly_acyclic,
-    PrecedenceConfig,
+    analyze, is_inductively_restricted, is_safe, is_stratified, is_weakly_acyclic, PrecedenceConfig,
 };
 use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -56,7 +55,16 @@ fn print_matrix() {
         .collect();
     print_table(
         "Figure 1 — classification matrix (corpus × condition)",
-        &["set", "WA", "safe", "strat", "c-strat", "safe-restr", "IR=T[2]", "T-level≤4"],
+        &[
+            "set",
+            "WA",
+            "safe",
+            "strat",
+            "c-strat",
+            "safe-restr",
+            "IR=T[2]",
+            "T-level≤4",
+        ],
         &rows,
     );
 }
@@ -75,9 +83,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("stratification", name), &set, |b, s| {
             b.iter(|| is_stratified(black_box(s), &pc))
         });
-        g.bench_with_input(BenchmarkId::new("inductive_restriction", name), &set, |b, s| {
-            b.iter(|| is_inductively_restricted(black_box(s), &pc))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("inductive_restriction", name),
+            &set,
+            |b, s| b.iter(|| is_inductively_restricted(black_box(s), &pc)),
+        );
     }
     g.finish();
 

@@ -15,7 +15,10 @@ use std::time::Instant;
 fn workloads() -> Vec<(String, chase_core::ConstraintSet)> {
     let mut out = vec![("sec37-dprime".to_string(), paper::sec37_sigma_dprime())];
     for n in [2usize, 4, 6] {
-        out.push((format!("ir-family-{n}"), families::inductively_restricted_family(n)));
+        out.push((
+            format!("ir-family-{n}"),
+            families::inductively_restricted_family(n),
+        ));
     }
     for n in [4usize, 8] {
         out.push((format!("safe-family-{n}"), families::safe_family(n)));
@@ -41,7 +44,10 @@ fn print_shape() {
                     with.to_string(),
                     format!("{:.2?}", with_t),
                     format!("{:.2?}", without_t),
-                    format!("{:.1}x", without_t.as_secs_f64() / with_t.as_secs_f64().max(1e-9)),
+                    format!(
+                        "{:.1}x",
+                        without_t.as_secs_f64() / with_t.as_secs_f64().max(1e-9)
+                    ),
                 ],
             )
         })
@@ -58,12 +64,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("check_ablation");
     g.sample_size(10);
     for (name, set) in workloads() {
-        g.bench_with_input(BenchmarkId::new("with_shortcircuit", &name), &set, |b, s| {
-            b.iter(|| check(black_box(s), 2, &pc))
-        });
-        g.bench_with_input(BenchmarkId::new("without_shortcircuit", &name), &set, |b, s| {
-            b.iter(|| check_without_safety_shortcircuit(black_box(s), 2, &pc))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("with_shortcircuit", &name),
+            &set,
+            |b, s| b.iter(|| check(black_box(s), 2, &pc)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("without_shortcircuit", &name),
+            &set,
+            |b, s| b.iter(|| check_without_safety_shortcircuit(black_box(s), 2, &pc)),
+        );
     }
     g.finish();
 }

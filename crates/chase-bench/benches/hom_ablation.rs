@@ -41,10 +41,34 @@ fn count_homs(pat: &[Atom], inst: &Instance, cfg: &HomConfig) -> usize {
 
 fn configs() -> Vec<(&'static str, HomConfig)> {
     vec![
-        ("index+dynamic", HomConfig { use_position_index: true, dynamic_ordering: true }),
-        ("index only", HomConfig { use_position_index: true, dynamic_ordering: false }),
-        ("dynamic only", HomConfig { use_position_index: false, dynamic_ordering: true }),
-        ("naive", HomConfig { use_position_index: false, dynamic_ordering: false }),
+        (
+            "index+dynamic",
+            HomConfig {
+                use_position_index: true,
+                dynamic_ordering: true,
+            },
+        ),
+        (
+            "index only",
+            HomConfig {
+                use_position_index: true,
+                dynamic_ordering: false,
+            },
+        ),
+        (
+            "dynamic only",
+            HomConfig {
+                use_position_index: false,
+                dynamic_ordering: true,
+            },
+        ),
+        (
+            "naive",
+            HomConfig {
+                use_position_index: false,
+                dynamic_ordering: false,
+            },
+        ),
     ]
 }
 

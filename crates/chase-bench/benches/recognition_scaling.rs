@@ -37,18 +37,30 @@ fn print_shapes() {
         for n in [1usize, 2, 4, 6] {
             let set = family(n);
             let size = set.len() as f64;
-            wa.push((size, time_of(|| {
-                is_weakly_acyclic(black_box(&set));
-            })));
-            safe.push((size, time_of(|| {
-                is_safe(black_box(&set));
-            })));
-            strat.push((size, time_of(|| {
-                is_stratified(black_box(&set), &pc);
-            })));
-            ir.push((size, time_of(|| {
-                is_inductively_restricted(black_box(&set), &pc);
-            })));
+            wa.push((
+                size,
+                time_of(|| {
+                    is_weakly_acyclic(black_box(&set));
+                }),
+            ));
+            safe.push((
+                size,
+                time_of(|| {
+                    is_safe(black_box(&set));
+                }),
+            ));
+            strat.push((
+                size,
+                time_of(|| {
+                    is_stratified(black_box(&set), &pc);
+                }),
+            ));
+            ir.push((
+                size,
+                time_of(|| {
+                    is_inductively_restricted(black_box(&set), &pc);
+                }),
+            ));
         }
         print_series(&format!("{title}: weak acyclicity"), "|Σ|", "ms", &wa);
         print_series(&format!("{title}: safety"), "|Σ|", "ms", &safe);
@@ -72,9 +84,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("stratification", n), &set, |b, s| {
             b.iter(|| is_stratified(black_box(s), &pc))
         });
-        g.bench_with_input(BenchmarkId::new("inductive_restriction", n), &set, |b, s| {
-            b.iter(|| is_inductively_restricted(black_box(s), &pc))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("inductive_restriction", n),
+            &set,
+            |b, s| b.iter(|| is_inductively_restricted(black_box(s), &pc)),
+        );
     }
     g.finish();
 }

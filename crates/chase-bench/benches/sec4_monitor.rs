@@ -65,9 +65,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("terminating_plain", n), &inst, |b, i| {
             b.iter(|| chase(black_box(i), &sigma, &plain))
         });
-        g.bench_with_input(BenchmarkId::new("terminating_monitored", n), &inst, |b, i| {
-            b.iter(|| chase(black_box(i), &sigma, &monitored))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("terminating_monitored", n),
+            &inst,
+            |b, i| b.iter(|| chase(black_box(i), &sigma, &monitored)),
+        );
     }
 
     // Abort latency on the divergent travel query.

@@ -56,9 +56,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("weakly_guarded", &name), &set, |b, s| {
             b.iter(|| is_weakly_guarded(black_box(s)))
         });
-        g.bench_with_input(BenchmarkId::new("restrictedly_guarded", &name), &set, |b, s| {
-            b.iter(|| is_restrictedly_guarded(black_box(s), &pc))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("restrictedly_guarded", &name),
+            &set,
+            |b, s| b.iter(|| is_restrictedly_guarded(black_box(s), &pc)),
+        );
     }
     g.finish();
 }

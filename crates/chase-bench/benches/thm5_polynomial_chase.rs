@@ -78,7 +78,13 @@ fn bench(c: &mut Criterion) {
     for n in [8usize, 16, 32] {
         let inst = families::cycle_instance(n);
         g.bench_with_input(BenchmarkId::new("example10_cycle", n), &inst, |b, i| {
-            b.iter(|| chase(black_box(i), &sigma10, &ChaseConfig::with_max_steps(200_000)))
+            b.iter(|| {
+                chase(
+                    black_box(i),
+                    &sigma10,
+                    &ChaseConfig::with_max_steps(200_000),
+                )
+            })
         });
     }
     let chain = families::copy_chain(6);

@@ -1,0 +1,138 @@
+//! Turn `cargo bench -p chase-bench` output into a `BENCH_<sha>.json`
+//! summary — the record CI uploads to build the repo's perf trajectory.
+//!
+//! Reads bench output on stdin and writes JSON on stdout. Each measurement
+//! line has the shape the criterion stand-in prints:
+//!
+//! ```text
+//! parallel_scaling/fig9_travel/t4        time: [1.10 ms 1.23 ms 1.51 ms]
+//! ```
+//!
+//! and becomes `{"group", "workload", "engine", "label", "median_ns"}`,
+//! where `group` is the first `/`-segment of the label, `engine` the last,
+//! and `workload` whatever sits between (falling back to the group for
+//! short labels). Usage:
+//!
+//! ```text
+//! cargo bench -p chase-bench | cargo run -p chase-bench --bin bench2json -- --sha "$GITHUB_SHA"
+//! ```
+
+use std::io::Read;
+
+#[derive(Debug)]
+struct Measurement {
+    label: String,
+    median_ns: f64,
+}
+
+/// Parse one `<label> time: [<min> <median> <max>]` line.
+fn parse_line(line: &str) -> Option<Measurement> {
+    let (label, rest) = line.split_once(" time: [")?;
+    let inside = rest.trim_end().strip_suffix(']')?;
+    let tokens: Vec<&str> = inside.split_whitespace().collect();
+    if tokens.len() != 6 {
+        return None;
+    }
+    let median: f64 = tokens[2].parse().ok()?;
+    let scale = match tokens[3] {
+        "ns" => 1.0,
+        "µs" | "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(Measurement {
+        label: label.trim().to_string(),
+        median_ns: median * scale,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut sha = std::env::var("GITHUB_SHA").unwrap_or_default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--sha" {
+            sha = args.next().unwrap_or_default();
+        }
+    }
+    if sha.is_empty() {
+        sha = "unknown".into();
+    }
+
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .expect("read bench output from stdin");
+    let mut results: Vec<Measurement> = input.lines().filter_map(parse_line).collect();
+    results.sort_by(|a, b| a.label.cmp(&b.label));
+
+    let quick = chase_bench::quick();
+    println!("{{");
+    println!("  \"sha\": \"{}\",", json_escape(&sha));
+    println!("  \"quick\": {quick},");
+    println!("  \"results\": [");
+    for (i, m) in results.iter().enumerate() {
+        let segments: Vec<&str> = m.label.split('/').collect();
+        let group = segments.first().copied().unwrap_or("");
+        let engine = segments.last().copied().unwrap_or("");
+        let workload = if segments.len() >= 3 {
+            segments[1..segments.len() - 1].join("/")
+        } else {
+            group.to_string()
+        };
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        println!(
+            "    {{\"group\": \"{}\", \"workload\": \"{}\", \"engine\": \"{}\", \"label\": \"{}\", \"median_ns\": {:.1}}}{}",
+            json_escape(group),
+            json_escape(&workload),
+            json_escape(engine),
+            json_escape(&m.label),
+            m.median_ns,
+            comma
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_measurement_lines() {
+        let m = parse_line(
+            "parallel_scaling/fig9_travel/t4                time: [1.10 ms 1.23 ms 1.51 ms]",
+        )
+        .unwrap();
+        assert_eq!(m.label, "parallel_scaling/fig9_travel/t4");
+        assert!((m.median_ns - 1.23e6).abs() < 1.0);
+        let m = parse_line("g/f   time: [980.00 ns 1.10 µs 1.90 µs]").unwrap();
+        assert!((m.median_ns - 1100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ignores_non_measurement_lines() {
+        assert!(parse_line("## parallel_scaling").is_none());
+        assert!(parse_line("some table row | 33 | 12").is_none());
+        assert!(parse_line("x time: [weird]").is_none());
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

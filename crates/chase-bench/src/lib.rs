@@ -9,3 +9,28 @@
 pub mod tables;
 
 pub use tables::{print_series, print_table, Row};
+
+/// Quick mode: `CHASE_BENCH_QUICK` is set in the environment.
+///
+/// CI's `bench-smoke` job exports it so every bench target runs with
+/// reduced budgets (smaller workloads here, fewer samples and a tighter
+/// sampling budget in the criterion stand-in) — enough to catch rot and
+/// seed the `BENCH_<sha>.json` perf trajectory without burning CI minutes.
+/// The numbers it produces are trend data, not precision measurements.
+///
+/// Delegates to the criterion stand-in's [`criterion::quick_mode`] so the
+/// workload sizing here and the sampler's budgets can never disagree on
+/// what "quick" means.
+pub fn quick() -> bool {
+    criterion::quick_mode()
+}
+
+/// `full` in normal runs, `quick` under [`quick`] mode — for sizing bench
+/// workloads in one expression.
+pub fn scaled(full: usize, quick_value: usize) -> usize {
+    if quick() {
+        quick_value
+    } else {
+        full
+    }
+}

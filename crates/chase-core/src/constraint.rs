@@ -455,6 +455,14 @@ pub struct ConstraintSet {
     items: Vec<Constraint>,
 }
 
+// Constraint sets are shared read-only across the parallel engine's matcher
+// threads, alongside `InstanceView` snapshots.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Constraint>();
+    assert_sync::<ConstraintSet>();
+};
+
 impl ConstraintSet {
     /// Empty set.
     pub fn new() -> ConstraintSet {

@@ -221,7 +221,10 @@ mod tests {
         let q = ConjunctiveQuery::parse("q(X) <- E(X,Y)").unwrap();
         let i = Instance::parse("E(a,b). E(a,c). E(b,c).").unwrap();
         let ans = q.evaluate(&i);
-        assert_eq!(ans, vec![vec![Term::constant("a")], vec![Term::constant("b")]]);
+        assert_eq!(
+            ans,
+            vec![vec![Term::constant("a")], vec![Term::constant("b")]]
+        );
     }
 
     #[test]

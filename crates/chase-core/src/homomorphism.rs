@@ -513,7 +513,10 @@ mod tests {
         let to = inst("E(a,b). S(b). S(c).");
         let h = instance_hom(&from, &to).expect("hom should exist");
         assert_eq!(h.null(0), Some(Term::constant("b")));
-        assert!(instance_hom(&to, &from).is_none(), "no hom back: c unmatched");
+        assert!(
+            instance_hom(&to, &from).is_none(),
+            "no hom back: c unmatched"
+        );
     }
 
     #[test]
@@ -543,14 +546,7 @@ mod tests {
         // enumerates — the contract the delta-driven trigger engine relies
         // on.
         let i = inst("E(a,b). E(b,b). E(a,_n0). S(a). T(a,b,c).");
-        let patterns = [
-            "E(X,Y)",
-            "E(X,X)",
-            "E(a,Y)",
-            "S(X)",
-            "T(X,Y,Z)",
-            "T(X,X,Z)",
-        ];
+        let patterns = ["E(X,Y)", "E(X,X)", "E(a,Y)", "S(X)", "T(X,Y,Z)", "T(X,X,Z)"];
         for pat in patterns {
             let pattern = &atoms(pat)[0];
             let mut via_unify: Vec<Vec<(Sym, Term)>> = i
@@ -586,9 +582,7 @@ mod tests {
     #[test]
     fn all_searcher_configs_agree() {
         // The ablation knobs change cost, never results.
-        let i = inst(
-            "E(a,b). E(b,c). E(c,d). E(a,c). S(b). S(c). T(a,b,c). T(b,c,d).",
-        );
+        let i = inst("E(a,b). E(b,c). E(c,d). E(a,c). S(b). S(c). T(a,b,c). T(b,c,d).");
         let patterns = [
             "E(X,Y), E(Y,Z)",
             "S(X), E(X,Y), E(Y,Z), S(Z)",

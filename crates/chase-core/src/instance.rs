@@ -63,7 +63,8 @@ impl Instance {
     /// Panics if the atom contains a variable; use [`Instance::try_insert`]
     /// for a checked version.
     pub fn insert(&mut self, atom: Atom) -> bool {
-        self.try_insert(atom).expect("non-ground atom inserted into instance")
+        self.try_insert(atom)
+            .expect("non-ground atom inserted into instance")
     }
 
     /// Insert a ground atom; returns `true` if it was new, or an error if the
@@ -132,11 +133,7 @@ impl Instance {
     /// match). With no fixed positions this is the per-predicate bucket.
     pub fn candidates(&self, pred: Sym, fixed: &[(usize, Term)]) -> &[u32] {
         if fixed.is_empty() {
-            return self
-                .by_pred
-                .get(&pred)
-                .map(|v| v.as_slice())
-                .unwrap_or(&[]);
+            return self.by_pred.get(&pred).map(|v| v.as_slice()).unwrap_or(&[]);
         }
         let mut best: Option<&[u32]> = None;
         for &(i, t) in fixed {
@@ -257,6 +254,19 @@ impl Instance {
         Schema::from_atoms(self.atoms.iter())
     }
 
+    /// A read-only view of this instance for concurrent matching.
+    ///
+    /// Between chase steps the instance — including its per-predicate and
+    /// per-`(predicate, position, term)` indexes — is immutable, so a view
+    /// taken then is a consistent *snapshot* of the position index that any
+    /// number of worker threads may query through [`Instance::candidates`]
+    /// concurrently (see the `Sync` assertion in this module). The view is
+    /// `Copy` and borrows the instance, so the borrow checker retires every
+    /// outstanding snapshot before the next mutating step can run.
+    pub fn view(&self) -> InstanceView<'_> {
+        InstanceView(self)
+    }
+
     /// Facts in a canonical sorted order (for display and comparison).
     pub fn sorted_atoms(&self) -> Vec<&Atom> {
         let mut v: Vec<&Atom> = self.atoms.iter().collect();
@@ -269,6 +279,43 @@ impl Instance {
         v
     }
 }
+
+/// A read-only, thread-shareable snapshot of an [`Instance`] (see
+/// [`Instance::view`]).
+///
+/// Dereferences to the instance, exposing the whole query API
+/// (`candidates`, `atom_at`, `with_pred`, …) with no way to mutate. The
+/// parallel matching engine hands one to its revalidation workers, which
+/// query the snapshot's position index concurrently; its other sharded
+/// paths share `&Instance` through the run state under the same `Sync`
+/// contract (asserted below).
+#[derive(Clone, Copy)]
+pub struct InstanceView<'a>(&'a Instance);
+
+impl<'a> InstanceView<'a> {
+    /// The underlying instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.0
+    }
+}
+
+impl std::ops::Deref for InstanceView<'_> {
+    type Target = Instance;
+
+    fn deref(&self) -> &Instance {
+        self.0
+    }
+}
+
+// The contract the parallel chase engine builds on: instances (and therefore
+// views of them) can be shared across matcher threads. `Sym` is an index
+// into the process-wide interner, which is guarded by a `parking_lot`-style
+// `RwLock`, so everything an instance holds is plain shareable data.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Instance>();
+    assert_sync::<InstanceView<'_>>();
+};
 
 impl PartialEq for Instance {
     /// Set equality over facts (insertion order and null counters ignored).
@@ -361,7 +408,10 @@ mod tests {
     fn merge_rewrites_and_dedupes() {
         let mut i = Instance::new();
         i.insert(Atom::new("E", vec![Term::constant("a"), Term::null(0)]));
-        i.insert(Atom::new("E", vec![Term::constant("a"), Term::constant("b")]));
+        i.insert(Atom::new(
+            "E",
+            vec![Term::constant("a"), Term::constant("b")],
+        ));
         let rewritten = i.merge_terms(Term::null(0), Term::constant("b"));
         assert_eq!(rewritten, 1);
         assert_eq!(i.len(), 1);
@@ -394,9 +444,7 @@ mod tests {
                         .atoms()
                         .iter()
                         .enumerate()
-                        .filter(|(_, a)| {
-                            a.pred() == p && a.terms().get(pos) == Some(&t)
-                        })
+                        .filter(|(_, a)| a.pred() == p && a.terms().get(pos) == Some(&t))
                         .map(|(idx, _)| idx as u32)
                         .collect();
                     assert_eq!(
@@ -413,16 +461,25 @@ mod tests {
         let mut i = Instance::new();
         i.insert(Atom::new("E", vec![Term::constant("a"), Term::null(0)]));
         i.insert(Atom::new("E", vec![Term::null(0), Term::constant("c")]));
-        i.insert(Atom::new("E", vec![Term::constant("a"), Term::constant("b")]));
+        i.insert(Atom::new(
+            "E",
+            vec![Term::constant("a"), Term::constant("b")],
+        ));
         i.insert(Atom::new("S", vec![Term::null(0)]));
         i.insert(Atom::new("S", vec![Term::constant("b")]));
         assert_index_consistent(&i);
         i.merge_terms(Term::null(0), Term::constant("b"));
         assert_index_consistent(&i);
         // The merged-away null must have vanished from every bucket.
-        assert!(i.candidates(Sym::new("E"), &[(0, Term::null(0))]).is_empty());
-        assert!(i.candidates(Sym::new("E"), &[(1, Term::null(0))]).is_empty());
-        assert!(i.candidates(Sym::new("S"), &[(0, Term::null(0))]).is_empty());
+        assert!(i
+            .candidates(Sym::new("E"), &[(0, Term::null(0))])
+            .is_empty());
+        assert!(i
+            .candidates(Sym::new("E"), &[(1, Term::null(0))])
+            .is_empty());
+        assert!(i
+            .candidates(Sym::new("S"), &[(0, Term::null(0))])
+            .is_empty());
         // Chained merges (null into null, then into a constant) stay clean.
         let mut j = Instance::new();
         j.insert(Atom::new("E", vec![Term::null(1), Term::null(2)]));

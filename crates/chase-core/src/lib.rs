@@ -40,7 +40,7 @@ pub use error::CoreError;
 pub use homomorphism::{
     exists_extension, exists_hom, find_all_homs, find_hom, unify_atom, HomConfig, Subst,
 };
-pub use instance::Instance;
+pub use instance::{Instance, InstanceView};
 pub use schema::{PosSet, Position, Schema};
 pub use symbol::Sym;
 pub use term::Term;

@@ -100,29 +100,53 @@ fn lex(text: &str) -> Result<Vec<Tok>, CoreError> {
             }
             '(' => {
                 bump!();
-                toks.push(Tok { kind: TokKind::LParen, line: tl, col: tc });
+                toks.push(Tok {
+                    kind: TokKind::LParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ')' => {
                 bump!();
-                toks.push(Tok { kind: TokKind::RParen, line: tl, col: tc });
+                toks.push(Tok {
+                    kind: TokKind::RParen,
+                    line: tl,
+                    col: tc,
+                });
             }
             ',' => {
                 bump!();
-                toks.push(Tok { kind: TokKind::Comma, line: tl, col: tc });
+                toks.push(Tok {
+                    kind: TokKind::Comma,
+                    line: tl,
+                    col: tc,
+                });
             }
             '.' => {
                 bump!();
-                toks.push(Tok { kind: TokKind::Dot, line: tl, col: tc });
+                toks.push(Tok {
+                    kind: TokKind::Dot,
+                    line: tl,
+                    col: tc,
+                });
             }
             '=' => {
                 bump!();
-                toks.push(Tok { kind: TokKind::Eq, line: tl, col: tc });
+                toks.push(Tok {
+                    kind: TokKind::Eq,
+                    line: tl,
+                    col: tc,
+                });
             }
             '-' => {
                 bump!();
                 if chars.peek() == Some(&'>') {
                     bump!();
-                    toks.push(Tok { kind: TokKind::Arrow, line: tl, col: tc });
+                    toks.push(Tok {
+                        kind: TokKind::Arrow,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
                     return Err(CoreError::Parse {
                         line: tl,
@@ -135,7 +159,11 @@ fn lex(text: &str) -> Result<Vec<Tok>, CoreError> {
                 bump!();
                 if chars.peek() == Some(&'-') {
                     bump!();
-                    toks.push(Tok { kind: TokKind::LArrow, line: tl, col: tc });
+                    toks.push(Tok {
+                        kind: TokKind::LArrow,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
                     return Err(CoreError::Parse {
                         line: tl,
@@ -154,7 +182,11 @@ fn lex(text: &str) -> Result<Vec<Tok>, CoreError> {
                         break;
                     }
                 }
-                toks.push(Tok { kind: TokKind::Ident(s), line: tl, col: tc });
+                toks.push(Tok {
+                    kind: TokKind::Ident(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             other => {
                 return Err(CoreError::Parse {
@@ -165,7 +197,11 @@ fn lex(text: &str) -> Result<Vec<Tok>, CoreError> {
             }
         }
     }
-    toks.push(Tok { kind: TokKind::Eof, line, col });
+    toks.push(Tok {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
     Ok(toks)
 }
 
@@ -235,10 +271,12 @@ impl Parser {
                 .strip_prefix("_n")
                 .filter(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()));
             return match digits {
-                Some(d) => Ok(Term::Null(d.parse::<u32>().map_err(|_| CoreError::Parse {
-                    line: self.here().0,
-                    col: self.here().1,
-                    msg: format!("null id out of range in {name}"),
+                Some(d) => Ok(Term::Null(d.parse::<u32>().map_err(|_| {
+                    CoreError::Parse {
+                        line: self.here().0,
+                        col: self.here().1,
+                        msg: format!("null id out of range in {name}"),
+                    }
                 })?)),
                 None => self.err(format!("nulls must be written _n<digits>, got {name}")),
             };
@@ -316,9 +354,8 @@ impl Parser {
                             vars.push(Sym::new(&name));
                         }
                         other => {
-                            return self.err(format!(
-                                "expected an existential variable, found {other:?}"
-                            ))
+                            return self
+                                .err(format!("expected an existential variable, found {other:?}"))
                         }
                     }
                     if *self.peek() == TokKind::Comma {

@@ -118,7 +118,13 @@ mod tests {
     #[test]
     fn concurrent_interning_is_consistent() {
         let handles: Vec<_> = (0..8)
-            .map(|_| std::thread::spawn(|| (0..100).map(|i| Sym::new(&format!("t{i}"))).collect::<Vec<_>>()))
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..100)
+                        .map(|i| Sym::new(&format!("t{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
         let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for w in results.windows(2) {

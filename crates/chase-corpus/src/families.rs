@@ -107,6 +107,16 @@ pub fn path_instance(n: usize) -> Instance {
     Instance::parse(&text).expect("path instance parses")
 }
 
+/// `n` unary facts `P(c0) … P(c{n−1})` — a scaled seed for families guarded
+/// by a unary predicate (e.g. Example 4's `R`, at benchmark sizes).
+pub fn unary_instance(pred: &str, n: usize) -> Instance {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("{pred}(c{i}). "));
+    }
+    Instance::parse(&text).expect("unary instance parses")
+}
+
 /// An instance of `n` facts `R0(ci, c{i+1})` feeding [`copy_chain`].
 pub fn chain_source_instance(n: usize) -> Instance {
     let mut text = String::new();
@@ -137,6 +147,8 @@ mod tests {
         assert_eq!(path_instance(5).len(), 9);
         assert_eq!(chain_source_instance(4).len(), 4);
         assert_eq!(cycle_instance(3).domain_size(), 3);
+        assert_eq!(unary_instance("R", 12).len(), 12);
+        assert_eq!(unary_instance("R", 12).domain_size(), 12);
     }
 
     #[test]

@@ -58,12 +58,10 @@ pub fn example2_gamma() -> ConstraintSet {
 /// α1, α2, α3, α4, … diverges from `{R(a)}`. The paper's counterexample to
 /// the termination claim of \[9\].
 pub fn example4_sigma() -> ConstraintSet {
-    set(
-        "R(X1) -> S(X1,X1)\n\
+    set("R(X1) -> S(X1,X1)\n\
          S(X1,X2) -> T(X2,Z)\n\
          S(X1,X2) -> T(X1,X2), T(X2,X1)\n\
-         T(X1,X2), T(X1,X3), T(X3,X1) -> R(X2)",
-    )
+         T(X1,X2), T(X1,X3), T(X3,X1) -> R(X2)")
 }
 
 /// Example 4's instance `{R(a)}`.
@@ -90,41 +88,33 @@ pub fn safety_beta() -> ConstraintSet {
 
 /// Theorem 4(c): {α, β} — safe but not (c-)stratified.
 pub fn thm4_safe_not_stratified() -> ConstraintSet {
-    set(
-        "S(X2,X3), R(X1,X2,X3) -> R(X2,Y,X1)\n\
-         R(X1,X2,X3) -> S(X1,X3)",
-    )
+    set("S(X2,X3), R(X1,X2,X3) -> R(X2,Y,X1)\n\
+         R(X1,X2,X3) -> S(X1,X3)")
 }
 
 /// Example 10/12: Σ = {α1, α2} — special nodes have 2- and 3-cycles.
 /// Neither safe nor stratified; safely restricted.
 pub fn example10_sigma() -> ConstraintSet {
-    set(
-        "S(X), E(X,Y) -> E(Y,X)\n\
-         S(X), E(X,Y) -> E(Y,Z), E(Z,X)",
-    )
+    set("S(X), E(X,Y) -> E(Y,X)\n\
+         S(X), E(X,Y) -> E(Y,Z), E(Z,X)")
 }
 
 /// Example 13: Σ' = Σ ∪ {α3}, α3 = `∃x,y S(x), E(x,y)` — inductively
 /// restricted but not safely restricted.
 pub fn example13_sigma_prime() -> ConstraintSet {
-    set(
-        "S(X), E(X,Y) -> E(Y,X)\n\
+    set("S(X), E(X,Y) -> E(Y,X)\n\
          S(X), E(X,Y) -> E(Y,Z), E(Z,X)\n\
-         -> S(X), E(X,Y)",
-    )
+         -> S(X), E(X,Y)")
 }
 
 /// Section 3.7: Σ'' = Σ' ∪ {α4, α5} — the worked input of the `check`
 /// algorithm.
 pub fn sec37_sigma_dprime() -> ConstraintSet {
-    set(
-        "S(X), E(X,Y) -> E(Y,X)\n\
+    set("S(X), E(X,Y) -> E(Y,X)\n\
          S(X), E(X,Y) -> E(Y,Z), E(Z,X)\n\
          -> S(X), E(X,Y)\n\
          E(X1,X2) -> T(X1,X2)\n\
-         T(X1,X2) -> T(X2,X1)",
-    )
+         T(X1,X2) -> T(X2,X1)")
 }
 
 /// The Example 15 family, parameterized by the arity `n ≥ 2` of `R`:
@@ -171,11 +161,9 @@ pub fn example17_instance() -> Instance {
 
 /// Figure 9: the travel-agency constraints α1–α3.
 pub fn fig9_travel() -> ConstraintSet {
-    set(
-        "fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2)\n\
+    set("fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2)\n\
          rail(C1,C2,D) -> rail(C2,C1,D)\n\
-         fly(C1,C2,D) -> fly(C2,C3,D2)",
-    )
+         fly(C1,C2,D) -> fly(C2,C3,D2)")
 }
 
 /// Section 4's query q1: cities reachable from `c1` via rail-and-fly.
@@ -218,21 +206,17 @@ pub fn q2_rewritten_with_filter() -> ConjunctiveQuery {
 
 /// Example 19: restrictedly guarded but not weakly guarded.
 pub fn example19_guarded() -> ConstraintSet {
-    set(
-        "R(X1,X2), S(X1,X2) -> S(X2,Y)\n\
+    set("R(X1,X2), S(X1,X2) -> S(X2,Y)\n\
          S(X1,X2), S(X3,X1) -> R(X2,X1)\n\
-         T(X1,X2) -> S(Y,X2)",
-    )
+         T(X1,X2) -> S(Y,X2)")
 }
 
 /// A classic weakly acyclic data-exchange set (used as a baseline corpus
 /// entry; not from the paper).
 pub fn data_exchange_baseline() -> ConstraintSet {
-    set(
-        "emp(E,D) -> dept(D)\n\
+    set("emp(E,D) -> dept(D)\n\
          dept(D) -> mgr(D,M)\n\
-         mgr(D,M) -> emp(M,D)",
-    )
+         mgr(D,M) -> emp(M,D)")
 }
 
 #[cfg(test)]

@@ -18,16 +18,14 @@ fn set(text: &str) -> ConstraintSet {
 /// weakly acyclic, so every chase sequence terminates — chasing a source
 /// instance produces a *universal solution*.
 pub fn data_exchange_scenario() -> ConstraintSet {
-    set(
-        "# source-to-target
+    set("# source-to-target
          s_emp(N,D,C) -> emp(N,Did), dept(Did,D,C)
          s_proj(P,L) -> proj(Pid,P), lead(Pid,L)
          # target constraints
          lead(Pid,L) -> emp(L,Did)
          emp(N,Did) -> dept(Did,Dn,Dc)
          # key: a department id has one location
-         dept(Did,Dn,C1), dept(Did,Dn2,C2) -> C1 = C2",
-    )
+         dept(Did,Dn,C1), dept(Did,Dn2,C2) -> C1 = C2")
 }
 
 /// A small source instance for [`data_exchange_scenario`].
@@ -52,11 +50,9 @@ pub fn data_exchange_query() -> ConjunctiveQuery {
 /// condition. Used to demonstrate the data-dependent pipeline on a
 /// non-textbook set.
 pub fn integration_divergent_scenario() -> ConstraintSet {
-    set(
-        "s_emp(N,D,C) -> emp(N,Did), dept(Did,D,C)
+    set("s_emp(N,D,C) -> emp(N,Did), dept(Did,D,C)
          dept(Did,Dn,C) -> mgr(Did,M), emp(M,Did2)
-         emp(N,Did) -> dept(Did,Dn,Dc)",
-    )
+         emp(N,Did) -> dept(Did,Dn,Dc)")
 }
 
 #[cfg(test)]

@@ -258,9 +258,27 @@ pub fn tm_flipper() -> TuringMachine {
         states: 4,
         symbols: vec!["blank".into(), "mark".into()],
         transitions: vec![
-            Transition { from: 0, read: 0, write: 1, dir: Dir::Right, to: 1 },
-            Transition { from: 1, read: 0, write: 1, dir: Dir::Left, to: 2 },
-            Transition { from: 2, read: 1, write: 1, dir: Dir::Stay, to: 3 },
+            Transition {
+                from: 0,
+                read: 0,
+                write: 1,
+                dir: Dir::Right,
+                to: 1,
+            },
+            Transition {
+                from: 1,
+                read: 0,
+                write: 1,
+                dir: Dir::Left,
+                to: 2,
+            },
+            Transition {
+                from: 2,
+                read: 1,
+                write: 1,
+                dir: Dir::Stay,
+                to: 3,
+            },
         ],
     }
 }

@@ -8,8 +8,8 @@
 //! whenever one exists), at the price of the NP-hard core step — fine for
 //! the small instances this library targets, and bounded by a round budget.
 
-use crate::trigger::{active_triggers, normalize};
 use crate::step::apply_step;
+use crate::trigger::{active_triggers, normalize};
 use chase_core::homomorphism::{for_each_hom, Subst};
 use chase_core::{ConstraintSet, Instance};
 
@@ -176,10 +176,7 @@ mod tests {
         assert!(!standard.terminated(), "standard chase must diverge");
         let core = core_chase(&inst, &set, 20);
         assert!(core.satisfied, "core chase must terminate");
-        assert_eq!(
-            core.instance,
-            Instance::parse("D(a). E(a,a).").unwrap()
-        );
+        assert_eq!(core.instance, Instance::parse("D(a). E(a,a).").unwrap());
     }
 
     #[test]

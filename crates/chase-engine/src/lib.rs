@@ -11,10 +11,20 @@
 //! The runner is deliberately able to reproduce **non-terminating** chase
 //! sequences up to a budget — reproducing Example 4's divergence is as much a
 //! part of the paper as reproducing the terminating orders of Theorem 2.
+//!
+//! Three engines share the same canonical trigger selection and therefore
+//! produce bit-identical traces on the same inputs:
+//!
+//! * [`chase_naive`] — per-step full trigger re-enumeration (the reference);
+//! * [`chase`] — the delta-driven trigger queue (semi-naive re-matching);
+//! * [`chase_parallel`] — the delta engine scheduled over a stratification
+//!   phase order, with per-step matching sharded across scoped worker
+//!   threads ([`parallel`]).
 
 pub mod bfs;
 pub mod core_of;
 pub mod monitor;
+pub mod parallel;
 pub mod runner;
 pub mod step;
 pub mod trigger;
@@ -22,12 +32,13 @@ pub mod trigger;
 pub use bfs::{find_terminating_sequence, BfsOutcome};
 pub use core_of::{core_chase, core_of, is_core, CoreChaseResult};
 pub use monitor::MonitorGraph;
+pub use parallel::{chase_parallel, ParallelConfig};
 pub use runner::{
-    chase, chase_default, chase_naive, ChaseConfig, ChaseMode, ChaseResult, StepRecord,
-    StopReason, Strategy,
+    chase, chase_default, chase_naive, ChaseConfig, ChaseMode, ChaseResult, StepRecord, StopReason,
+    Strategy,
 };
 pub use step::{apply_step, StepEffect};
 pub use trigger::{
-    active_triggers, first_active_trigger, for_each_delta_match, is_active, match_atom,
-    oblivious_triggers,
+    active_triggers, first_active_trigger, for_each_delta_match, head_newly_satisfied, head_rests,
+    is_active, match_atom, oblivious_triggers,
 };

@@ -130,7 +130,10 @@ impl MonitorGraph {
                 }
             }
             let idx = self.nodes.len();
-            self.nodes.push(MonitorNode { null: id, positions });
+            self.nodes.push(MonitorNode {
+                null: id,
+                positions,
+            });
             self.counts.push(FxHashMap::default());
             self.node_of_null.insert(id, idx);
             new_nodes.push(idx);
@@ -195,7 +198,12 @@ impl MonitorGraph {
         let mut out = String::from("digraph monitor {\n");
         for (i, n) in self.nodes.iter().enumerate() {
             let pos: Vec<String> = n.positions.iter().map(|p| p.to_string()).collect();
-            let _ = writeln!(out, "  n{i} [label=\"(_n{}, {{{}}})\"];", n.null, pos.join(","));
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"(_n{}, {{{}}})\"];",
+                n.null,
+                pos.join(",")
+            );
         }
         for e in &self.edges {
             let pos: Vec<String> = e.body_positions.iter().map(|p| p.to_string()).collect();
@@ -281,7 +289,12 @@ mod tests {
     #[test]
     fn full_tgds_do_not_touch_the_graph() {
         let mut g = MonitorGraph::new();
-        g.record_tgd_step(0, &parse_atom_list("E(a,b)").unwrap(), &[], &parse_atom_list("E(b,a)").unwrap());
+        g.record_tgd_step(
+            0,
+            &parse_atom_list("E(a,b)").unwrap(),
+            &[],
+            &parse_atom_list("E(b,a)").unwrap(),
+        );
         assert!(g.nodes().is_empty());
     }
 

@@ -1,0 +1,501 @@
+//! The stratum-scheduled parallel chase executor.
+//!
+//! [`chase_parallel`] runs the delta-driven engine of [`crate::runner`]
+//! phase by phase over a stratification schedule (the Theorem 2 SCC order
+//! for stratified sets, one all-constraint phase otherwise — see
+//! `chase_termination::phase_schedule`), and fans the per-step matching work
+//! out across a pool of `std::thread::scope` workers:
+//!
+//! * **head revalidation** — the pooled triggers of a constraint whose head
+//!   predicates intersect the step's delta are sharded, and each worker
+//!   checks its shard for triggers the new atoms satisfied, querying a
+//!   read-only [`chase_core::InstanceView`] snapshot of the position index;
+//! * **delta re-matching** — the delta atoms are sharded, and each worker
+//!   runs the semi-naive homomorphism search for its shard through the
+//!   shared position index;
+//! * **pool rebuilds** — after an EGD merge (and for the initial build) the
+//!   instance atoms are sharded and every constraint is re-enumerated
+//!   delta-seeded from each shard.
+//!
+//! Trigger *selection* stays sequential and canonical, and every parallel
+//! path merges its results back through the same content-addressed trigger
+//! pool (`BTreeMap` keyed by normalized assignment) the sequential engine
+//! uses, so the produced trace is **bit-identical** to [`crate::chase`] and
+//! [`crate::chase_naive`] under the same phase schedule, at any thread
+//! count. Parallelism changes who finds a trigger, never which trigger
+//! fires.
+//!
+//! The workers are persistent for the whole run — parked on a condvar
+//! between steps instead of respawned — because a chase step's matching
+//! work is measured in microseconds and per-step thread spawning would
+//! swamp it. Work is only fanned out at all when a single dispatch covers
+//! at least [`ParallelConfig::fanout_threshold`] work items.
+
+use crate::runner::{run_with_exec, ChaseConfig, ChaseResult, Strategy};
+use chase_core::{ConstraintSet, Instance};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+/// Configuration for [`chase_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Mode, budgets, trace and monitor settings. The `strategy` field is
+    /// ignored: the firing order always comes from the phase schedule passed
+    /// to [`chase_parallel`].
+    pub base: ChaseConfig,
+    /// Total parallelism, including the calling thread; `1` runs the
+    /// scheduler without workers (identical to `chase` under the same
+    /// phased strategy, with zero synchronization overhead).
+    pub threads: usize,
+    /// Minimum number of work items (pooled triggers to revalidate, delta
+    /// atoms to re-match, instance atoms to re-enumerate) a dispatch must
+    /// cover before it is sharded across workers; smaller batches run
+    /// inline on the calling thread.
+    pub fanout_threshold: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            base: ChaseConfig::default(),
+            threads: thread::available_parallelism().map_or(1, |n| n.get()),
+            fanout_threshold: 256,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Default configuration at a fixed thread count.
+    pub fn with_threads(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads: threads.max(1),
+            ..ParallelConfig::default()
+        }
+    }
+}
+
+/// Run the chase over `phases` (groups of constraint indices, chased to
+/// completion in order — see `chase_termination::phase_schedule`), fanning
+/// per-step matching across `cfg.threads` threads.
+///
+/// The trace is bit-identical to `chase(instance, set, base)` with
+/// `base.strategy = Strategy::Phased(phases)` — the equivalence the
+/// `engine_equivalence` suite pins across thread counts.
+///
+/// # Panics
+/// Panics if a phase names a constraint index out of range for `set`.
+pub fn chase_parallel(
+    instance: &Instance,
+    set: &ConstraintSet,
+    phases: &[Vec<usize>],
+    cfg: &ParallelConfig,
+) -> ChaseResult {
+    for &ci in phases.iter().flatten() {
+        assert!(
+            ci < set.len(),
+            "phase schedule names constraint {ci}, but the set has {} constraints",
+            set.len()
+        );
+    }
+    let mut base = cfg.base.clone();
+    base.strategy = Strategy::Phased(phases.to_vec());
+    let workers = cfg.threads.saturating_sub(1);
+    if workers == 0 {
+        return run_with_exec(instance, set, &base, None, cfg.fanout_threshold);
+    }
+    let shared = Shared::default();
+    thread::scope(|s| {
+        for lane in 1..=workers {
+            let shared = &shared;
+            s.spawn(move || worker_loop(shared, lane));
+        }
+        // Shut the workers down even if the run panics, so the scope's
+        // implicit join cannot deadlock.
+        let _guard = ShutdownGuard(&shared);
+        let pool = WorkerPool {
+            shared: &shared,
+            workers,
+        };
+        run_with_exec(instance, set, &base, Some(&pool), cfg.fanout_threshold)
+    })
+}
+
+/// State shared between the run thread and its parked workers.
+#[derive(Default)]
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new epoch (or shutdown).
+    work: Condvar,
+    /// The dispatching thread waits here for `remaining` to reach zero.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct State {
+    /// Bumped once per dispatch; workers run the task exactly once per epoch.
+    epoch: u64,
+    /// The current task. The `'static` is fabricated by [`WorkerPool::run`],
+    /// which guarantees the reference is not used after it returns.
+    task: Option<&'static (dyn Fn(usize) + Sync)>,
+    /// Workers that have not finished the current epoch yet.
+    remaining: usize,
+    /// A worker panicked while running a task.
+    poisoned: bool,
+    shutdown: bool,
+}
+
+/// Lock the shared state, ignoring poison the way `parking_lot` does:
+/// every critical section here leaves the state consistent even when the
+/// locking thread later unwinds, and the guards below must never panic
+/// inside a `Drop` that can run during unwinding.
+fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct ShutdownGuard<'a>(&'a Shared);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        lock_state(self.0).shutdown = true;
+        self.0.work.notify_all();
+    }
+}
+
+/// Decrements `remaining` when a worker finishes (or unwinds out of) a task,
+/// so the dispatcher can never be left waiting on a dead worker.
+struct TaskDone<'a>(&'a Shared);
+
+impl Drop for TaskDone<'_> {
+    fn drop(&mut self) {
+        let mut st = lock_state(self.0);
+        if thread::panicking() {
+            st.poisoned = true;
+        }
+        st.remaining -= 1;
+        let finished = st.remaining == 0;
+        drop(st);
+        if finished {
+            self.0.done.notify_one();
+        }
+    }
+}
+
+/// Blocks until every worker has finished the current epoch — **also when
+/// dropped during unwinding**. This is what makes the lifetime transmute in
+/// [`WorkerPool::run`] sound when the calling thread's own shard panics:
+/// the frame holding the task closure cannot be torn down while a worker
+/// might still be executing it.
+struct WaitForWorkers<'a>(&'a Shared);
+
+impl Drop for WaitForWorkers<'_> {
+    fn drop(&mut self) {
+        let mut st = lock_state(self.0);
+        while st.remaining > 0 {
+            st = self
+                .0
+                .done
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // The task borrow dies with the caller's frame; make it unreachable.
+        st.task = None;
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut st = lock_state(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.task.expect("task set for the current epoch");
+                }
+                st = shared
+                    .work
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let done = TaskDone(shared);
+        task(lane);
+        drop(done);
+    }
+}
+
+/// Handle through which the runner dispatches shardable work onto the
+/// scoped workers (plus the calling thread, as lane 0).
+pub(crate) struct WorkerPool<'a> {
+    shared: &'a Shared,
+    workers: usize,
+}
+
+impl WorkerPool<'_> {
+    /// Total parallel lanes: the scoped workers plus the calling thread.
+    pub(crate) fn lanes(&self) -> usize {
+        self.workers + 1
+    }
+
+    /// Split `items` into up to [`Self::lanes`] contiguous shards, run `f`
+    /// once per shard concurrently, and return the per-shard results in
+    /// shard order (so callers merge deterministically).
+    pub(crate) fn map_shards<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let lanes = self.lanes().min(items.len());
+        let chunk = items.len().div_ceil(lanes);
+        let shards: Vec<&[T]> = items.chunks(chunk).collect();
+        let results: Vec<Mutex<Option<R>>> = shards.iter().map(|_| Mutex::new(None)).collect();
+        let task = |lane: usize| {
+            if let (Some(shard), Some(slot)) = (shards.get(lane), results.get(lane)) {
+                let r = f(shard);
+                *slot.lock().unwrap() = Some(r);
+            }
+        };
+        self.run(&task);
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every shard ran"))
+            .collect()
+    }
+
+    /// Run `f(lane)` once on every lane (workers and the calling thread),
+    /// returning only when all lanes have finished.
+    ///
+    /// Must only be called from the single run thread that owns this pool
+    /// (one dispatch in flight at a time); the runner upholds this by
+    /// construction.
+    fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: the fabricated 'static never outlives the real borrow —
+        // the `WaitForWorkers` guard blocks, even during unwinding from a
+        // panic in `f(0)`, until every worker has finished its call
+        // (`remaining == 0`, observed under the state lock) and has cleared
+        // `task`, so no worker can reach the reference after this frame is
+        // torn down.
+        let f: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let dead_worker = {
+            let mut st = lock_state(self.shared);
+            if !st.poisoned {
+                st.task = Some(f);
+                st.epoch += 1;
+                st.remaining = self.workers;
+            }
+            st.poisoned
+        };
+        // A previously panicked worker no longer drains `remaining`;
+        // dispatching would deadlock. (Asserted outside the lock so the
+        // panic cannot poison the mutex mid-critical-section.)
+        assert!(!dead_worker, "a chase worker thread panicked");
+        self.shared.work.notify_all();
+        {
+            let _wait = WaitForWorkers(self.shared);
+            f(0);
+        }
+        let poisoned = lock_state(self.shared).poisoned;
+        assert!(!poisoned, "a chase worker thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn with_pool<R>(threads: usize, f: impl FnOnce(&WorkerPool) -> R) -> R {
+        let shared = Shared::default();
+        thread::scope(|s| {
+            for lane in 1..threads {
+                let shared = &shared;
+                s.spawn(move || worker_loop(shared, lane));
+            }
+            let _guard = ShutdownGuard(&shared);
+            let pool = WorkerPool {
+                shared: &shared,
+                workers: threads - 1,
+            };
+            f(&pool)
+        })
+    }
+
+    #[test]
+    fn map_shards_covers_every_item_once() {
+        for threads in [1, 2, 4] {
+            with_pool(threads, |pool| {
+                let items: Vec<usize> = (0..100).collect();
+                let sums = pool.map_shards(&items, |shard| shard.iter().sum::<usize>());
+                assert!(sums.len() <= threads);
+                assert_eq!(sums.into_iter().sum::<usize>(), 4950);
+            });
+        }
+    }
+
+    #[test]
+    fn map_shards_handles_fewer_items_than_lanes() {
+        with_pool(4, |pool| {
+            let items = [7usize];
+            assert_eq!(pool.map_shards(&items, |s| s.to_vec()), vec![vec![7]]);
+            let none: [usize; 0] = [];
+            assert!(pool.map_shards(&none, |s| s.len()).is_empty());
+        });
+    }
+
+    #[test]
+    fn repeated_dispatches_reuse_workers() {
+        with_pool(3, |pool| {
+            let hits = AtomicUsize::new(0);
+            for _ in 0..50 {
+                let items: Vec<u32> = (0..30).collect();
+                pool.map_shards(&items, |shard| {
+                    hits.fetch_add(shard.len(), Ordering::Relaxed);
+                });
+            }
+            assert_eq!(hits.load(Ordering::Relaxed), 50 * 30);
+        });
+    }
+
+    #[test]
+    fn shard_order_is_stable() {
+        with_pool(4, |pool| {
+            let items: Vec<usize> = (0..97).collect();
+            let shards = pool.map_shards(&items, |s| s.to_vec());
+            let flat: Vec<usize> = shards.into_iter().flatten().collect();
+            assert_eq!(flat, items);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_abort() {
+        // Shard 0 runs on the calling thread and succeeds; later shards run
+        // on workers and panic. The dispatcher must surface a panic (not
+        // deadlock, not abort the process).
+        let result = std::panic::catch_unwind(|| {
+            with_pool(4, |pool| {
+                let items: Vec<usize> = (0..100).collect();
+                pool.map_shards(&items, |shard| {
+                    assert!(shard[0] < 25, "worker shard fails");
+                    shard.len()
+                });
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn calling_thread_panic_waits_for_workers() {
+        // Lane 0 panics while workers are still chewing on their shards;
+        // unwinding must block until they finish (the transmuted task
+        // reference dies with this frame) and then propagate.
+        let result = std::panic::catch_unwind(|| {
+            with_pool(4, |pool| {
+                let items: Vec<usize> = (0..100).collect();
+                pool.map_shards(&items, |shard| {
+                    if shard[0] == 0 {
+                        panic!("lane 0 fails first");
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    shard.len()
+                });
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    /// The parallel engine must replay the sequential delta engine's trace
+    /// bit for bit under the same phase schedule — at every thread count,
+    /// and even with `fanout_threshold = 0` forcing every matching path
+    /// through the sharded code.
+    fn assert_parallel_matches_sequential(set: &str, inst: &str, phases: &[Vec<usize>]) {
+        let set = ConstraintSet::parse(set).unwrap();
+        let inst = Instance::parse(inst).unwrap();
+        let base = ChaseConfig {
+            strategy: Strategy::Phased(phases.to_vec()),
+            max_steps: Some(200),
+            keep_trace: true,
+            ..ChaseConfig::default()
+        };
+        let sequential = crate::chase(&inst, &set, &base);
+        for threads in [1, 2, 4] {
+            for threshold in [0, 256] {
+                let cfg = ParallelConfig {
+                    base: base.clone(),
+                    threads,
+                    fanout_threshold: threshold,
+                };
+                let par = chase_parallel(&inst, &set, phases, &cfg);
+                assert_eq!(par.reason, sequential.reason, "t={threads} f={threshold}");
+                assert_eq!(par.steps, sequential.steps, "t={threads} f={threshold}");
+                assert_eq!(par.fresh_nulls, sequential.fresh_nulls);
+                assert_eq!(par.instance, sequential.instance);
+                assert_eq!(par.trace.len(), sequential.trace.len());
+                for (a, b) in par.trace.iter().zip(&sequential.trace) {
+                    assert_eq!(a.constraint, b.constraint);
+                    assert_eq!(a.assignment, b.assignment);
+                    assert_eq!(a.added, b.added);
+                    assert_eq!(a.fresh_nulls, b.fresh_nulls);
+                    assert_eq!(a.merged, b.merged);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_tgd_chains() {
+        assert_parallel_matches_sequential(
+            "S(X) -> T(X)\nT(X) -> U(X,Y)\nU(X,Y) -> V(Y)",
+            "S(a). S(b). S(c).",
+            &[vec![0], vec![1], vec![2]],
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_single_phase_divergence() {
+        // The unstratified fallback: one phase, budget-bounded divergence.
+        assert_parallel_matches_sequential(
+            "S(X) -> E(X,Y), S(Y)",
+            "S(n1). S(n2). E(n1,n2).",
+            &[vec![0]],
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_egd_merges() {
+        assert_parallel_matches_sequential(
+            "E(X,Y), E(X,Z) -> Y = Z\nS(X) -> E(X,Y)",
+            "S(a). E(a,_n0). E(_n0,c). E(a,b).",
+            &[vec![0, 1]],
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_joins() {
+        assert_parallel_matches_sequential(
+            "E(X,Y), E(Y,Z) -> E(X,Z)",
+            "E(a,b). E(b,c). E(c,d). E(d,e).",
+            &[vec![0]],
+        );
+    }
+
+    #[test]
+    fn phase_index_out_of_range_panics() {
+        let set = ConstraintSet::parse("S(X) -> T(X)").unwrap();
+        let inst = Instance::parse("S(a).").unwrap();
+        let bad = vec![vec![0, 3]];
+        let err = std::panic::catch_unwind(|| {
+            chase_parallel(&inst, &set, &bad, &ParallelConfig::with_threads(1))
+        });
+        assert!(err.is_err());
+    }
+}

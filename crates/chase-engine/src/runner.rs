@@ -52,10 +52,13 @@
 //! their traces are bit-identical whenever the pool is maintained correctly.
 
 use crate::monitor::MonitorGraph;
+use crate::parallel::WorkerPool;
 use crate::step::{apply_step, StepEffect};
-use crate::trigger::{for_each_delta_match, is_active, normalize};
+use crate::trigger::{
+    for_each_delta_match, head_newly_satisfied, head_rests, is_active, normalize,
+};
 use chase_core::fx::{FxHashMap, FxHashSet};
-use chase_core::homomorphism::{exists_extension, for_each_hom, unify_atom, Subst};
+use chase_core::homomorphism::{for_each_hom, Subst};
 use chase_core::{Atom, Constraint, ConstraintSet, Instance, Sym, Term};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -75,8 +78,7 @@ pub enum ChaseMode {
 }
 
 /// The order in which applicable constraints are fired.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// Cycle through constraint indices `0..n`, applying at most one step per
     /// constraint per pass.
@@ -95,7 +97,6 @@ pub enum Strategy {
     /// (a no-op for correctly stratified phases, Theorem 2).
     Phased(Vec<Vec<usize>>),
 }
-
 
 /// Chase configuration.
 #[derive(Debug, Clone)]
@@ -327,9 +328,19 @@ struct Run<'a> {
     /// Naive reference mode: skip all pool maintenance and re-enumerate
     /// triggers from scratch at every step (the seed engine's behaviour).
     naive: bool,
+    /// Worker pool of the parallel executor ([`crate::chase_parallel`]).
+    /// `None` runs every matching path inline on the calling thread.
+    exec: Option<&'a WorkerPool<'a>>,
+    /// Minimum work items per dispatch before matching work is sharded
+    /// across `exec`'s workers.
+    fanout: usize,
     rng: Option<StdRng>,
     stop: Option<StopReason>,
 }
+
+/// A trigger discovered by (possibly sharded) delta re-matching:
+/// `(constraint, key, assignment, fireable-now)`.
+type FoundTrigger = (usize, TriggerKey, Subst, bool);
 
 impl<'a> Run<'a> {
     fn new(
@@ -337,6 +348,8 @@ impl<'a> Run<'a> {
         set: &'a ConstraintSet,
         cfg: &'a ChaseConfig,
         naive: bool,
+        exec: Option<&'a WorkerPool<'a>>,
+        fanout: usize,
     ) -> Run<'a> {
         let monitor = if cfg.monitor_depth.is_some() || cfg.keep_monitor {
             Some(MonitorGraph::new())
@@ -347,9 +360,8 @@ impl<'a> Run<'a> {
             Strategy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
             _ => None,
         };
-        let collect_preds = |atoms: &[Atom]| -> FxHashSet<Sym> {
-            atoms.iter().map(|a| a.pred()).collect()
-        };
+        let collect_preds =
+            |atoms: &[Atom]| -> FxHashSet<Sym> { atoms.iter().map(|a| a.pred()).collect() };
         let body_preds: Vec<FxHashSet<Sym>> = set
             .enumerate()
             .map(|(_, c)| collect_preds(c.body()))
@@ -375,6 +387,8 @@ impl<'a> Run<'a> {
             body_preds,
             head_preds,
             naive,
+            exec,
+            fanout,
             rng,
             stop: None,
         };
@@ -395,11 +409,48 @@ impl<'a> Run<'a> {
     /// Populate the pool from a full enumeration (initial build, and the
     /// conservative rebuild after every EGD merge — a merge rewrites atoms
     /// in place, so both pooled triggers and the dead-set may be stale).
+    ///
+    /// With a worker pool and a large enough instance the enumeration is
+    /// sharded over the instance atoms: every body homomorphism of a
+    /// non-empty body maps at least one atom into some shard, so the union
+    /// of delta-seeded searches over the shards covers every trigger
+    /// exactly (duplicates collapse in the content-addressed pool).
     fn rebuild_pool(&mut self) {
         self.pool.clear();
         for d in &mut self.dead {
             d.clear();
         }
+        if let Some(exec) = self.exec {
+            if self.inst.len() >= self.fanout.max(1) {
+                let this = &*self;
+                let affected: Vec<usize> = (0..this.set.len())
+                    .filter(|&ci| !this.set[ci].body().is_empty())
+                    .collect();
+                let found: Vec<FoundTrigger> = exec
+                    .map_shards(this.inst.atoms(), |shard| {
+                        this.collect_delta_matches(&affected, shard)
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                for (ci, key, mu, fires) in found {
+                    if fires && !self.pool.contains(ci, &key) {
+                        self.pool.insert(ci, key, mu);
+                    }
+                }
+                // Empty-body constraints have no atom to seed from; finish
+                // them through the full enumeration below.
+                self.enumerate_pool(true);
+                return;
+            }
+        }
+        self.enumerate_pool(false);
+    }
+
+    /// The from-scratch enumeration behind [`Run::rebuild_pool`], optionally
+    /// restricted to constraints with empty bodies (the sharded rebuild's
+    /// blind spot).
+    fn enumerate_pool(&mut self, empty_bodies_only: bool) {
         // Split borrows: the searcher holds `inst` while the callback fills
         // `pool`.
         let Run {
@@ -411,6 +462,9 @@ impl<'a> Run<'a> {
             ..
         } = self;
         for (ci, c) in set.enumerate() {
+            if empty_bodies_only && !c.body().is_empty() {
+                continue;
+            }
             for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
                 let key = normalize(c, mu);
                 let fires = match cfg.mode {
@@ -425,87 +479,23 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Incremental pool update after a TGD step added `added` to the
-    /// instance.
-    fn apply_delta(&mut self, added: &[Atom]) {
-        if added.is_empty() {
-            return;
-        }
-        let delta_preds: FxHashSet<Sym> = added.iter().map(|a| a.pred()).collect();
-        // Revalidate pooled triggers that the new atoms may have satisfied:
-        // a violated TGD trigger becomes satisfied only when an atom with one
-        // of its head predicates appears. (Oblivious triggers and EGD
-        // triggers never die from added atoms.)
-        if self.cfg.mode == ChaseMode::Standard {
-            for ci in 0..self.set.len() {
-                if self.head_preds[ci].is_disjoint(&delta_preds) {
-                    continue;
-                }
-                let Constraint::Tgd(t) = &self.set[ci] else {
-                    continue;
-                };
-                // Delta-seeded revalidation, symmetric to the body re-match:
-                // a *new* head extension must map at least one head atom onto
-                // a delta atom, so try exactly those — unify each
-                // µ-instantiated head atom with each delta atom (existential
-                // variables still free) and complete the remaining head atoms
-                // through the searcher. This keeps the per-trigger cost at a
-                // few O(arity) unifications in the common case instead of a
-                // full backtracking extension search per pooled trigger.
-                let head = t.head();
-                // `rest` per head slot, built lazily on the first unifying
-                // delta atom (mirrors `for_each_delta_match`).
-                let mut rests: Vec<Option<Vec<Atom>>> = vec![None; head.len()];
-                let inst = &self.inst;
-                let now_dead: Vec<TriggerKey> = self.pool.pools[ci]
-                    .iter()
-                    .filter(|(_, mu)| {
-                        head.iter().enumerate().any(|(j, h)| {
-                            let h_inst = mu.apply_atom(h);
-                            added.iter().any(|a| {
-                                let Some(nu0) = unify_atom(&h_inst, a, &Subst::new()) else {
-                                    return false;
-                                };
-                                let rest = rests[j].get_or_insert_with(|| {
-                                    head.iter()
-                                        .enumerate()
-                                        .filter(|&(k, _)| k != j)
-                                        .map(|(_, b)| b.clone())
-                                        .collect()
-                                });
-                                let mut seed = (*mu).clone();
-                                for (v, term) in nu0.var_bindings() {
-                                    seed.bind_var(v, term);
-                                }
-                                exists_extension(rest, inst, &seed)
-                            })
-                        })
-                    })
-                    .map(|(key, _)| key.clone())
-                    .collect();
-                for key in now_dead {
-                    self.pool.remove(ci, &key);
-                    self.dead[ci].insert(key);
-                }
-            }
-        }
-        // Re-match constraints whose body can see the delta, seeded from the
-        // new atoms.
-        for ci in 0..self.set.len() {
-            if self.body_preds[ci].is_disjoint(&delta_preds) {
-                continue;
-            }
+    /// Semi-naive re-matching of the `affected` constraints against `delta`
+    /// (a subset of the instance), deduplicated per constraint and filtered
+    /// against triggers already pooled, dead, or fired. Read-only — the
+    /// parallel engine calls this concurrently, one delta shard per worker.
+    fn collect_delta_matches(&self, affected: &[usize], delta: &[Atom]) -> Vec<FoundTrigger> {
+        let mut out = Vec::new();
+        for &ci in affected {
             let c = &self.set[ci];
-            // `for_each_delta_match` borrows `self.inst`; collect first, then
-            // mutate the pool. The map both dedups matches reported once per
-            // delta atom they use and distinct homomorphisms that normalize
-            // to the same trigger.
+            // The map both dedups matches reported once per delta atom they
+            // use and distinct homomorphisms that normalize to the same
+            // trigger.
             let mut found: FxHashMap<TriggerKey, Subst> = FxHashMap::default();
             let pool = &self.pool;
             let dead = &self.dead;
             let fired = &self.fired;
             let mode = self.cfg.mode;
-            for_each_delta_match(c, &self.inst, added, &mut |mu| {
+            for_each_delta_match(c, &self.inst, delta, &mut |mu| {
                 let key = normalize(c, mu);
                 let known = pool.contains(ci, &key)
                     || match mode {
@@ -519,17 +509,112 @@ impl<'a> Run<'a> {
                 false
             });
             for (key, mu) in found {
-                match self.cfg.mode {
-                    ChaseMode::Standard => {
-                        if is_active(c, &self.inst, &mu) {
-                            self.pool.insert(ci, key, mu);
-                        } else {
-                            self.dead[ci].insert(key);
-                        }
-                    }
-                    ChaseMode::Oblivious => {
+                let fires = match mode {
+                    ChaseMode::Standard => is_active(c, &self.inst, &mu),
+                    ChaseMode::Oblivious => true,
+                };
+                out.push((ci, key, mu, fires));
+            }
+        }
+        out
+    }
+
+    /// Incremental pool update after a TGD step added `added` to the
+    /// instance.
+    fn apply_delta(&mut self, added: &[Atom]) {
+        if added.is_empty() {
+            return;
+        }
+        let delta_preds: FxHashSet<Sym> = added.iter().map(|a| a.pred()).collect();
+        // Revalidate pooled triggers that the new atoms may have satisfied:
+        // a violated TGD trigger becomes satisfied only when an atom with one
+        // of its head predicates appears. (Oblivious triggers and EGD
+        // triggers never die from added atoms.) Each trigger's check is
+        // independent and read-only, so a large pool is sharded across the
+        // worker pool; the merged dead-list is a set, so shard boundaries
+        // cannot influence the outcome.
+        if self.cfg.mode == ChaseMode::Standard {
+            for ci in 0..self.set.len() {
+                if self.head_preds[ci].is_disjoint(&delta_preds) {
+                    continue;
+                }
+                let Constraint::Tgd(t) = &self.set[ci] else {
+                    continue;
+                };
+                let head = t.head();
+                let rests = head_rests(head);
+                // The position-index snapshot the revalidation workers query
+                // concurrently; `Copy`, so the closure captures it by value.
+                let inst = self.inst.view();
+                let entries: Vec<(&TriggerKey, &Subst)> = self.pool.pools[ci].iter().collect();
+                let dies =
+                    |mu: &Subst| head_newly_satisfied(head, &rests, inst.instance(), added, mu);
+                let now_dead: Vec<TriggerKey> = match self.exec {
+                    Some(exec) if entries.len() >= self.fanout.max(1) => exec
+                        .map_shards(&entries, |shard| {
+                            shard
+                                .iter()
+                                .filter(|(_, mu)| dies(mu))
+                                .map(|(key, _)| (*key).clone())
+                                .collect::<Vec<_>>()
+                        })
+                        .into_iter()
+                        .flatten()
+                        .collect(),
+                    _ => entries
+                        .iter()
+                        .filter(|(_, mu)| dies(mu))
+                        .map(|(key, _)| (*key).clone())
+                        .collect(),
+                };
+                drop(entries);
+                for key in now_dead {
+                    self.pool.remove(ci, &key);
+                    self.dead[ci].insert(key);
+                }
+            }
+        }
+        // Re-match constraints whose body can see the delta, seeded from the
+        // new atoms. Large deltas are sharded across the worker pool, each
+        // worker running the semi-naive search for its shard through the
+        // shared position index; the merge below is keyed by normalized
+        // assignment, so cross-shard duplicates collapse deterministically.
+        let affected: Vec<usize> = (0..self.set.len())
+            .filter(|&ci| !self.body_preds[ci].is_disjoint(&delta_preds))
+            .collect();
+        if affected.is_empty() {
+            return;
+        }
+        let found: Vec<FoundTrigger> = match self.exec {
+            Some(exec) if added.len() >= self.fanout.max(2) => {
+                let this = &*self;
+                let affected = &affected;
+                exec.map_shards(added, |shard| this.collect_delta_matches(affected, shard))
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
+            _ => self.collect_delta_matches(&affected, added),
+        };
+        for (ci, key, mu, fires) in found {
+            let duplicate = self.pool.contains(ci, &key)
+                || match self.cfg.mode {
+                    ChaseMode::Standard => self.dead[ci].contains(&key),
+                    ChaseMode::Oblivious => false,
+                };
+            if duplicate {
+                continue; // the same trigger arrived from another shard
+            }
+            match self.cfg.mode {
+                ChaseMode::Standard => {
+                    if fires {
                         self.pool.insert(ci, key, mu);
+                    } else {
+                        self.dead[ci].insert(key);
                     }
+                }
+                ChaseMode::Oblivious => {
+                    self.pool.insert(ci, key, mu);
                 }
             }
         }
@@ -797,7 +882,20 @@ impl<'a> Run<'a> {
 /// assert_eq!(res.reason, StopReason::MonitorAbort { depth: 3 });
 /// ```
 pub fn chase(instance: &Instance, set: &ConstraintSet, cfg: &ChaseConfig) -> ChaseResult {
-    Run::new(instance, set, cfg, false).run()
+    Run::new(instance, set, cfg, false, None, 0).run()
+}
+
+/// Run the delta engine with an optional worker pool for sharded matching —
+/// the entry point behind [`crate::chase_parallel`]. With `exec = None` this
+/// is exactly [`chase`].
+pub(crate) fn run_with_exec(
+    instance: &Instance,
+    set: &ConstraintSet,
+    cfg: &ChaseConfig,
+    exec: Option<&WorkerPool<'_>>,
+    fanout: usize,
+) -> ChaseResult {
+    Run::new(instance, set, cfg, false, exec, fanout).run()
 }
 
 /// Run the chase with naive trigger discovery: every constraint is
@@ -819,7 +917,7 @@ pub fn chase(instance: &Instance, set: &ConstraintSet, cfg: &ChaseConfig) -> Cha
 /// workloads where an early match exists. (The seed's `Random` strategy
 /// already enumerated everything every step.)
 pub fn chase_naive(instance: &Instance, set: &ConstraintSet, cfg: &ChaseConfig) -> ChaseResult {
-    Run::new(instance, set, cfg, true).run()
+    Run::new(instance, set, cfg, true, None, 0).run()
 }
 
 /// Run the chase with the default configuration (standard mode, round-robin,
@@ -879,10 +977,7 @@ mod tests {
         let (set, inst) = parse("E(X,Y), E(X,Z) -> Y = Z", "E(a,b). E(a,_n0). E(_n0,c).");
         let res = chase_default(&inst, &set);
         assert!(res.terminated());
-        assert_eq!(
-            res.instance,
-            Instance::parse("E(a,b). E(b,c).").unwrap()
-        );
+        assert_eq!(res.instance, Instance::parse("E(a,b). E(b,c).").unwrap());
     }
 
     #[test]

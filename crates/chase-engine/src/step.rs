@@ -102,7 +102,9 @@ mod tests {
         let mu = first_active_trigger(&set[0], &inst).unwrap();
         let eff = apply_step(&mut inst, &set[0], &mu);
         match eff {
-            StepEffect::Tgd { added, fresh_nulls, .. } => {
+            StepEffect::Tgd {
+                added, fresh_nulls, ..
+            } => {
                 assert_eq!(added.len(), 2);
                 assert_eq!(fresh_nulls.len(), 1);
                 assert!(fresh_nulls[0].is_null());

@@ -7,7 +7,7 @@
 //! satisfaction.
 
 use chase_core::fx::FxHashSet;
-use chase_core::homomorphism::{for_each_hom, Subst};
+use chase_core::homomorphism::{exists_extension, for_each_hom, unify_atom, Subst};
 use chase_core::{Atom, Constraint, Instance, Sym, Term};
 
 /// Is `(c, µ)` an active (standard-chase) trigger? Assumes `µ` maps the body
@@ -93,7 +93,12 @@ pub fn for_each_delta_match(
                 continue;
             };
             if !have_rest {
-                rest.extend(body.iter().enumerate().filter(|&(k, _)| k != j).map(|(_, b)| b.clone()));
+                rest.extend(
+                    body.iter()
+                        .enumerate()
+                        .filter(|&(k, _)| k != j)
+                        .map(|(_, b)| b.clone()),
+                );
                 have_rest = true;
             }
             if for_each_hom(&rest, inst, &mu0, false, cb) {
@@ -102,6 +107,57 @@ pub fn for_each_delta_match(
         }
     }
     false
+}
+
+/// Per-slot "rest of the head": `rests[j]` is the head with atom `j`
+/// removed. Precomputed once per revalidation pass and shared (read-only)
+/// across revalidation workers.
+pub fn head_rests(head: &[Atom]) -> Vec<Vec<Atom>> {
+    (0..head.len())
+        .map(|j| {
+            head.iter()
+                .enumerate()
+                .filter(|&(k, _)| k != j)
+                .map(|(_, b)| b.clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// Did adding `added` (already inserted into `inst`) newly satisfy a TGD
+/// head under the pooled trigger `mu`?
+///
+/// Delta-seeded revalidation, symmetric to the body re-match: a *new* head
+/// extension must map at least one head atom onto a delta atom, so exactly
+/// those pairs are tried — each µ-instantiated head atom is unified with
+/// each delta atom (existential variables still free) and the remaining
+/// head atoms (`rests`, from [`head_rests`]) are completed through the
+/// searcher. This keeps the per-trigger cost at a few O(arity) unifications
+/// in the common case instead of a full backtracking extension search per
+/// pooled trigger.
+///
+/// Pure and `Sync`-friendly: the parallel engine calls it concurrently from
+/// revalidation workers, each over its shard of the trigger pool.
+pub fn head_newly_satisfied(
+    head: &[Atom],
+    rests: &[Vec<Atom>],
+    inst: &Instance,
+    added: &[Atom],
+    mu: &Subst,
+) -> bool {
+    head.iter().enumerate().any(|(j, h)| {
+        let h_inst = mu.apply_atom(h);
+        added.iter().any(|a| {
+            let Some(nu0) = unify_atom(&h_inst, a, &Subst::new()) else {
+                return false;
+            };
+            let mut seed = mu.clone();
+            for (v, term) in nu0.var_bindings() {
+                seed.bind_var(v, term);
+            }
+            exists_extension(&rests[j], inst, &seed)
+        })
+    })
 }
 
 /// Canonical form of an assignment: bindings of the universal variables,
@@ -147,6 +203,36 @@ mod tests {
         assert!(first_active_trigger(&set[0], &same).is_none());
         // (b,c) and (c,b) are two distinct violating assignments.
         assert_eq!(active_triggers(&set[0], &diff).len(), 2);
+    }
+
+    #[test]
+    fn head_revalidation_agrees_with_activity_check() {
+        // For a trigger that was violated before the delta, "the delta newly
+        // satisfied the head" must coincide with "the trigger is no longer
+        // active" — the contract pool revalidation relies on.
+        let set = ConstraintSet::parse("S(X) -> E(X,Y), T(Y)").unwrap();
+        let c = &set[0];
+        let Constraint::Tgd(t) = c else {
+            panic!("expected a TGD")
+        };
+        let mut inst = Instance::parse("S(a). S(b).").unwrap();
+        let mus = active_triggers(c, &inst);
+        assert_eq!(mus.len(), 2);
+        let rests = head_rests(t.head());
+        let added = vec![
+            Atom::new("E", vec![Term::constant("a"), Term::constant("b")]),
+            Atom::new("T", vec![Term::constant("b")]),
+        ];
+        for a in &added {
+            inst.insert(a.clone());
+        }
+        for mu in &mus {
+            assert_eq!(
+                head_newly_satisfied(t.head(), &rests, &inst, &added, mu),
+                !is_active(c, &inst, mu),
+                "disagreement for {mu}"
+            );
+        }
     }
 
     #[test]

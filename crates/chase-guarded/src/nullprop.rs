@@ -133,8 +133,8 @@ mod tests {
         let inst = Instance::parse("A(a). B(b).").unwrap();
         let res = chase(&inst, &set, &traced(20));
         assert!(res.terminated());
-        let v = guarded_null_property(&res.trace, &set, &inst)
-            .expect("the joint R-step is unguarded");
+        let v =
+            guarded_null_property(&res.trace, &set, &inst).expect("the joint R-step is unguarded");
         assert_eq!(v.constraint, 2);
         assert_eq!(v.uncovered.len(), 2);
     }

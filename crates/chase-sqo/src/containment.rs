@@ -63,21 +63,15 @@ pub fn contained_under(
     // frozen head. Nulls act as plain domain values here, so a direct
     // seeded homomorphism search does the job.
     let mut found = false;
-    chase_core::homomorphism::for_each_hom(
-        q2.body(),
-        &chased,
-        &Subst::new(),
-        false,
-        &mut |h| {
-            let tuple: Vec<Term> = q2.head_args().iter().map(|&t| h.apply(t)).collect();
-            if tuple == head {
-                found = true;
-                true
-            } else {
-                false
-            }
-        },
-    );
+    chase_core::homomorphism::for_each_hom(q2.body(), &chased, &Subst::new(), false, &mut |h| {
+        let tuple: Vec<Term> = q2.head_args().iter().map(|&t| h.apply(t)).collect();
+        if tuple == head {
+            found = true;
+            true
+        } else {
+            false
+        }
+    });
     Some(found)
 }
 
@@ -103,12 +97,8 @@ pub fn contained(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
 /// Renames `q`'s head predicate (containment ignores the head name, but the
 /// rewriting pipeline wants consistent names).
 pub fn with_head_pred(q: &ConjunctiveQuery, name: &str) -> ConjunctiveQuery {
-    ConjunctiveQuery::new(
-        Sym::new(name),
-        q.head_args().to_vec(),
-        q.body().to_vec(),
-    )
-    .expect("renaming the head preserves well-formedness")
+    ConjunctiveQuery::new(Sym::new(name), q.head_args().to_vec(), q.body().to_vec())
+        .expect("renaming the head preserves well-formedness")
 }
 
 #[cfg(test)]
@@ -150,7 +140,10 @@ mod tests {
         let set = ConstraintSet::parse("rail(X,Y,D) -> rail(Y,X,D)").unwrap();
         let q1 = q("q(X) <- rail(c,X,D)");
         let q2 = q("q(X) <- rail(c,X,D), rail(X,c,D)");
-        assert_eq!(contained_under(&q1, &q2, &set, &ChaseConfig::default()), Some(true));
+        assert_eq!(
+            contained_under(&q1, &q2, &set, &ChaseConfig::default()),
+            Some(true)
+        );
         // Without Σ the containment fails.
         assert!(!contained(&q1, &q2));
         assert_eq!(

@@ -28,10 +28,16 @@ impl fmt::Display for SqoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SqoError::NonTerminatingChase => {
-                write!(f, "the chase of the frozen query did not terminate within budget")
+                write!(
+                    f,
+                    "the chase of the frozen query did not terminate within budget"
+                )
             }
             SqoError::PlanTooLarge(n) => {
-                write!(f, "universal plan has {n} atoms; subset enumeration refused")
+                write!(
+                    f,
+                    "universal plan has {n} atoms; subset enumeration refused"
+                )
             }
             SqoError::Core(e) => write!(f, "{e}"),
         }
@@ -87,11 +93,7 @@ pub fn equivalent_subqueries(
         return Err(SqoError::PlanTooLarge(atoms.len()));
     }
     // Head variables must keep occurring in the kept atoms.
-    let head_vars: Vec<_> = plan
-        .head_args()
-        .iter()
-        .filter_map(|t| t.as_var())
-        .collect();
+    let head_vars: Vec<_> = plan.head_args().iter().filter_map(|t| t.as_var()).collect();
     let mut masks: Vec<u32> = (1..(1u32 << atoms.len())).collect();
     masks.sort_by_key(|m| m.count_ones());
     let mut out = Vec::new();
@@ -102,9 +104,9 @@ pub fn equivalent_subqueries(
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, a)| a.clone())
             .collect();
-        let covered = head_vars.iter().all(|v| {
-            body.iter().any(|a| a.vars().contains(v))
-        });
+        let covered = head_vars
+            .iter()
+            .all(|v| body.iter().any(|a| a.vars().contains(v)));
         if !covered {
             continue;
         }
@@ -147,7 +149,11 @@ pub fn queries_hom_equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> boo
 /// Body signature of a query as sorted predicate names — handy for asserting
 /// which rewriting shape was produced.
 pub fn body_signature(q: &ConjunctiveQuery) -> Vec<String> {
-    let mut v: Vec<String> = q.body().iter().map(|a| a.pred().as_str().to_owned()).collect();
+    let mut v: Vec<String> = q
+        .body()
+        .iter()
+        .map(|a| a.pred().as_str().to_owned())
+        .collect();
     v.sort();
     v
 }

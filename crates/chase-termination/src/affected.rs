@@ -59,10 +59,8 @@ mod tests {
     #[test]
     fn example10_both_edge_positions_affected() {
         // Example 10: aff(Σ) = {E^1, E^2}.
-        let a = aff(
-            "S(X), E(X,Y) -> E(Y,X)\n\
-             S(X), E(X,Y) -> E(Y,Z), E(Z,X)",
-        );
+        let a = aff("S(X), E(X,Y) -> E(Y,X)\n\
+             S(X), E(X,Y) -> E(Y,Z), E(Z,X)");
         assert_eq!(a.len(), 2);
         assert!(a.contains(&Position::new("E", 0)));
         assert!(a.contains(&Position::new("E", 1)));
@@ -85,11 +83,9 @@ mod tests {
     #[test]
     fn transitive_propagation() {
         // Null born at T^1 flows T^1 → U^1 → V^1.
-        let a = aff(
-            "S(X) -> T(Y)\n\
+        let a = aff("S(X) -> T(Y)\n\
              T(X) -> U(X)\n\
-             U(X) -> V(X)",
-        );
+             U(X) -> V(X)");
         assert_eq!(a.len(), 3);
         assert!(a.contains(&Position::new("T", 0)));
         assert!(a.contains(&Position::new("U", 0)));
@@ -99,11 +95,9 @@ mod tests {
     #[test]
     fn example19_affected_set() {
         // Example 19: aff(Σ) = {S^1, S^2, R^1, R^2}.
-        let a = aff(
-            "R(X1,X2), S(X1,X2) -> S(X2,Y)\n\
+        let a = aff("R(X1,X2), S(X1,X2) -> S(X2,Y)\n\
              S(X1,X2), S(X3,X1) -> R(X2,X1)\n\
-             T(X1,X2) -> S(Y,X2)",
-        );
+             T(X1,X2) -> S(Y,X2)");
         let expect: PosSet = [
             Position::new("S", 0),
             Position::new("S", 1),

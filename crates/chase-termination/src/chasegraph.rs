@@ -92,7 +92,10 @@ mod tests {
         // that made original stratification unsound.
         let g = chase_graph(&example4(), &cfg());
         assert!(g.is_definite());
-        assert!(g.graph.successors(1).is_empty(), "α2 must be a sink in G(Σ)");
+        assert!(
+            g.graph.successors(1).is_empty(),
+            "α2 must be a sink in G(Σ)"
+        );
         // The full-TGD cycle α1 → α3 → α4 → α1 exists.
         assert!(g.graph.has_edge(0, 2));
         assert!(g.graph.has_edge(2, 3));

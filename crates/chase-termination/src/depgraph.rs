@@ -54,13 +54,7 @@ impl PositionGraph {
     /// infinite (i.e. the acyclicity condition of this graph fails).
     pub fn special_ranks(&self) -> Option<Vec<(Position, usize)>> {
         let ranks = self.graph.special_ranks()?;
-        Some(
-            self.positions
-                .iter()
-                .copied()
-                .zip(ranks)
-                .collect(),
-        )
+        Some(self.positions.iter().copied().zip(ranks).collect())
     }
 
     /// Edges as position pairs `(from, to, special)`, sorted.
@@ -73,8 +67,7 @@ impl PositionGraph {
 
     /// DOT rendering in the style of the paper's Figure 3/6.
     pub fn to_dot(&self, name: &str) -> String {
-        self.graph
-            .to_dot(name, |v| self.positions[v].to_string())
+        self.graph.to_dot(name, |v| self.positions[v].to_string())
     }
 }
 
@@ -154,10 +147,7 @@ mod tests {
         // arises from α3 binding C2 at fly^2 and creating C3/D2 ... the
         // self-loop is fly^2 → fly^1 (copy) plus fly^2 *→ fly^2 (C3 fresh at
         // fly^2 while C2 at fly^2).
-        assert!(g
-            .graph
-            .edges()
-            .any(|(u, v, s)| u == f && v == f && s));
+        assert!(g.graph.edges().any(|(u, v, s)| u == f && v == f && s));
     }
 
     #[test]

@@ -158,7 +158,12 @@ fn sub(
     }
     let mut acc = Recognition::Yes;
     for comp in comps {
-        acc = acc.and(check_inner(&set.subset(&comp), k, cfg, use_safety_shortcircuit));
+        acc = acc.and(check_inner(
+            &set.subset(&comp),
+            k,
+            cfg,
+            use_safety_shortcircuit,
+        ));
         if acc == Recognition::No {
             return Recognition::No;
         }
@@ -212,11 +217,7 @@ pub fn check_without_safety_shortcircuit(
 /// Returns `(Some(k), _)` for the least `k ∈ [2, max_k]` with `Σ ∈ T[k]`;
 /// the flag reports whether any level's test was indefinite (in which case
 /// `None` means "not recognized up to `max_k`", not a proof of absence).
-pub fn t_level(
-    set: &ConstraintSet,
-    max_k: usize,
-    cfg: &PrecedenceConfig,
-) -> (Option<usize>, bool) {
+pub fn t_level(set: &ConstraintSet, max_k: usize, cfg: &PrecedenceConfig) -> (Option<usize>, bool) {
     let mut saw_unknown = false;
     for k in 2..=max_k {
         match sub(set, k, cfg, true) {
@@ -281,7 +282,11 @@ mod tests {
         ] {
             let s = parse(text);
             assert!(is_safe(&s), "{text}");
-            assert_eq!(is_inductively_restricted(&s, &cfg()), Recognition::Yes, "{text}");
+            assert_eq!(
+                is_inductively_restricted(&s, &cfg()),
+                Recognition::Yes,
+                "{text}"
+            );
             assert_eq!(check(&s, 2, &cfg()), Recognition::Yes, "{text}");
         }
     }

@@ -53,4 +53,6 @@ pub use precedence::{precedes, precedes_c, precedes_k, PrecedenceConfig, Verdict
 pub use propgraph::{is_safe, null_rank_bound, propagation_graph};
 pub use report::{analyze, AnalysisReport};
 pub use restriction::{aff_cl, minimal_restriction_system, RestrictionSystem};
-pub use stratification::{is_c_stratified, is_stratified, stratified_order};
+pub use stratification::{
+    is_c_stratified, is_stratified, phase_schedule, stratified_order, PhaseSchedule,
+};

@@ -315,11 +315,10 @@ impl<'a> ChainSearch<'a> {
                     continue;
                 }
                 let mut uf2 = uf.clone();
-                let ok = atom
-                    .terms()
-                    .iter()
-                    .zip(h.terms())
-                    .all(|(&tb, &th)| uf2.union(self.term_node(pos, tb), self.term_node(j, th)));
+                let ok =
+                    atom.terms().iter().zip(h.terms()).all(|(&tb, &th)| {
+                        uf2.union(self.term_node(pos, tb), self.term_node(j, th))
+                    });
                 if ok {
                     srcs.push(Src::Head { step: j, atom: hi });
                     self.dfs(idx + 1, &uf2, srcs);

@@ -24,7 +24,10 @@ pub fn propagation_graph(set: &ConstraintSet) -> PositionGraph {
             }
             for p1 in body_pos {
                 for p2 in tgd.head_positions_of(x) {
-                    debug_assert!(aff.contains(&p2), "Def. 6 makes head positions of fully-affected variables affected");
+                    debug_assert!(
+                        aff.contains(&p2),
+                        "Def. 6 makes head positions of fully-affected variables affected"
+                    );
                     g.add_edge(p1, p2, false);
                 }
                 for &y in tgd.existentials() {

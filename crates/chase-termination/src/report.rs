@@ -92,8 +92,16 @@ pub fn analyze(set: &ConstraintSet, max_k: usize, cfg: &PrecedenceConfig) -> Ana
 
 impl fmt::Display for AnalysisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "weakly acyclic:         {}", if self.weakly_acyclic { "yes" } else { "no" })?;
-        writeln!(f, "safe:                   {}", if self.safe { "yes" } else { "no" })?;
+        writeln!(
+            f,
+            "weakly acyclic:         {}",
+            if self.weakly_acyclic { "yes" } else { "no" }
+        )?;
+        writeln!(
+            f,
+            "safe:                   {}",
+            if self.safe { "yes" } else { "no" }
+        )?;
         writeln!(f, "stratified:             {}", self.stratified)?;
         writeln!(f, "c-stratified:           {}", self.c_stratified)?;
         writeln!(f, "safely restricted:      {}", self.safely_restricted)?;
@@ -104,7 +112,11 @@ impl fmt::Display for AnalysisReport {
                 f,
                 "T-hierarchy level:      not recognized up to T[{}]{}",
                 self.max_k,
-                if self.t_level_unknown { " (indefinite)" } else { "" }
+                if self.t_level_unknown {
+                    " (indefinite)"
+                } else {
+                    ""
+                }
             )?,
         }
         let aff: Vec<String> = self.affected.iter().map(|p| p.to_string()).collect();

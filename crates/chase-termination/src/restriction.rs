@@ -122,8 +122,7 @@ pub fn minimal_restriction_system(
         let mut changed = false;
         // Rule: ≺k,f sequences contribute their edge chains.
         for_each_sequence(n, k, |seq| {
-            let chain_edges: Vec<(usize, usize)> =
-                seq.windows(2).map(|w| (w[0], w[1])).collect();
+            let chain_edges: Vec<(usize, usize)> = seq.windows(2).map(|w| (w[0], w[1])).collect();
             if chain_edges.iter().all(|e| edges.contains(e)) {
                 return; // nothing new to learn from this sequence
             }

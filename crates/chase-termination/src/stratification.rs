@@ -66,6 +66,68 @@ pub fn stratified_order(set: &ConstraintSet, cfg: &PrecedenceConfig) -> Vec<Vec<
     chase_graph(set, cfg).graph.sccs_topological()
 }
 
+/// Phase metadata consumed by the stratum-scheduled executor
+/// (`chase_engine::chase_parallel`): which constraint groups to chase in
+/// which order, and whether that order carries Theorem 2's termination
+/// guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    /// Constraint-index groups in execution order. For a stratified set these
+    /// are the chase-graph SCCs in topological order ([`stratified_order`]);
+    /// otherwise a single phase containing every constraint.
+    pub phases: Vec<Vec<usize>>,
+    /// The stratification verdict behind the schedule. Only
+    /// [`Recognition::Yes`] makes the phase order a Theorem 2 terminating
+    /// order; `No`/`Unknown` schedules are the single-phase fallback and give
+    /// no termination guarantee.
+    pub stratified: Recognition,
+}
+
+impl PhaseSchedule {
+    /// The trivial schedule: every constraint in one phase (what an
+    /// unstratified set falls back to).
+    pub fn single_phase(constraints: usize) -> PhaseSchedule {
+        PhaseSchedule {
+            phases: vec![(0..constraints).collect()],
+            stratified: Recognition::No,
+        }
+    }
+
+    /// Number of scheduled phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True iff the schedule has no phases (empty constraint set).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+/// Build the execution schedule for `Σ`: the Theorem 2 SCC-topological phase
+/// order when `Σ` is recognizably stratified, and the single-phase fallback
+/// otherwise (`No` *and* `Unknown` — an oracle giving up must not be treated
+/// as a termination guarantee).
+///
+/// Either way the schedule covers every constraint exactly once, so running
+/// its phases with `chase_engine::Strategy::Phased` (or the parallel
+/// executor) preserves the "chase until satisfied" contract; stratification
+/// only decides whether Theorem 2 additionally promises termination.
+pub fn phase_schedule(set: &ConstraintSet, cfg: &PrecedenceConfig) -> PhaseSchedule {
+    let stratified = is_stratified(set, cfg);
+    if stratified == Recognition::Yes {
+        PhaseSchedule {
+            phases: stratified_order(set, cfg),
+            stratified,
+        }
+    } else {
+        PhaseSchedule {
+            phases: vec![(0..set.len()).collect()],
+            stratified,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +198,45 @@ mod tests {
         assert_eq!(order.iter().map(Vec::len).sum::<usize>(), 4);
         // α1, α3, α4 form one phase.
         assert!(order.iter().any(|ph| ph == &vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn phase_schedule_uses_theorem2_order_when_stratified() {
+        let s = example4();
+        let sched = phase_schedule(&s, &cfg());
+        assert_eq!(sched.stratified, Recognition::Yes);
+        assert_eq!(sched.phases, stratified_order(&s, &cfg()));
+        assert!(sched.len() >= 2);
+    }
+
+    #[test]
+    fn phase_schedule_falls_back_to_single_phase() {
+        // α2 is unstratified: one phase holding every constraint, no
+        // termination claim.
+        let s = parse("S(X) -> E(X,Y), S(Y)\nE(X,Y) -> T(Y)");
+        let sched = phase_schedule(&s, &cfg());
+        assert_ne!(sched.stratified, Recognition::Yes);
+        assert_eq!(sched.phases, vec![vec![0, 1]]);
+        assert_eq!(sched, {
+            let mut single = PhaseSchedule::single_phase(2);
+            single.stratified = sched.stratified;
+            single
+        });
+    }
+
+    #[test]
+    fn phase_schedule_covers_every_constraint_once() {
+        for text in [
+            "S(X) -> E(X,Y)",
+            "S(X) -> E(X,Y), S(Y)",
+            "R(X1) -> S(X1,X1)\nS(X1,X2) -> T(X2,Z)",
+        ] {
+            let s = parse(text);
+            let sched = phase_schedule(&s, &cfg());
+            let mut seen: Vec<usize> = sched.phases.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..s.len()).collect::<Vec<_>>(), "{text}");
+        }
     }
 
     #[test]

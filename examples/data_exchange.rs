@@ -33,7 +33,11 @@ fn main() {
     println!("source: {source}");
     let res = chase_default(&source, &sigma);
     assert!(res.terminated());
-    println!("universal solution ({} atoms): {}", res.instance.len(), res.instance);
+    println!(
+        "universal solution ({} atoms): {}",
+        res.instance.len(),
+        res.instance
+    );
 
     // 3. Certain answers over the exchanged data.
     let q = scenarios::data_exchange_query();
@@ -48,7 +52,10 @@ fn main() {
         println!("  β{}: {c}", i + 1);
     }
     let report = analyze(&cyclic, 3, &pc);
-    println!("data-independent verdict: no guarantee = {}", !report.guarantees_some_sequence());
+    println!(
+        "data-independent verdict: no guarantee = {}",
+        !report.guarantees_some_sequence()
+    );
     let res = chase(&source, &cyclic, &ChaseConfig::with_monitor_depth(3));
     println!("guarded chase: {res}");
     assert_eq!(res.reason, StopReason::MonitorAbort { depth: 3 });

@@ -24,9 +24,18 @@ fn analyze_one(name: &str, set: &ConstraintSet, dot: bool) {
     println!("{}", analyze(set, 4, &pc));
     println!();
     if dot {
-        println!("dependency graph (DOT):\n{}", dependency_graph(set).to_dot("dep"));
-        println!("propagation graph (DOT):\n{}", propagation_graph(set).to_dot("prop"));
-        println!("chase graph (DOT):\n{}", chase_graph(set, &pc).to_dot("chase"));
+        println!(
+            "dependency graph (DOT):\n{}",
+            dependency_graph(set).to_dot("dep")
+        );
+        println!(
+            "propagation graph (DOT):\n{}",
+            propagation_graph(set).to_dot("prop")
+        );
+        println!(
+            "chase graph (DOT):\n{}",
+            chase_graph(set, &pc).to_dot("chase")
+        );
         let rs = minimal_restriction_system(set, 2, &pc);
         println!("minimal 2-restriction system: {rs}");
     }
@@ -43,13 +52,28 @@ fn main() {
             ("Introduction α1 (terminating)", paper::intro_alpha1()),
             ("Introduction α2 (divergent)", paper::intro_alpha2()),
             ("Figure 2 (the motivating constraint)", paper::fig2_sigma()),
-            ("Example 2 γ (2-cycles force 3-cycles)", paper::example2_gamma()),
-            ("Example 4 (stratification counterexample)", paper::example4_sigma()),
+            (
+                "Example 2 γ (2-cycles force 3-cycles)",
+                paper::example2_gamma(),
+            ),
+            (
+                "Example 4 (stratification counterexample)",
+                paper::example4_sigma(),
+            ),
             ("Examples 8/9 β (safety)", paper::safety_beta()),
-            ("Theorem 4 pair (safe, not stratified)", paper::thm4_safe_not_stratified()),
+            (
+                "Theorem 4 pair (safe, not stratified)",
+                paper::thm4_safe_not_stratified(),
+            ),
             ("Example 10 (flow supervision)", paper::example10_sigma()),
-            ("Example 13 Σ' (inductive restriction)", paper::example13_sigma_prime()),
-            ("Section 3.7 Σ'' (check-algorithm input)", paper::sec37_sigma_dprime()),
+            (
+                "Example 13 Σ' (inductive restriction)",
+                paper::example13_sigma_prime(),
+            ),
+            (
+                "Section 3.7 Σ'' (check-algorithm input)",
+                paper::sec37_sigma_dprime(),
+            ),
             ("Figure 9 (travel agency)", paper::fig9_travel()),
         ];
         for (name, set) in &corpus {

@@ -44,7 +44,10 @@ fn main() {
     let (frozen_q2, _) = q2.freeze();
     let (irrelevant, _) = irrelevant_constraints(&frozen_q2, &sigma, &pc).unwrap();
     let names: Vec<String> = irrelevant.iter().map(|i| format!("α{}", i + 1)).collect();
-    println!("(I,Σ)-irrelevant constraints (Prop. 7): {}", names.join(", "));
+    println!(
+        "(I,Σ)-irrelevant constraints (Prop. 7): {}",
+        names.join(", ")
+    );
     let verdict = data_dependent_terminates(&frozen_q2, &sigma, 2, &pc).unwrap();
     println!("data-dependent termination guarantee: {verdict}");
     assert!(verdict.is_yes());

@@ -11,7 +11,11 @@ use chase_corpus::turing::{encode, simulate, tm_flipper, tm_infinite};
 fn main() {
     // A machine exercising right moves, a left move and a stay move.
     let tm = tm_flipper();
-    println!("machine: {} states, {} transitions", tm.states, tm.transitions.len());
+    println!(
+        "machine: {} states, {} transitions",
+        tm.states,
+        tm.transitions.len()
+    );
     let sim = simulate(&tm, 1000);
     println!(
         "direct simulation: halted={} after {} steps, fired transitions {:?}",
@@ -19,7 +23,10 @@ fn main() {
     );
 
     let enc = encode(&tm);
-    println!("\nencoded as {} TGDs (ΣM of Theorem 8):", enc.constraints.len());
+    println!(
+        "\nencoded as {} TGDs (ΣM of Theorem 8):",
+        enc.constraints.len()
+    );
     for (i, c) in enc.constraints.enumerate().take(6) {
         println!("  {}: {c}", i + 1);
     }

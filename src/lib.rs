@@ -37,6 +37,35 @@ pub use chase_guarded as guarded;
 pub use chase_sqo as sqo;
 pub use chase_termination as termination;
 
+/// Run the stratum-scheduled parallel chase end to end: analyze `set` with
+/// [`chase_termination::phase_schedule`] (the Theorem 2 SCC order when the
+/// set is stratified, a single phase otherwise) and execute the phases with
+/// [`chase_engine::chase_parallel`] across `threads` threads.
+///
+/// The produced trace is bit-identical to the sequential engines under the
+/// same schedule; `threads = 1` runs without workers.
+///
+/// # Examples
+///
+/// ```
+/// use chase::prelude::*;
+///
+/// let sigma = ConstraintSet::parse("S(X) -> T(X)\nT(X) -> U(X,Y)").unwrap();
+/// let inst = Instance::parse("S(a). S(b).").unwrap();
+/// let res = chase::chase_parallel_auto(&inst, &sigma, 2);
+/// assert!(res.terminated());
+/// ```
+pub fn chase_parallel_auto(
+    instance: &chase_core::Instance,
+    set: &chase_core::ConstraintSet,
+    threads: usize,
+) -> chase_engine::ChaseResult {
+    let schedule =
+        chase_termination::phase_schedule(set, &chase_termination::PrecedenceConfig::default());
+    let cfg = chase_engine::ParallelConfig::with_threads(threads);
+    chase_engine::chase_parallel(instance, set, &schedule.phases, &cfg)
+}
+
 /// Everything most callers need, in one import.
 pub mod prelude {
     pub use chase_core::{
@@ -44,16 +73,16 @@ pub mod prelude {
         Position, Schema, Subst, Sym, Term, Tgd,
     };
     pub use chase_engine::{
-        chase, chase_default, core_chase, core_of, find_terminating_sequence, is_core,
-        BfsOutcome, ChaseConfig, ChaseMode, ChaseResult, CoreChaseResult, MonitorGraph,
-        StopReason, Strategy,
+        chase, chase_default, chase_parallel, core_chase, core_of, find_terminating_sequence,
+        is_core, BfsOutcome, ChaseConfig, ChaseMode, ChaseResult, CoreChaseResult, MonitorGraph,
+        ParallelConfig, StopReason, Strategy,
     };
     pub use chase_termination::{
-        affected_positions, analyze, c_chase_graph, chase_graph, check,
-        data_dependent_terminates, dependency_graph, irrelevant_constraints,
-        is_c_stratified, is_inductively_restricted, is_safe, is_safely_restricted,
-        is_stratified, is_weakly_acyclic, minimal_restriction_system, precedes, precedes_c,
-        precedes_k, propagation_graph, stratified_order, t_level, AnalysisReport,
+        affected_positions, analyze, c_chase_graph, chase_graph, check, data_dependent_terminates,
+        dependency_graph, irrelevant_constraints, is_c_stratified, is_inductively_restricted,
+        is_safe, is_safely_restricted, is_stratified, is_weakly_acyclic,
+        minimal_restriction_system, phase_schedule, precedes, precedes_c, precedes_k,
+        propagation_graph, stratified_order, t_level, AnalysisReport, PhaseSchedule,
         PrecedenceConfig, Recognition, Verdict,
     };
 }

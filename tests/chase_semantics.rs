@@ -10,8 +10,14 @@ use chase_corpus::paper;
 fn chase_results_satisfy_sigma() {
     let cases = [
         (paper::intro_alpha1(), paper::intro_instance()),
-        (paper::example10_sigma(), chase_corpus::families::cycle_instance(3)),
-        (paper::safety_beta(), Instance::parse("R(a,b,c). S(b).").unwrap()),
+        (
+            paper::example10_sigma(),
+            chase_corpus::families::cycle_instance(3),
+        ),
+        (
+            paper::safety_beta(),
+            Instance::parse("R(a,b,c). S(b).").unwrap(),
+        ),
         (
             paper::data_exchange_baseline(),
             Instance::parse("emp(alice,sales).").unwrap(),

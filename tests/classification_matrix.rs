@@ -205,7 +205,11 @@ fn figure1_inclusions_hold_on_the_corpus() {
                 "{}: c-stratified ⇒ IR",
                 e.name
             );
-            assert!(e.stratified.is_yes(), "{}: c-stratified ⇒ stratified", e.name);
+            assert!(
+                e.stratified.is_yes(),
+                "{}: c-stratified ⇒ stratified",
+                e.name
+            );
         }
         if e.inductively_restricted.is_yes() {
             assert_eq!(e.t_level, Some(2), "{}: IR = T[2]", e.name);

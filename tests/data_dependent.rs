@@ -4,7 +4,9 @@
 
 use chase::prelude::*;
 use chase_corpus::paper;
-use chase_sqo::rewrite::{body_signature, equivalent_subqueries, minimal_rewritings, universal_plan};
+use chase_sqo::rewrite::{
+    body_signature, equivalent_subqueries, minimal_rewritings, universal_plan,
+};
 
 fn pc() -> PrecedenceConfig {
     PrecedenceConfig::default()

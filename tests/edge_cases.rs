@@ -39,10 +39,7 @@ fn egd_merge_cascades_through_shared_nulls() {
     let res = chase_default(&inst, &set);
     assert!(res.terminated());
     // _n0 merged into b; then F(b,c) and F(b,_n1) force _n1 = c.
-    assert_eq!(
-        res.instance,
-        Instance::parse("F(a,b). F(b,c).").unwrap()
-    );
+    assert_eq!(res.instance, Instance::parse("F(a,b). F(b,c).").unwrap());
 }
 
 #[test]
@@ -70,8 +67,12 @@ fn constants_in_constraints_are_respected() {
     let inst = Instance::parse("E(c1,a). E(c2,b).").unwrap();
     let res = chase_default(&inst, &set);
     assert!(res.terminated());
-    assert!(res.instance.contains(&chase_core::parser::parse_atom("marked(a)").unwrap()));
-    assert!(!res.instance.contains(&chase_core::parser::parse_atom("marked(b)").unwrap()));
+    assert!(res
+        .instance
+        .contains(&chase_core::parser::parse_atom("marked(a)").unwrap()));
+    assert!(!res
+        .instance
+        .contains(&chase_core::parser::parse_atom("marked(b)").unwrap()));
 }
 
 #[test]
@@ -107,13 +108,13 @@ fn phased_strategy_covers_missing_constraints() {
 #[test]
 fn parser_rejects_malformed_inputs() {
     for bad in [
-        "S(X) ->",                    // missing head
-        "-> ",                        // empty everything
+        "S(X) ->", // missing head
+        "-> ",     // empty everything
         "S(X) -> T(X",
-        "S(X) T(X)",                  // missing arrow
-        "S(X) -> X = ",               // half an EGD
-        "s(X) -> T(X) extra(Y)",      // trailing garbage
-        "E(X,Y) -> x = Y",            // EGD over a constant
+        "S(X) T(X)",             // missing arrow
+        "S(X) -> X = ",          // half an EGD
+        "s(X) -> T(X) extra(Y)", // trailing garbage
+        "E(X,Y) -> x = Y",       // EGD over a constant
     ] {
         assert!(ConstraintSet::parse(bad).is_err(), "accepted: {bad}");
     }
@@ -183,10 +184,7 @@ fn monitor_and_null_budget_compose() {
 
 #[test]
 fn core_chase_is_exposed_through_the_prelude() {
-    let set = ConstraintSet::parse(
-        "D(X) -> E(X,Y)\nE(X,Y) -> D(Y)\nE(X,Y) -> E(X,X)",
-    )
-    .unwrap();
+    let set = ConstraintSet::parse("D(X) -> E(X,Y)\nE(X,Y) -> D(Y)\nE(X,Y) -> E(X,X)").unwrap();
     let inst = Instance::parse("D(a).").unwrap();
     let res = core_chase(&inst, &set, 20);
     assert!(res.satisfied);

@@ -1,9 +1,12 @@
-//! Equivalence of the delta-driven engine and the naive reference engine.
+//! Equivalence of the three engines: naive re-enumeration, the delta-driven
+//! trigger queue, and the stratum-scheduled parallel executor.
 //!
 //! The delta-driven trigger queue promises *identical semantics* to naive
 //! per-step re-enumeration — same trigger fired at every step, so the same
-//! trace, step count, fresh-null count, and final instance. These tests hold
-//! the two engines against each other over the `chase-corpus` random
+//! trace, step count, fresh-null count, and final instance — and
+//! `chase_parallel` promises the same again under any thread count: the
+//! workers only shard *matching* work, never trigger *selection*. These
+//! tests hold the engines against each other over the `chase-corpus` random
 //! families and the named corpus families, across strategies and chase
 //! modes. On terminating runs the results must additionally be
 //! homomorphically equivalent (they are in fact equal, which is stronger;
@@ -12,7 +15,10 @@
 use chase_core::homomorphism::hom_equivalent;
 use chase_corpus::families;
 use chase_corpus::random::{random_instance, random_tgds, RandomInstanceConfig, RandomTgdConfig};
-use chase_engine::{chase, chase_naive, ChaseConfig, ChaseMode, Strategy};
+use chase_engine::{
+    chase, chase_naive, chase_parallel, ChaseConfig, ChaseMode, ParallelConfig, Strategy,
+};
+use chase_termination::{phase_schedule, PhaseSchedule, PrecedenceConfig, Recognition};
 use proptest::prelude::*;
 
 fn assert_equivalent(
@@ -25,35 +31,185 @@ fn assert_equivalent(
     let fast = chase(inst, set, &cfg);
     let slow = chase_naive(inst, set, &cfg);
     prop_assert_eq!(
-        &fast.reason, &slow.reason,
-        "engines disagree on stop reason for:\n{}\non {}", set, inst
+        &fast.reason,
+        &slow.reason,
+        "engines disagree on stop reason for:\n{}\non {}",
+        set,
+        inst
     );
     prop_assert_eq!(
-        fast.steps, slow.steps,
-        "engines disagree on step count for:\n{}\non {}", set, inst
+        fast.steps,
+        slow.steps,
+        "engines disagree on step count for:\n{}\non {}",
+        set,
+        inst
     );
     prop_assert_eq!(
-        fast.fresh_nulls, slow.fresh_nulls,
-        "engines disagree on fresh nulls for:\n{}\non {}", set, inst
+        fast.fresh_nulls,
+        slow.fresh_nulls,
+        "engines disagree on fresh nulls for:\n{}\non {}",
+        set,
+        inst
     );
     for (i, (a, b)) in fast.trace.iter().zip(&slow.trace).enumerate() {
         prop_assert_eq!(
-            a.constraint, b.constraint,
-            "step {} fired different constraints for:\n{}\non {}", i, set, inst
+            a.constraint,
+            b.constraint,
+            "step {} fired different constraints for:\n{}\non {}",
+            i,
+            set,
+            inst
         );
         prop_assert_eq!(
-            &a.assignment, &b.assignment,
-            "step {} fired different assignments for:\n{}\non {}", i, set, inst
+            &a.assignment,
+            &b.assignment,
+            "step {} fired different assignments for:\n{}\non {}",
+            i,
+            set,
+            inst
         );
     }
     prop_assert_eq!(
-        &fast.instance, &slow.instance,
-        "engines disagree on the final instance for:\n{}\non {}", set, inst
+        &fast.instance,
+        &slow.instance,
+        "engines disagree on the final instance for:\n{}\non {}",
+        set,
+        inst
     );
     if fast.terminated() {
         prop_assert!(
             hom_equivalent(&fast.instance, &slow.instance),
-            "terminating results not hom-equivalent for:\n{}\non {}", set, inst
+            "terminating results not hom-equivalent for:\n{}\non {}",
+            set,
+            inst
+        );
+    }
+    Ok(())
+}
+
+/// Trace equality between two results of the same run configuration.
+fn assert_traces_equal(
+    label: &str,
+    a: &chase_engine::ChaseResult,
+    b: &chase_engine::ChaseResult,
+    set: &chase_core::ConstraintSet,
+    inst: &chase_core::Instance,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(
+        &a.reason,
+        &b.reason,
+        "{}: stop reason differs for:\n{}\non {}",
+        label,
+        set,
+        inst
+    );
+    prop_assert_eq!(
+        a.steps,
+        b.steps,
+        "{}: step count differs for:\n{}\non {}",
+        label,
+        set,
+        inst
+    );
+    prop_assert_eq!(
+        a.fresh_nulls,
+        b.fresh_nulls,
+        "{}: fresh nulls differ for:\n{}\non {}",
+        label,
+        set,
+        inst
+    );
+    prop_assert_eq!(
+        a.trace.len(),
+        b.trace.len(),
+        "{}: trace length differs",
+        label
+    );
+    for (i, (x, y)) in a.trace.iter().zip(&b.trace).enumerate() {
+        prop_assert_eq!(
+            x.constraint,
+            y.constraint,
+            "{}: step {} fired different constraints for:\n{}\non {}",
+            label,
+            i,
+            set,
+            inst
+        );
+        prop_assert_eq!(
+            &x.assignment,
+            &y.assignment,
+            "{}: step {} fired different assignments for:\n{}\non {}",
+            label,
+            i,
+            set,
+            inst
+        );
+        prop_assert_eq!(
+            &x.added,
+            &y.added,
+            "{}: step {} added different atoms",
+            label,
+            i
+        );
+        prop_assert_eq!(
+            &x.merged,
+            &y.merged,
+            "{}: step {} merged differently",
+            label,
+            i
+        );
+    }
+    prop_assert_eq!(
+        &a.instance,
+        &b.instance,
+        "{}: final instances differ for:\n{}\non {}",
+        label,
+        set,
+        inst
+    );
+    Ok(())
+}
+
+/// The three-way check: naive, delta, and parallel (at 1, 2 and 4 threads)
+/// must all replay the same trace under the set's phase schedule. The
+/// 2-thread run uses `fanout_threshold = 0` to force every matching path
+/// through the sharded code even on tiny workloads.
+fn assert_three_way(
+    set: &chase_core::ConstraintSet,
+    inst: &chase_core::Instance,
+    max_steps: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let schedule = phase_schedule(set, &PrecedenceConfig::default());
+    let cfg = ChaseConfig {
+        strategy: Strategy::Phased(schedule.phases.clone()),
+        max_steps: Some(max_steps),
+        keep_trace: true,
+        ..ChaseConfig::default()
+    };
+    let delta = chase(inst, set, &cfg);
+    let naive = chase_naive(inst, set, &cfg);
+    assert_traces_equal("naive vs delta", &naive, &delta, set, inst)?;
+    for (threads, threshold) in [(1usize, 256usize), (2, 0), (4, 256)] {
+        let pcfg = ParallelConfig {
+            base: cfg.clone(),
+            threads,
+            fanout_threshold: threshold,
+        };
+        let par = chase_parallel(inst, set, &schedule.phases, &pcfg);
+        assert_traces_equal(
+            &format!("parallel t={threads} f={threshold} vs delta"),
+            &par,
+            &delta,
+            set,
+            inst,
+        )?;
+    }
+    if delta.terminated() {
+        prop_assert!(
+            hom_equivalent(&delta.instance, &naive.instance),
+            "terminating results not hom-equivalent for:\n{}\non {}",
+            set,
+            inst
         );
     }
     Ok(())
@@ -103,6 +259,25 @@ proptest! {
             ..ChaseConfig::default()
         };
         assert_equivalent(&set, &inst, &cfg)?;
+    }
+
+    #[test]
+    fn random_families_agree_three_way(
+        seed in any::<u64>(),
+        constraints in 1usize..=3,
+        facts in 1usize..10,
+    ) {
+        let set = random_tgds(&RandomTgdConfig {
+            constraints,
+            predicates: 3,
+            max_arity: 3,
+            body_atoms: (1, 2),
+            head_atoms: (1, 2),
+            existential_prob: 0.35,
+            seed,
+        });
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 4, seed });
+        assert_three_way(&set, &inst, 200)?;
     }
 
     #[test]
@@ -158,13 +333,58 @@ fn corpus_families_agree_across_strategies() {
     }
 }
 
+#[test]
+fn corpus_families_agree_three_way() {
+    let cases: Vec<(chase_core::ConstraintSet, chase_core::Instance)> = vec![
+        (families::copy_chain(4), families::chain_source_instance(3)),
+        (families::lav_star(3), families::chain_source_instance(3)),
+        (families::safe_family(3), families::path_instance(4)),
+        (families::stratified_family(3), families::path_instance(3)),
+        (families::full_tgd_cycle(3), families::cycle_instance(3)),
+        (families::divergent_family(2), families::cycle_instance(2)),
+        (
+            chase_corpus::paper::example4_sigma(),
+            families::unary_instance("R", 4),
+        ),
+        (
+            chase_corpus::paper::fig9_travel(),
+            chase_corpus::random::random_travel_instance(
+                &chase_corpus::random::RandomTravelConfig {
+                    cities: 8,
+                    flights: 20,
+                    rails: 10,
+                    seed: 11,
+                },
+            ),
+        ),
+    ];
+    for (set, inst) in &cases {
+        assert_three_way(set, inst, 200).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+}
+
+/// An unstratified set must fall back to a single-phase schedule, and the
+/// parallel engine must still replay the sequential trace on it.
+#[test]
+fn unstratified_sets_fall_back_to_single_phase() {
+    let set = chase_core::ConstraintSet::parse("S(X) -> E(X,Y), S(Y)\nE(X,Y) -> T(Y)").unwrap();
+    let schedule = phase_schedule(&set, &PrecedenceConfig::default());
+    assert_ne!(schedule.stratified, Recognition::Yes);
+    assert_eq!(schedule.phases, vec![vec![0, 1]]);
+    assert_eq!(
+        schedule.phases,
+        PhaseSchedule::single_phase(set.len()).phases
+    );
+    let inst = chase_core::Instance::parse("S(n1). S(n2). E(n1,n2).").unwrap();
+    assert_three_way(&set, &inst, 120).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
 /// EGD-heavy workload: merges force the delta engine down its rebuild path.
 #[test]
 fn egd_workloads_agree() {
-    let set = chase_core::ConstraintSet::parse(
-        "E(X,Y), E(X,Z) -> Y = Z\nS(X) -> E(X,Y)\nE(X,Y) -> T(Y)",
-    )
-    .unwrap();
+    let set =
+        chase_core::ConstraintSet::parse("E(X,Y), E(X,Z) -> Y = Z\nS(X) -> E(X,Y)\nE(X,Y) -> T(Y)")
+            .unwrap();
     let inst =
         chase_core::Instance::parse("S(a). S(b). E(a,_n0). E(_n0,c). E(b,_n1). E(b,d).").unwrap();
     for strategy in [

@@ -40,10 +40,7 @@ fn rg_sets_have_the_guarded_null_property_on_random_orders() {
     // Lemma 7(3): every chase sequence of an RG set has the guarded null
     // property. Drive many random orders through the checker.
     let s = separation_witness();
-    let inst = Instance::parse(
-        "R(a,b,c). S(b). T(b). T(c). R(c,b,a). R(b,a,c).",
-    )
-    .unwrap();
+    let inst = Instance::parse("R(a,b,c). S(b). T(b). T(c). R(c,b,a). R(b,a,c).").unwrap();
     for seed in 0..20 {
         let cfg = ChaseConfig {
             strategy: Strategy::Random { seed },

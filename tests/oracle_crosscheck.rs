@@ -9,9 +9,9 @@
 //! complete.
 
 use chase::prelude::*;
+use chase_core::homomorphism::{for_each_hom, Subst};
 use chase_corpus::random::{random_tgds, RandomTgdConfig};
 use chase_engine::apply_step;
-use chase_core::homomorphism::{for_each_hom, Subst};
 
 /// All ground atoms over the schema of `set` with the given constant pool.
 fn ground_atoms(set: &ConstraintSet, domain: &[Term]) -> Vec<Atom> {
@@ -34,7 +34,11 @@ fn ground_atoms(set: &ConstraintSet, domain: &[Term]) -> Vec<Atom> {
 
 /// Enumerate all instances with at most `max_atoms` atoms from `atoms`,
 /// calling `f`; stops early when `f` returns true.
-fn for_each_instance(atoms: &[Atom], max_atoms: usize, f: &mut dyn FnMut(&Instance) -> bool) -> bool {
+fn for_each_instance(
+    atoms: &[Atom],
+    max_atoms: usize,
+    f: &mut dyn FnMut(&Instance) -> bool,
+) -> bool {
     fn rec(
         atoms: &[Atom],
         start: usize,
@@ -81,7 +85,9 @@ fn brute_force_precedes(set: &ConstraintSet, a: usize, b: usize, standard: bool)
                 return false; // not a standard trigger
             }
             let mut j = i0.clone();
-            if apply_step(&mut j, alpha, mu) == chase_engine::StepEffect::Failed { return false }
+            if apply_step(&mut j, alpha, mu) == chase_engine::StepEffect::Failed {
+                return false;
+            }
             // Some assignment b with J ⊭ β(b) and I0 ⊨ β(b)?
             let mut found = false;
             for_each_hom(beta.body(), &j, &Subst::new(), false, &mut |nu| {
@@ -125,7 +131,10 @@ fn oracle_matches_brute_force_on_random_tiny_pairs() {
             for b in 0..2 {
                 let expected_c = brute_force_precedes(&set, a, b, false);
                 let got_c = precedes_c(&set, a, b, &pc);
-                assert!(got_c.definite(), "seed {seed} ({a},{b}): oracle gave up on\n{set}");
+                assert!(
+                    got_c.definite(),
+                    "seed {seed} ({a},{b}): oracle gave up on\n{set}"
+                );
                 assert_eq!(
                     got_c.holds(),
                     expected_c,
@@ -133,7 +142,10 @@ fn oracle_matches_brute_force_on_random_tiny_pairs() {
                 );
                 let expected_s = brute_force_precedes(&set, a, b, true);
                 let got_s = precedes(&set, a, b, &pc);
-                assert!(got_s.definite(), "seed {seed} ({a},{b}): oracle gave up on\n{set}");
+                assert!(
+                    got_s.definite(),
+                    "seed {seed} ({a},{b}): oracle gave up on\n{set}"
+                );
                 assert_eq!(
                     got_s.holds(),
                     expected_s,

@@ -9,7 +9,10 @@ use chase_corpus::turing::{
 
 /// Chase the encoded machine and report which marker rules fired (by the
 /// presence of their B-predicates).
-fn chase_markers(enc: &chase_corpus::turing::TmEncoding, max_steps: usize) -> (ChaseResult, Vec<bool>) {
+fn chase_markers(
+    enc: &chase_corpus::turing::TmEncoding,
+    max_steps: usize,
+) -> (ChaseResult, Vec<bool>) {
     let res = chase(
         &Instance::new(),
         &enc.constraints,
@@ -115,7 +118,9 @@ fn chase_tape_row_matches_simulated_tape() {
         let mut row = Vec::new();
         let mut node = *dst;
         'walk: loop {
-            let next = edges.iter().find(|&&(src, s, _)| src == node && s != b_mark);
+            let next = edges
+                .iter()
+                .find(|&&(src, s, _)| src == node && s != b_mark);
             match next {
                 Some(&(_, s, d)) if s != e_mark => {
                     row.push(s);
@@ -128,10 +133,6 @@ fn chase_tape_row_matches_simulated_tape() {
             best_row = row;
         }
     }
-    let expected: Vec<Sym> = sim
-        .tape
-        .iter()
-        .map(|&s| Sym::new(&tm.symbols[s]))
-        .collect();
+    let expected: Vec<Sym> = sim.tape.iter().map(|&s| Sym::new(&tm.symbols[s])).collect();
     assert_eq!(best_row, expected, "final tape row mismatch");
 }

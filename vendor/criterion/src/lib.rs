@@ -34,9 +34,7 @@ impl Criterion {
     /// Accept a substring filter as the first CLI argument, skipping flags
     /// (`cargo bench -- <filter>`). Other criterion flags are ignored.
     pub fn configure_from_args(mut self) -> Criterion {
-        self.filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         self
     }
 
@@ -64,7 +62,12 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_benchmark(&id.label(), self.sample_size, self.filter.as_deref(), &mut f);
+        run_benchmark(
+            &id.label(),
+            self.sample_size,
+            self.filter.as_deref(),
+            &mut f,
+        );
         self
     }
 
@@ -211,12 +214,33 @@ impl Bencher {
     }
 }
 
-fn run_benchmark(label: &str, sample_size: usize, filter: Option<&str>, f: &mut dyn FnMut(&mut Bencher)) {
+/// Quick mode (the `CHASE_BENCH_QUICK` env var, set by CI's bench-smoke
+/// job): cap samples and the per-benchmark sampling budget so a full
+/// `cargo bench` sweep fits in CI. Medians stay comparable run to run;
+/// only their variance suffers.
+///
+/// Public so the workload-sizing helpers in `chase-bench` and the
+/// `bench2json` summarizer share this one definition of "quick".
+pub fn quick_mode() -> bool {
+    std::env::var_os("CHASE_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    filter: Option<&str>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     if let Some(pat) = filter {
         if !label.contains(pat) {
             return;
         }
     }
+    let (sample_size, sampling_budget) = if quick_mode() {
+        (sample_size.min(5), Duration::from_millis(300))
+    } else {
+        (sample_size, Duration::from_secs(2))
+    };
     // Calibrate: one untimed-batch run to size batches near ~1 ms, capped so
     // slow benches still finish promptly.
     let mut b = Bencher {
@@ -235,8 +259,8 @@ fn run_benchmark(label: &str, sample_size: usize, filter: Option<&str>, f: &mut 
     let budget = Instant::now();
     for _ in 0..sample_size {
         f(&mut b);
-        // Keep any single benchmark under ~2 s of sampling.
-        if budget.elapsed() > Duration::from_secs(2) {
+        // Keep any single benchmark under the sampling budget.
+        if budget.elapsed() > sampling_budget {
             break;
         }
     }

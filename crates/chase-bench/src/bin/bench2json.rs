@@ -16,6 +16,11 @@
 //! ```text
 //! cargo bench -p chase-bench | cargo run -p chase-bench --bin bench2json -- --sha "$GITHUB_SHA"
 //! ```
+//!
+//! With `--require-results`, exits non-zero when no measurement line was
+//! parsed — CI's bench-smoke job passes it so a silently broken bench run
+//! (or a bench output format drift that the parser no longer recognizes)
+//! fails the job instead of uploading an empty trajectory point.
 
 use std::io::Read;
 
@@ -62,10 +67,13 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let mut sha = std::env::var("GITHUB_SHA").unwrap_or_default();
+    let mut require_results = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--sha" {
             sha = args.next().unwrap_or_default();
+        } else if arg == "--require-results" {
+            require_results = true;
         }
     }
     if sha.is_empty() {
@@ -78,6 +86,16 @@ fn main() {
         .expect("read bench output from stdin");
     let mut results: Vec<Measurement> = input.lines().filter_map(parse_line).collect();
     results.sort_by(|a, b| a.label.cmp(&b.label));
+    if require_results && results.is_empty() {
+        // An empty summary means the bench run or the parser silently broke
+        // — a trajectory of empty points is worse than a red CI job.
+        eprintln!(
+            "bench2json: no measurement lines found in {} bytes of bench output \
+             (expected `<label> time: [..]` lines); refusing to emit an empty summary",
+            input.len()
+        );
+        std::process::exit(1);
+    }
 
     let quick = chase_bench::quick();
     println!("{{");

@@ -1,10 +1,13 @@
 //! Database instances: deduplicated, indexed sets of ground atoms.
 //!
 //! An [`Instance`] stores facts in insertion order (so chase sequences are
-//! reproducible) alongside two indexes used by the homomorphism engine:
-//! a per-predicate index and a per-`(predicate, position, term)` index.
-//! It also owns the counter from which fresh labeled nulls are drawn during
-//! chase steps.
+//! reproducible) alongside three indexes used by the homomorphism engine and
+//! the join planner: a per-predicate index, a per-`(predicate, position,
+//! term)` index, and registered *composite* (multi-column) indexes keyed by a
+//! position bitmask (see [`Instance::register_composite`]). It also maintains
+//! the per-predicate cardinality and per-position distinct-value statistics
+//! the `chase-plan` join compiler orders constraint bodies by, and owns the
+//! counter from which fresh labeled nulls are drawn during chase steps.
 
 use crate::atom::Atom;
 use crate::error::CoreError;
@@ -15,6 +18,10 @@ use crate::term::Term;
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// One composite index: key (the terms at the mask's positions, ascending)
+/// → fact indices.
+type CompositeBuckets = FxHashMap<Vec<Term>, Vec<u32>>;
+
 /// A database instance: a finite set of ground atoms over constants and
 /// labeled nulls.
 #[derive(Clone, Default)]
@@ -23,6 +30,20 @@ pub struct Instance {
     set: FxHashSet<Atom>,
     by_pred: FxHashMap<Sym, Vec<u32>>,
     by_pos: FxHashMap<(Sym, u32, Term), Vec<u32>>,
+    /// Registered composite indexes, nested by predicate so an insert only
+    /// walks its own predicate's masks: pred → position bitmask → bucket
+    /// per key (the terms at the mask's positions, ascending). Registration
+    /// is sticky — once a planner asks for a mask it stays maintained
+    /// across inserts and merges, so read-only matcher shards can rely on
+    /// it.
+    composite: FxHashMap<Sym, FxHashMap<u32, CompositeBuckets>>,
+    /// Distinct-value count per `(pred, position)` — the number of live
+    /// `by_pos` buckets, maintained without scanning the key space.
+    distinct: FxHashMap<(Sym, u32), u32>,
+    /// Bumped on every merge (which rewrites statistics in place, unlike
+    /// inserts, whose effect the fact count already captures); plan caches
+    /// compare it to decide when to recompile.
+    merges: u64,
     next_null: u32,
 }
 
@@ -81,10 +102,18 @@ impl Instance {
             if let Term::Null(n) = t {
                 self.next_null = self.next_null.max(n + 1);
             }
-            self.by_pos
-                .entry((atom.pred(), i as u32, t))
-                .or_default()
-                .push(idx);
+            let bucket = self.by_pos.entry((atom.pred(), i as u32, t)).or_default();
+            if bucket.is_empty() {
+                *self.distinct.entry((atom.pred(), i as u32)).or_insert(0) += 1;
+            }
+            bucket.push(idx);
+        }
+        if let Some(masks) = self.composite.get_mut(&atom.pred()) {
+            for (&mask, buckets) in masks.iter_mut() {
+                if let Some(key) = composite_key(&atom, mask) {
+                    buckets.entry(key).or_default().push(idx);
+                }
+            }
         }
         self.by_pred.entry(atom.pred()).or_default().push(idx);
         self.set.insert(atom.clone());
@@ -118,13 +147,105 @@ impl Instance {
     }
 
     /// Facts with the given predicate, in insertion order.
-    pub fn with_pred(&self, pred: Sym) -> impl Iterator<Item = &Atom> {
+    ///
+    /// Routed through the per-predicate index: O(k) in the number of
+    /// `pred`-facts, independent of the instance size (pinned by
+    /// `with_pred_is_index_backed` below — per-predicate iteration is on the
+    /// planner's statistics path and must never degrade to a full scan).
+    pub fn with_pred(&self, pred: Sym) -> impl ExactSizeIterator<Item = &Atom> {
         self.by_pred
             .get(&pred)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
             .iter()
             .map(move |&i| &self.atoms[i as usize])
+    }
+
+    /// Number of facts with the given predicate — `|R|`, in O(1).
+    pub fn pred_cardinality(&self, pred: Sym) -> usize {
+        self.by_pred.get(&pred).map_or(0, Vec::len)
+    }
+
+    /// Number of distinct terms occurring at `(pred, pos)`, in O(1).
+    ///
+    /// Maintained incrementally as `by_pos` buckets are created; after a
+    /// merge the counters are rebuilt alongside the indexes. This is the
+    /// per-position selectivity statistic the join planner divides by.
+    pub fn distinct_at(&self, pred: Sym, pos: usize) -> usize {
+        self.distinct
+            .get(&(pred, pos as u32))
+            .map_or(0, |&n| n as usize)
+    }
+
+    /// Number of merges ([`Instance::merge_terms`]) performed so far.
+    ///
+    /// Merges rewrite cardinalities and distinct counts in place without
+    /// necessarily moving the fact count, so plan caches recompile when this
+    /// moves (growth is separately captured by [`Instance::stats_epoch`]).
+    pub fn merge_epoch(&self) -> u64 {
+        self.merges
+    }
+
+    /// The statistics epoch: the bit length of the fact count.
+    ///
+    /// Grows by one each time the instance doubles, so a plan cache that
+    /// recompiles on epoch change re-reads the statistics O(log n) times over
+    /// a run instead of every step. Stale plans remain *correct* — only
+    /// their cost estimates age.
+    pub fn stats_epoch(&self) -> u32 {
+        u64::BITS - (self.atoms.len() as u64).leading_zeros()
+    }
+
+    /// Register a composite (multi-column) index for `pred` over the
+    /// positions set in `mask` (bit `i` = argument position `i`).
+    ///
+    /// Backfills from the existing `pred`-facts on first registration (O(k))
+    /// and is maintained incrementally by every later insert and rebuilt on
+    /// merges. Registering an already-registered mask is a no-op. Masks with
+    /// fewer than two bits are rejected (the positional index already serves
+    /// them); positions beyond an atom's arity simply never match.
+    pub fn register_composite(&mut self, pred: Sym, mask: u32) {
+        if mask.count_ones() < 2
+            || self
+                .composite
+                .get(&pred)
+                .is_some_and(|m| m.contains_key(&mask))
+        {
+            return;
+        }
+        let mut buckets = CompositeBuckets::default();
+        if let Some(idxs) = self.by_pred.get(&pred) {
+            for &i in idxs {
+                if let Some(key) = composite_key(&self.atoms[i as usize], mask) {
+                    buckets.entry(key).or_default().push(i);
+                }
+            }
+        }
+        self.composite
+            .entry(pred)
+            .or_default()
+            .insert(mask, buckets);
+    }
+
+    /// Candidate facts whose arguments at the positions of a registered
+    /// `(pred, mask)` composite index equal `key` (the terms at those
+    /// positions, ascending). Returns `None` when the mask was never
+    /// registered — callers fall back to [`Instance::candidates`].
+    pub fn composite_candidates(&self, pred: Sym, mask: u32, key: &[Term]) -> Option<&[u32]> {
+        let buckets = self.composite.get(&pred)?.get(&mask)?;
+        Some(buckets.get(key).map(|v| v.as_slice()).unwrap_or(&[]))
+    }
+
+    /// The composite masks currently registered for `pred` (planner
+    /// introspection and tests).
+    pub fn registered_composites(&self, pred: Sym) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .composite
+            .get(&pred)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
     /// Indices of candidate facts for a `pred`-atom whose argument at each
@@ -237,6 +358,15 @@ impl Instance {
         self.set.clear();
         self.by_pred.clear();
         self.by_pos.clear();
+        self.distinct.clear();
+        // Composite registrations survive the merge (read-only matcher code
+        // relies on a registered mask staying queryable); only the buckets
+        // are rebuilt, by the inserts below.
+        for masks in self.composite.values_mut() {
+            for buckets in masks.values_mut() {
+                buckets.clear();
+            }
+        }
         let mut rewritten = 0;
         for a in old {
             let b = a.replace(from, to);
@@ -246,6 +376,7 @@ impl Instance {
             let _ = self.insert(b);
         }
         self.next_null = self.next_null.max(next_null);
+        self.merges += 1;
         rewritten
     }
 
@@ -278,6 +409,22 @@ impl Instance {
         });
         v
     }
+}
+
+/// The composite-index key of `atom` under `mask`: its terms at the mask's
+/// positions, ascending. `None` when the mask addresses a position beyond
+/// the atom's arity (such an atom can never match a pattern bound at that
+/// position, so it is simply not indexed).
+fn composite_key(atom: &Atom, mask: u32) -> Option<Vec<Term>> {
+    let terms = atom.terms();
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        key.push(*terms.get(i)?);
+        m &= m - 1;
+    }
+    Some(key)
 }
 
 /// A read-only, thread-shareable snapshot of an [`Instance`] (see
@@ -490,6 +637,141 @@ mod tests {
         assert_index_consistent(&j);
         assert!(j.contains(&ca("E", &["x", "x"])));
         assert_eq!(j.len(), 1);
+    }
+
+    /// `with_pred` must be served by the per-predicate index, not a scan
+    /// over all atoms — after merges included.
+    #[test]
+    fn with_pred_is_index_backed() {
+        let mut i = Instance::new();
+        i.insert(ca("E", &["a", "b"]));
+        i.insert(ca("S", &["a"]));
+        i.insert(Atom::new("E", vec![Term::constant("a"), Term::null(0)]));
+        let e: Vec<&Atom> = i.with_pred(Sym::new("E")).collect();
+        assert_eq!(e.len(), 2); // ExactSizeIterator: length known up front
+        assert_eq!(i.with_pred(Sym::new("E")).len(), 2);
+        assert_eq!(i.pred_cardinality(Sym::new("E")), 2);
+        assert_eq!(i.pred_cardinality(Sym::new("zzz")), 0);
+        let scanned: Vec<&Atom> = i
+            .atoms()
+            .iter()
+            .filter(|a| a.pred() == Sym::new("E"))
+            .collect();
+        assert_eq!(e, scanned);
+        i.merge_terms(Term::null(0), Term::constant("b"));
+        assert_eq!(i.with_pred(Sym::new("E")).len(), 1);
+        assert_eq!(i.pred_cardinality(Sym::new("E")), 1);
+    }
+
+    #[test]
+    fn distinct_counts_track_inserts_and_merges() {
+        let mut i = Instance::new();
+        i.insert(ca("E", &["a", "b"]));
+        i.insert(ca("E", &["a", "c"]));
+        i.insert(ca("E", &["d", "c"]));
+        let e = Sym::new("E");
+        assert_eq!(i.distinct_at(e, 0), 2); // a, d
+        assert_eq!(i.distinct_at(e, 1), 2); // b, c
+        assert_eq!(i.distinct_at(e, 2), 0);
+        assert_eq!(i.distinct_at(Sym::new("S"), 0), 0);
+        // Merging c into b collapses the second column to one value.
+        i.insert(Atom::new("E", vec![Term::constant("a"), Term::null(0)]));
+        assert_eq!(i.distinct_at(e, 1), 3);
+        i.merge_terms(Term::null(0), Term::constant("b"));
+        assert_eq!(i.distinct_at(e, 1), 2);
+        assert_eq!(i.distinct_at(e, 0), 2);
+    }
+
+    #[test]
+    fn stats_epoch_grows_with_doubling() {
+        let mut i = Instance::new();
+        assert_eq!(i.stats_epoch(), 0);
+        i.insert(ca("S", &["a"]));
+        assert_eq!(i.stats_epoch(), 1);
+        i.insert(ca("S", &["b"]));
+        assert_eq!(i.stats_epoch(), 2);
+        i.insert(ca("S", &["c"]));
+        assert_eq!(i.stats_epoch(), 2);
+        i.insert(ca("S", &["d"]));
+        assert_eq!(i.stats_epoch(), 3);
+        assert_eq!(i.merge_epoch(), 0);
+        i.insert(Atom::new("S", vec![Term::null(0)]));
+        i.merge_terms(Term::null(0), Term::constant("a"));
+        assert_eq!(i.merge_epoch(), 1);
+        i.merge_terms(Term::constant("a"), Term::constant("a")); // no-op
+        assert_eq!(i.merge_epoch(), 1);
+    }
+
+    #[test]
+    fn composite_index_matches_brute_force() {
+        let mut i = Instance::new();
+        i.insert(ca("T", &["a", "b", "c"]));
+        i.insert(ca("T", &["a", "b", "d"]));
+        i.insert(ca("T", &["a", "x", "c"]));
+        i.insert(ca("T", &["y", "b", "c"]));
+        let t = Sym::new("T");
+        // Unregistered: None, caller falls back to the positional index.
+        assert!(i.composite_candidates(t, 0b011, &[]).is_none());
+        i.register_composite(t, 0b011); // columns 0 and 1
+        assert_eq!(i.registered_composites(t), vec![0b011]);
+        let key = vec![Term::constant("a"), Term::constant("b")];
+        let got = i.composite_candidates(t, 0b011, &key).unwrap().to_vec();
+        assert_eq!(got, vec![0, 1]);
+        let miss = vec![Term::constant("y"), Term::constant("x")];
+        assert!(i.composite_candidates(t, 0b011, &miss).unwrap().is_empty());
+        // Single-column masks are rejected — the positional index serves
+        // those.
+        i.register_composite(t, 0b100);
+        assert!(i.composite_candidates(t, 0b100, &[]).is_none());
+        // Incremental maintenance on insert.
+        i.insert(ca("T", &["a", "b", "e"]));
+        let got = i.composite_candidates(t, 0b011, &key).unwrap().to_vec();
+        assert_eq!(got, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn composite_index_survives_merges() {
+        let mut i = Instance::new();
+        let t = Sym::new("T");
+        i.insert(Atom::new(
+            "T",
+            vec![Term::constant("a"), Term::null(0), Term::constant("c")],
+        ));
+        i.insert(ca("T", &["a", "b", "c"]));
+        i.insert(ca("T", &["z", "b", "c"]));
+        i.register_composite(t, 0b011);
+        let key_null = vec![Term::constant("a"), Term::null(0)];
+        assert_eq!(
+            i.composite_candidates(t, 0b011, &key_null).unwrap().len(),
+            1
+        );
+        i.merge_terms(Term::null(0), Term::constant("b"));
+        // The null key is gone, the merged atoms collapse into one bucket.
+        assert!(i
+            .composite_candidates(t, 0b011, &key_null)
+            .unwrap()
+            .is_empty());
+        let key = vec![Term::constant("a"), Term::constant("b")];
+        let bucket = i.composite_candidates(t, 0b011, &key).unwrap();
+        assert_eq!(bucket.len(), 1);
+        assert_eq!(i.atom_at(bucket[0]), &ca("T", &["a", "b", "c"]));
+        // Registration is sticky: inserts after the merge keep indexing.
+        i.insert(ca("T", &["a", "b", "q"]));
+        assert_eq!(i.composite_candidates(t, 0b011, &key).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn composite_key_ignores_out_of_arity_masks() {
+        let mut i = Instance::new();
+        i.insert(ca("S", &["a"]));
+        i.insert(ca("S", &["b"]));
+        let s = Sym::new("S");
+        i.register_composite(s, 0b101); // bit 2 is beyond arity 1
+        assert_eq!(
+            i.composite_candidates(s, 0b101, &[Term::constant("a"), Term::constant("a")])
+                .unwrap(),
+            &[] as &[u32]
+        );
     }
 
     #[test]

@@ -38,6 +38,16 @@
 //! anything; they conservatively rebuild the pool from scratch and clear the
 //! dead-set (merges are rare in chase workloads; TGD steps dominate).
 //!
+//! All matching work — pool rebuilds, semi-naive delta re-matching, head
+//! revalidation, and the naive reference's full re-enumeration — goes
+//! through a [`Matcher`]: with `ChaseConfig::use_planner` (the default) each
+//! constraint body and head is compiled once per statistics epoch into a
+//! `chase-plan` join program (greedy bind-first/smallest-relation-first atom
+//! order, composite secondary-index lookups), and with the planner off the
+//! classic backtracking searcher runs instead. Both enumerate the same
+//! homomorphism sets and triggers are selected canonically by normalized
+//! assignment, so traces are bit-identical planner-on vs planner-off.
+//!
 //! This replaces the seed engine's per-step full re-enumeration — a
 //! backtracking search over the whole instance for every constraint on every
 //! step, the quadratic blow-up *Stop the Chase* (Meier et al., 2009) calls
@@ -54,11 +64,9 @@
 use crate::monitor::MonitorGraph;
 use crate::parallel::WorkerPool;
 use crate::step::{apply_step, StepEffect};
-use crate::trigger::{
-    for_each_delta_match, head_newly_satisfied, head_rests, is_active, normalize,
-};
+use crate::trigger::{head_rests, normalize, Matcher};
 use chase_core::fx::{FxHashMap, FxHashSet};
-use chase_core::homomorphism::{for_each_hom, Subst};
+use chase_core::homomorphism::Subst;
 use chase_core::{Atom, Constraint, ConstraintSet, Instance, Sym, Term};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -117,6 +125,12 @@ pub struct ChaseConfig {
     pub keep_trace: bool,
     /// Maintain (and return) the monitor graph even without a depth guard.
     pub keep_monitor: bool,
+    /// Route all trigger matching through the `chase-plan` cost-guided join
+    /// programs and composite indexes (the default). With `false`, every
+    /// matching path runs the classic backtracking searcher instead.
+    /// Trigger selection is canonical either way, so traces are
+    /// bit-identical planner-on vs planner-off — only the cost differs.
+    pub use_planner: bool,
 }
 
 impl Default for ChaseConfig {
@@ -129,6 +143,7 @@ impl Default for ChaseConfig {
             monitor_depth: None,
             keep_trace: false,
             keep_monitor: false,
+            use_planner: true,
         }
     }
 }
@@ -328,6 +343,11 @@ struct Run<'a> {
     /// Naive reference mode: skip all pool maintenance and re-enumerate
     /// triggers from scratch at every step (the seed engine's behaviour).
     naive: bool,
+    /// The matching engine every trigger query goes through: compiled
+    /// `chase-plan` join programs (planner on) or the classic searcher
+    /// (planner off). Refreshed when the instance's statistics epoch moves
+    /// and invalidated on merges; shared read-only with matcher shards.
+    matcher: Matcher,
     /// Worker pool of the parallel executor ([`crate::chase_parallel`]).
     /// `None` runs every matching path inline on the calling thread.
     exec: Option<&'a WorkerPool<'a>>,
@@ -373,10 +393,16 @@ impl<'a> Run<'a> {
                 Constraint::Egd(_) => FxHashSet::default(),
             })
             .collect();
+        let mut inst = instance.clone();
+        let matcher = if cfg.use_planner {
+            Matcher::planned(set, &mut inst)
+        } else {
+            Matcher::unplanned()
+        };
         let mut run = Run {
             set,
             cfg,
-            inst: instance.clone(),
+            inst,
             steps: 0,
             fresh_nulls: 0,
             trace: Vec::new(),
@@ -387,6 +413,7 @@ impl<'a> Run<'a> {
             body_preds,
             head_preds,
             naive,
+            matcher,
             exec,
             fanout,
             rng,
@@ -401,7 +428,7 @@ impl<'a> Run<'a> {
     /// Is `(ci, µ)` fireable right now, honoring the chase mode?
     fn fires(&self, ci: usize, c: &Constraint, mu: &Subst, key: &TriggerKey) -> bool {
         match self.cfg.mode {
-            ChaseMode::Standard => is_active(c, &self.inst, mu),
+            ChaseMode::Standard => self.matcher.is_active(ci, c, &self.inst, mu),
             ChaseMode::Oblivious => !self.fired[ci].contains(key),
         }
     }
@@ -451,7 +478,7 @@ impl<'a> Run<'a> {
     /// restricted to constraints with empty bodies (the sharded rebuild's
     /// blind spot).
     fn enumerate_pool(&mut self, empty_bodies_only: bool) {
-        // Split borrows: the searcher holds `inst` while the callback fills
+        // Split borrows: the matcher holds `inst` while the callback fills
         // `pool`.
         let Run {
             set,
@@ -459,16 +486,18 @@ impl<'a> Run<'a> {
             inst,
             fired,
             pool,
+            matcher,
             ..
         } = self;
+        let matcher = &*matcher;
         for (ci, c) in set.enumerate() {
             if empty_bodies_only && !c.body().is_empty() {
                 continue;
             }
-            for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
+            matcher.for_each_body_hom(ci, c, inst, &mut |mu| {
                 let key = normalize(c, mu);
                 let fires = match cfg.mode {
-                    ChaseMode::Standard => is_active(c, inst, mu),
+                    ChaseMode::Standard => matcher.is_active(ci, c, inst, mu),
                     ChaseMode::Oblivious => !fired[ci].contains(&key),
                 };
                 if fires && !pool.contains(ci, &key) {
@@ -495,22 +524,23 @@ impl<'a> Run<'a> {
             let dead = &self.dead;
             let fired = &self.fired;
             let mode = self.cfg.mode;
-            for_each_delta_match(c, &self.inst, delta, &mut |mu| {
-                let key = normalize(c, mu);
-                let known = pool.contains(ci, &key)
-                    || match mode {
-                        ChaseMode::Standard => dead[ci].contains(&key),
-                        ChaseMode::Oblivious => fired[ci].contains(&key),
+            self.matcher
+                .for_each_delta_match(ci, c, &self.inst, delta, &mut |mu| {
+                    let key = normalize(c, mu);
+                    let known = pool.contains(ci, &key)
+                        || match mode {
+                            ChaseMode::Standard => dead[ci].contains(&key),
+                            ChaseMode::Oblivious => fired[ci].contains(&key),
+                        }
+                        || found.contains_key(&key);
+                    if !known {
+                        found.insert(key, mu.clone());
                     }
-                    || found.contains_key(&key);
-                if !known {
-                    found.insert(key, mu.clone());
-                }
-                false
-            });
+                    false
+                });
             for (key, mu) in found {
                 let fires = match mode {
-                    ChaseMode::Standard => is_active(c, &self.inst, &mu),
+                    ChaseMode::Standard => self.matcher.is_active(ci, c, &self.inst, &mu),
                     ChaseMode::Oblivious => true,
                 };
                 out.push((ci, key, mu, fires));
@@ -542,13 +572,22 @@ impl<'a> Run<'a> {
                     continue;
                 };
                 let head = t.head();
-                let rests = head_rests(head);
+                // Per-slot head rests feed only the unplanned revalidation
+                // path; the planned matcher has its own compiled head-rest
+                // programs, so skip the atom clones when the planner is on.
+                let rests = if self.matcher.is_planned() {
+                    Vec::new()
+                } else {
+                    head_rests(head)
+                };
                 // The position-index snapshot the revalidation workers query
                 // concurrently; `Copy`, so the closure captures it by value.
                 let inst = self.inst.view();
                 let entries: Vec<(&TriggerKey, &Subst)> = self.pool.pools[ci].iter().collect();
-                let dies =
-                    |mu: &Subst| head_newly_satisfied(head, &rests, inst.instance(), added, mu);
+                let matcher = &self.matcher;
+                let dies = |mu: &Subst| {
+                    matcher.head_newly_satisfied(ci, head, &rests, inst.instance(), added, mu)
+                };
                 let now_dead: Vec<TriggerKey> = match self.exec {
                     Some(exec) if entries.len() >= self.fanout.max(1) => exec
                         .map_shards(&entries, |shard| {
@@ -626,13 +665,14 @@ impl<'a> Run<'a> {
     fn naive_next_trigger(&self, ci: usize) -> Option<(TriggerKey, Subst)> {
         let c = &self.set[ci];
         let mut best: Option<(TriggerKey, Subst)> = None;
-        for_each_hom(c.body(), &self.inst, &Subst::new(), false, &mut |mu| {
-            let key = normalize(c, mu);
-            if best.as_ref().is_none_or(|(bk, _)| key < *bk) && self.fires(ci, c, mu, &key) {
-                best = Some((key, mu.clone()));
-            }
-            false
-        });
+        self.matcher
+            .for_each_body_hom(ci, c, &self.inst, &mut |mu| {
+                let key = normalize(c, mu);
+                if best.as_ref().is_none_or(|(bk, _)| key < *bk) && self.fires(ci, c, mu, &key) {
+                    best = Some((key, mu.clone()));
+                }
+                false
+            });
         best
     }
 
@@ -642,13 +682,14 @@ impl<'a> Run<'a> {
         let mut out: Vec<(usize, TriggerKey, Subst)> = Vec::new();
         for (ci, c) in self.set.enumerate() {
             let mut per: BTreeMap<TriggerKey, Subst> = BTreeMap::new();
-            for_each_hom(c.body(), &self.inst, &Subst::new(), false, &mut |mu| {
-                let key = normalize(c, mu);
-                if !per.contains_key(&key) && self.fires(ci, c, mu, &key) {
-                    per.insert(key, mu.clone());
-                }
-                false
-            });
+            self.matcher
+                .for_each_body_hom(ci, c, &self.inst, &mut |mu| {
+                    let key = normalize(c, mu);
+                    if !per.contains_key(&key) && self.fires(ci, c, mu, &key) {
+                        per.insert(key, mu.clone());
+                    }
+                    false
+                });
             out.extend(per.into_iter().map(|(key, mu)| (ci, key, mu)));
         }
         out
@@ -677,6 +718,10 @@ impl<'a> Run<'a> {
             StepEffect::Tgd {
                 added, fresh_nulls, ..
             } => {
+                // Plans are refreshed (statistics epoch permitting) before
+                // the delta re-match, so growth-driven recompiles kick in as
+                // soon as the data doubles.
+                self.matcher.refresh(self.set, &mut self.inst);
                 if !self.naive {
                     if self.cfg.mode == ChaseMode::Standard {
                         // The fired trigger is satisfied by its own head
@@ -688,6 +733,11 @@ impl<'a> Run<'a> {
                 (added, fresh_nulls, None)
             }
             StepEffect::Merged { from, to } => {
+                // A merge rewrites atoms in place: cardinalities and
+                // distinct counts changed under the plans. Refresh sees the
+                // bumped merge epoch and recompiles before the pool rebuild
+                // re-matches everything.
+                self.matcher.refresh(self.set, &mut self.inst);
                 if !self.naive {
                     self.rebuild_pool();
                 }
@@ -1060,26 +1110,35 @@ mod tests {
         assert_eq!(res.fresh_nulls, 7);
     }
 
-    /// Drive both engines over the same inputs and demand bit-identical
-    /// traces — the contract that makes the bench comparison honest.
+    /// Drive both engines over the same inputs — with the planner on *and*
+    /// off — and demand bit-identical traces across all four runs: the
+    /// contract that makes the bench comparisons honest.
     fn assert_engines_agree(set: &str, inst: &str, cfg: &ChaseConfig) {
         let (set, inst) = parse(set, inst);
         let mut cfg = cfg.clone();
         cfg.keep_trace = true;
+        let mut unplanned_cfg = cfg.clone();
+        unplanned_cfg.use_planner = false;
         let fast = chase(&inst, &set, &cfg);
-        let slow = chase_naive(&inst, &set, &cfg);
-        assert_eq!(fast.reason, slow.reason);
-        assert_eq!(fast.steps, slow.steps);
-        assert_eq!(fast.fresh_nulls, slow.fresh_nulls);
-        assert_eq!(fast.instance, slow.instance);
-        assert_eq!(fast.trace.len(), slow.trace.len());
-        for (a, b) in fast.trace.iter().zip(&slow.trace) {
-            assert_eq!(a.constraint, b.constraint);
-            assert_eq!(a.assignment, b.assignment);
-            assert_eq!(a.ground_body, b.ground_body);
-            assert_eq!(a.added, b.added);
-            assert_eq!(a.fresh_nulls, b.fresh_nulls);
-            assert_eq!(a.merged, b.merged);
+        let runs = [
+            ("naive planned", chase_naive(&inst, &set, &cfg)),
+            ("delta unplanned", chase(&inst, &set, &unplanned_cfg)),
+            ("naive unplanned", chase_naive(&inst, &set, &unplanned_cfg)),
+        ];
+        for (label, slow) in &runs {
+            assert_eq!(fast.reason, slow.reason, "{label}");
+            assert_eq!(fast.steps, slow.steps, "{label}");
+            assert_eq!(fast.fresh_nulls, slow.fresh_nulls, "{label}");
+            assert_eq!(fast.instance, slow.instance, "{label}");
+            assert_eq!(fast.trace.len(), slow.trace.len(), "{label}");
+            for (a, b) in fast.trace.iter().zip(&slow.trace) {
+                assert_eq!(a.constraint, b.constraint, "{label}");
+                assert_eq!(a.assignment, b.assignment, "{label}");
+                assert_eq!(a.ground_body, b.ground_body, "{label}");
+                assert_eq!(a.added, b.added, "{label}");
+                assert_eq!(a.fresh_nulls, b.fresh_nulls, "{label}");
+                assert_eq!(a.merged, b.merged, "{label}");
+            }
         }
     }
 

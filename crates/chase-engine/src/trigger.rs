@@ -5,10 +5,20 @@
 //! EGD applies when the body maps and the equated terms differ. An
 //! *oblivious* step applies whenever the body maps, regardless of
 //! satisfaction.
+//!
+//! All enumeration here is expressed over a [`Matcher`] — either the
+//! `chase-plan` cost-guided join programs (planner on) or the classic
+//! backtracking searcher (planner off). Both enumerate the same
+//! homomorphism *sets*; since triggers are identified by their normalized
+//! assignment and selected canonically, every function whose result is a
+//! set or a canonical element is enumeration-order-independent. The legacy
+//! free functions keep their historical (searcher-order) behavior by
+//! delegating to an unplanned matcher.
 
 use chase_core::fx::FxHashSet;
-use chase_core::homomorphism::{exists_extension, for_each_hom, unify_atom, Subst};
+use chase_core::homomorphism::{for_each_hom, Subst};
 use chase_core::{Atom, Constraint, Instance, Sym, Term};
+pub use chase_plan::Matcher;
 
 /// Is `(c, µ)` an active (standard-chase) trigger? Assumes `µ` maps the body
 /// into `inst`; checks the violation side.
@@ -35,10 +45,19 @@ pub fn first_active_trigger(c: &Constraint, inst: &Instance) -> Option<Subst> {
 
 /// All active triggers of `c`, deduplicated, in deterministic order.
 pub fn active_triggers(c: &Constraint, inst: &Instance) -> Vec<Subst> {
+    active_triggers_with(&Matcher::unplanned(), 0, c, inst)
+}
+
+/// [`active_triggers`] through a [`Matcher`] (`ci` is the constraint's index
+/// in the set the matcher was compiled for; ignored when unplanned).
+///
+/// The returned *set* of triggers is matcher-independent; the order within
+/// the vector follows the matcher's enumeration.
+pub fn active_triggers_with(m: &Matcher, ci: usize, c: &Constraint, inst: &Instance) -> Vec<Subst> {
     let mut out: Vec<Subst> = Vec::new();
     let mut seen: FxHashSet<Vec<(Sym, Term)>> = FxHashSet::default();
-    for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
-        if is_active(c, inst, mu) {
+    m.for_each_body_hom(ci, c, inst, &mut |mu| {
+        if m.is_active(ci, c, inst, mu) {
             let key = normalize(c, mu);
             if seen.insert(key) {
                 out.push(mu.clone());
@@ -51,9 +70,20 @@ pub fn active_triggers(c: &Constraint, inst: &Instance) -> Vec<Subst> {
 
 /// All body homomorphisms of `c` (oblivious triggers), deduplicated.
 pub fn oblivious_triggers(c: &Constraint, inst: &Instance) -> Vec<Subst> {
+    oblivious_triggers_with(&Matcher::unplanned(), 0, c, inst)
+}
+
+/// [`oblivious_triggers`] through a [`Matcher`]; see
+/// [`active_triggers_with`] for the `ci` and ordering contract.
+pub fn oblivious_triggers_with(
+    m: &Matcher,
+    ci: usize,
+    c: &Constraint,
+    inst: &Instance,
+) -> Vec<Subst> {
     let mut out: Vec<Subst> = Vec::new();
     let mut seen: FxHashSet<Vec<(Sym, Term)>> = FxHashSet::default();
-    for_each_hom(c.body(), inst, &Subst::new(), false, &mut |mu| {
+    m.for_each_body_hom(ci, c, inst, &mut |mu| {
         let key = normalize(c, mu);
         if seen.insert(key) {
             out.push(mu.clone());
@@ -84,29 +114,7 @@ pub fn for_each_delta_match(
     delta: &[Atom],
     cb: &mut dyn FnMut(&Subst) -> bool,
 ) -> bool {
-    let body = c.body();
-    for (j, pattern) in body.iter().enumerate() {
-        let mut rest: Vec<Atom> = Vec::with_capacity(body.len() - 1);
-        let mut have_rest = false;
-        for a in delta {
-            let Some(mu0) = match_atom(pattern, a, &Subst::new()) else {
-                continue;
-            };
-            if !have_rest {
-                rest.extend(
-                    body.iter()
-                        .enumerate()
-                        .filter(|&(k, _)| k != j)
-                        .map(|(_, b)| b.clone()),
-                );
-                have_rest = true;
-            }
-            if for_each_hom(&rest, inst, &mu0, false, cb) {
-                return true;
-            }
-        }
-    }
-    false
+    Matcher::unplanned().for_each_delta_match(0, c, inst, delta, cb)
 }
 
 /// Per-slot "rest of the head": `rests[j]` is the head with atom `j`
@@ -145,19 +153,7 @@ pub fn head_newly_satisfied(
     added: &[Atom],
     mu: &Subst,
 ) -> bool {
-    head.iter().enumerate().any(|(j, h)| {
-        let h_inst = mu.apply_atom(h);
-        added.iter().any(|a| {
-            let Some(nu0) = unify_atom(&h_inst, a, &Subst::new()) else {
-                return false;
-            };
-            let mut seed = mu.clone();
-            for (v, term) in nu0.var_bindings() {
-                seed.bind_var(v, term);
-            }
-            exists_extension(&rests[j], inst, &seed)
-        })
-    })
+    Matcher::unplanned().head_newly_satisfied(0, head, rests, inst, added, mu)
 }
 
 /// Canonical form of an assignment: bindings of the universal variables,
@@ -231,6 +227,41 @@ mod tests {
                 head_newly_satisfied(t.head(), &rests, &inst, &added, mu),
                 !is_active(c, &inst, mu),
                 "disagreement for {mu}"
+            );
+        }
+    }
+
+    #[test]
+    fn planned_and_unplanned_trigger_sets_agree() {
+        let set = ConstraintSet::parse(
+            "E(X,Y), E(Y,Z) -> E(X,Z)\n\
+             S(X) -> E(X,Y)\n\
+             E(X,Y), E(X,Z) -> Y = Z",
+        )
+        .unwrap();
+        let mut inst = Instance::parse("E(a,b). E(b,c). E(a,c). S(a). S(z).").unwrap();
+        let planned = Matcher::planned(&set, &mut inst);
+        let unplanned = Matcher::unplanned();
+        let keys = |mus: Vec<Subst>, c: &Constraint| {
+            let mut v: Vec<Vec<(Sym, Term)>> = mus.iter().map(|mu| normalize(c, mu)).collect();
+            v.sort();
+            v
+        };
+        for (ci, c) in set.enumerate() {
+            assert_eq!(
+                keys(active_triggers_with(&planned, ci, c, &inst), c),
+                keys(active_triggers_with(&unplanned, ci, c, &inst), c),
+                "active trigger sets differ on constraint {ci}"
+            );
+            assert_eq!(
+                keys(oblivious_triggers_with(&planned, ci, c, &inst), c),
+                keys(oblivious_triggers_with(&unplanned, ci, c, &inst), c),
+                "oblivious trigger sets differ on constraint {ci}"
+            );
+            // The legacy free functions are the unplanned path.
+            assert_eq!(
+                keys(active_triggers(c, &inst), c),
+                keys(active_triggers_with(&unplanned, ci, c, &inst), c)
             );
         }
     }

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # chase-plan
+//!
+//! Cost-guided join-plan compilation for chase trigger enumeration.
+//!
+//! Every chase engine in this workspace bottoms out in body-homomorphism
+//! search — *Stop the Chase* (Meier, Schmidt, Lausen) frames chase cost as
+//! exactly this join-evaluation problem. The classic searcher re-derives an
+//! atom order at every search node; this crate compiles each constraint
+//! body (and TGD head) **once per statistics epoch** into a
+//! [`JoinProgram`]:
+//!
+//! * a greedy *bind-first / smallest-relation-first* atom order driven by
+//!   per-predicate cardinalities and per-position distinct-value counts
+//!   harvested from the [`chase_core::Instance`] ([`plan`]),
+//! * precomputed binding masks and access paths per step — registered
+//!   composite (multi-column) hash indexes when two or more positions are
+//!   bound, the positional index otherwise ([`exec`]),
+//! * a register-file executor that never clones candidate facts and only
+//!   materializes a [`chase_core::Subst`] at complete matches.
+//!
+//! The [`Matcher`] bundles the compiled programs per constraint — full
+//! body, per-slot delta bodies, head, per-slot head rests — behind one
+//! handle the engines thread through trigger enumeration, with plan-cache
+//! invalidation on statistics-epoch changes. A planner-off matcher routes
+//! everything through the unplanned searcher instead; both enumerate the
+//! same homomorphism sets, so engine traces are bit-identical either way.
+
+pub mod exec;
+pub mod matcher;
+pub mod plan;
+
+pub use exec::{exists_match, for_each_match};
+pub use matcher::{ConstraintPlans, Matcher};
+pub use plan::{compile, Access, JoinProgram, NoStats, PatTerm, PlanStep, Stats};

@@ -7,6 +7,9 @@
 //!   conjunctive queries, parser;
 //! * `engine` ([`chase_engine`]) — the chase procedure (standard/oblivious),
 //!   strategies, budgets, and the monitor-graph guard of Section 4.2;
+//! * `plan` ([`chase_plan`]) — cost-guided join-plan compilation and the
+//!   secondary-index matcher behind trigger enumeration (the
+//!   `ChaseConfig::use_planner` knob);
 //! * `termination` ([`chase_termination`]) — weak acyclicity, (c-)stratification,
 //!   safety, restriction systems, inductive restriction, the T-hierarchy,
 //!   and data-dependent analysis;
@@ -34,6 +37,7 @@ pub use chase_core as core;
 pub use chase_corpus as corpus;
 pub use chase_engine as engine;
 pub use chase_guarded as guarded;
+pub use chase_plan as plan;
 pub use chase_sqo as sqo;
 pub use chase_termination as termination;
 
@@ -74,9 +78,10 @@ pub mod prelude {
     };
     pub use chase_engine::{
         chase, chase_default, chase_parallel, core_chase, core_of, find_terminating_sequence,
-        is_core, BfsOutcome, ChaseConfig, ChaseMode, ChaseResult, CoreChaseResult, MonitorGraph,
-        ParallelConfig, StopReason, Strategy,
+        is_core, BfsOutcome, ChaseConfig, ChaseMode, ChaseResult, CoreChaseResult, Matcher,
+        MonitorGraph, ParallelConfig, StopReason, Strategy,
     };
+    pub use chase_plan::JoinProgram;
     pub use chase_termination::{
         affected_positions, analyze, c_chase_graph, chase_graph, check, data_dependent_terminates,
         dependency_graph, irrelevant_constraints, is_c_stratified, is_inductively_restricted,

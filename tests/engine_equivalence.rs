@@ -171,9 +171,11 @@ fn assert_traces_equal(
 }
 
 /// The three-way check: naive, delta, and parallel (at 1, 2 and 4 threads)
-/// must all replay the same trace under the set's phase schedule. The
-/// 2-thread run uses `fanout_threshold = 0` to force every matching path
-/// through the sharded code even on tiny workloads.
+/// must all replay the same trace under the set's phase schedule — with the
+/// join planner on *and* off (planning changes matching cost and
+/// enumeration order, never which trigger is selected). The 2-thread run
+/// uses `fanout_threshold = 0` to force every matching path through the
+/// sharded code even on tiny workloads.
 fn assert_three_way(
     set: &chase_core::ConstraintSet,
     inst: &chase_core::Instance,
@@ -186,23 +188,34 @@ fn assert_three_way(
         keep_trace: true,
         ..ChaseConfig::default()
     };
+    let mut cfg_off = cfg.clone();
+    cfg_off.use_planner = false;
     let delta = chase(inst, set, &cfg);
     let naive = chase_naive(inst, set, &cfg);
     assert_traces_equal("naive vs delta", &naive, &delta, set, inst)?;
+    let delta_off = chase(inst, set, &cfg_off);
+    assert_traces_equal("planner-off delta vs delta", &delta_off, &delta, set, inst)?;
+    let naive_off = chase_naive(inst, set, &cfg_off);
+    assert_traces_equal("planner-off naive vs delta", &naive_off, &delta, set, inst)?;
     for (threads, threshold) in [(1usize, 256usize), (2, 0), (4, 256)] {
-        let pcfg = ParallelConfig {
-            base: cfg.clone(),
-            threads,
-            fanout_threshold: threshold,
-        };
-        let par = chase_parallel(inst, set, &schedule.phases, &pcfg);
-        assert_traces_equal(
-            &format!("parallel t={threads} f={threshold} vs delta"),
-            &par,
-            &delta,
-            set,
-            inst,
-        )?;
+        for base in [&cfg, &cfg_off] {
+            let pcfg = ParallelConfig {
+                base: base.clone(),
+                threads,
+                fanout_threshold: threshold,
+            };
+            let par = chase_parallel(inst, set, &schedule.phases, &pcfg);
+            assert_traces_equal(
+                &format!(
+                    "parallel t={threads} f={threshold} planner={} vs delta",
+                    base.use_planner
+                ),
+                &par,
+                &delta,
+                set,
+                inst,
+            )?;
+        }
     }
     if delta.terminated() {
         prop_assert!(

@@ -1,0 +1,292 @@
+//! Instance-store microbench: insert/dedup/merge throughput of the interned
+//! columnar fact store against a faithful replica of the pre-interning
+//! store (`Vec<Atom>` + `FxHashSet<Atom>` dedup + `(Sym, pos, Term)`-keyed
+//! positional index, merges as drain-and-reinsert of owned atoms).
+//!
+//! Workloads:
+//!
+//! * `insert_const` — constant-heavy: a fact stream over interned constant
+//!   names, replayed twice so half the probes are dedup hits;
+//! * `insert_null` — null-heavy: the same shape with a fresh labeled null
+//!   per fact (the chase's steady-state insert mix), replayed twice;
+//! * `merge` — EGD-merge pressure: a null-linked chain collapsed by a
+//!   sequence of `merge_terms` calls, each a full remap/rebuild.
+//!
+//! The old-store replica reproduces the seed implementation's per-insert
+//! work exactly: a `contains` probe hashing the whole atom, an owned-atom
+//! clone into the dedup set, and one `(Sym, u32, Term)` bucket insertion
+//! per position — so the printed speedup is the storage layer's win, not a
+//! workload artifact. Both stores are asserted to agree on the final fact
+//! count before anything is timed.
+
+use chase_bench::{print_table, scaled, Row};
+use chase_core::fx::{FxHashMap, FxHashSet};
+use chase_core::{Atom, Instance, Sym, Term};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Replica of the pre-interning fact store's hot paths (see module docs).
+#[derive(Clone, Default)]
+struct OldStore {
+    atoms: Vec<Atom>,
+    set: FxHashSet<Atom>,
+    by_pred: FxHashMap<Sym, Vec<u32>>,
+    by_pos: FxHashMap<(Sym, u32, Term), Vec<u32>>,
+    distinct: FxHashMap<(Sym, u32), u32>,
+    next_null: u32,
+}
+
+impl OldStore {
+    fn insert(&mut self, atom: Atom) -> bool {
+        if self.set.contains(&atom) {
+            return false;
+        }
+        let idx = self.atoms.len() as u32;
+        for (i, &t) in atom.terms().iter().enumerate() {
+            if let Term::Null(n) = t {
+                self.next_null = self.next_null.max(n + 1);
+            }
+            let bucket = self.by_pos.entry((atom.pred(), i as u32, t)).or_default();
+            if bucket.is_empty() {
+                *self.distinct.entry((atom.pred(), i as u32)).or_insert(0) += 1;
+            }
+            bucket.push(idx);
+        }
+        self.by_pred.entry(atom.pred()).or_default().push(idx);
+        self.set.insert(atom.clone());
+        self.atoms.push(atom);
+        true
+    }
+
+    fn merge_terms(&mut self, from: Term, to: Term) -> usize {
+        if from == to {
+            return 0;
+        }
+        let old = std::mem::take(&mut self.atoms);
+        let next_null = self.next_null;
+        self.set.clear();
+        self.by_pred.clear();
+        self.by_pos.clear();
+        self.distinct.clear();
+        let mut rewritten = 0;
+        for a in old {
+            let b = a.replace(from, to);
+            if b != a {
+                rewritten += 1;
+            }
+            let _ = self.insert(b);
+        }
+        self.next_null = self.next_null.max(next_null);
+        rewritten
+    }
+
+    fn len(&self) -> usize {
+        self.atoms.len()
+    }
+}
+
+/// A constant-heavy fact stream: `E(a_{i mod k}, b_i)` plus a skewed
+/// `T(a, b, c)` triple relation, replayed `rounds` times (every round after
+/// the first is all dedup hits).
+fn const_stream(n: usize, rounds: usize) -> Vec<Atom> {
+    let k = (n / 8).max(1);
+    let mut out = Vec::with_capacity(2 * n * rounds);
+    for _ in 0..rounds {
+        for i in 0..n {
+            out.push(Atom::new(
+                "E",
+                vec![
+                    Term::constant(&format!("a{}", i % k)),
+                    Term::constant(&format!("b{i}")),
+                ],
+            ));
+            out.push(Atom::new(
+                "T",
+                vec![
+                    Term::constant(&format!("a{}", i % 4)),
+                    Term::constant(&format!("b{}", i % k)),
+                    Term::constant(&format!("c{i}")),
+                ],
+            ));
+        }
+    }
+    out
+}
+
+/// A null-heavy stream: `E(c_{i mod k}, _n_i). S(_n_i).` — the shape TGD
+/// steps with existentials produce — replayed `rounds` times.
+fn null_stream(n: usize, rounds: usize) -> Vec<Atom> {
+    let k = (n / 8).max(1);
+    let mut out = Vec::with_capacity(2 * n * rounds);
+    for _ in 0..rounds {
+        for i in 0..n {
+            out.push(Atom::new(
+                "E",
+                vec![Term::constant(&format!("c{}", i % k)), Term::null(i as u32)],
+            ));
+            out.push(Atom::new("S", vec![Term::null(i as u32)]));
+        }
+    }
+    out
+}
+
+/// The merge workload: a null chain `E(_n_i, _n_{i+1})` plus anchors, and
+/// the merge sequence collapsing every null into one constant.
+fn merge_workload(n: usize) -> (Vec<Atom>, Vec<(Term, Term)>) {
+    let mut atoms = Vec::with_capacity(2 * n);
+    for i in 0..n as u32 {
+        atoms.push(Atom::new("E", vec![Term::null(i), Term::null(i + 1)]));
+        atoms.push(Atom::new(
+            "S",
+            vec![Term::constant(&format!("s{}", i % 16)), Term::null(i)],
+        ));
+    }
+    let merges: Vec<(Term, Term)> = (0..n as u32 / 2)
+        .map(|i| (Term::null(2 * i + 1), Term::null(2 * i)))
+        .chain((0..4u32).map(|i| (Term::null(4 * i), Term::constant("m"))))
+        .collect();
+    (atoms, merges)
+}
+
+fn build_interned(stream: &[Atom]) -> usize {
+    let mut i = Instance::new();
+    for a in stream {
+        i.insert(a.clone());
+    }
+    i.len()
+}
+
+fn build_old(stream: &[Atom]) -> usize {
+    let mut i = OldStore::default();
+    for a in stream {
+        i.insert(a.clone());
+    }
+    i.len()
+}
+
+fn run_merges_interned(base: &Instance, merges: &[(Term, Term)]) -> usize {
+    let mut i = base.clone();
+    for &(from, to) in merges {
+        i.merge_terms(from, to);
+    }
+    i.len()
+}
+
+fn run_merges_old(base: &OldStore, merges: &[(Term, Term)]) -> usize {
+    let mut i = base.clone();
+    for &(from, to) in merges {
+        i.merge_terms(from, to);
+    }
+    i.len()
+}
+
+struct Prepared {
+    const_stream: Vec<Atom>,
+    null_stream: Vec<Atom>,
+    merge_base_interned: Instance,
+    merge_base_old: OldStore,
+    merges: Vec<(Term, Term)>,
+}
+
+fn prepare() -> Prepared {
+    let n = scaled(4096, 512);
+    let const_stream = const_stream(n, 2);
+    let null_stream = null_stream(n, 2);
+    let (merge_atoms, merges) = merge_workload(scaled(1024, 128));
+    let mut merge_base_interned = Instance::new();
+    let mut merge_base_old = OldStore::default();
+    for a in &merge_atoms {
+        merge_base_interned.insert(a.clone());
+        merge_base_old.insert(a.clone());
+    }
+    // The two stores must agree fact for fact before any timing means
+    // anything.
+    assert_eq!(build_interned(&const_stream), build_old(&const_stream));
+    assert_eq!(build_interned(&null_stream), build_old(&null_stream));
+    assert_eq!(
+        run_merges_interned(&merge_base_interned, &merges),
+        run_merges_old(&merge_base_old, &merges)
+    );
+    Prepared {
+        const_stream,
+        null_stream,
+        merge_base_interned,
+        merge_base_old,
+        merges,
+    }
+}
+
+fn print_shape(p: &Prepared) {
+    let time = |f: &dyn Fn() -> usize| {
+        let t0 = std::time::Instant::now();
+        black_box(f());
+        t0.elapsed()
+    };
+    let mut rows = Vec::new();
+    for (name, interned, old) in [
+        (
+            "insert_const",
+            time(&|| build_interned(&p.const_stream)),
+            time(&|| build_old(&p.const_stream)),
+        ),
+        (
+            "insert_null",
+            time(&|| build_interned(&p.null_stream)),
+            time(&|| build_old(&p.null_stream)),
+        ),
+        (
+            "merge",
+            time(&|| run_merges_interned(&p.merge_base_interned, &p.merges)),
+            time(&|| run_merges_old(&p.merge_base_old, &p.merges)),
+        ),
+    ] {
+        rows.push(Row::new(
+            name,
+            vec![
+                format!("{interned:.2?}"),
+                format!("{old:.2?}"),
+                format!(
+                    "{:.1}x",
+                    old.as_secs_f64() / interned.as_secs_f64().max(1e-9)
+                ),
+            ],
+        ));
+    }
+    print_table(
+        "Instance store — interned columnar vs owned-atom replica",
+        &["workload", "interned", "oldstore", "speedup"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion, p: &Prepared) {
+    let mut g = c.benchmark_group("instance_micro");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("insert_const", "interned"), p, |b, p| {
+        b.iter(|| build_interned(black_box(&p.const_stream)))
+    });
+    g.bench_with_input(BenchmarkId::new("insert_const", "oldstore"), p, |b, p| {
+        b.iter(|| build_old(black_box(&p.const_stream)))
+    });
+    g.bench_with_input(BenchmarkId::new("insert_null", "interned"), p, |b, p| {
+        b.iter(|| build_interned(black_box(&p.null_stream)))
+    });
+    g.bench_with_input(BenchmarkId::new("insert_null", "oldstore"), p, |b, p| {
+        b.iter(|| build_old(black_box(&p.null_stream)))
+    });
+    g.bench_with_input(BenchmarkId::new("merge", "interned"), p, |b, p| {
+        b.iter(|| run_merges_interned(black_box(&p.merge_base_interned), &p.merges))
+    });
+    g.bench_with_input(BenchmarkId::new("merge", "oldstore"), p, |b, p| {
+        b.iter(|| run_merges_old(black_box(&p.merge_base_old), &p.merges))
+    });
+    g.finish();
+}
+
+fn main() {
+    let prepared = prepare();
+    print_shape(&prepared);
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c, &prepared);
+    c.final_summary();
+}

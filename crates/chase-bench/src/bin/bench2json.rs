@@ -21,6 +21,19 @@
 //! parsed — CI's bench-smoke job passes it so a silently broken bench run
 //! (or a bench output format drift that the parser no longer recognizes)
 //! fails the job instead of uploading an empty trajectory point.
+//!
+//! # Regression gate
+//!
+//! With `--compare <baseline.json>` the tool additionally diffs the parsed
+//! sweep against a previously committed `BENCH_<sha>.json` trajectory
+//! point: every label present in both runs is compared median-to-median,
+//! a report is printed to stderr, and the process exits non-zero when any
+//! bench regressed by more than `--threshold <percent>` (default 25).
+//! Labels only present on one side are listed but never fail the gate
+//! (benches come and go); a `quick` flag mismatch between the runs is an
+//! error, because quick and full medians are not comparable. CI's
+//! bench-smoke job runs the gate right after summarizing, so a hot-path
+//! regression fails the PR instead of silently bending the trajectory.
 
 use std::io::Read;
 
@@ -52,6 +65,111 @@ fn parse_line(line: &str) -> Option<Measurement> {
     })
 }
 
+/// A parsed `BENCH_<sha>.json` baseline: the `quick` flag and each result's
+/// `(label, median_ns)`.
+struct Baseline {
+    quick: Option<bool>,
+    results: Vec<(String, f64)>,
+}
+
+/// Extract the string value of `"key": "…"` from a JSON line this tool
+/// emitted (its own escaping is limited to `\"`, `\\` and control escapes,
+/// which are unescaped here).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract the numeric value of `"key": <num>` from a JSON line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a `BENCH_<sha>.json` file produced by this tool. Line-oriented on
+/// purpose — the emitter writes one result object per line — so no JSON
+/// dependency is needed.
+fn parse_baseline(text: &str) -> Baseline {
+    let mut quick = None;
+    let mut results = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("\"quick\": ") {
+            quick = match rest.trim_end_matches(',') {
+                "true" => Some(true),
+                "false" => Some(false),
+                _ => None,
+            };
+        }
+        if let (Some(label), Some(median)) = (
+            json_str_field(line, "label"),
+            json_num_field(line, "median_ns"),
+        ) {
+            results.push((label, median));
+        }
+    }
+    Baseline { quick, results }
+}
+
+/// Diff `current` against `baseline`; returns the failing regressions
+/// `(label, old_ns, new_ns, delta_percent)` and prints the full report to
+/// stderr.
+fn compare(
+    baseline: &Baseline,
+    current: &[Measurement],
+    threshold_percent: f64,
+) -> Vec<(String, f64, f64, f64)> {
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+    for m in current {
+        let Some(&(_, old)) = baseline.results.iter().find(|(l, _)| *l == m.label) else {
+            eprintln!("  new (no baseline):       {}", m.label);
+            continue;
+        };
+        matched += 1;
+        let delta = if old > 0.0 {
+            (m.median_ns - old) / old * 100.0
+        } else {
+            0.0
+        };
+        let verdict = if delta > threshold_percent {
+            regressions.push((m.label.clone(), old, m.median_ns, delta));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  {verdict:>9} {:>+7.1}%  {:>12.0} ns -> {:>12.0} ns  {}",
+            delta, old, m.median_ns, m.label
+        );
+    }
+    for (label, _) in &baseline.results {
+        if !current.iter().any(|m| m.label == *label) {
+            eprintln!("  gone (baseline only):    {label}");
+        }
+    }
+    eprintln!(
+        "bench2json: compared {matched} benches against baseline, {} over the {threshold_percent}% threshold",
+        regressions.len()
+    );
+    regressions
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -68,12 +186,24 @@ fn json_escape(s: &str) -> String {
 fn main() {
     let mut sha = std::env::var("GITHUB_SHA").unwrap_or_default();
     let mut require_results = false;
+    let mut baseline_path: Option<String> = None;
+    let mut threshold = 25.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--sha" {
             sha = args.next().unwrap_or_default();
         } else if arg == "--require-results" {
             require_results = true;
+        } else if arg == "--compare" {
+            baseline_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("bench2json: --compare needs a baseline path");
+                std::process::exit(2);
+            }));
+        } else if arg == "--threshold" {
+            threshold = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bench2json: --threshold needs a percentage");
+                std::process::exit(2);
+            });
         }
     }
     if sha.is_empty() {
@@ -98,6 +228,35 @@ fn main() {
     }
 
     let quick = chase_bench::quick();
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench2json: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = parse_baseline(&text);
+        if baseline.results.is_empty() {
+            eprintln!("bench2json: baseline {path} holds no results; refusing to compare");
+            std::process::exit(2);
+        }
+        if let Some(bq) = baseline.quick {
+            if bq != quick {
+                eprintln!(
+                    "bench2json: baseline {path} was a quick={bq} run but this sweep is \
+                     quick={quick}; medians are not comparable"
+                );
+                std::process::exit(2);
+            }
+        }
+        eprintln!("bench2json: comparing against {path} (threshold {threshold}%)");
+        let regressions = compare(&baseline, &results, threshold);
+        if !regressions.is_empty() {
+            eprintln!("bench2json: FAIL — median regressions over {threshold}%:");
+            for (label, old, new, delta) in &regressions {
+                eprintln!("  {label}: {old:.0} ns -> {new:.0} ns ({delta:+.1}%)");
+            }
+            std::process::exit(1);
+        }
+    }
     println!("{{");
     println!("  \"sha\": \"{}\",", json_escape(&sha));
     println!("  \"quick\": {quick},");
@@ -152,5 +311,53 @@ mod tests {
     #[test]
     fn escapes_json_strings() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    const BASELINE: &str = r#"{
+  "sha": "abc",
+  "quick": true,
+  "results": [
+    {"group": "g", "workload": "w", "engine": "e", "label": "g/w/e", "median_ns": 1000.0},
+    {"group": "g", "workload": "w2", "engine": "e", "label": "g/w2/e", "median_ns": 2000.0},
+    {"group": "gone", "workload": "x", "engine": "e", "label": "gone/x/e", "median_ns": 5.0}
+  ]
+}"#;
+
+    #[test]
+    fn parses_its_own_baseline_format() {
+        let b = parse_baseline(BASELINE);
+        assert_eq!(b.quick, Some(true));
+        assert_eq!(b.results.len(), 3);
+        assert_eq!(b.results[0], ("g/w/e".to_string(), 1000.0));
+        assert_eq!(b.results[1].1, 2000.0);
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_over_threshold() {
+        let b = parse_baseline(BASELINE);
+        let current = vec![
+            Measurement {
+                label: "g/w/e".into(),
+                median_ns: 1200.0, // +20%: inside a 25% threshold
+            },
+            Measurement {
+                label: "g/w2/e".into(),
+                median_ns: 2600.0, // +30%: over it
+            },
+            Measurement {
+                label: "brand/new/e".into(), // no baseline: never fails
+                median_ns: 9.9e9,
+            },
+        ];
+        let regressions = compare(&b, &current, 25.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].0, "g/w2/e");
+        assert!((regressions[0].3 - 30.0).abs() < 1e-9);
+        // Improvements and exact matches pass at any threshold.
+        let fine = vec![Measurement {
+            label: "g/w/e".into(),
+            median_ns: 500.0,
+        }];
+        assert!(compare(&b, &fine, 0.1).is_empty());
     }
 }

@@ -202,15 +202,20 @@ impl<'a> Searcher<'a> {
         }
     }
 
-    /// Try to match `atom` against `fact`, extending the substitution.
-    /// Returns the undo list on success.
-    fn try_match(&mut self, atom: &Atom, fact: &Atom) -> Option<Vec<Undo>> {
+    /// Try to match `atom` against the stored fact `fact`, extending the
+    /// substitution. Returns the undo list on success.
+    ///
+    /// The fact stays in the columnar store — each position is an O(1) id
+    /// round-trip ([`crate::instance::FactView::term`]), so no candidate is
+    /// ever materialized or cloned.
+    fn try_match(&mut self, atom: &Atom, fact: crate::instance::FactView<'_>) -> Option<Vec<Undo>> {
         debug_assert_eq!(atom.pred(), fact.pred());
         if atom.arity() != fact.arity() {
             return None;
         }
         let mut undo = Vec::new();
-        for (&p, &g) in atom.terms().iter().zip(fact.terms()) {
+        for (i, &p) in atom.terms().iter().enumerate() {
+            let g = fact.term(i);
             let ok = match p {
                 Term::Const(_) => p == g,
                 Term::Var(v) => match self.subst.var(v) {
@@ -299,10 +304,13 @@ impl<'a> Searcher<'a> {
         // The candidate bucket borrows from `target`; clone the indices so we
         // can mutate `self` while iterating.
         let cands: Vec<u32> = self.target.candidates(atom.pred(), &fixed).to_vec();
+        // Copy the `&'a Instance` out of `self` so candidate views outlive
+        // the `&mut self` re-borrows below.
+        let target = self.target;
         let mut stopped = false;
         for ci in cands {
-            let fact = self.target.atom_at(ci).clone();
-            if let Some(undo) = self.try_match(&self.pattern[ai], &fact) {
+            let fact = target.fact(ci);
+            if let Some(undo) = self.try_match(&self.pattern[ai], fact) {
                 if self.search(remaining, cb) {
                     self.unwind(undo);
                     stopped = true;
@@ -433,7 +441,7 @@ pub fn unify_atom(pattern: &Atom, fact: &Atom, seed: &Subst) -> Option<Subst> {
 /// flexible. Returns the mapping if one exists.
 pub fn instance_hom(from: &Instance, to: &Instance) -> Option<Subst> {
     let mut found = None;
-    for_each_hom(from.atoms(), to, &Subst::new(), true, &mut |s| {
+    for_each_hom(&from.atoms(), to, &Subst::new(), true, &mut |s| {
         found = Some(s.clone());
         true
     });
@@ -551,7 +559,7 @@ mod tests {
             let pattern = &atoms(pat)[0];
             let mut via_unify: Vec<Vec<(Sym, Term)>> = i
                 .iter()
-                .filter_map(|fact| unify_atom(pattern, fact, &Subst::new()))
+                .filter_map(|fact| unify_atom(pattern, &fact, &Subst::new()))
                 .map(|mu| mu.var_bindings())
                 .collect();
             let mut via_search: Vec<Vec<(Sym, Term)>> =
@@ -567,14 +575,14 @@ mod tests {
         let pat = &atoms("E(X,_n0)")[0];
         assert_eq!(
             i.iter()
-                .filter_map(|f| unify_atom(pat, f, &Subst::new()))
+                .filter_map(|f| unify_atom(pat, &f, &Subst::new()))
                 .count(),
             1
         );
         let seed = Subst::from_vars([(Sym::new("X"), Term::constant("a"))]);
         let pat = &atoms("E(X,Y)")[0];
         assert_eq!(
-            i.iter().filter_map(|f| unify_atom(pat, f, &seed)).count(),
+            i.iter().filter_map(|f| unify_atom(pat, &f, &seed)).count(),
             2
         );
     }

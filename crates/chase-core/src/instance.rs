@@ -1,41 +1,101 @@
-//! Database instances: deduplicated, indexed sets of ground atoms.
+//! Database instances: deduplicated, indexed sets of ground atoms over an
+//! interned, columnar fact store.
 //!
 //! An [`Instance`] stores facts in insertion order (so chase sequences are
-//! reproducible) alongside three indexes used by the homomorphism engine and
-//! the join planner: a per-predicate index, a per-`(predicate, position,
-//! term)` index, and registered *composite* (multi-column) indexes keyed by a
-//! position bitmask (see [`Instance::register_composite`]). It also maintains
-//! the per-predicate cardinality and per-position distinct-value statistics
-//! the `chase-plan` join compiler orders constraint bodies by, and owns the
-//! counter from which fresh labeled nulls are drawn during chase steps.
+//! reproducible), but not as owned [`Atom`]s: every ground term is interned
+//! to a [`TermId`] (constants through the process-wide [`Sym`] table, nulls
+//! self-encoded — see [`TermId`]) and facts live in per-`(predicate, arity)`
+//! **column-major tables**, one flat `Vec<TermId>` per argument position.
+//! A fact is addressed by its [`FactId`] (its insertion index), which maps
+//! through a location table to `(table, row)`.
+//!
+//! Everything downstream is keyed by ids instead of owned terms:
+//!
+//! * **dedup** — a row-content hash table (`u64` hash → fact chain) probed
+//!   with a handful of `u32`s; inserting a duplicate never allocates,
+//!   inserting a new fact appends to the columns instead of cloning an atom;
+//! * **`by_pos`** — the `(predicate, position, TermId)` index behind
+//!   [`Instance::candidates`];
+//! * **composite** — registered multi-column indexes keyed by
+//!   `Vec<TermId>` (see [`Instance::register_composite`]);
+//! * per-predicate cardinality and per-position distinct-value statistics
+//!   for the `chase-plan` join compiler.
+//!
+//! EGD merges ([`Instance::merge_terms`]) are id-remap passes over the
+//! columns: the old rows are replayed in insertion order with `from`'s id
+//! rewritten to `to`'s, through the same id-level insert — no term vector is
+//! re-hashed and no atom materialized.
+//!
+//! The atom-level API ([`Instance::atoms`], [`Instance::iter`],
+//! [`Instance::atom_at`]) materializes [`Atom`]s on demand (an O(arity)
+//! gather per fact); hot paths use the id-level accessors
+//! ([`Instance::fact`], [`Instance::pos_bucket`],
+//! [`Instance::composite_candidates_ids`]) and touch only `u32`s.
 
 use crate::atom::Atom;
 use crate::error::CoreError;
-use crate::fx::{FxHashMap, FxHashSet};
+use crate::fx::{FxHashMap, FxHasher};
 use crate::schema::{PosSet, Position, Schema};
 use crate::symbol::Sym;
-use crate::term::Term;
+use crate::term::{Term, TermId};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::Hasher;
 
-/// One composite index: key (the terms at the mask's positions, ascending)
-/// → fact indices.
-type CompositeBuckets = FxHashMap<Vec<Term>, Vec<u32>>;
+/// A fact's insertion index in its [`Instance`] — the currency of every
+/// index bucket and candidate list.
+pub type FactId = u32;
+
+/// One composite index: key (the term ids at the mask's positions,
+/// ascending by position) → fact ids.
+type CompositeBuckets = FxHashMap<Vec<TermId>, Vec<FactId>>;
+
+/// One column-major relation: all facts sharing a predicate *and* arity
+/// (the store tolerates one predicate at several arities, like the old
+/// atom-level store did — each gets its own table).
+#[derive(Clone, Default)]
+struct PredTable {
+    /// One flat id vector per argument position; all the same length.
+    cols: Vec<Vec<TermId>>,
+    /// Row count (kept explicitly so zero-arity predicates work).
+    rows: u32,
+}
+
+/// Where a [`FactId`] lives: which table, which row.
+#[derive(Clone, Copy)]
+struct FactLoc {
+    table: u32,
+    row: u32,
+}
 
 /// A database instance: a finite set of ground atoms over constants and
-/// labeled nulls.
+/// labeled nulls, stored columnar (see the module docs).
 #[derive(Clone, Default)]
 pub struct Instance {
-    atoms: Vec<Atom>,
-    set: FxHashSet<Atom>,
-    by_pred: FxHashMap<Sym, Vec<u32>>,
-    by_pos: FxHashMap<(Sym, u32, Term), Vec<u32>>,
+    tables: Vec<PredTable>,
+    /// Predicate of each table (parallel to `tables`; split out so location
+    /// lookups resolving a predicate touch a dense array). Table lookup on
+    /// insert is a linear scan of this vector — the number of distinct
+    /// `(pred, arity)` pairs is schema-bounded and small, and a scan keeps
+    /// the per-instance footprint down (tiny instances are built by the
+    /// million in the brute-force oracles).
+    table_preds: Vec<Sym>,
+    /// [`FactId`] → location, in insertion order. Its length is the fact
+    /// count.
+    locs: Vec<FactLoc>,
+    /// Dedup: row-content hash → the fact with that hash. Collisions (rare;
+    /// the hash covers predicate, arity and every id) chain into
+    /// `dedup_overflow`. Probes compare against the columns, so neither hit
+    /// nor miss allocates.
+    dedup: FxHashMap<u64, FactId>,
+    dedup_overflow: FxHashMap<u64, Vec<FactId>>,
+    by_pred: FxHashMap<Sym, Vec<FactId>>,
+    by_pos: FxHashMap<(Sym, u32, TermId), Vec<FactId>>,
     /// Registered composite indexes, nested by predicate so an insert only
     /// walks its own predicate's masks: pred → position bitmask → bucket
-    /// per key (the terms at the mask's positions, ascending). Registration
-    /// is sticky — once a planner asks for a mask it stays maintained
-    /// across inserts and merges, so read-only matcher shards can rely on
-    /// it.
+    /// per key. Registration is sticky — once a planner asks for a mask it
+    /// stays maintained across inserts and merges, so read-only matcher
+    /// shards can rely on it.
     composite: FxHashMap<Sym, FxHashMap<u32, CompositeBuckets>>,
     /// Distinct-value count per `(pred, position)` — the number of live
     /// `by_pos` buckets, maintained without scanning the key space.
@@ -45,6 +105,22 @@ pub struct Instance {
     /// compare it to decide when to recompile.
     merges: u64,
     next_null: u32,
+    /// Reusable id buffer for the insert path (cleared per call, never
+    /// shrunk) — keeps `try_insert` allocation-free after warm-up.
+    scratch: Vec<TermId>,
+}
+
+/// Hash of one row's content: predicate, arity, then every id. The dedup
+/// key — covering the arity keeps a predicate's two arities from colliding
+/// structurally.
+fn row_hash(pred: Sym, ids: &[TermId]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(pred.id());
+    h.write_u32(ids.len() as u32);
+    for &id in ids {
+        h.write_u32(id.raw());
+    }
+    h.finish()
 }
 
 impl Instance {
@@ -91,59 +167,152 @@ impl Instance {
     /// Insert a ground atom; returns `true` if it was new, or an error if the
     /// atom contains a variable.
     pub fn try_insert(&mut self, atom: Atom) -> Result<bool, CoreError> {
-        if !atom.is_ground() {
-            return Err(CoreError::NonGroundAtom(atom.to_string()));
-        }
-        if self.set.contains(&atom) {
-            return Ok(false);
-        }
-        let idx = u32::try_from(self.atoms.len()).expect("instance too large");
-        for (i, &t) in atom.terms().iter().enumerate() {
-            if let Term::Null(n) = t {
-                self.next_null = self.next_null.max(n + 1);
-            }
-            let bucket = self.by_pos.entry((atom.pred(), i as u32, t)).or_default();
-            if bucket.is_empty() {
-                *self.distinct.entry((atom.pred(), i as u32)).or_insert(0) += 1;
-            }
-            bucket.push(idx);
-        }
-        if let Some(masks) = self.composite.get_mut(&atom.pred()) {
-            for (&mask, buckets) in masks.iter_mut() {
-                if let Some(key) = composite_key(&atom, mask) {
-                    buckets.entry(key).or_default().push(idx);
+        let mut ids = std::mem::take(&mut self.scratch);
+        ids.clear();
+        for &t in atom.terms() {
+            match TermId::from_ground(t) {
+                Some(id) => ids.push(id),
+                None => {
+                    self.scratch = ids;
+                    return Err(CoreError::NonGroundAtom(atom.to_string()));
                 }
             }
         }
-        self.by_pred.entry(atom.pred()).or_default().push(idx);
-        self.set.insert(atom.clone());
-        self.atoms.push(atom);
-        Ok(true)
+        let new = self.insert_ids(atom.pred(), &ids);
+        self.scratch = ids;
+        Ok(new)
+    }
+
+    /// Insert a fact given as a predicate plus interned term ids — the
+    /// id-level insert every other insert path bottoms out in. Returns
+    /// `true` if the fact was new.
+    ///
+    /// The ids must come from [`TermId::from_ground`] (the merge remap and
+    /// the micro-benchmarks use this to bypass atom materialization
+    /// entirely).
+    pub fn insert_ids(&mut self, pred: Sym, ids: &[TermId]) -> bool {
+        let hash = row_hash(pred, ids);
+        if self.probe(hash, pred, ids).is_some() {
+            return false;
+        }
+        let fact = FactId::try_from(self.locs.len()).expect("instance too large");
+        // Locate (or create) the `(pred, arity)` table and append the row.
+        let table = match self
+            .table_preds
+            .iter()
+            .zip(&self.tables)
+            .position(|(&p, t)| p == pred && t.cols.len() == ids.len())
+        {
+            Some(t) => t as u32,
+            None => {
+                let t = u32::try_from(self.tables.len()).expect("too many relations");
+                self.tables.push(PredTable {
+                    cols: vec![Vec::new(); ids.len()],
+                    rows: 0,
+                });
+                self.table_preds.push(pred);
+                t
+            }
+        };
+        let tbl = &mut self.tables[table as usize];
+        let row = tbl.rows;
+        for (col, &id) in tbl.cols.iter_mut().zip(ids) {
+            col.push(id);
+        }
+        tbl.rows += 1;
+        self.locs.push(FactLoc { table, row });
+        // Positional index + distinct statistics, then composite buckets,
+        // then the per-predicate bucket — the same maintenance order (and
+        // therefore the same bucket contents) as the old atom-keyed store.
+        for (i, &id) in ids.iter().enumerate() {
+            if let Some(n) = id.as_null() {
+                self.next_null = self.next_null.max(n + 1);
+            }
+            let bucket = self.by_pos.entry((pred, i as u32, id)).or_default();
+            if bucket.is_empty() {
+                *self.distinct.entry((pred, i as u32)).or_insert(0) += 1;
+            }
+            bucket.push(fact);
+        }
+        if let Some(masks) = self.composite.get_mut(&pred) {
+            for (&mask, buckets) in masks.iter_mut() {
+                if let Some(key) = composite_key_ids(ids, mask) {
+                    buckets.entry(key).or_default().push(fact);
+                }
+            }
+        }
+        self.by_pred.entry(pred).or_default().push(fact);
+        match self.dedup.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(fact);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.dedup_overflow.entry(hash).or_default().push(fact);
+            }
+        }
+        true
+    }
+
+    /// The fact with this exact content, if present (dedup probe).
+    fn probe(&self, hash: u64, pred: Sym, ids: &[TermId]) -> Option<FactId> {
+        let eq = |f: FactId| {
+            let loc = self.locs[f as usize];
+            let tbl = &self.tables[loc.table as usize];
+            self.table_preds[loc.table as usize] == pred
+                && tbl.cols.len() == ids.len()
+                && tbl
+                    .cols
+                    .iter()
+                    .zip(ids)
+                    .all(|(col, &id)| col[loc.row as usize] == id)
+        };
+        let &first = self.dedup.get(&hash)?;
+        if eq(first) {
+            return Some(first);
+        }
+        self.dedup_overflow
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&f| eq(f))
     }
 
     /// Does the instance contain this exact atom?
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.set.contains(atom)
+        let mut ids = Vec::with_capacity(atom.arity());
+        for &t in atom.terms() {
+            match TermId::from_ground(t) {
+                Some(id) => ids.push(id),
+                None => return false,
+            }
+        }
+        self.probe(row_hash(atom.pred(), &ids), atom.pred(), &ids)
+            .is_some()
     }
 
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.locs.len()
     }
 
     /// True iff the instance has no facts.
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.locs.is_empty()
     }
 
-    /// Facts in insertion order.
-    pub fn atoms(&self) -> &[Atom] {
-        &self.atoms
+    /// Facts in insertion order, materialized.
+    ///
+    /// This gathers every fact out of the columns into owned [`Atom`]s —
+    /// O(total terms). Fine for snapshots handed to instance-level
+    /// homomorphism searches or sharded enumeration; per-fact hot paths
+    /// should use [`Instance::fact`] instead.
+    pub fn atoms(&self) -> Vec<Atom> {
+        self.iter().collect()
     }
 
-    /// Iterate over facts in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
-        self.atoms.iter()
+    /// Iterate over facts in insertion order, materializing each.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Atom> + '_ {
+        (0..self.locs.len() as u32).map(|f| self.atom_at(f))
     }
 
     /// Facts with the given predicate, in insertion order.
@@ -152,13 +321,13 @@ impl Instance {
     /// `pred`-facts, independent of the instance size (pinned by
     /// `with_pred_is_index_backed` below — per-predicate iteration is on the
     /// planner's statistics path and must never degrade to a full scan).
-    pub fn with_pred(&self, pred: Sym) -> impl ExactSizeIterator<Item = &Atom> {
+    pub fn with_pred(&self, pred: Sym) -> impl ExactSizeIterator<Item = Atom> + '_ {
         self.by_pred
             .get(&pred)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
             .iter()
-            .map(move |&i| &self.atoms[i as usize])
+            .map(move |&i| self.atom_at(i))
     }
 
     /// Number of facts with the given predicate — `|R|`, in O(1).
@@ -193,7 +362,7 @@ impl Instance {
     /// a run instead of every step. Stale plans remain *correct* — only
     /// their cost estimates age.
     pub fn stats_epoch(&self) -> u32 {
-        u64::BITS - (self.atoms.len() as u64).leading_zeros()
+        u64::BITS - (self.locs.len() as u64).leading_zeros()
     }
 
     /// Register a composite (multi-column) index for `pred` over the
@@ -216,7 +385,9 @@ impl Instance {
         let mut buckets = CompositeBuckets::default();
         if let Some(idxs) = self.by_pred.get(&pred) {
             for &i in idxs {
-                if let Some(key) = composite_key(&self.atoms[i as usize], mask) {
+                let loc = self.locs[i as usize];
+                let tbl = &self.tables[loc.table as usize];
+                if let Some(key) = composite_key_row(tbl, loc.row, mask) {
                     buckets.entry(key).or_default().push(i);
                 }
             }
@@ -231,7 +402,23 @@ impl Instance {
     /// `(pred, mask)` composite index equal `key` (the terms at those
     /// positions, ascending). Returns `None` when the mask was never
     /// registered — callers fall back to [`Instance::candidates`].
-    pub fn composite_candidates(&self, pred: Sym, mask: u32, key: &[Term]) -> Option<&[u32]> {
+    pub fn composite_candidates(&self, pred: Sym, mask: u32, key: &[Term]) -> Option<&[FactId]> {
+        let mut ids = Vec::with_capacity(key.len());
+        for &t in key {
+            // A non-ground key term can equal no stored id.
+            ids.push(TermId::from_ground(t).unwrap_or(TermId::NEVER));
+        }
+        self.composite_candidates_ids(pred, mask, &ids)
+    }
+
+    /// [`Instance::composite_candidates`] keyed by interned ids — the form
+    /// the planned executor uses, no term conversion on the hot path.
+    pub fn composite_candidates_ids(
+        &self,
+        pred: Sym,
+        mask: u32,
+        key: &[TermId],
+    ) -> Option<&[FactId]> {
         let buckets = self.composite.get(&pred)?.get(&mask)?;
         Some(buckets.get(key).map(|v| v.as_slice()).unwrap_or(&[]))
     }
@@ -252,17 +439,14 @@ impl Instance {
     /// listed `(index, term)` pair is already fixed. Returns the smallest
     /// applicable index bucket (the caller still has to verify the full
     /// match). With no fixed positions this is the per-predicate bucket.
-    pub fn candidates(&self, pred: Sym, fixed: &[(usize, Term)]) -> &[u32] {
+    pub fn candidates(&self, pred: Sym, fixed: &[(usize, Term)]) -> &[FactId] {
         if fixed.is_empty() {
-            return self.by_pred.get(&pred).map(|v| v.as_slice()).unwrap_or(&[]);
+            return self.pred_bucket(pred);
         }
-        let mut best: Option<&[u32]> = None;
+        let mut best: Option<&[FactId]> = None;
         for &(i, t) in fixed {
-            let bucket = self
-                .by_pos
-                .get(&(pred, i as u32, t))
-                .map(|v| v.as_slice())
-                .unwrap_or(&[]);
+            let id = TermId::from_ground(t).unwrap_or(TermId::NEVER);
+            let bucket = self.pos_bucket(pred, i, id);
             if best.is_none_or(|b| bucket.len() < b.len()) {
                 best = Some(bucket);
             }
@@ -273,9 +457,40 @@ impl Instance {
         best.unwrap_or(&[])
     }
 
-    /// Fact at a raw index (used with [`Instance::candidates`]).
-    pub fn atom_at(&self, idx: u32) -> &Atom {
-        &self.atoms[idx as usize]
+    /// All facts of `pred`, in insertion order — the per-predicate bucket.
+    pub fn pred_bucket(&self, pred: Sym) -> &[FactId] {
+        self.by_pred.get(&pred).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The `(pred, position, id)` bucket: facts whose argument at `pos` is
+    /// exactly `id`, in insertion order. The id-level positional index the
+    /// planned executor scans.
+    pub fn pos_bucket(&self, pred: Sym, pos: usize, id: TermId) -> &[FactId] {
+        self.by_pos
+            .get(&(pred, pos as u32, id))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Fact at a raw index, materialized (used with
+    /// [`Instance::candidates`]); hot paths use [`Instance::fact`].
+    pub fn atom_at(&self, idx: FactId) -> Atom {
+        let view = self.fact(idx);
+        Atom::new(
+            view.pred(),
+            (0..view.arity()).map(|i| view.term(i)).collect(),
+        )
+    }
+
+    /// Zero-copy view of the fact at `idx`: predicate, arity, and per-column
+    /// id access without materializing an [`Atom`].
+    pub fn fact(&self, idx: FactId) -> FactView<'_> {
+        let loc = self.locs[idx as usize];
+        FactView {
+            table: &self.tables[loc.table as usize],
+            pred: self.table_preds[loc.table as usize],
+            row: loc.row as usize,
+        }
     }
 
     /// A fresh labeled null, never used in this instance before.
@@ -294,8 +509,10 @@ impl Instance {
     /// in sorted order.
     pub fn domain(&self) -> BTreeSet<Term> {
         let mut out = BTreeSet::new();
-        for a in &self.atoms {
-            out.extend(a.terms().iter().copied());
+        for tbl in &self.tables {
+            for col in &tbl.cols {
+                out.extend(col.iter().map(|id| id.term()));
+            }
         }
         out
     }
@@ -308,11 +525,9 @@ impl Instance {
     /// All labeled nulls occurring in the instance.
     pub fn nulls(&self) -> BTreeSet<u32> {
         let mut out = BTreeSet::new();
-        for a in &self.atoms {
-            for t in a.terms() {
-                if let Term::Null(n) = t {
-                    out.insert(*n);
-                }
+        for tbl in &self.tables {
+            for col in &tbl.cols {
+                out.extend(col.iter().filter_map(|id| id.as_null()));
             }
         }
         out
@@ -321,11 +536,9 @@ impl Instance {
     /// All constants occurring in the instance.
     pub fn constants(&self) -> BTreeSet<Sym> {
         let mut out = BTreeSet::new();
-        for a in &self.atoms {
-            for t in a.terms() {
-                if let Term::Const(c) = t {
-                    out.insert(*c);
-                }
+        for tbl in &self.tables {
+            for col in &tbl.cols {
+                out.extend(col.iter().filter_map(|id| id.term().as_const()));
             }
         }
         out
@@ -335,10 +548,13 @@ impl Instance {
     /// occurs in the instance.
     pub fn positions_of(&self, t: Term) -> PosSet {
         let mut out = PosSet::new();
-        for a in &self.atoms {
-            for (i, &u) in a.terms().iter().enumerate() {
-                if u == t {
-                    out.insert(Position::new(a.pred(), i));
+        let Some(id) = TermId::from_ground(t) else {
+            return out;
+        };
+        for (ti, tbl) in self.tables.iter().enumerate() {
+            for (i, col) in tbl.cols.iter().enumerate() {
+                if col.contains(&id) {
+                    out.insert(Position::new(self.table_preds[ti], i));
                 }
             }
         }
@@ -347,34 +563,67 @@ impl Instance {
 
     /// Replace every occurrence of `from` by `to` (the EGD merge primitive).
     ///
-    /// Rebuilds the indexes; atoms that collapse onto existing atoms are
-    /// deduplicated. Returns the number of facts that were rewritten.
+    /// An id-remap pass over the columns: the old rows are replayed in
+    /// insertion order with `from`'s id rewritten to `to`'s through the
+    /// id-level insert, so rows that collapse onto existing rows are
+    /// deduplicated and every index is rebuilt — without materializing or
+    /// re-hashing a single atom. Returns the number of facts that were
+    /// rewritten.
     pub fn merge_terms(&mut self, from: Term, to: Term) -> usize {
         if from == to {
             return 0;
         }
-        let old = std::mem::take(&mut self.atoms);
-        let next_null = self.next_null;
-        self.set.clear();
+        // A variable `from` can occur in no fact, but the old atom-level
+        // store still counted the call as a merge (rebuilding everything);
+        // keep that epoch behaviour. A variable `to` is checked at rewrite
+        // time below — replacing an occurring term by a non-ground one
+        // panicked in the old store (the replay hit `insert`'s ground
+        // check) and must not silently store the NEVER sentinel here.
+        let from_id = TermId::from_ground(from).unwrap_or(TermId::NEVER);
+        let to_id = TermId::from_ground(to).unwrap_or(TermId::NEVER);
+        let to_is_ground = to.is_ground();
+        let tables = std::mem::take(&mut self.tables);
+        let table_preds = std::mem::take(&mut self.table_preds);
+        let locs = std::mem::take(&mut self.locs);
+        self.dedup.clear();
+        self.dedup_overflow.clear();
         self.by_pred.clear();
         self.by_pos.clear();
         self.distinct.clear();
         // Composite registrations survive the merge (read-only matcher code
         // relies on a registered mask staying queryable); only the buckets
-        // are rebuilt, by the inserts below.
+        // are rebuilt, by the id-level inserts below.
         for masks in self.composite.values_mut() {
             for buckets in masks.values_mut() {
                 buckets.clear();
             }
         }
+        let next_null = self.next_null;
+        let mut ids = std::mem::take(&mut self.scratch);
         let mut rewritten = 0;
-        for a in old {
-            let b = a.replace(from, to);
-            if b != a {
+        for loc in &locs {
+            let tbl = &tables[loc.table as usize];
+            ids.clear();
+            let mut changed = false;
+            for col in &tbl.cols {
+                let id = col[loc.row as usize];
+                if id == from_id {
+                    assert!(
+                        to_is_ground,
+                        "merge target must be ground, got {to} for occurring term {from}"
+                    );
+                    changed = true;
+                    ids.push(to_id);
+                } else {
+                    ids.push(id);
+                }
+            }
+            if changed {
                 rewritten += 1;
             }
-            let _ = self.insert(b);
+            self.insert_ids(table_preds[loc.table as usize], &ids);
         }
+        self.scratch = ids;
         self.next_null = self.next_null.max(next_null);
         self.merges += 1;
         rewritten
@@ -382,13 +631,20 @@ impl Instance {
 
     /// The schema induced by the facts.
     pub fn schema(&self) -> Result<Schema, CoreError> {
-        Schema::from_atoms(self.atoms.iter())
+        let mut s = Schema::new();
+        // Tables are created in first-occurrence order, so an arity
+        // conflict reports the earliest arity as "expected", like the old
+        // per-atom observation did.
+        for (ti, tbl) in self.tables.iter().enumerate() {
+            s.observe(self.table_preds[ti], tbl.cols.len())?;
+        }
+        Ok(s)
     }
 
     /// A read-only view of this instance for concurrent matching.
     ///
     /// Between chase steps the instance — including its per-predicate and
-    /// per-`(predicate, position, term)` indexes — is immutable, so a view
+    /// per-`(predicate, position, id)` indexes — is immutable, so a view
     /// taken then is a consistent *snapshot* of the position index that any
     /// number of worker threads may query through [`Instance::candidates`]
     /// concurrently (see the `Sync` assertion in this module). The view is
@@ -399,8 +655,8 @@ impl Instance {
     }
 
     /// Facts in a canonical sorted order (for display and comparison).
-    pub fn sorted_atoms(&self) -> Vec<&Atom> {
-        let mut v: Vec<&Atom> = self.atoms.iter().collect();
+    pub fn sorted_atoms(&self) -> Vec<Atom> {
+        let mut v: Vec<Atom> = self.iter().collect();
         v.sort_by(|a, b| {
             a.pred()
                 .as_str()
@@ -411,27 +667,81 @@ impl Instance {
     }
 }
 
-/// The composite-index key of `atom` under `mask`: its terms at the mask's
+/// The composite-index key of a row under `mask`: its ids at the mask's
 /// positions, ascending. `None` when the mask addresses a position beyond
-/// the atom's arity (such an atom can never match a pattern bound at that
+/// the row's arity (such a fact can never match a pattern bound at that
 /// position, so it is simply not indexed).
-fn composite_key(atom: &Atom, mask: u32) -> Option<Vec<Term>> {
-    let terms = atom.terms();
+fn composite_key_ids(ids: &[TermId], mask: u32) -> Option<Vec<TermId>> {
     let mut key = Vec::with_capacity(mask.count_ones() as usize);
     let mut m = mask;
     while m != 0 {
         let i = m.trailing_zeros() as usize;
-        key.push(*terms.get(i)?);
+        key.push(*ids.get(i)?);
         m &= m - 1;
     }
     Some(key)
+}
+
+/// [`composite_key_ids`] reading straight out of a table row.
+fn composite_key_row(tbl: &PredTable, row: u32, mask: u32) -> Option<Vec<TermId>> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        key.push(tbl.cols.get(i)?[row as usize]);
+        m &= m - 1;
+    }
+    Some(key)
+}
+
+/// A borrowed view of one stored fact: predicate, arity and per-position
+/// term access without materializing an [`Atom`].
+///
+/// This is what the homomorphism searcher and the planned executor match
+/// candidates against — [`FactView::term_id`] is a column load, so
+/// verifying a candidate position by position touches only `u32`s.
+#[derive(Clone, Copy)]
+pub struct FactView<'a> {
+    table: &'a PredTable,
+    pred: Sym,
+    row: usize,
+}
+
+impl FactView<'_> {
+    /// The fact's predicate.
+    pub fn pred(&self) -> Sym {
+        self.pred
+    }
+
+    /// The fact's arity.
+    pub fn arity(&self) -> usize {
+        self.table.cols.len()
+    }
+
+    /// The interned id at position `pos`.
+    ///
+    /// # Panics
+    /// Panics when `pos` is out of the fact's arity.
+    #[inline]
+    pub fn term_id(&self, pos: usize) -> TermId {
+        self.table.cols[pos][self.row]
+    }
+
+    /// The term at position `pos` (an O(1) id round-trip).
+    ///
+    /// # Panics
+    /// Panics when `pos` is out of the fact's arity.
+    #[inline]
+    pub fn term(&self, pos: usize) -> Term {
+        self.term_id(pos).term()
+    }
 }
 
 /// A read-only, thread-shareable snapshot of an [`Instance`] (see
 /// [`Instance::view`]).
 ///
 /// Dereferences to the instance, exposing the whole query API
-/// (`candidates`, `atom_at`, `with_pred`, …) with no way to mutate. The
+/// (`candidates`, `fact`, `with_pred`, …) with no way to mutate. The
 /// parallel matching engine hands one to its revalidation workers, which
 /// query the snapshot's position index concurrently; its other sharded
 /// paths share `&Instance` through the run state under the same `Sync`
@@ -457,7 +767,8 @@ impl std::ops::Deref for InstanceView<'_> {
 // The contract the parallel chase engine builds on: instances (and therefore
 // views of them) can be shared across matcher threads. `Sym` is an index
 // into the process-wide interner, which is guarded by a `parking_lot`-style
-// `RwLock`, so everything an instance holds is plain shareable data.
+// `RwLock`, `TermId` is plain data, so everything an instance holds is
+// plain shareable data.
 const _: () = {
     const fn assert_sync<T: Sync>() {}
     assert_sync::<Instance>();
@@ -467,7 +778,23 @@ const _: () = {
 impl PartialEq for Instance {
     /// Set equality over facts (insertion order and null counters ignored).
     fn eq(&self, other: &Instance) -> bool {
-        self.set == other.set
+        if self.locs.len() != other.locs.len() {
+            return false;
+        }
+        // Both sides are duplicate-free, so equal cardinality plus
+        // one-sided containment is set equality.
+        let mut ids: Vec<TermId> = Vec::new();
+        for (ti, tbl) in self.tables.iter().enumerate() {
+            let pred = self.table_preds[ti];
+            for row in 0..tbl.rows {
+                ids.clear();
+                ids.extend(tbl.cols.iter().map(|col| col[row as usize]));
+                if other.probe(row_hash(pred, &ids), pred, &ids).is_none() {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -533,6 +860,44 @@ mod tests {
     }
 
     #[test]
+    fn atoms_round_trip_in_insertion_order() {
+        let mut i = Instance::new();
+        let a = Atom::new("E", vec![Term::constant("a"), Term::null(0)]);
+        let b = ca("S", &["a"]);
+        let c = ca("E", &["a", "b"]);
+        i.insert(a.clone());
+        i.insert(b.clone());
+        i.insert(c.clone());
+        assert_eq!(i.atoms(), vec![a.clone(), b, c]);
+        assert_eq!(i.atom_at(0), a);
+        let v = i.fact(0);
+        assert_eq!(v.pred(), Sym::new("E"));
+        assert_eq!(v.arity(), 2);
+        assert_eq!(v.term(0), Term::constant("a"));
+        assert_eq!(v.term_id(1), TermId::from_ground(Term::null(0)).unwrap());
+    }
+
+    #[test]
+    fn mixed_arity_predicates_coexist() {
+        // The old atom-level store tolerated one predicate at two arities;
+        // the columnar store keeps that (separate tables, shared buckets).
+        let mut i = Instance::new();
+        i.insert(ca("R", &["a"]));
+        i.insert(ca("R", &["a", "b"]));
+        i.insert(ca("R", &["b"]));
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.pred_cardinality(Sym::new("R")), 3);
+        let atoms: Vec<Atom> = i.with_pred(Sym::new("R")).collect();
+        assert_eq!(
+            atoms,
+            vec![ca("R", &["a"]), ca("R", &["a", "b"]), ca("R", &["b"])]
+        );
+        assert!(i.contains(&ca("R", &["a", "b"])));
+        assert!(!i.contains(&ca("R", &["a", "c"])));
+        assert!(i.schema().is_err(), "schema still reports the conflict");
+    }
+
+    #[test]
     fn candidates_uses_position_index() {
         let mut i = Instance::new();
         i.insert(ca("E", &["a", "b"]));
@@ -572,14 +937,14 @@ mod tests {
     /// so a stale bucket after a merge would silently shrink the trigger
     /// set.
     fn assert_index_consistent(i: &Instance) {
+        let atoms = i.atoms();
         let mut preds: BTreeSet<Sym> = BTreeSet::new();
-        for a in i.atoms() {
+        for a in &atoms {
             preds.insert(a.pred());
         }
         for &p in &preds {
             for t in i.domain() {
-                let max_arity = i
-                    .atoms()
+                let max_arity = atoms
                     .iter()
                     .filter(|a| a.pred() == p)
                     .map(|a| a.terms().len())
@@ -587,8 +952,7 @@ mod tests {
                     .unwrap_or(0);
                 for pos in 0..max_arity {
                     let indexed: Vec<u32> = i.candidates(p, &[(pos, t)]).to_vec();
-                    let scanned: Vec<u32> = i
-                        .atoms()
+                    let scanned: Vec<u32> = atoms
                         .iter()
                         .enumerate()
                         .filter(|(_, a)| a.pred() == p && a.terms().get(pos) == Some(&t))
@@ -639,6 +1003,28 @@ mod tests {
         assert_eq!(j.len(), 1);
     }
 
+    #[test]
+    #[should_panic(expected = "merge target must be ground")]
+    fn merge_to_a_variable_panics_when_occurring() {
+        // The old owned-atom store hit `insert`'s ground check when the
+        // replay produced a non-ground atom; the id-remap path must not
+        // silently store the NEVER sentinel instead.
+        let mut i = Instance::new();
+        i.insert(ca("E", &["a", "b"]));
+        i.merge_terms(Term::constant("b"), Term::var("X"));
+    }
+
+    #[test]
+    fn merge_from_a_variable_is_an_indexed_no_op() {
+        // A variable occurs in no fact: nothing rewrites, but the call
+        // still counts as a merge epoch (like the old store).
+        let mut i = Instance::new();
+        i.insert(ca("E", &["a", "b"]));
+        assert_eq!(i.merge_terms(Term::var("X"), Term::constant("c")), 0);
+        assert_eq!(i.merge_epoch(), 1);
+        assert_eq!(i.len(), 1);
+    }
+
     /// `with_pred` must be served by the per-predicate index, not a scan
     /// over all atoms — after merges included.
     #[test]
@@ -647,16 +1033,12 @@ mod tests {
         i.insert(ca("E", &["a", "b"]));
         i.insert(ca("S", &["a"]));
         i.insert(Atom::new("E", vec![Term::constant("a"), Term::null(0)]));
-        let e: Vec<&Atom> = i.with_pred(Sym::new("E")).collect();
+        let e: Vec<Atom> = i.with_pred(Sym::new("E")).collect();
         assert_eq!(e.len(), 2); // ExactSizeIterator: length known up front
         assert_eq!(i.with_pred(Sym::new("E")).len(), 2);
         assert_eq!(i.pred_cardinality(Sym::new("E")), 2);
         assert_eq!(i.pred_cardinality(Sym::new("zzz")), 0);
-        let scanned: Vec<&Atom> = i
-            .atoms()
-            .iter()
-            .filter(|a| a.pred() == Sym::new("E"))
-            .collect();
+        let scanned: Vec<Atom> = i.iter().filter(|a| a.pred() == Sym::new("E")).collect();
         assert_eq!(e, scanned);
         i.merge_terms(Term::null(0), Term::constant("b"));
         assert_eq!(i.with_pred(Sym::new("E")).len(), 1);
@@ -754,7 +1136,7 @@ mod tests {
         let key = vec![Term::constant("a"), Term::constant("b")];
         let bucket = i.composite_candidates(t, 0b011, &key).unwrap();
         assert_eq!(bucket.len(), 1);
-        assert_eq!(i.atom_at(bucket[0]), &ca("T", &["a", "b", "c"]));
+        assert_eq!(i.atom_at(bucket[0]), ca("T", &["a", "b", "c"]));
         // Registration is sticky: inserts after the merge keep indexing.
         i.insert(ca("T", &["a", "b", "q"]));
         assert_eq!(i.composite_candidates(t, 0b011, &key).unwrap().len(), 2);
@@ -791,6 +1173,8 @@ mod tests {
         let i1 = Instance::from_atoms(vec![ca("E", &["a", "b"]), ca("S", &["a"])]).unwrap();
         let i2 = Instance::from_atoms(vec![ca("S", &["a"]), ca("E", &["a", "b"])]).unwrap();
         assert_eq!(i1, i2);
+        let i3 = Instance::from_atoms(vec![ca("E", &["a", "b"]), ca("S", &["b"])]).unwrap();
+        assert_ne!(i1, i3);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! *On Chase Termination Beyond Stratification* (Meier, Schmidt, Lausen;
 //! VLDB 2009):
 //!
-//! * interned [`Sym`]bols, [`Term`]s (constants, labeled nulls, variables),
-//!   [`Atom`]s and database [`Position`]s,
-//! * indexed database [`Instance`]s over those atoms,
+//! * interned [`Sym`]bols, [`Term`]s (constants, labeled nulls, variables)
+//!   and their interned ground form [`TermId`], [`Atom`]s and database
+//!   [`Position`]s,
+//! * indexed database [`Instance`]s — an interned, columnar fact store with
+//!   id-keyed dedup and indexes (see [`instance`]),
 //! * a backtracking [`homomorphism`] engine (the workhorse behind chase-step
 //!   applicability, constraint satisfaction and conjunctive-query
 //!   evaluation),
@@ -40,7 +42,7 @@ pub use error::CoreError;
 pub use homomorphism::{
     exists_extension, exists_hom, find_all_homs, find_hom, unify_atom, HomConfig, Subst,
 };
-pub use instance::{Instance, InstanceView};
+pub use instance::{FactId, FactView, Instance, InstanceView};
 pub use schema::{PosSet, Position, Schema};
 pub use symbol::Sym;
-pub use term::Term;
+pub use term::{Term, TermId};

@@ -66,6 +66,18 @@ impl Sym {
     pub fn id(self) -> u32 {
         self.0
     }
+
+    /// The symbol with the given raw interner id — the inverse of
+    /// [`Sym::id`], O(1) and lock-free.
+    ///
+    /// The id must have been produced by [`Sym::id`] in this process run
+    /// (ids are never recycled, so any such id stays valid); a fabricated id
+    /// yields a symbol whose [`Sym::as_str`] panics on the out-of-range
+    /// lookup. This is the constant half of the [`crate::term::TermId`]
+    /// round-trip.
+    pub fn from_id(id: u32) -> Sym {
+        Sym(id)
+    }
 }
 
 impl From<&str> for Sym {

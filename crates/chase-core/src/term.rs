@@ -84,6 +84,108 @@ impl Term {
     }
 }
 
+/// An interned *ground* term: one `u32` standing for a constant or a
+/// labeled null, with an O(1) round-trip back to [`Term`].
+///
+/// The id space is one table split by the top bit: ids below `1 << 31` are
+/// constants (the id is the [`Sym`] id in the process-wide string interner),
+/// ids at or above it are labeled nulls (`id & !(1 << 31)` is the null id).
+/// Both directions are a couple of bit operations — no lock, no lookup —
+/// which is what lets [`crate::Instance`]'s columnar fact store key its
+/// dedup table and indexes by ids and hash a handful of `u32`s per insert
+/// instead of whole term vectors.
+///
+/// Variables have no `TermId` (instances never hold them); see
+/// [`TermId::from_ground`].
+///
+/// # Ordering
+///
+/// `TermId`'s derived order coincides with [`Term`]'s derived order on
+/// ground terms: constants (sorted by interner id) sort below nulls (sorted
+/// by null id), exactly as `Term::Const(_) < Term::Null(_)` with the same
+/// inner comparisons. Code that sorts ids may therefore substitute for code
+/// that sorts terms without changing any canonical selection — the
+/// equivalence the store's trace-stability rests on (pinned by a property
+/// test in `tests/instance_store.rs`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+/// Top bit of a [`TermId`]: set for labeled nulls, clear for constants.
+const NULL_BIT: u32 = 1 << 31;
+
+impl TermId {
+    /// A reserved id that matches no interned term.
+    ///
+    /// Planned execution uses it for register seeds that arrive bound to a
+    /// non-ground term (a variable bound to a variable): the old term-level
+    /// comparison could never equal a ground fact term, and `NEVER` likewise
+    /// misses every index bucket and every stored id. The null id it would
+    /// decode to is excluded in [`TermId::from_ground`], so no stored fact
+    /// can ever collide with it.
+    pub const NEVER: TermId = TermId(u32::MAX);
+
+    /// Intern a ground term. Returns `None` for variables.
+    ///
+    /// # Panics
+    /// Panics if the constant's interner id or the null id reaches `1 << 31`
+    /// (half the 4-billion id space each — unreachable in practice, checked
+    /// so the tag bit can never be clobbered).
+    #[inline]
+    pub fn from_ground(t: Term) -> Option<TermId> {
+        match t {
+            Term::Const(c) => {
+                assert!(c.id() < NULL_BIT, "constant interner id overflow");
+                Some(TermId(c.id()))
+            }
+            Term::Null(n) => {
+                assert!(n < NULL_BIT - 1, "null id overflow");
+                Some(TermId(n | NULL_BIT))
+            }
+            Term::Var(_) => None,
+        }
+    }
+
+    /// The interned term back as a [`Term`] — O(1), no locking.
+    #[inline]
+    pub fn term(self) -> Term {
+        if self.0 & NULL_BIT == 0 {
+            Term::Const(Sym::from_id(self.0))
+        } else {
+            Term::Null(self.0 & !NULL_BIT)
+        }
+    }
+
+    /// Is this the id of a labeled null?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 & NULL_BIT != 0 && self != TermId::NEVER
+    }
+
+    /// The null id, if this is a labeled null.
+    #[inline]
+    pub fn as_null(self) -> Option<u32> {
+        self.is_null().then_some(self.0 & !NULL_BIT)
+    }
+
+    /// The raw packed id (stable within a process run only, like `Sym` ids).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.term(), f)
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TermId({})", self.term())
+    }
+}
+
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -125,6 +227,52 @@ mod tests {
     fn disjointness() {
         // A constant and a variable with the same spelling are different terms.
         assert_ne!(Term::constant("x"), Term::var("x"));
+    }
+
+    #[test]
+    fn term_ids_round_trip_ground_terms() {
+        for t in [
+            Term::constant("a"),
+            Term::constant("zzz"),
+            Term::null(0),
+            Term::null(7),
+            Term::null((1 << 31) - 2),
+        ] {
+            let id = TermId::from_ground(t).expect("ground term interns");
+            assert_eq!(id.term(), t);
+            assert_eq!(id.is_null(), t.is_null());
+            assert_eq!(id.as_null(), t.as_null());
+        }
+        assert_eq!(TermId::from_ground(Term::var("X")), None);
+    }
+
+    #[test]
+    fn term_id_order_matches_term_order() {
+        // Constants in interner order, then nulls in id order — the same
+        // total order the derived `Term` comparison gives ground terms.
+        let terms = [
+            Term::constant("tio_a"),
+            Term::constant("tio_b"),
+            Term::null(0),
+            Term::null(5),
+        ];
+        for &a in &terms {
+            for &b in &terms {
+                let (ia, ib) = (
+                    TermId::from_ground(a).unwrap(),
+                    TermId::from_ground(b).unwrap(),
+                );
+                assert_eq!(ia.cmp(&ib), a.cmp(&b), "order mismatch on {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_sentinel_matches_nothing() {
+        assert!(!TermId::NEVER.is_null());
+        assert_eq!(TermId::NEVER.as_null(), None);
+        let id = TermId::from_ground(Term::null((1 << 31) - 2)).unwrap();
+        assert_ne!(id, TermId::NEVER);
     }
 
     #[test]

@@ -22,23 +22,26 @@ use chase_core::{ConstraintSet, Instance};
 pub fn core_of(instance: &Instance) -> Instance {
     let mut current = instance.clone();
     'shrink: loop {
-        for skip in 0..current.len() {
+        // Materialize once per shrink round — `current` is immutable across
+        // the per-skip retraction tests below.
+        let all = current.atoms();
+        for skip in 0..all.len() {
             // Target: current minus one atom.
             let mut target = Instance::new();
-            for (i, a) in current.iter().enumerate() {
+            for (i, a) in all.iter().enumerate() {
                 if i != skip {
                     target.insert(a.clone());
                 }
             }
             // Retraction: nulls flexible, constants fixed.
             let mut retraction: Option<Subst> = None;
-            for_each_hom(current.atoms(), &target, &Subst::new(), true, &mut |h| {
+            for_each_hom(&all, &target, &Subst::new(), true, &mut |h| {
                 retraction = Some(h.clone());
                 true
             });
             if let Some(h) = retraction {
                 let mut image = Instance::new();
-                for a in current.iter() {
+                for a in &all {
                     image.insert(h.apply_atom(a));
                 }
                 debug_assert!(image.len() < current.len());

@@ -18,7 +18,7 @@
 //!
 //! # The delta-driven trigger queue
 //!
-//! The engine keeps every currently fireable trigger in a [`TriggerPool`] —
+//! The engine keeps every currently fireable trigger in a trigger pool —
 //! one ordered map per constraint, keyed by the normalized assignment — and
 //! maintains it **incrementally**. After a TGD step adds atoms:
 //!
@@ -453,8 +453,12 @@ impl<'a> Run<'a> {
                 let affected: Vec<usize> = (0..this.set.len())
                     .filter(|&ci| !this.set[ci].body().is_empty())
                     .collect();
+                // Materialize the instance once for sharding — rebuilds are
+                // rare (init and EGD merges), and the shard functions want
+                // `&[Atom]` delta slices.
+                let all_atoms = this.inst.atoms();
                 let found: Vec<FoundTrigger> = exec
-                    .map_shards(this.inst.atoms(), |shard| {
+                    .map_shards(&all_atoms, |shard| {
                         this.collect_delta_matches(&affected, shard)
                     })
                     .into_iter()

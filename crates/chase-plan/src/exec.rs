@@ -1,15 +1,18 @@
 //! Planned execution: run a [`JoinProgram`] against an indexed [`Instance`].
 //!
-//! The executor keeps variable bindings in a dense *register file*
-//! (`Vec<Option<Term>>` indexed by the plan's register allocation) instead
-//! of a hash-map substitution, verifies candidate facts position by
-//! position without cloning them, and unwinds bindings through an explicit
-//! trail. A [`chase_core::Subst`] is materialized only at complete matches,
-//! where the callback needs one.
+//! The executor keeps variable bindings in a dense *register file* of
+//! interned term ids (`Vec<Option<TermId>>` indexed by the plan's register
+//! allocation) instead of a hash-map substitution, verifies candidate facts
+//! position by position straight out of the columnar store (raw `u32`
+//! compares, no atom materialized), and unwinds bindings through an
+//! explicit trail. [`chase_core::Term`]s are materialized — an O(1) id
+//! round-trip each
+//! — only when a complete match builds the [`chase_core::Subst`] the
+//! callback needs.
 //!
 //! Candidate buckets come from the access path the compiler chose:
 //! registered composite (multi-column) buckets for steps with ≥ 2 bound
-//! positions, else the smallest applicable `(pred, position, term)` bucket,
+//! positions, else the smallest applicable `(pred, position, id)` bucket,
 //! else the per-predicate bucket. Every access path over-approximates the
 //! matching facts and the per-position verification filters exactly, so the
 //! enumerated homomorphism set is independent of the plan — the equivalence
@@ -17,16 +20,16 @@
 
 use crate::plan::{Access, JoinProgram, PatTerm};
 use chase_core::homomorphism::Subst;
-use chase_core::{Instance, Term};
+use chase_core::{Instance, TermId};
 
 /// Mutable search state, separate from the instance so candidate buckets
 /// (which borrow the instance) stay valid across recursion.
 struct RunState {
-    regs: Vec<Option<Term>>,
+    regs: Vec<Option<TermId>>,
     /// Registers bound since entry, for backtracking.
     trail: Vec<u16>,
     /// Scratch buffer for composite keys (reused across nodes).
-    key: Vec<Term>,
+    key: Vec<TermId>,
     /// The substitution handed to the callback, reused across matches: at a
     /// complete match every register is bound, so overwriting the pattern
     /// variables' bindings in place is equivalent to rebuilding from the
@@ -57,7 +60,10 @@ pub fn for_each_match(
     };
     for (r, &v) in prog.vars.iter().enumerate() {
         if let Some(t) = seed.var(v) {
-            st.regs[r] = Some(t);
+            // A seed binding to a non-ground term (a variable bound to a
+            // variable) could never equal a stored fact term; `NEVER` keeps
+            // that semantics in id space.
+            st.regs[r] = Some(TermId::from_ground(t).unwrap_or(TermId::NEVER));
         }
     }
     step(prog, inst, &mut st, 0, cb)
@@ -81,10 +87,11 @@ fn step(
         // some matched atom), so overwriting `out`'s bindings in place
         // yields exactly `seed` extended by the current registers. The
         // substitution is only valid for the duration of the callback, like
-        // the unplanned searcher's.
+        // the unplanned searcher's. This is the one place ids become
+        // [`chase_core::Term`]s again.
         for (r, &v) in prog.vars.iter().enumerate() {
             let t = st.regs[r].expect("all registers bound at a complete match");
-            st.out.bind_var(v, t);
+            st.out.bind_var(v, t.term());
         }
         return cb(&st.out);
     };
@@ -106,7 +113,7 @@ fn step(
                 }
             }
             let bucket = if complete {
-                inst.composite_candidates(s.pred, s.mask, &st.key)
+                inst.composite_candidates_ids(s.pred, s.mask, &st.key)
             } else {
                 None
             };
@@ -116,17 +123,16 @@ fn step(
             }
         }
         Access::Positional => positional_bucket(inst, s, &st.regs),
-        Access::FullScan => inst.candidates(s.pred, &[]),
+        Access::FullScan => inst.pred_bucket(s.pred),
     };
     'cand: for &ci in cands {
-        let fact = inst.atom_at(ci);
-        let gterms = fact.terms();
-        if gterms.len() != s.terms.len() {
+        let fact = inst.fact(ci);
+        if fact.arity() != s.terms.len() {
             continue;
         }
         let mark = st.trail.len();
         for (i, &pt) in s.terms.iter().enumerate() {
-            let g = gterms[i];
+            let g = fact.term_id(i);
             let ok = match pt {
                 PatTerm::Ground(t) => t == g,
                 PatTerm::Var(r) => match st.regs[r as usize] {
@@ -158,12 +164,12 @@ fn step(
 fn positional_bucket<'a>(
     inst: &'a Instance,
     s: &crate::plan::PlanStep,
-    regs: &[Option<Term>],
+    regs: &[Option<TermId>],
 ) -> &'a [u32] {
     let mut best: Option<&'a [u32]> = None;
     for &(pos, pt) in &s.bound {
         let Some(t) = resolve(pt, regs) else { continue };
-        let bucket = inst.candidates(s.pred, &[(pos as usize, t)]);
+        let bucket = inst.pos_bucket(s.pred, pos as usize, t);
         if best.is_none_or(|b| bucket.len() < b.len()) {
             best = Some(bucket);
         }
@@ -171,10 +177,10 @@ fn positional_bucket<'a>(
             break;
         }
     }
-    best.unwrap_or_else(|| inst.candidates(s.pred, &[]))
+    best.unwrap_or_else(|| inst.pred_bucket(s.pred))
 }
 
-fn resolve(pt: PatTerm, regs: &[Option<Term>]) -> Option<Term> {
+fn resolve(pt: PatTerm, regs: &[Option<TermId>]) -> Option<TermId> {
     match pt {
         PatTerm::Ground(t) => Some(t),
         PatTerm::Var(r) => regs[r as usize],
@@ -194,7 +200,7 @@ mod tests {
     use crate::plan::{compile, NoStats};
     use chase_core::homomorphism::find_all_homs_seeded;
     use chase_core::parser::parse_atom_list;
-    use chase_core::{Atom, Sym};
+    use chase_core::{Atom, Sym, Term};
 
     fn inst(text: &str) -> Instance {
         Instance::parse(text).unwrap()

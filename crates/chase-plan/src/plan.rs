@@ -15,7 +15,7 @@
 //! order atoms are expanded in and the index buckets scanned. The executor
 //! ([`crate::exec`]) re-verifies every candidate fact position by position.
 
-use chase_core::{Atom, Instance, Sym, Term};
+use chase_core::{Atom, Instance, Sym, Term, TermId};
 use std::fmt;
 
 /// Statistics source for plan compilation.
@@ -57,8 +57,9 @@ impl Stats for NoStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PatTerm {
     /// A ground term (constant — or a rigid labeled null, which in pattern
-    /// mode only matches itself).
-    Ground(Term),
+    /// mode only matches itself), pre-interned at compile time so the
+    /// executor compares raw ids against the columnar store.
+    Ground(TermId),
     /// A variable, resolved to a register index.
     Var(u16),
 }
@@ -170,7 +171,9 @@ pub fn compile(pattern: &[Atom], seed_vars: &[Sym], stats: &dyn Stats) -> JoinPr
                 .iter()
                 .map(|&t| match t {
                     Term::Var(v) => PatTerm::Var(reg(v)),
-                    ground => PatTerm::Ground(ground),
+                    ground => PatTerm::Ground(
+                        TermId::from_ground(ground).expect("non-variable pattern term interns"),
+                    ),
                 })
                 .collect()
         })

@@ -10,7 +10,7 @@
 //! **not** guarantee termination of every chase sequence (Example 4), but a
 //! terminating sequence exists and can be constructed statically — chase the
 //! strongly connected components of `G(Σ)` in topological order
-//! ([`stratified_order`]), feeding [`chase_engine::Strategy::Phased`].
+//! ([`stratified_order`]), feeding `chase_engine::Strategy::Phased`.
 
 use crate::chasegraph::{c_chase_graph, chase_graph, ChaseGraph};
 use crate::depgraph::is_weakly_acyclic;

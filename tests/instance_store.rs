@@ -1,0 +1,180 @@
+//! Property tests for the interned columnar fact store behind
+//! [`chase_core::Instance`]:
+//!
+//! * [`chase_core::TermId`] interning round-trips every ground term, and id
+//!   order equals term order (the property that lets canonical selection
+//!   sort ids instead of terms without changing any chase trace);
+//! * columnar `atoms()` iteration returns exactly the deduplicated insert
+//!   stream, in insertion order — the invariant every engine's sharding and
+//!   trace reproducibility rest on;
+//! * registered composite buckets stay consistent with a brute-force scan
+//!   across EGD merges (the id-remap path) and post-merge inserts.
+//!
+//! The vendored proptest stand-in has no collection strategies, so fact
+//! streams are generated from a `u64` seed through a `StdRng`, like the
+//! `chase-corpus` random families.
+
+use chase_core::{Atom, FactId, Instance, Sym, Term, TermId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One ground term from a small pool of constants and nulls (small on
+/// purpose — collisions are where dedup, buckets, and merges do real work).
+fn ground(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.5) {
+        Term::constant(&format!("pc{}", rng.gen_range(0..12u32)))
+    } else {
+        Term::null(rng.gen_range(0..6u32))
+    }
+}
+
+/// A ground atom over a couple of predicates with arity 1–3.
+fn fact(rng: &mut StdRng) -> Atom {
+    let pred = ["P", "Q", "R"][rng.gen_range(0..3usize)];
+    let arity = rng.gen_range(1..=3usize);
+    Atom::new(pred, (0..arity).map(|_| ground(rng)).collect())
+}
+
+fn fact_stream(seed: u64, len: usize) -> Vec<Atom> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| fact(&mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interning_round_trips_every_ground_term(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let t = ground(&mut rng);
+            let id = TermId::from_ground(t).expect("ground terms intern");
+            prop_assert_eq!(id.term(), t);
+            prop_assert_eq!(id.is_null(), t.is_null());
+            prop_assert_eq!(id.as_null(), t.as_null());
+        }
+        // Variables are the one term kind without an id.
+        prop_assert_eq!(TermId::from_ground(Term::var("X")), None);
+    }
+
+    #[test]
+    fn term_id_order_is_term_order(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let (a, b) = (ground(&mut rng), ground(&mut rng));
+            let (ia, ib) = (
+                TermId::from_ground(a).unwrap(),
+                TermId::from_ground(b).unwrap(),
+            );
+            prop_assert_eq!(ia.cmp(&ib), a.cmp(&b));
+            prop_assert_eq!(ia == ib, a == b);
+        }
+    }
+
+    #[test]
+    fn atoms_iterate_in_insertion_order(seed in any::<u64>(), len in 0usize..40) {
+        let stream = fact_stream(seed, len);
+        let mut inst = Instance::new();
+        // Reference: first occurrence of each fact, in stream order.
+        let mut expected: Vec<Atom> = Vec::new();
+        for a in &stream {
+            let new = inst.insert(a.clone());
+            prop_assert_eq!(new, !expected.contains(a), "dedup disagrees on {}", a);
+            if new {
+                expected.push(a.clone());
+            }
+        }
+        prop_assert_eq!(inst.len(), expected.len());
+        prop_assert_eq!(inst.atoms(), expected.clone());
+        // atom_at / fact views agree with the materialized stream.
+        for (i, a) in expected.iter().enumerate() {
+            prop_assert_eq!(&inst.atom_at(i as FactId), a);
+            let v = inst.fact(i as FactId);
+            prop_assert_eq!(v.pred(), a.pred());
+            prop_assert_eq!(v.arity(), a.arity());
+            for (pos, &t) in a.terms().iter().enumerate() {
+                prop_assert_eq!(v.term(pos), t);
+                prop_assert_eq!(v.term_id(pos), TermId::from_ground(t).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn composite_buckets_survive_merges(
+        seed in any::<u64>(),
+        len in 1usize..30,
+        extra_len in 0usize..8,
+        merge_null in 0u32..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let merge_to = ground(&mut rng);
+        let stream = fact_stream(seed, len);
+        let extra = fact_stream(seed.wrapping_add(1), extra_len);
+        let mut inst = Instance::new();
+        for a in &stream {
+            inst.insert(a.clone());
+        }
+        for pred in ["P", "Q", "R"] {
+            inst.register_composite(Sym::new(pred), 0b011);
+            inst.register_composite(Sym::new(pred), 0b101);
+        }
+        inst.merge_terms(Term::null(merge_null), merge_to);
+        // Sticky registration: inserts after the merge keep indexing.
+        for a in &extra {
+            inst.insert(a.clone());
+        }
+        let atoms = inst.atoms();
+        for pred in ["P", "Q", "R"] {
+            let p = Sym::new(pred);
+            prop_assert_eq!(inst.registered_composites(p), vec![0b011, 0b101]);
+            for mask in [0b011u32, 0b101] {
+                // Every stored fact covered by the mask must be findable
+                // through its own key, in a bucket that exactly equals the
+                // brute-force scan.
+                for a in atoms.iter().filter(|a| a.pred() == p) {
+                    let positions: Vec<usize> =
+                        (0..32).filter(|i| mask & (1 << i) != 0).collect();
+                    if positions.iter().any(|&i| i >= a.arity()) {
+                        continue; // out-of-arity: legitimately unindexed
+                    }
+                    let key: Vec<Term> =
+                        positions.iter().map(|&i| a.terms()[i]).collect();
+                    let bucket = inst
+                        .composite_candidates(p, mask, &key)
+                        .expect("registered mask answers");
+                    let scanned: Vec<FactId> = atoms
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| {
+                            b.pred() == p
+                                && positions
+                                    .iter()
+                                    .enumerate()
+                                    .all(|(k, &i)| b.terms().get(i) == Some(&key[k]))
+                        })
+                        .map(|(i, _)| i as FactId)
+                        .collect();
+                    prop_assert_eq!(
+                        bucket.to_vec(),
+                        scanned,
+                        "composite bucket drifted for {} mask {:#b} key {:?}",
+                        pred,
+                        mask,
+                        &key
+                    );
+                }
+            }
+        }
+        // The merged null is gone from every fact (unless it was merged
+        // into itself, which merge_terms treats as a no-op) — except where
+        // the post-merge extras legitimately reintroduced it.
+        if merge_to != Term::null(merge_null)
+            && !extra
+                .iter()
+                .any(|a| a.terms().contains(&Term::null(merge_null)))
+        {
+            prop_assert!(!inst.domain().contains(&Term::null(merge_null)));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! S1 — session_updates: warm incremental re-chase through a
+//! `chase-serve` session against from-scratch re-chase, on seeded update
+//! streams.
+//!
+//! The serving model: after every update batch the caller needs the chased
+//! state (to answer queries). The **cold** path re-chases the union of all
+//! batches so far from scratch at every epoch — paying full trigger
+//! re-discovery on data it already chased. The **warm** path keeps one
+//! `ChaseSession` resident: each batch is inserted into the columnar store,
+//! the trigger pool is re-matched semi-naively from the batch delta, and
+//! the chase resumes with pool, dead-memo and join plans already warm.
+//! Both paths produce a universal model of the same accumulated facts
+//! after every epoch (pinned up to core isomorphism by
+//! `tests/session_equivalence.rs`); only the work differs.
+
+use chase_bench::{print_table, scaled, Row};
+use chase_core::{Atom, ConstraintSet, Instance};
+use chase_corpus::random::{
+    random_instance, random_travel_stream, update_stream, RandomInstanceConfig, RandomTravelConfig,
+    UpdateStreamConfig,
+};
+use chase_engine::{chase, ChaseConfig, StopReason};
+use chase_serve::{ChaseSession, SessionConfig};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    set: ConstraintSet,
+    stream: Vec<Vec<Atom>>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let travel_set = ConstraintSet::parse(
+        "fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2)\n\
+         rail(C1,C2,D) -> rail(C2,C1,D)",
+    )
+    .expect("travel set parses");
+    let travel_stream = random_travel_stream(
+        &RandomTravelConfig {
+            cities: scaled(80, 14),
+            flights: scaled(900, 60),
+            rails: scaled(500, 40),
+            seed: 11,
+        },
+        scaled(10, 4),
+    );
+
+    let tc_set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").expect("tc set parses");
+    let tc_edges = random_instance(
+        &tc_set,
+        &RandomInstanceConfig {
+            facts: scaled(90, 24),
+            domain: scaled(40, 10),
+            seed: 11,
+        },
+    );
+    let tc_stream = update_stream(
+        &tc_edges,
+        &UpdateStreamConfig {
+            batches: scaled(10, 4),
+            seed: 11,
+        },
+    );
+
+    let lav_set = ConstraintSet::parse(
+        "S(X) -> E(X,Y)\n\
+         E(X,Y), E(Y,Z) -> E(X,Z)",
+    )
+    .expect("lav set parses");
+    let mut lav_base = random_instance(
+        &lav_set,
+        &RandomInstanceConfig {
+            facts: scaled(60, 16),
+            domain: scaled(30, 8),
+            seed: 12,
+        },
+    );
+    for i in 0..scaled(20, 5) {
+        lav_base.insert(Atom::new(
+            "S",
+            vec![chase_core::Term::constant(&format!("c{i}"))],
+        ));
+    }
+    let lav_stream = update_stream(
+        &lav_base,
+        &UpdateStreamConfig {
+            batches: scaled(8, 4),
+            seed: 12,
+        },
+    );
+
+    vec![
+        Workload {
+            name: "travel",
+            set: travel_set,
+            stream: travel_stream,
+        },
+        Workload {
+            name: "tc_random",
+            set: tc_set,
+            stream: tc_stream,
+        },
+        Workload {
+            name: "lav_tc",
+            set: lav_set,
+            stream: lav_stream,
+        },
+    ]
+}
+
+/// Warm path: one resident session, every batch continued from its delta.
+fn run_warm(set: &ConstraintSet, stream: &[Vec<Atom>]) -> usize {
+    let cfg = SessionConfig {
+        use_sqo: false, // no queries here; measure pure re-chase
+        ..SessionConfig::default()
+    };
+    let mut session = ChaseSession::with_config(set.clone(), cfg);
+    let mut steps = 0;
+    for batch in stream {
+        let out = session.apply(batch.iter().cloned()).expect("batch applies");
+        assert_eq!(out.reason, StopReason::Satisfied, "workload must quiesce");
+        steps += out.steps;
+    }
+    steps
+}
+
+/// Cold path: re-chase the accumulated union from scratch at every epoch.
+fn run_cold(set: &ConstraintSet, stream: &[Vec<Atom>]) -> usize {
+    let cfg = ChaseConfig::default();
+    let mut union = Instance::new();
+    let mut last_steps = 0;
+    for batch in stream {
+        union.extend(batch.iter().cloned());
+        let res = chase(&union, set, &cfg);
+        assert_eq!(res.reason, StopReason::Satisfied, "workload must quiesce");
+        last_steps = res.steps;
+    }
+    last_steps
+}
+
+fn print_shape() {
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let epochs = w.stream.len();
+        let t0 = Instant::now();
+        let warm_steps = run_warm(&w.set, &w.stream);
+        let warm_time = t0.elapsed();
+        let t0 = Instant::now();
+        let cold_final_steps = run_cold(&w.set, &w.stream);
+        let cold_time = t0.elapsed();
+        // Warm steps can exceed the final from-scratch count (a warm
+        // session may derive a fact a later batch would have delivered as
+        // base data), but never by more than the stream's fact count.
+        rows.push(Row::new(
+            w.name.to_string(),
+            vec![
+                epochs.to_string(),
+                format!("{warm_steps}/{cold_final_steps}"),
+                format!("{:.2} ms", warm_time.as_secs_f64() * 1e3),
+                format!("{:.2} ms", cold_time.as_secs_f64() * 1e3),
+                format!(
+                    "{:.2}x",
+                    cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9)
+                ),
+            ],
+        ));
+    }
+    print_table(
+        "S1 — warm session re-chase vs from-scratch re-chase per epoch",
+        &[
+            "workload",
+            "epochs",
+            "steps warm/cold-final",
+            "warm total",
+            "cold total",
+            "cold/warm",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_updates");
+    g.sample_size(10);
+    for w in workloads() {
+        g.bench_with_input(BenchmarkId::new(w.name, "warm"), &w, |b, w| {
+            b.iter(|| run_warm(black_box(&w.set), &w.stream))
+        });
+        g.bench_with_input(BenchmarkId::new(w.name, "cold"), &w, |b, w| {
+            b.iter(|| run_cold(black_box(&w.set), &w.stream))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_shape();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

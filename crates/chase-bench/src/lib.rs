@@ -5,6 +5,24 @@
 //! experiment id of DESIGN.md §3); this library hosts the shared row/series
 //! printers so `cargo bench` output doubles as the data behind
 //! EXPERIMENTS.md.
+//!
+//! # Examples
+//!
+//! Bench targets size their workloads through [`scaled`] (full budget
+//! locally, reduced under CI's `CHASE_BENCH_QUICK=1`) and report shape
+//! results through the table printers:
+//!
+//! ```
+//! use chase_bench::{print_table, quick, scaled, Row};
+//!
+//! let facts = scaled(1_000, 50);
+//! assert_eq!(facts, if quick() { 50 } else { 1_000 });
+//! print_table(
+//!     "demo",
+//!     &["workload", "facts"],
+//!     &[Row::new("travel", vec![facts.to_string()])],
+//! );
+//! ```
 
 pub mod tables;
 

@@ -253,6 +253,57 @@ impl Instance {
         true
     }
 
+    /// Insert a batch of ground atoms atomically; returns the atoms that
+    /// were actually new (the batch *delta*), in insertion order.
+    ///
+    /// The whole batch is validated up front: if any atom contains a
+    /// variable, an error is returned and the instance is left untouched —
+    /// unlike a loop over [`Instance::try_insert`], which would stop
+    /// half-way. Duplicates (against the store *and* within the batch)
+    /// simply don't appear in the returned delta, so the result is exactly
+    /// the atom set a delta-driven trigger pool must be re-matched against
+    /// after ingesting the batch (see `chase_engine::EngineState`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chase_core::{Atom, Instance};
+    ///
+    /// let mut i = Instance::parse("E(a,b).").unwrap();
+    /// let delta = i
+    ///     .insert_batch(Instance::parse("E(a,b). E(b,c).").unwrap().atoms())
+    ///     .unwrap();
+    /// assert_eq!(delta.len(), 1); // E(a,b) was already present
+    /// assert_eq!(i.len(), 2);
+    /// ```
+    pub fn insert_batch(
+        &mut self,
+        atoms: impl IntoIterator<Item = Atom>,
+    ) -> Result<Vec<Atom>, CoreError> {
+        let batch: Vec<Atom> = atoms.into_iter().collect();
+        if let Some(bad) = batch.iter().find(|a| !a.is_ground()) {
+            return Err(CoreError::NonGroundAtom(bad.to_string()));
+        }
+        // Groundness is validated; insert through the id-level path and
+        // move (never clone) the atoms that turn out to be new into the
+        // delta — duplicates cost an intern + probe and nothing else.
+        let mut added = Vec::new();
+        let mut ids = std::mem::take(&mut self.scratch);
+        for a in batch {
+            ids.clear();
+            ids.extend(
+                a.terms()
+                    .iter()
+                    .map(|&t| TermId::from_ground(t).expect("batch validated ground")),
+            );
+            if self.insert_ids(a.pred(), &ids) {
+                added.push(a);
+            }
+        }
+        self.scratch = ids;
+        Ok(added)
+    }
+
     /// The fact with this exact content, if present (dedup probe).
     fn probe(&self, hash: u64, pred: Sym, ids: &[TermId]) -> Option<FactId> {
         let eq = |f: FactId| {
@@ -842,6 +893,30 @@ mod tests {
         assert!(i.insert(ca("E", &["a", "b"])));
         assert!(!i.insert(ca("E", &["a", "b"])));
         assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn insert_batch_is_atomic_and_returns_the_delta() {
+        let mut i = Instance::parse("E(a,b). S(a).").unwrap();
+        let delta = i
+            .insert_batch(vec![
+                ca("E", &["a", "b"]),
+                ca("E", &["b", "c"]),
+                ca("S", &["b"]),
+            ])
+            .unwrap();
+        assert_eq!(delta, vec![ca("E", &["b", "c"]), ca("S", &["b"])]);
+        assert_eq!(i.len(), 4);
+        // In-batch duplicates collapse into one delta entry.
+        let delta = i
+            .insert_batch(vec![ca("T", &["x"]), ca("T", &["x"])])
+            .unwrap();
+        assert_eq!(delta.len(), 1);
+        // A non-ground atom anywhere in the batch rejects the whole batch.
+        let before = i.len();
+        let res = i.insert_batch(vec![ca("T", &["y"]), Atom::new("T", vec![Term::var("X")])]);
+        assert!(res.is_err());
+        assert_eq!(i.len(), before, "failed batch must not partially apply");
     }
 
     #[test]

@@ -10,6 +10,29 @@
 //!
 //! The corpus is shared by the integration tests (which pin the paper's
 //! claims), the examples, and the benchmark harness.
+//!
+//! # Examples
+//!
+//! Named paper workloads and seeded generators compose with any engine:
+//!
+//! ```
+//! use chase_corpus::{paper, random};
+//!
+//! // Example 4's constraint set — stratified, yet divergent under the
+//! // wrong chase order.
+//! let sigma = paper::example4_sigma();
+//! assert_eq!(sigma.len(), 4);
+//!
+//! // Seeded generation is reproducible: same config, same workload.
+//! let cfg = random::RandomTravelConfig { cities: 10, flights: 30, rails: 15, seed: 7 };
+//! assert_eq!(random::random_travel_instance(&cfg), random::random_travel_instance(&cfg));
+//!
+//! // Update streams cut an instance into batches for `chase-serve`
+//! // sessions; their union is exactly the instance.
+//! let inst = random::random_travel_instance(&cfg);
+//! let stream = random::update_stream(&inst, &random::UpdateStreamConfig { batches: 4, seed: 7 });
+//! assert_eq!(stream.iter().map(Vec::len).sum::<usize>(), inst.len());
+//! ```
 
 pub mod families;
 pub mod paper;

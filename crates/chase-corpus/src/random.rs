@@ -207,6 +207,78 @@ pub fn random_travel_instance(cfg: &RandomTravelConfig) -> Instance {
     inst
 }
 
+/// Shape of a seeded update stream: a base-fact instance cut into an
+/// initial load plus a sequence of update batches — the workload shape the
+/// `chase-serve` session layer and the `session_updates` bench consume.
+#[derive(Debug, Clone)]
+pub struct UpdateStreamConfig {
+    /// Number of batches to cut the instance into (≥ 1; the first batch is
+    /// the initial load).
+    pub batches: usize,
+    /// RNG seed for the shuffle that decides which facts land in which
+    /// batch. Equal seeds give equal streams.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> UpdateStreamConfig {
+        UpdateStreamConfig {
+            batches: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// Cut `inst` into `cfg.batches` update batches: a seeded Fisher–Yates
+/// shuffle of the facts, split into near-equal chunks (earlier chunks get
+/// the remainder). Deterministic per seed; the union of the batches is
+/// exactly `inst`.
+///
+/// # Examples
+///
+/// ```
+/// use chase_core::Instance;
+/// use chase_corpus::random::{update_stream, UpdateStreamConfig};
+///
+/// let inst = Instance::parse("E(a,b). E(b,c). E(c,d). E(d,e). E(e,f).").unwrap();
+/// let cfg = UpdateStreamConfig { batches: 3, seed: 1 };
+/// let stream = update_stream(&inst, &cfg);
+/// assert_eq!(stream.len(), 3);
+/// assert_eq!(stream.iter().map(Vec::len).sum::<usize>(), inst.len());
+/// ```
+pub fn update_stream(inst: &Instance, cfg: &UpdateStreamConfig) -> Vec<Vec<Atom>> {
+    let mut atoms = inst.atoms();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Fisher–Yates (the vendored rand stand-in has no `shuffle`).
+    for i in (1..atoms.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        atoms.swap(i, j);
+    }
+    let batches = cfg.batches.max(1);
+    let base = atoms.len() / batches;
+    let rem = atoms.len() % batches;
+    let mut out = Vec::with_capacity(batches);
+    let mut it = atoms.into_iter();
+    for b in 0..batches {
+        let take = base + usize::from(b < rem);
+        out.push(it.by_ref().take(take).collect());
+    }
+    out
+}
+
+/// A seeded travel update stream: [`random_travel_instance`] facts cut into
+/// batches with [`update_stream`] (same seed drives both), matching the
+/// Figure 9 travel constraints.
+pub fn random_travel_stream(travel: &RandomTravelConfig, batches: usize) -> Vec<Vec<Atom>> {
+    update_stream(
+        &random_travel_instance(travel),
+        &UpdateStreamConfig {
+            batches,
+            seed: travel.seed,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +333,48 @@ mod tests {
         merged
             .merge(&schema)
             .expect("travel instance fits the fig9 schema");
+    }
+
+    #[test]
+    fn update_streams_partition_the_instance() {
+        let inst = random_travel_instance(&RandomTravelConfig {
+            cities: 12,
+            flights: 50,
+            rails: 30,
+            seed: 9,
+        });
+        let cfg = UpdateStreamConfig {
+            batches: 5,
+            seed: 9,
+        };
+        let a = update_stream(&inst, &cfg);
+        let b = update_stream(&inst, &cfg);
+        assert_eq!(a, b, "streams are deterministic per seed");
+        assert_eq!(a.len(), 5);
+        // The union of the batches is exactly the instance, duplicate-free.
+        let mut union = Instance::new();
+        for batch in &a {
+            for atom in batch {
+                assert!(union.insert(atom.clone()), "batches never overlap");
+            }
+        }
+        assert_eq!(&union, &inst);
+        // Chunks are near-equal: sizes differ by at most one.
+        let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced batches: {sizes:?}");
+        // More batches than facts: trailing batches come out empty rather
+        // than panicking.
+        let tiny = Instance::parse("E(a,b).").unwrap();
+        let wide = update_stream(
+            &tiny,
+            &UpdateStreamConfig {
+                batches: 4,
+                seed: 0,
+            },
+        );
+        assert_eq!(wide.len(), 4);
+        assert_eq!(wide.iter().map(Vec::len).sum::<usize>(), 1);
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! * [`chase_parallel`] — the delta engine scheduled over a stratification
 //!   phase order, with per-step matching sharded across scoped worker
 //!   threads ([`parallel`]).
+//!
+//! The delta engine's run state (trigger pool, dead-trigger memo, plan
+//! cache, monitor, counters) is reified as a resumable [`EngineState`]:
+//! one-shot entry points build and tear one down per call, while
+//! [`EngineState::insert_batch`] + [`chase_resume`] keep it warm across
+//! base-fact update batches — the primitive behind the `chase-serve`
+//! session layer.
 
 pub mod bfs;
 pub mod core_of;
@@ -34,8 +41,8 @@ pub use core_of::{core_chase, core_of, is_core, CoreChaseResult};
 pub use monitor::MonitorGraph;
 pub use parallel::{chase_parallel, ParallelConfig};
 pub use runner::{
-    chase, chase_default, chase_naive, ChaseConfig, ChaseMode, ChaseResult, StepRecord, StopReason,
-    Strategy,
+    chase, chase_default, chase_naive, chase_resume, ChaseConfig, ChaseMode, ChaseResult,
+    EngineState, ResumeOutcome, StepRecord, StopReason, Strategy,
 };
 pub use step::{apply_step, StepEffect};
 pub use trigger::{

@@ -107,7 +107,7 @@ pub enum Strategy {
 }
 
 /// Chase configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaseConfig {
     /// Standard or oblivious stepping.
     pub mode: ChaseMode,
@@ -257,7 +257,7 @@ type TriggerKey = Vec<(Sym, Term)>;
 /// compare by interned symbol id, then term) that both engines use for
 /// selection, and `pop_first` hands the fired trigger out by value — no
 /// `Subst` clone on the hot path.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct TriggerPool {
     pools: Vec<BTreeMap<TriggerKey, Subst>>,
     total: usize,
@@ -316,14 +316,35 @@ impl TriggerPool {
     }
 }
 
-/// Internal mutable state of a run.
-struct Run<'a> {
-    set: &'a ConstraintSet,
-    cfg: &'a ChaseConfig,
+/// The resumable core of a chase run: the instance together with every
+/// incrementally maintained matching structure — the trigger pool, the
+/// dead/fired memos, the compiled [`Matcher`] plan cache, the monitor
+/// graph, and the cumulative step/null counters.
+///
+/// A one-shot [`chase`] builds an `EngineState`, drives it to a stop, and
+/// tears it apart into a [`ChaseResult`]. The serving layer
+/// (`chase-serve`) instead keeps one alive across update batches: after
+/// [`EngineState::insert_batch`] the pool has already been re-matched
+/// semi-naively from the batch delta, so [`chase_resume`] continues the
+/// chase warm instead of rebuilding pool, memos, and plans from scratch.
+///
+/// Warm continuation is sound because everything memoized is monotone
+/// between merges: added atoms (chase steps *or* base-fact batches) never
+/// un-satisfy a TGD trigger and never change an EGD trigger's bindings, so
+/// the dead-set stays valid, and EGD merges already rebuild pool and memo
+/// conservatively. Trigger selection stays canonical, so a resumed chase
+/// is some legal chase sequence of the accumulated base facts.
+///
+/// The state is only meaningful for the `(set, cfg)` pair it was built
+/// with; methods taking them again expect the *same* values (the session
+/// layer owns all three together). `Clone` is the snapshot/fork
+/// primitive: the columnar instance, the pool's ordered maps, and the plan
+/// cache all clone without re-deriving anything.
+#[derive(Clone)]
+pub struct EngineState {
     inst: Instance,
     steps: usize,
     fresh_nulls: usize,
-    trace: Vec<StepRecord>,
     monitor: Option<MonitorGraph>,
     /// Oblivious mode: triggers that already fired, keyed per constraint so
     /// membership probes borrow the key instead of cloning it.
@@ -340,45 +361,31 @@ struct Run<'a> {
     body_preds: Vec<FxHashSet<Sym>>,
     /// Per-constraint TGD head predicates, for revalidation dispatch.
     head_preds: Vec<FxHashSet<Sym>>,
-    /// Naive reference mode: skip all pool maintenance and re-enumerate
-    /// triggers from scratch at every step (the seed engine's behaviour).
-    naive: bool,
     /// The matching engine every trigger query goes through: compiled
     /// `chase-plan` join programs (planner on) or the classic searcher
     /// (planner off). Refreshed when the instance's statistics epoch moves
     /// and invalidated on merges; shared read-only with matcher shards.
     matcher: Matcher,
-    /// Worker pool of the parallel executor ([`crate::chase_parallel`]).
-    /// `None` runs every matching path inline on the calling thread.
-    exec: Option<&'a WorkerPool<'a>>,
-    /// Minimum work items per dispatch before matching work is sharded
-    /// across `exec`'s workers.
-    fanout: usize,
-    rng: Option<StdRng>,
-    stop: Option<StopReason>,
+    /// Did the pool's initial full enumeration run yet? (Delta engines
+    /// only; the naive reference never builds the pool.)
+    pool_built: bool,
+    /// A terminal stop ([`StopReason::Failed`] or
+    /// [`StopReason::MonitorAbort`]) observed by some run over this state.
+    /// Budget stops are *not* terminal — a later resume gets a fresh
+    /// budget — but a failed or aborted state cannot be chased further.
+    poisoned: Option<StopReason>,
 }
 
-/// A trigger discovered by (possibly sharded) delta re-matching:
-/// `(constraint, key, assignment, fireable-now)`.
-type FoundTrigger = (usize, TriggerKey, Subst, bool);
-
-impl<'a> Run<'a> {
-    fn new(
-        instance: &Instance,
-        set: &'a ConstraintSet,
-        cfg: &'a ChaseConfig,
-        naive: bool,
-        exec: Option<&'a WorkerPool<'a>>,
-        fanout: usize,
-    ) -> Run<'a> {
+impl EngineState {
+    /// Build fresh state for chasing `instance` under `set`/`cfg`: clones
+    /// the instance, compiles the matcher (planner permitting), and sets up
+    /// the dispatch tables. The trigger pool itself is populated lazily by
+    /// the first run (or resume) over the state.
+    pub fn new(instance: &Instance, set: &ConstraintSet, cfg: &ChaseConfig) -> EngineState {
         let monitor = if cfg.monitor_depth.is_some() || cfg.keep_monitor {
             Some(MonitorGraph::new())
         } else {
             None
-        };
-        let rng = match cfg.strategy {
-            Strategy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
-            _ => None,
         };
         let collect_preds =
             |atoms: &[Atom]| -> FxHashSet<Sym> { atoms.iter().map(|a| a.pred()).collect() };
@@ -399,28 +406,177 @@ impl<'a> Run<'a> {
         } else {
             Matcher::unplanned()
         };
-        let mut run = Run {
-            set,
-            cfg,
+        EngineState {
             inst,
             steps: 0,
             fresh_nulls: 0,
-            trace: Vec::new(),
             monitor,
             fired: vec![FxHashSet::default(); set.len()],
             dead: vec![FxHashSet::default(); set.len()],
             pool: TriggerPool::new(set.len()),
             body_preds,
             head_preds,
-            naive,
             matcher,
+            pool_built: false,
+            poisoned: None,
+        }
+    }
+
+    /// The current instance (chased as far as the runs so far got).
+    pub fn instance(&self) -> &Instance {
+        &self.inst
+    }
+
+    /// Consume the state, keeping only the instance.
+    pub fn into_instance(self) -> Instance {
+        self.inst
+    }
+
+    /// Chase steps applied across every run over this state.
+    pub fn total_steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Fresh nulls invented across every run over this state.
+    pub fn total_fresh_nulls(&self) -> usize {
+        self.fresh_nulls
+    }
+
+    /// The matcher (plan cache) the state threads through every run — for
+    /// plan-cache-reuse introspection (`Matcher::recompile_count`).
+    pub fn matcher(&self) -> &Matcher {
+        &self.matcher
+    }
+
+    /// The monitor graph, when the configuration maintains one.
+    pub fn monitor(&self) -> Option<&MonitorGraph> {
+        self.monitor.as_ref()
+    }
+
+    /// The terminal stop that poisoned this state, if any: an EGD
+    /// [`StopReason::Failed`] or a [`StopReason::MonitorAbort`]. Poisoned
+    /// states refuse further chasing ([`chase_resume`] returns the reason
+    /// immediately); budget stops do not poison.
+    pub fn poisoned(&self) -> Option<&StopReason> {
+        self.poisoned.as_ref()
+    }
+
+    /// Is the state fully chased — the pool built, empty, and the state not
+    /// poisoned? A quiescent standard-mode state satisfies its constraint
+    /// set; resuming it is a no-op.
+    pub fn quiescent(&self) -> bool {
+        self.pool_built && self.pool.total == 0 && self.poisoned.is_none()
+    }
+
+    /// Ingest a batch of ground base facts and update the trigger pool
+    /// incrementally: the batch is inserted atomically
+    /// ([`Instance::insert_batch`]), plans are refreshed if the batch moved
+    /// the statistics epoch, pooled triggers whose heads the new atoms may
+    /// have satisfied are revalidated, and affected constraints are
+    /// re-matched semi-naively from the batch delta — exactly the
+    /// maintenance a TGD chase step performs for its own added atoms.
+    ///
+    /// Returns the actually-new atoms (duplicates contribute no work: the
+    /// pool, plans, and statistics are untouched by an all-duplicate
+    /// batch). Does **not** chase; call [`chase_resume`] afterwards.
+    ///
+    /// # Errors
+    /// A non-ground atom anywhere in the batch rejects the whole batch and
+    /// leaves the state untouched.
+    ///
+    /// # Panics
+    /// Panics on a poisoned state (see [`EngineState::poisoned`]): its pool
+    /// is inconsistent and the accepted facts could never be chased, so
+    /// silently ingesting them would corrupt the session's contract. Check
+    /// `poisoned()` first (the `chase-serve` layer does, turning it into
+    /// an error).
+    pub fn insert_batch(
+        &mut self,
+        set: &ConstraintSet,
+        cfg: &ChaseConfig,
+        batch: impl IntoIterator<Item = Atom>,
+    ) -> Result<Vec<Atom>, chase_core::CoreError> {
+        assert!(
+            self.poisoned.is_none(),
+            "insert_batch on a poisoned EngineState ({:?})",
+            self.poisoned
+        );
+        let added = self.inst.insert_batch(batch)?;
+        if !added.is_empty() {
+            // Same maintenance order as a TGD step in `Run::fire`: refresh
+            // plans first (the batch may have crossed a stats epoch — and
+            // before the *first* run, the plans still carry the seed
+            // instance's statistics), then revalidate + re-match from the
+            // delta. Before the initial pool build the delta work is moot:
+            // the first run's full enumeration will see the batch.
+            self.matcher.refresh(set, &mut self.inst);
+            if self.pool_built {
+                Run::new(set, cfg, self, false, None, 0).apply_delta(&added);
+            }
+        }
+        Ok(added)
+    }
+}
+
+/// Internal per-run view: borrows a (possibly resumed) [`EngineState`] and
+/// drives it under one `(set, cfg, strategy)` until a stop. Budgets are
+/// per run — a resumed state's accumulated totals don't eat into a new
+/// run's budget — and the trace is per run too.
+struct Run<'a> {
+    set: &'a ConstraintSet,
+    cfg: &'a ChaseConfig,
+    st: &'a mut EngineState,
+    /// Naive reference mode: skip all pool maintenance and re-enumerate
+    /// triggers from scratch at every step (the seed engine's behaviour).
+    naive: bool,
+    /// Worker pool of the parallel executor ([`crate::chase_parallel`]).
+    /// `None` runs every matching path inline on the calling thread.
+    exec: Option<&'a WorkerPool<'a>>,
+    /// Minimum work items per dispatch before matching work is sharded
+    /// across `exec`'s workers.
+    fanout: usize,
+    rng: Option<StdRng>,
+    stop: Option<StopReason>,
+    trace: Vec<StepRecord>,
+    /// Step/null counters at run start — the budget baselines.
+    steps0: usize,
+    nulls0: usize,
+}
+
+/// A trigger discovered by (possibly sharded) delta re-matching:
+/// `(constraint, key, assignment, fireable-now)`.
+type FoundTrigger = (usize, TriggerKey, Subst, bool);
+
+impl<'a> Run<'a> {
+    fn new(
+        set: &'a ConstraintSet,
+        cfg: &'a ChaseConfig,
+        st: &'a mut EngineState,
+        naive: bool,
+        exec: Option<&'a WorkerPool<'a>>,
+        fanout: usize,
+    ) -> Run<'a> {
+        let rng = match cfg.strategy {
+            Strategy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        let (steps0, nulls0) = (st.steps, st.fresh_nulls);
+        let mut run = Run {
+            set,
+            cfg,
+            st,
+            naive,
             exec,
             fanout,
             rng,
             stop: None,
+            trace: Vec::new(),
+            steps0,
+            nulls0,
         };
-        if !run.naive {
+        if !run.naive && !run.st.pool_built {
             run.rebuild_pool();
+            run.st.pool_built = true;
         }
         run
     }
@@ -428,8 +584,8 @@ impl<'a> Run<'a> {
     /// Is `(ci, µ)` fireable right now, honoring the chase mode?
     fn fires(&self, ci: usize, c: &Constraint, mu: &Subst, key: &TriggerKey) -> bool {
         match self.cfg.mode {
-            ChaseMode::Standard => self.matcher.is_active(ci, c, &self.inst, mu),
-            ChaseMode::Oblivious => !self.fired[ci].contains(key),
+            ChaseMode::Standard => self.st.matcher.is_active(ci, c, &self.st.inst, mu),
+            ChaseMode::Oblivious => !self.st.fired[ci].contains(key),
         }
     }
 
@@ -443,12 +599,12 @@ impl<'a> Run<'a> {
     /// of delta-seeded searches over the shards covers every trigger
     /// exactly (duplicates collapse in the content-addressed pool).
     fn rebuild_pool(&mut self) {
-        self.pool.clear();
-        for d in &mut self.dead {
+        self.st.pool.clear();
+        for d in &mut self.st.dead {
             d.clear();
         }
         if let Some(exec) = self.exec {
-            if self.inst.len() >= self.fanout.max(1) {
+            if self.st.inst.len() >= self.fanout.max(1) {
                 let this = &*self;
                 let affected: Vec<usize> = (0..this.set.len())
                     .filter(|&ci| !this.set[ci].body().is_empty())
@@ -456,7 +612,7 @@ impl<'a> Run<'a> {
                 // Materialize the instance once for sharding — rebuilds are
                 // rare (init and EGD merges), and the shard functions want
                 // `&[Atom]` delta slices.
-                let all_atoms = this.inst.atoms();
+                let all_atoms = this.st.inst.atoms();
                 let found: Vec<FoundTrigger> = exec
                     .map_shards(&all_atoms, |shard| {
                         this.collect_delta_matches(&affected, shard)
@@ -465,8 +621,8 @@ impl<'a> Run<'a> {
                     .flatten()
                     .collect();
                 for (ci, key, mu, fires) in found {
-                    if fires && !self.pool.contains(ci, &key) {
-                        self.pool.insert(ci, key, mu);
+                    if fires && !self.st.pool.contains(ci, &key) {
+                        self.st.pool.insert(ci, key, mu);
                     }
                 }
                 // Empty-body constraints have no atom to seed from; finish
@@ -484,15 +640,14 @@ impl<'a> Run<'a> {
     fn enumerate_pool(&mut self, empty_bodies_only: bool) {
         // Split borrows: the matcher holds `inst` while the callback fills
         // `pool`.
-        let Run {
-            set,
-            cfg,
+        let Run { set, cfg, st, .. } = self;
+        let EngineState {
             inst,
             fired,
             pool,
             matcher,
             ..
-        } = self;
+        } = &mut **st;
         let matcher = &*matcher;
         for (ci, c) in set.enumerate() {
             if empty_bodies_only && !c.body().is_empty() {
@@ -524,12 +679,13 @@ impl<'a> Run<'a> {
             // use and distinct homomorphisms that normalize to the same
             // trigger.
             let mut found: FxHashMap<TriggerKey, Subst> = FxHashMap::default();
-            let pool = &self.pool;
-            let dead = &self.dead;
-            let fired = &self.fired;
+            let pool = &self.st.pool;
+            let dead = &self.st.dead;
+            let fired = &self.st.fired;
             let mode = self.cfg.mode;
-            self.matcher
-                .for_each_delta_match(ci, c, &self.inst, delta, &mut |mu| {
+            self.st
+                .matcher
+                .for_each_delta_match(ci, c, &self.st.inst, delta, &mut |mu| {
                     let key = normalize(c, mu);
                     let known = pool.contains(ci, &key)
                         || match mode {
@@ -544,7 +700,7 @@ impl<'a> Run<'a> {
                 });
             for (key, mu) in found {
                 let fires = match mode {
-                    ChaseMode::Standard => self.matcher.is_active(ci, c, &self.inst, &mu),
+                    ChaseMode::Standard => self.st.matcher.is_active(ci, c, &self.st.inst, &mu),
                     ChaseMode::Oblivious => true,
                 };
                 out.push((ci, key, mu, fires));
@@ -569,7 +725,7 @@ impl<'a> Run<'a> {
         // cannot influence the outcome.
         if self.cfg.mode == ChaseMode::Standard {
             for ci in 0..self.set.len() {
-                if self.head_preds[ci].is_disjoint(&delta_preds) {
+                if self.st.head_preds[ci].is_disjoint(&delta_preds) {
                     continue;
                 }
                 let Constraint::Tgd(t) = &self.set[ci] else {
@@ -579,16 +735,16 @@ impl<'a> Run<'a> {
                 // Per-slot head rests feed only the unplanned revalidation
                 // path; the planned matcher has its own compiled head-rest
                 // programs, so skip the atom clones when the planner is on.
-                let rests = if self.matcher.is_planned() {
+                let rests = if self.st.matcher.is_planned() {
                     Vec::new()
                 } else {
                     head_rests(head)
                 };
                 // The position-index snapshot the revalidation workers query
                 // concurrently; `Copy`, so the closure captures it by value.
-                let inst = self.inst.view();
-                let entries: Vec<(&TriggerKey, &Subst)> = self.pool.pools[ci].iter().collect();
-                let matcher = &self.matcher;
+                let inst = self.st.inst.view();
+                let entries: Vec<(&TriggerKey, &Subst)> = self.st.pool.pools[ci].iter().collect();
+                let matcher = &self.st.matcher;
                 let dies = |mu: &Subst| {
                     matcher.head_newly_satisfied(ci, head, &rests, inst.instance(), added, mu)
                 };
@@ -612,8 +768,8 @@ impl<'a> Run<'a> {
                 };
                 drop(entries);
                 for key in now_dead {
-                    self.pool.remove(ci, &key);
-                    self.dead[ci].insert(key);
+                    self.st.pool.remove(ci, &key);
+                    self.st.dead[ci].insert(key);
                 }
             }
         }
@@ -623,7 +779,7 @@ impl<'a> Run<'a> {
         // shared position index; the merge below is keyed by normalized
         // assignment, so cross-shard duplicates collapse deterministically.
         let affected: Vec<usize> = (0..self.set.len())
-            .filter(|&ci| !self.body_preds[ci].is_disjoint(&delta_preds))
+            .filter(|&ci| !self.st.body_preds[ci].is_disjoint(&delta_preds))
             .collect();
         if affected.is_empty() {
             return;
@@ -640,9 +796,9 @@ impl<'a> Run<'a> {
             _ => self.collect_delta_matches(&affected, added),
         };
         for (ci, key, mu, fires) in found {
-            let duplicate = self.pool.contains(ci, &key)
+            let duplicate = self.st.pool.contains(ci, &key)
                 || match self.cfg.mode {
-                    ChaseMode::Standard => self.dead[ci].contains(&key),
+                    ChaseMode::Standard => self.st.dead[ci].contains(&key),
                     ChaseMode::Oblivious => false,
                 };
             if duplicate {
@@ -651,13 +807,13 @@ impl<'a> Run<'a> {
             match self.cfg.mode {
                 ChaseMode::Standard => {
                     if fires {
-                        self.pool.insert(ci, key, mu);
+                        self.st.pool.insert(ci, key, mu);
                     } else {
-                        self.dead[ci].insert(key);
+                        self.st.dead[ci].insert(key);
                     }
                 }
                 ChaseMode::Oblivious => {
-                    self.pool.insert(ci, key, mu);
+                    self.st.pool.insert(ci, key, mu);
                 }
             }
         }
@@ -669,8 +825,9 @@ impl<'a> Run<'a> {
     fn naive_next_trigger(&self, ci: usize) -> Option<(TriggerKey, Subst)> {
         let c = &self.set[ci];
         let mut best: Option<(TriggerKey, Subst)> = None;
-        self.matcher
-            .for_each_body_hom(ci, c, &self.inst, &mut |mu| {
+        self.st
+            .matcher
+            .for_each_body_hom(ci, c, &self.st.inst, &mut |mu| {
                 let key = normalize(c, mu);
                 if best.as_ref().is_none_or(|(bk, _)| key < *bk) && self.fires(ci, c, mu, &key) {
                     best = Some((key, mu.clone()));
@@ -686,8 +843,9 @@ impl<'a> Run<'a> {
         let mut out: Vec<(usize, TriggerKey, Subst)> = Vec::new();
         for (ci, c) in self.set.enumerate() {
             let mut per: BTreeMap<TriggerKey, Subst> = BTreeMap::new();
-            self.matcher
-                .for_each_body_hom(ci, c, &self.inst, &mut |mu| {
+            self.st
+                .matcher
+                .for_each_body_hom(ci, c, &self.st.inst, &mut |mu| {
                     let key = normalize(c, mu);
                     if !per.contains_key(&key) && self.fires(ci, c, mu, &key) {
                         per.insert(key, mu.clone());
@@ -705,7 +863,7 @@ impl<'a> Run<'a> {
         if self.naive {
             self.naive_next_trigger(ci)
         } else {
-            self.pool.pop_first(ci)
+            self.st.pool.pop_first(ci)
         }
     }
 
@@ -713,11 +871,11 @@ impl<'a> Run<'a> {
     fn fire(&mut self, ci: usize, key: TriggerKey, mu: Subst) -> bool {
         let c = &self.set[ci];
         if self.cfg.mode == ChaseMode::Oblivious {
-            self.fired[ci].insert(key.clone());
+            self.st.fired[ci].insert(key.clone());
         }
         let ground_body: Vec<Atom> = mu.apply_atoms(c.body());
-        let effect = apply_step(&mut self.inst, c, &mu);
-        self.steps += 1;
+        let effect = apply_step(&mut self.st.inst, c, &mu);
+        self.st.steps += 1;
         let (added, fresh, merged) = match effect {
             StepEffect::Tgd {
                 added, fresh_nulls, ..
@@ -725,12 +883,13 @@ impl<'a> Run<'a> {
                 // Plans are refreshed (statistics epoch permitting) before
                 // the delta re-match, so growth-driven recompiles kick in as
                 // soon as the data doubles.
-                self.matcher.refresh(self.set, &mut self.inst);
+                let EngineState { matcher, inst, .. } = &mut *self.st;
+                matcher.refresh(self.set, inst);
                 if !self.naive {
                     if self.cfg.mode == ChaseMode::Standard {
                         // The fired trigger is satisfied by its own head
                         // instantiation from now on.
-                        self.dead[ci].insert(key.clone());
+                        self.st.dead[ci].insert(key.clone());
                     }
                     self.apply_delta(&added);
                 }
@@ -741,7 +900,8 @@ impl<'a> Run<'a> {
                 // distinct counts changed under the plans. Refresh sees the
                 // bumped merge epoch and recompiles before the pool rebuild
                 // re-matches everything.
-                self.matcher.refresh(self.set, &mut self.inst);
+                let EngineState { matcher, inst, .. } = &mut *self.st;
+                matcher.refresh(self.set, inst);
                 if !self.naive {
                     self.rebuild_pool();
                 }
@@ -753,8 +913,8 @@ impl<'a> Run<'a> {
             }
             StepEffect::NoOp => (Vec::new(), Vec::new(), None),
         };
-        self.fresh_nulls += fresh.len();
-        if let Some(monitor) = &mut self.monitor {
+        self.st.fresh_nulls += fresh.len();
+        if let Some(monitor) = &mut self.st.monitor {
             if !fresh.is_empty() {
                 monitor.record_tgd_step(ci, &ground_body, &fresh, &added);
             }
@@ -778,13 +938,13 @@ impl<'a> Run<'a> {
             return false;
         }
         if let Some(limit) = self.cfg.max_steps {
-            if self.steps >= limit && !self.satisfied() {
+            if self.st.steps - self.steps0 >= limit && !self.satisfied() {
                 self.stop = Some(StopReason::StepLimit(limit));
                 return false;
             }
         }
         if let Some(limit) = self.cfg.max_nulls {
-            if self.fresh_nulls >= limit && !self.satisfied() {
+            if self.st.fresh_nulls - self.nulls0 >= limit && !self.satisfied() {
                 self.stop = Some(StopReason::NullLimit(limit));
                 return false;
             }
@@ -796,10 +956,10 @@ impl<'a> Run<'a> {
         if !self.naive {
             // The pool holds exactly the fireable triggers; empty ⇔ done
             // (standard: `I ⊨ Σ`; oblivious: no unfired body match remains).
-            return self.pool.total == 0;
+            return self.st.pool.total == 0;
         }
         match self.cfg.mode {
-            ChaseMode::Standard => self.set.satisfied_by(&self.inst),
+            ChaseMode::Standard => self.set.satisfied_by(&self.st.inst),
             // The oblivious chase is done when no unfired trigger remains.
             ChaseMode::Oblivious => {
                 (0..self.set.len()).all(|ci| self.naive_next_trigger(ci).is_none())
@@ -845,15 +1005,15 @@ impl<'a> Run<'a> {
                     .gen_range(0..triggers.len());
                 triggers.swap_remove(pick)
             } else {
-                if self.pool.total == 0 {
+                if self.st.pool.total == 0 {
                     return;
                 }
                 let pick = self
                     .rng
                     .as_mut()
                     .expect("random strategy has an RNG")
-                    .gen_range(0..self.pool.total);
-                let (ci, key, mu) = self.pool.take_nth(pick).expect("pick in range");
+                    .gen_range(0..self.st.pool.total);
+                let (ci, key, mu) = self.st.pool.take_nth(pick).expect("pick in range");
                 (ci, key, mu)
             };
             if !self.fire(ci, key, mu) {
@@ -862,28 +1022,33 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn finish(mut self) -> ChaseResult {
+    fn finish(mut self) -> ResumeOutcome {
         let reason = match self.stop.take() {
             Some(r) => r,
             None => {
                 debug_assert!(
-                    self.cfg.mode == ChaseMode::Oblivious || self.set.satisfied_by(&self.inst),
+                    self.cfg.mode == ChaseMode::Oblivious || self.set.satisfied_by(&self.st.inst),
                     "chase stopped without exhausting triggers"
                 );
                 StopReason::Satisfied
             }
         };
-        ChaseResult {
-            instance: self.inst,
+        if matches!(reason, StopReason::Failed | StopReason::MonitorAbort { .. }) {
+            // Terminal stops poison the state: an EGD failure leaves the
+            // fired trigger consumed but its effect unapplied, and a
+            // monitor abort would re-trip immediately — neither state can
+            // be chased further.
+            self.st.poisoned = Some(reason.clone());
+        }
+        ResumeOutcome {
             reason,
-            steps: self.steps,
-            fresh_nulls: self.fresh_nulls,
+            steps: self.st.steps - self.steps0,
+            fresh_nulls: self.st.fresh_nulls - self.nulls0,
             trace: self.trace,
-            monitor: self.monitor,
         }
     }
 
-    fn run(mut self) -> ChaseResult {
+    fn run(mut self) -> ResumeOutcome {
         // `cfg` outlives `&mut self`, so the strategy's vectors can be
         // borrowed across the run without cloning.
         let cfg = self.cfg;
@@ -936,7 +1101,92 @@ impl<'a> Run<'a> {
 /// assert_eq!(res.reason, StopReason::MonitorAbort { depth: 3 });
 /// ```
 pub fn chase(instance: &Instance, set: &ConstraintSet, cfg: &ChaseConfig) -> ChaseResult {
-    Run::new(instance, set, cfg, false, None, 0).run()
+    run_to_result(instance, set, cfg, false, None, 0)
+}
+
+/// One-shot driver shared by [`chase`], [`chase_naive`] and
+/// [`run_with_exec`]: build fresh state, run it to a stop, tear it apart
+/// into a [`ChaseResult`].
+fn run_to_result(
+    instance: &Instance,
+    set: &ConstraintSet,
+    cfg: &ChaseConfig,
+    naive: bool,
+    exec: Option<&WorkerPool<'_>>,
+    fanout: usize,
+) -> ChaseResult {
+    let mut st = EngineState::new(instance, set, cfg);
+    let out = Run::new(set, cfg, &mut st, naive, exec, fanout).run();
+    ChaseResult {
+        instance: st.inst,
+        reason: out.reason,
+        steps: out.steps,
+        fresh_nulls: out.fresh_nulls,
+        trace: out.trace,
+        monitor: st.monitor,
+    }
+}
+
+/// The outcome of one [`chase_resume`] call over an [`EngineState`]:
+/// everything a [`ChaseResult`] reports except the instance and the
+/// monitor graph, which stay inside the state for the next resume.
+///
+/// `steps` and `fresh_nulls` count **this resume only**; the state's
+/// [`EngineState::total_steps`] / [`EngineState::total_fresh_nulls`] hold
+/// the running totals.
+#[derive(Debug, Clone)]
+pub struct ResumeOutcome {
+    /// Why this resume stopped.
+    pub reason: StopReason,
+    /// Chase steps applied by this resume.
+    pub steps: usize,
+    /// Fresh nulls invented by this resume.
+    pub fresh_nulls: usize,
+    /// Per-step trace of this resume (only when `keep_trace`).
+    pub trace: Vec<StepRecord>,
+}
+
+/// Continue the delta-driven chase on a (possibly warm) [`EngineState`]
+/// until the pool drains, a budget trips, or a terminal stop occurs.
+///
+/// `set` and `cfg` must be the values the state was built with. Budgets
+/// (`max_steps`, `max_nulls`) apply per resume, not cumulatively. A
+/// poisoned state ([`EngineState::poisoned`]) is returned unchanged, with
+/// the poisoning reason and zero steps.
+///
+/// # Examples
+///
+/// ```
+/// use chase_core::{ConstraintSet, Instance};
+/// use chase_engine::{chase_resume, ChaseConfig, EngineState, StopReason};
+///
+/// let sigma = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+/// let cfg = ChaseConfig::default();
+/// let inst = Instance::parse("E(a,b).").unwrap();
+/// let mut state = EngineState::new(&inst, &sigma, &cfg);
+/// assert_eq!(chase_resume(&mut state, &sigma, &cfg).reason, StopReason::Satisfied);
+///
+/// // Warm update: ingest a batch, continue from the batch delta.
+/// let batch = Instance::parse("E(b,c).").unwrap().atoms();
+/// state.insert_batch(&sigma, &cfg, batch).unwrap();
+/// let out = chase_resume(&mut state, &sigma, &cfg);
+/// assert_eq!(out.steps, 1); // only the new join E(a,b)∘E(b,c) fires
+/// assert_eq!(state.instance().len(), 3);
+/// ```
+pub fn chase_resume(
+    state: &mut EngineState,
+    set: &ConstraintSet,
+    cfg: &ChaseConfig,
+) -> ResumeOutcome {
+    if let Some(reason) = state.poisoned.clone() {
+        return ResumeOutcome {
+            reason,
+            steps: 0,
+            fresh_nulls: 0,
+            trace: Vec::new(),
+        };
+    }
+    Run::new(set, cfg, state, false, None, 0).run()
 }
 
 /// Run the delta engine with an optional worker pool for sharded matching —
@@ -949,7 +1199,7 @@ pub(crate) fn run_with_exec(
     exec: Option<&WorkerPool<'_>>,
     fanout: usize,
 ) -> ChaseResult {
-    Run::new(instance, set, cfg, false, exec, fanout).run()
+    run_to_result(instance, set, cfg, false, exec, fanout)
 }
 
 /// Run the chase with naive trigger discovery: every constraint is
@@ -971,7 +1221,7 @@ pub(crate) fn run_with_exec(
 /// workloads where an early match exists. (The seed's `Random` strategy
 /// already enumerated everything every step.)
 pub fn chase_naive(instance: &Instance, set: &ConstraintSet, cfg: &ChaseConfig) -> ChaseResult {
-    Run::new(instance, set, cfg, true, None, 0).run()
+    run_to_result(instance, set, cfg, true, None, 0)
 }
 
 /// Run the chase with the default configuration (standard mode, round-robin,
@@ -1197,6 +1447,83 @@ mod tests {
                 ..ChaseConfig::default()
             },
         );
+    }
+
+    /// Warm resume over an [`EngineState`] must land on the same instance
+    /// as a from-scratch chase of the accumulated facts — here the inputs
+    /// are null-free and confluent, so the final instances are equal
+    /// outright.
+    #[test]
+    fn warm_resume_matches_from_scratch_chase() {
+        let (set, inst) = parse("E(X,Y), E(Y,Z) -> E(X,Z)", "E(a,b). E(b,c).");
+        let cfg = ChaseConfig::default();
+        let mut st = EngineState::new(&inst, &set, &cfg);
+        let first = chase_resume(&mut st, &set, &cfg);
+        assert_eq!(first.reason, StopReason::Satisfied);
+        assert!(st.quiescent());
+        let batch = Instance::parse("E(c,d). E(a,b).").unwrap().atoms();
+        let added = st.insert_batch(&set, &cfg, batch.clone()).unwrap();
+        assert_eq!(added.len(), 1, "E(a,b) is a duplicate");
+        let second = chase_resume(&mut st, &set, &cfg);
+        assert_eq!(second.reason, StopReason::Satisfied);
+        assert!(second.steps > 0);
+        let mut union = inst.clone();
+        union.insert_batch(batch).unwrap();
+        let scratch = chase(&union, &set, &cfg);
+        assert_eq!(st.instance(), &scratch.instance);
+        assert_eq!(
+            st.total_steps(),
+            scratch.steps,
+            "warm resume fires exactly the triggers the scratch chase fires"
+        );
+    }
+
+    /// Per-resume budgets: a resumed state gets a fresh step budget, and a
+    /// budget stop does not poison the state.
+    #[test]
+    fn resume_budgets_are_per_run() {
+        let (set, inst) = parse("S(X) -> E(X,Y), S(Y)", "S(a).");
+        let cfg = ChaseConfig::with_max_steps(5);
+        let mut st = EngineState::new(&inst, &set, &cfg);
+        let first = chase_resume(&mut st, &set, &cfg);
+        assert_eq!(first.reason, StopReason::StepLimit(5));
+        assert_eq!(first.steps, 5);
+        assert!(st.poisoned().is_none());
+        let second = chase_resume(&mut st, &set, &cfg);
+        assert_eq!(second.reason, StopReason::StepLimit(5));
+        assert_eq!(second.steps, 5, "budget renews per resume");
+        assert_eq!(st.total_steps(), 10);
+    }
+
+    /// Terminal stops poison the state; later resumes refuse to run.
+    #[test]
+    fn failed_state_is_poisoned() {
+        let (set, inst) = parse("E(X,Y), E(X,Z) -> Y = Z", "E(a,b). E(a,c).");
+        let cfg = ChaseConfig::default();
+        let mut st = EngineState::new(&inst, &set, &cfg);
+        assert_eq!(chase_resume(&mut st, &set, &cfg).reason, StopReason::Failed);
+        assert_eq!(st.poisoned(), Some(&StopReason::Failed));
+        let after = chase_resume(&mut st, &set, &cfg);
+        assert_eq!(after.reason, StopReason::Failed);
+        assert_eq!(after.steps, 0, "poisoned state refuses to chase");
+    }
+
+    /// Cloning the state is a full snapshot: the clone and the original
+    /// evolve independently and identically from the fork point.
+    #[test]
+    fn engine_state_clone_is_a_fork() {
+        let (set, inst) = parse("E(X,Y), E(Y,Z) -> E(X,Z)", "E(a,b). E(b,c).");
+        let cfg = ChaseConfig::default();
+        let mut st = EngineState::new(&inst, &set, &cfg);
+        chase_resume(&mut st, &set, &cfg);
+        let mut fork = st.clone();
+        let batch = Instance::parse("E(c,a).").unwrap().atoms();
+        st.insert_batch(&set, &cfg, batch.clone()).unwrap();
+        let a = chase_resume(&mut st, &set, &cfg);
+        fork.insert_batch(&set, &cfg, batch).unwrap();
+        let b = chase_resume(&mut fork, &set, &cfg);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(st.instance(), fork.instance());
     }
 
     #[test]

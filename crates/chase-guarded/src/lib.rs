@@ -18,6 +18,32 @@
 //!   is the *class recognition* (the paper's actual §5 contribution) plus
 //!   sound certain-answer computation whenever the chase terminates — see
 //!   DESIGN.md §4.5 for the documented scope substitution.
+//!
+//! # Examples
+//!
+//! Recognize a guarded set, then answer a query over a knowledge base:
+//!
+//! ```
+//! use chase_core::{ConjunctiveQuery, ConstraintSet, Instance, Term};
+//! use chase_engine::ChaseConfig;
+//! use chase_guarded::{certain_answers, is_weakly_guarded};
+//!
+//! let sigma = ConstraintSet::parse(
+//!     "parent(X,Y) -> person(X), person(Y)\n\
+//!      person(X) -> bornIn(X,P)",
+//! ).unwrap();
+//! assert!(is_weakly_guarded(&sigma));
+//!
+//! let kb = Instance::parse("parent(ada,byron).").unwrap();
+//! let cfg = ChaseConfig::default();
+//! // Certain: ada is a person (derived, null-free).
+//! let q = ConjunctiveQuery::parse("q(X) <- person(X), parent(X,byron)").unwrap();
+//! let answers = certain_answers(&kb, &sigma, &q, &cfg).unwrap();
+//! assert_eq!(answers, vec![vec![Term::constant("ada")]]);
+//! // Not certain: the birthplace the chase invents is a labeled null.
+//! let q2 = ConjunctiveQuery::parse("q(P) <- bornIn(ada,P)").unwrap();
+//! assert!(certain_answers(&kb, &sigma, &q2, &cfg).unwrap().is_empty());
+//! ```
 
 pub mod guards;
 pub mod nullprop;

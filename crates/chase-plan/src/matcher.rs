@@ -102,6 +102,10 @@ struct PlanCache {
     /// `(stats_epoch, merge_epoch)` at compile time; `None` forces a
     /// recompile at the next [`Matcher::refresh`].
     stamp: Option<(u32, u64)>,
+    /// How many times the cache has recompiled — the observable behind the
+    /// serving layer's "plan caches are reused across update epochs" pin
+    /// ([`Matcher::recompile_count`]).
+    recompiles: u64,
 }
 
 /// The matching engine handle threaded through trigger enumeration: either
@@ -134,6 +138,7 @@ impl Matcher {
                 set: set.clone(),
                 plans: Vec::new(),
                 stamp: None,
+                recompiles: 0,
             }),
         };
         m.refresh(set, inst);
@@ -149,6 +154,14 @@ impl Matcher {
     /// `EXPLAIN` dumps and tests).
     pub fn plans(&self, ci: usize) -> Option<&ConstraintPlans> {
         self.cache.as_ref().map(|c| &c.plans[ci])
+    }
+
+    /// How many times the plan cache has recompiled (0 for unplanned
+    /// matchers). A stable count across calls that *could* have recompiled
+    /// — e.g. update batches that only duplicate existing facts — is the
+    /// observable the serving layer's plan-cache-reuse tests pin.
+    pub fn recompile_count(&self) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.recompiles)
     }
 
     /// Force recompilation at the next [`Matcher::refresh`].
@@ -188,6 +201,7 @@ impl Matcher {
             cache.set = set.clone();
         }
         cache.plans = set.iter().map(|c| compile_constraint(c, inst)).collect();
+        cache.recompiles += 1;
         for cp in &cache.plans {
             let programs = std::iter::once(&cp.body)
                 .chain(&cp.body_delta)
@@ -411,7 +425,9 @@ mod tests {
         let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
         let mut inst = Instance::parse("E(a,b). E(b,c).").unwrap();
         let mut m = Matcher::planned(&set, &mut inst);
+        assert_eq!(m.recompile_count(), 1, "planned() compiles once");
         assert!(!m.refresh(&set, &mut inst), "same stamp: no recompile");
+        assert_eq!(m.recompile_count(), 1);
         inst.insert(Atom::new(
             "E",
             vec![Term::constant("c"), Term::constant("d")],
@@ -428,7 +444,9 @@ mod tests {
         assert!(m.refresh(&set, &mut inst), "merge forces recompile");
         m.invalidate();
         assert!(m.refresh(&set, &mut inst), "invalidate forces recompile");
+        assert_eq!(m.recompile_count(), 4, "one count per recompile");
         assert!(!Matcher::unplanned().refresh(&set, &mut inst));
+        assert_eq!(Matcher::unplanned().recompile_count(), 0);
     }
 
     #[test]

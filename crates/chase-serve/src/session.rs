@@ -1,0 +1,619 @@
+//! The [`ChaseSession`]: a long-lived handle over one instance, one
+//! constraint set, and the delta engine's warm run state.
+//!
+//! A session owns a `chase_engine::EngineState` — the columnar
+//! [`Instance`], the incrementally maintained trigger pool and dead-trigger
+//! memo, and the compiled `chase-plan` plan cache — and keeps all of it
+//! alive across update batches. [`ChaseSession::apply`] ingests a batch of
+//! base facts and continues the chase *semi-naively from the batch delta*:
+//! only constraints whose bodies can see the new atoms are re-matched, only
+//! pooled triggers whose heads the new atoms may have satisfied are
+//! revalidated, and plans recompile only when the batch actually moves the
+//! instance's statistics epoch. A from-scratch re-chase after every batch —
+//! the cold path the `session_updates` bench compares against — redoes all
+//! of that work per batch.
+//!
+//! Because trigger selection stays canonical inside the engine, a session
+//! that applies batches `B1..Bn` runs *some* legal chase sequence of
+//! `B1 ∪ … ∪ Bn`; on terminating workloads its result is a universal model
+//! of the accumulated facts, so its core is isomorphic to the core of the
+//! from-scratch chase (pinned by `tests/session_equivalence.rs` at the
+//! workspace root) and certain answers agree exactly.
+
+use chase_core::fx::FxHashMap;
+use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, Instance, Term};
+use chase_engine::{chase_resume, ChaseConfig, EngineState, StopReason};
+use chase_sqo::minimal_rewritings;
+use std::fmt;
+
+/// Session configuration: the engine configuration used for every warm
+/// re-chase, plus the query-rewriting policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// The chase configuration each [`ChaseSession::apply`] resumes under.
+    /// Budgets (`max_steps`, `max_nulls`) apply per batch, not cumulatively.
+    pub chase: ChaseConfig,
+    /// Route queries through `chase-sqo` rewriting when beneficial (a
+    /// strictly smaller Σ-equivalent body exists). Rewriting decisions are
+    /// cached per query text, so the universal-plan chase runs once per
+    /// distinct query, not once per call.
+    pub use_sqo: bool,
+    /// Budgeted configuration for the rewriting pipeline's own chases
+    /// (freezing and chasing the query — guarded, because that chase need
+    /// not terminate even when the data chase does).
+    pub sqo_chase: ChaseConfig,
+    /// Refuse exhaustive subquery enumeration above this universal-plan
+    /// size (see `chase_sqo::equivalent_subqueries`).
+    pub sqo_max_plan_atoms: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            chase: ChaseConfig::default(),
+            use_sqo: true,
+            sqo_chase: ChaseConfig::with_max_steps(500),
+            sqo_max_plan_atoms: 10,
+        }
+    }
+}
+
+/// What one [`ChaseSession::apply`] did.
+#[derive(Debug, Clone)]
+pub struct ChaseOutcome {
+    /// Why the warm re-chase stopped. [`StopReason::Satisfied`] means the
+    /// session is quiescent again; `Failed`/`MonitorAbort` poison the
+    /// session (later calls return [`ServeError::Poisoned`]).
+    pub reason: StopReason,
+    /// Chase steps fired for this batch.
+    pub steps: usize,
+    /// Fresh nulls invented for this batch.
+    pub fresh_nulls: usize,
+    /// Batch facts that were actually new (duplicates cost nothing: no
+    /// pool work, no statistics movement, no plan recompiles).
+    pub new_facts: usize,
+    /// Total facts in the chased instance after this batch.
+    pub total_facts: usize,
+    /// 1-based index of this batch in the session's update stream. (The
+    /// session's batch counter — distinct from the instance's
+    /// `stats_epoch`, which only moves when the data doubles.)
+    pub epoch: u64,
+}
+
+/// Errors of the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The session hit a terminal stop earlier — an EGD failure or a
+    /// monitor abort — and cannot chase or answer further. Restore a
+    /// [`SessionSnapshot`] taken before the poisoning batch to recover.
+    Poisoned(StopReason),
+    /// Batch rejected: a non-ground atom. The batch was not applied.
+    Core(chase_core::CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Poisoned(r) => write!(f, "session poisoned by terminal stop {r:?}"),
+            ServeError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<chase_core::CoreError> for ServeError {
+    fn from(e: chase_core::CoreError) -> ServeError {
+        ServeError::Core(e)
+    }
+}
+
+/// A point-in-time copy of a session's full engine state — instance,
+/// trigger pool, memos, plan cache, and counters. Restoring one rewinds
+/// the session exactly (continued runs are bit-identical to the original
+/// timeline); cloning a session ([`ChaseSession::fork`]) is the same
+/// operation without the handle indirection.
+#[derive(Clone)]
+pub struct SessionSnapshot {
+    /// The constraint set the snapshotted state was built under. Engine
+    /// state (pool, memos) is indexed by constraint position, so restoring
+    /// into a session with a different set would silently corrupt matching;
+    /// [`ChaseSession::restore`] checks this.
+    set: ConstraintSet,
+    /// The session configuration the state evolved under — checked by
+    /// restore too (pool and memo semantics depend on e.g. the chase mode).
+    cfg: SessionConfig,
+    state: EngineState,
+    epoch: u64,
+    last_reason: Option<StopReason>,
+}
+
+impl SessionSnapshot {
+    /// The instance as of the snapshot.
+    pub fn instance(&self) -> &Instance {
+        self.state.instance()
+    }
+
+    /// The batch counter as of the snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The constraint set the snapshot was taken under.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.set
+    }
+}
+
+/// A long-lived incremental chase session. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use chase_core::{ConjunctiveQuery, ConstraintSet, Instance, Term};
+/// use chase_serve::ChaseSession;
+///
+/// let sigma = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+/// let mut session = ChaseSession::new(sigma);
+/// session.apply(Instance::parse("E(a,b).").unwrap().atoms()).unwrap();
+/// let out = session.apply(Instance::parse("E(b,c).").unwrap().atoms()).unwrap();
+/// assert_eq!(out.steps, 1); // warm: only the new join fires
+///
+/// let q = ConjunctiveQuery::parse("reach(X) <- E(a,X)").unwrap();
+/// let reach = session.query(&q).unwrap();
+/// assert_eq!(reach.len(), 2); // b and c
+/// ```
+#[derive(Clone)]
+pub struct ChaseSession {
+    set: ConstraintSet,
+    cfg: SessionConfig,
+    state: EngineState,
+    epoch: u64,
+    last_reason: Option<StopReason>,
+    /// Per-query rewriting decisions: query text → the strictly smaller
+    /// Σ-equivalent rewriting chosen for it, or `None` when rewriting is
+    /// not beneficial (or the rewriting chase was cut off). Survives
+    /// across epochs — the constraint set never changes under a session.
+    rewrites: FxHashMap<String, Option<ConjunctiveQuery>>,
+}
+
+impl ChaseSession {
+    /// A session over the empty instance with the default configuration.
+    pub fn new(set: ConstraintSet) -> ChaseSession {
+        ChaseSession::with_config(set, SessionConfig::default())
+    }
+
+    /// A session over the empty instance with an explicit configuration.
+    pub fn with_config(set: ConstraintSet, cfg: SessionConfig) -> ChaseSession {
+        ChaseSession::with_instance(&Instance::new(), set, cfg)
+    }
+
+    /// A session seeded with `instance` (taken as base facts; the first
+    /// [`ChaseSession::apply`] or [`ChaseSession::query`] chases them).
+    pub fn with_instance(
+        instance: &Instance,
+        set: ConstraintSet,
+        cfg: SessionConfig,
+    ) -> ChaseSession {
+        let state = EngineState::new(instance, &set, &cfg.chase);
+        ChaseSession {
+            set,
+            cfg,
+            state,
+            epoch: 0,
+            last_reason: None,
+            rewrites: FxHashMap::default(),
+        }
+    }
+
+    /// The constraint set the session chases under.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.set
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// The current (chased-so-far) instance.
+    pub fn instance(&self) -> &Instance {
+        self.state.instance()
+    }
+
+    /// Number of batches applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Why the most recent apply/query chase stopped, if any ran yet.
+    pub fn last_reason(&self) -> Option<&StopReason> {
+        self.last_reason.as_ref()
+    }
+
+    /// Is the session fully chased (no pending triggers, not poisoned)?
+    pub fn is_quiescent(&self) -> bool {
+        self.state.quiescent()
+    }
+
+    /// The terminal stop that poisoned the session, if any.
+    pub fn poisoned(&self) -> Option<&StopReason> {
+        self.state.poisoned()
+    }
+
+    /// How many times the join-plan cache has recompiled since the session
+    /// started — the plan-cache-reuse observable (duplicate-only batches
+    /// must leave this unchanged).
+    pub fn plan_recompiles(&self) -> u64 {
+        self.state.matcher().recompile_count()
+    }
+
+    /// Total chase steps across every batch.
+    pub fn total_steps(&self) -> usize {
+        self.state.total_steps()
+    }
+
+    /// Insert a batch of ground base facts and continue the chase warm,
+    /// semi-naively from the batch delta. Returns what happened; see
+    /// [`ChaseOutcome`]. An empty or all-duplicate batch still counts an
+    /// epoch but performs no matching work and recompiles no plans.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Poisoned`] if an earlier batch ended in an EGD failure
+    /// or monitor abort; [`ServeError::Core`] (batch unapplied) if the
+    /// batch contains a non-ground atom.
+    pub fn apply(
+        &mut self,
+        batch: impl IntoIterator<Item = Atom>,
+    ) -> Result<ChaseOutcome, ServeError> {
+        if let Some(r) = self.state.poisoned() {
+            return Err(ServeError::Poisoned(r.clone()));
+        }
+        let added = self.state.insert_batch(&self.set, &self.cfg.chase, batch)?;
+        let out = chase_resume(&mut self.state, &self.set, &self.cfg.chase);
+        self.epoch += 1;
+        self.last_reason = Some(out.reason.clone());
+        Ok(ChaseOutcome {
+            reason: out.reason,
+            steps: out.steps,
+            fresh_nulls: out.fresh_nulls,
+            new_facts: added.len(),
+            total_facts: self.state.instance().len(),
+            epoch: self.epoch,
+        })
+    }
+
+    /// *Certain-answer* evaluation of a conjunctive query against the
+    /// chased instance: answer tuples free of labeled nulls, sorted and
+    /// deduplicated.
+    ///
+    /// Pending work (a freshly seeded session, or a previous budget stop)
+    /// is chased first, so queries always see the most-chased state. When
+    /// the session is quiescent the result is exactly the certain answers
+    /// of the accumulated base facts under Σ; after a budget stop the
+    /// result is still *sound* (every returned tuple is a certain answer)
+    /// but may be incomplete.
+    ///
+    /// With [`SessionConfig::use_sqo`] (the default), evaluation on a
+    /// quiescent instance is routed through `chase-sqo`: if a strictly
+    /// smaller Σ-equivalent rewriting of the query exists, the rewriting is
+    /// evaluated instead — same answers (the instance satisfies Σ), fewer
+    /// joins. Decisions are cached per query text.
+    ///
+    /// # Errors
+    /// [`ServeError::Poisoned`] on a failed/aborted session.
+    pub fn query(&mut self, q: &ConjunctiveQuery) -> Result<Vec<Vec<Term>>, ServeError> {
+        self.quiesce()?;
+        let target = self.rewritten(q).unwrap_or_else(|| q.clone());
+        Ok(target.evaluate_certain(self.state.instance()))
+    }
+
+    /// Like [`ChaseSession::query`], but keeps answer tuples containing
+    /// labeled nulls (the full evaluation, not just the certain part).
+    pub fn query_all(&mut self, q: &ConjunctiveQuery) -> Result<Vec<Vec<Term>>, ServeError> {
+        self.quiesce()?;
+        let target = self.rewritten(q).unwrap_or_else(|| q.clone());
+        Ok(target.evaluate(self.state.instance()))
+    }
+
+    /// Chase pending work before answering (no-op when quiescent).
+    fn quiesce(&mut self) -> Result<(), ServeError> {
+        if let Some(r) = self.state.poisoned() {
+            return Err(ServeError::Poisoned(r.clone()));
+        }
+        if !self.state.quiescent() {
+            let out = chase_resume(&mut self.state, &self.set, &self.cfg.chase);
+            self.last_reason = Some(out.reason.clone());
+            if let Some(r) = self.state.poisoned() {
+                return Err(ServeError::Poisoned(r.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The cached rewriting decision for `q` (computing and caching it on
+    /// first sight). `None` = evaluate `q` itself.
+    fn rewritten(&mut self, q: &ConjunctiveQuery) -> Option<ConjunctiveQuery> {
+        if !self.cfg.use_sqo || !self.state.quiescent() {
+            // A non-quiescent instance need not satisfy Σ, and Σ-equivalent
+            // rewritings only agree on instances that do.
+            return None;
+        }
+        let key = q.to_string();
+        if let Some(cached) = self.rewrites.get(&key) {
+            return cached.clone();
+        }
+        let choice = minimal_rewritings(
+            q,
+            &self.set,
+            &self.cfg.sqo_chase,
+            self.cfg.sqo_max_plan_atoms,
+        )
+        .ok()
+        .and_then(|mut v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        })
+        .filter(|r| r.body().len() < q.body().len());
+        self.rewrites.insert(key, choice.clone());
+        choice
+    }
+
+    /// Snapshot the full engine state — O(instance + pool), no re-chasing
+    /// or recompiling on either side of the copy.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            set: self.set.clone(),
+            cfg: self.cfg.clone(),
+            state: self.state.clone(),
+            epoch: self.epoch,
+            last_reason: self.last_reason.clone(),
+        }
+    }
+
+    /// Rewind the session to a snapshot (taken from this session or a
+    /// fork). The rewriting cache is kept — the constraint set didn't
+    /// change, so cached decisions stay valid.
+    ///
+    /// # Panics
+    /// Panics if the snapshot was taken under a different constraint set
+    /// or session configuration: engine state is indexed by constraint
+    /// position and its memos depend on the chase mode, so restoring it
+    /// under other semantics would silently corrupt trigger matching.
+    pub fn restore(&mut self, snap: &SessionSnapshot) {
+        assert!(
+            snap.set == self.set,
+            "snapshot taken under a different constraint set than this session's"
+        );
+        assert!(
+            snap.cfg == self.cfg,
+            "snapshot taken under a different session configuration than this session's"
+        );
+        self.state = snap.state.clone();
+        self.epoch = snap.epoch;
+        self.last_reason = snap.last_reason.clone();
+    }
+
+    /// Fork the session: an independent session over a copy of the warm
+    /// state. Cheap in the same sense as [`ChaseSession::snapshot`].
+    pub fn fork(&self) -> ChaseSession {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_engine::chase;
+
+    fn atoms(text: &str) -> Vec<Atom> {
+        Instance::parse(text).unwrap().atoms()
+    }
+
+    #[test]
+    fn session_chases_batches_incrementally() {
+        let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let mut s = ChaseSession::new(set.clone());
+        let o1 = s.apply(atoms("E(a,b). E(b,c).")).unwrap();
+        assert_eq!(o1.reason, StopReason::Satisfied);
+        assert_eq!(o1.epoch, 1);
+        let o2 = s.apply(atoms("E(c,d).")).unwrap();
+        assert_eq!(o2.new_facts, 1);
+        assert!(s.is_quiescent());
+        // Same final instance as chasing the union from scratch (null-free
+        // and confluent here, so equality outright).
+        let union = Instance::parse("E(a,b). E(b,c). E(c,d).").unwrap();
+        let scratch = chase(&union, &set, &ChaseConfig::default());
+        assert_eq!(s.instance(), &scratch.instance);
+    }
+
+    #[test]
+    fn empty_and_duplicate_batches_do_no_work() {
+        let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let mut s = ChaseSession::new(set);
+        s.apply(atoms("E(a,b). E(b,c). E(c,d).")).unwrap();
+        let stats_epoch = s.instance().stats_epoch();
+        let recompiles = s.plan_recompiles();
+        let facts = s.instance().len();
+
+        let empty = s.apply(Vec::new()).unwrap();
+        assert_eq!(empty.reason, StopReason::Satisfied);
+        assert_eq!((empty.steps, empty.new_facts), (0, 0));
+
+        // A batch that only duplicates existing facts (base and derived).
+        let dup = s.apply(atoms("E(a,b). E(a,c).")).unwrap();
+        assert_eq!((dup.steps, dup.new_facts), (0, 0));
+        assert_eq!(dup.total_facts, facts);
+        assert_eq!(
+            s.instance().stats_epoch(),
+            stats_epoch,
+            "duplicates must not advance the statistics epoch"
+        );
+        assert_eq!(
+            s.plan_recompiles(),
+            recompiles,
+            "duplicates must not recompile plans"
+        );
+        assert_eq!(s.epoch(), 3, "epochs still count the batches");
+    }
+
+    #[test]
+    fn batch_after_monitor_abort_is_refused() {
+        let set = ConstraintSet::parse("S(X) -> E(X,Y), S(Y)").unwrap();
+        let cfg = SessionConfig {
+            chase: ChaseConfig::with_monitor_depth(3),
+            ..SessionConfig::default()
+        };
+        let mut s = ChaseSession::with_config(set, cfg);
+        let out = s.apply(atoms("S(a).")).unwrap();
+        assert_eq!(out.reason, StopReason::MonitorAbort { depth: 3 });
+        assert_eq!(s.poisoned(), Some(&StopReason::MonitorAbort { depth: 3 }));
+        let err = s.apply(atoms("S(b).")).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Poisoned(StopReason::MonitorAbort { depth: 3 })
+        );
+        let q = ConjunctiveQuery::parse("q(X) <- S(X)").unwrap();
+        assert!(matches!(s.query(&q), Err(ServeError::Poisoned(_))));
+    }
+
+    #[test]
+    fn egd_failure_poisons_and_snapshot_recovers() {
+        let set = ConstraintSet::parse("E(X,Y), E(X,Z) -> Y = Z").unwrap();
+        let mut s = ChaseSession::new(set);
+        s.apply(atoms("E(a,b).")).unwrap();
+        let snap = s.snapshot();
+        let out = s.apply(atoms("E(a,c).")).unwrap();
+        assert_eq!(out.reason, StopReason::Failed);
+        assert!(matches!(s.apply(Vec::new()), Err(ServeError::Poisoned(_))));
+        // Rewind before the failing batch and continue on a compatible one.
+        s.restore(&snap);
+        assert!(s.poisoned().is_none());
+        let ok = s.apply(atoms("E(a,b). E(d,e).")).unwrap();
+        assert_eq!(ok.reason, StopReason::Satisfied);
+        assert_eq!(ok.new_facts, 1);
+    }
+
+    #[test]
+    fn non_ground_batch_is_rejected_atomically() {
+        let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let mut s = ChaseSession::new(set);
+        s.apply(atoms("E(a,b).")).unwrap();
+        let facts = s.instance().len();
+        let bad = vec![
+            Atom::new("E", vec![Term::constant("b"), Term::constant("c")]),
+            Atom::new("E", vec![Term::var("X"), Term::constant("c")]),
+        ];
+        assert!(matches!(s.apply(bad), Err(ServeError::Core(_))));
+        assert_eq!(s.instance().len(), facts, "batch must not half-apply");
+        assert_eq!(s.epoch(), 1, "rejected batches are not epochs");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_columnar_store() {
+        let set = ConstraintSet::parse("S(X) -> E(X,Y)\nE(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let mut s = ChaseSession::new(set);
+        s.apply(atoms("S(a). S(b). E(a,b).")).unwrap();
+        let snap = s.snapshot();
+        let frozen = s.instance().clone();
+        // Diverge, then rewind.
+        s.apply(atoms("S(c). E(b,c).")).unwrap();
+        assert_ne!(s.instance(), &frozen);
+        s.restore(&snap);
+        assert_eq!(s.instance(), snap.instance());
+        assert_eq!(s.instance(), &frozen);
+        assert_eq!(s.epoch(), snap.epoch());
+        // The restored timeline replays identically to a fork that never
+        // diverged — pool and memo state came back with the snapshot.
+        let mut fork = s.fork();
+        let a = s.apply(atoms("S(c). E(b,c).")).unwrap();
+        let b = fork.apply(atoms("S(c). E(b,c).")).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.fresh_nulls, b.fresh_nulls);
+        assert_eq!(s.instance(), fork.instance());
+    }
+
+    #[test]
+    #[should_panic(expected = "different constraint set")]
+    fn restoring_a_foreign_snapshot_panics() {
+        let mut a = ChaseSession::new(ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap());
+        let b = ChaseSession::new(ConstraintSet::parse("S(X) -> T(X)").unwrap());
+        a.restore(&b.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "different session configuration")]
+    fn restoring_a_snapshot_with_other_config_panics() {
+        let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let a = ChaseSession::new(set.clone());
+        let mut b = ChaseSession::with_config(
+            set,
+            SessionConfig {
+                use_sqo: false,
+                ..SessionConfig::default()
+            },
+        );
+        b.restore(&a.snapshot());
+    }
+
+    #[test]
+    fn query_answers_match_direct_evaluation_with_and_without_sqo() {
+        // Rail symmetry: the two-atom query rewrites to one atom.
+        let set = ConstraintSet::parse("rail(X,Y,D) -> rail(Y,X,D)").unwrap();
+        let q = ConjunctiveQuery::parse("q(X) <- rail(c,X,D), rail(X,c,D)").unwrap();
+        let data = "rail(c,u,d1). rail(u,v,d2). rail(c,w,d1).";
+        let mk = |use_sqo: bool| {
+            let cfg = SessionConfig {
+                use_sqo,
+                ..SessionConfig::default()
+            };
+            ChaseSession::with_config(set.clone(), cfg)
+        };
+        let mut with_sqo = mk(true);
+        let mut without = mk(false);
+        with_sqo.apply(atoms(data)).unwrap();
+        without.apply(atoms(data)).unwrap();
+        let a = with_sqo.query(&q).unwrap();
+        let b = without.query(&q).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2); // u and w
+                                // The rewriting decision was cached and is a strict shrink.
+        let cached = with_sqo.rewrites.get(&q.to_string()).unwrap();
+        assert_eq!(cached.as_ref().unwrap().body().len(), 1);
+        // Second query hits the cache (no way to observe the chase from
+        // here, but the cached entry must be stable).
+        assert_eq!(with_sqo.query(&q).unwrap(), a);
+    }
+
+    #[test]
+    fn query_on_a_seeded_session_chases_first() {
+        let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let inst = Instance::parse("E(a,b). E(b,c).").unwrap();
+        let mut s = ChaseSession::with_instance(&inst, set, SessionConfig::default());
+        assert!(!s.is_quiescent());
+        let q = ConjunctiveQuery::parse("q(X) <- E(a,X)").unwrap();
+        let ans = s.query(&q).unwrap();
+        assert_eq!(ans.len(), 2, "query sees the chased closure");
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn certain_answers_drop_null_tuples() {
+        let set = ConstraintSet::parse("S(X) -> E(X,Y)").unwrap();
+        let mut s = ChaseSession::new(set);
+        s.apply(atoms("S(a). E(a,b).")).unwrap();
+        s.apply(atoms("S(c).")).unwrap(); // invents E(c, _null)
+        let q = ConjunctiveQuery::parse("q(X,Y) <- E(X,Y)").unwrap();
+        let certain = s.query(&q).unwrap();
+        assert_eq!(
+            certain,
+            vec![vec![Term::constant("a"), Term::constant("b")]]
+        );
+        let all = s.query_all(&q).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+}

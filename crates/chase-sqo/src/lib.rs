@@ -19,6 +19,23 @@
 //!    join-introduction rewritings like the paper's q2'' and q2'''.
 //!
 //! Containment and equivalence under constraints live in [`containment`].
+//!
+//! # Examples
+//!
+//! Join elimination under rail symmetry (the paper's q2''-style shrink):
+//!
+//! ```
+//! use chase_core::{ConjunctiveQuery, ConstraintSet};
+//! use chase_engine::ChaseConfig;
+//! use chase_sqo::{equivalent_under, minimal_rewritings};
+//!
+//! let sigma = ConstraintSet::parse("rail(X,Y,D) -> rail(Y,X,D)").unwrap();
+//! let q = ConjunctiveQuery::parse("q(X) <- rail(c,X,D), rail(X,c,D)").unwrap();
+//! let minimal = minimal_rewritings(&q, &sigma, &ChaseConfig::default(), 12).unwrap();
+//! // One rail atom suffices: its mirror image is implied by Σ.
+//! assert_eq!(minimal[0].body().len(), 1);
+//! assert_eq!(equivalent_under(&minimal[0], &q, &sigma, &ChaseConfig::default()), Some(true));
+//! ```
 
 pub mod containment;
 pub mod rewrite;

@@ -1,0 +1,161 @@
+//! session_server: a minimal stdin-driven REPL over a [`ChaseSession`] —
+//! the `chase-serve` API end to end: batched inserts with warm re-chase,
+//! certain-answer queries, and snapshot/restore.
+//!
+//! ```sh
+//! cargo run --example session_server
+//! echo 'insert rail(berlin,paris,d9).
+//! query q(X) <- rail(X,berlin,D)' | cargo run --example session_server
+//! ```
+//!
+//! Commands (one per line; `#` starts a comment):
+//!
+//! | command               | effect                                          |
+//! |-----------------------|-------------------------------------------------|
+//! | `sigma <constraints>` | restart the session under a new constraint set  |
+//! | `insert <facts>`      | apply the facts as one update batch (warm)      |
+//! | `query <cq>`          | certain answers of `q(X) <- body` on the chase  |
+//! | `snapshot`            | push the current state on the snapshot stack    |
+//! | `restore`             | pop the stack and rewind to that state          |
+//! | `show`                | print the chased instance                       |
+//! | `stats`               | epochs, facts, steps, plan recompiles           |
+//! | `quit`                | exit                                            |
+//!
+//! With no input on stdin (as in CI), a built-in demo script runs instead.
+
+use chase::prelude::*;
+use std::io::BufRead;
+
+/// The demo script run when stdin has no input — the travel-agency serving
+/// scenario from PAPER.md's "Serving layer" section.
+const DEMO: &str = "\
+sigma fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2)\\nrail(C1,C2,D) -> rail(C2,C1,D)
+insert fly(berlin,paris,d9). rail(paris,lyon,d2).
+query airports(C) <- hasAirport(C)
+snapshot
+insert rail(lyon,nice,d1). fly(nice,berlin,d8).
+query reach(X) <- rail(X,lyon,D)
+stats
+restore
+stats
+query reach(X) <- rail(X,lyon,D)
+quit";
+
+struct Repl {
+    session: ChaseSession,
+    snapshots: Vec<SessionSnapshot>,
+}
+
+impl Repl {
+    fn new(set: ConstraintSet) -> Repl {
+        Repl {
+            session: ChaseSession::new(set),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Handle one command line; returns `false` on `quit`.
+    fn handle(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return true;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "sigma" => {
+                // Literal "\n" separates constraints so a set fits one line.
+                match ConstraintSet::parse(&rest.replace("\\n", "\n")) {
+                    Ok(set) => {
+                        println!("session restarted under {} constraints", set.len());
+                        self.session = ChaseSession::new(set);
+                        self.snapshots.clear();
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "insert" => match Instance::parse(rest) {
+                Ok(batch) => match self.session.apply(batch.atoms()) {
+                    Ok(out) => println!(
+                        "epoch {}: +{} facts, {} chase steps, {} fresh nulls, {:?} ({} total)",
+                        out.epoch,
+                        out.new_facts,
+                        out.steps,
+                        out.fresh_nulls,
+                        out.reason,
+                        out.total_facts
+                    ),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("parse error: {e}"),
+            },
+            "query" => match ConjunctiveQuery::parse(rest) {
+                Ok(q) => match self.session.query(&q) {
+                    Ok(answers) => {
+                        println!("{} certain answer(s):", answers.len());
+                        for tuple in answers {
+                            let terms: Vec<String> = tuple.iter().map(|t| t.to_string()).collect();
+                            println!("  ({})", terms.join(", "));
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("parse error: {e}"),
+            },
+            "snapshot" => {
+                self.snapshots.push(self.session.snapshot());
+                println!("snapshot #{} taken", self.snapshots.len());
+            }
+            "restore" => match self.snapshots.pop() {
+                Some(snap) => {
+                    self.session.restore(&snap);
+                    println!(
+                        "restored to epoch {} ({} facts)",
+                        snap.epoch(),
+                        snap.instance().len()
+                    );
+                }
+                None => println!("error: no snapshot on the stack"),
+            },
+            "show" => println!("{}", self.session.instance()),
+            "stats" => println!(
+                "epochs {}, facts {}, total steps {}, plan recompiles {}, quiescent {}",
+                self.session.epoch(),
+                self.session.instance().len(),
+                self.session.total_steps(),
+                self.session.plan_recompiles(),
+                self.session.is_quiescent()
+            ),
+            "quit" | "exit" => return false,
+            other => println!(
+                "unknown command {other:?} (sigma/insert/query/snapshot/restore/show/stats/quit)"
+            ),
+        }
+        true
+    }
+}
+
+fn main() {
+    // Default constraint set until a `sigma` command replaces it.
+    let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").expect("default set parses");
+    let mut repl = Repl::new(set);
+    println!("chase-serve session server — commands: sigma/insert/query/snapshot/restore/show/stats/quit");
+
+    let mut saw_input = false;
+    for line in std::io::stdin().lock().lines() {
+        let line = line.expect("stdin line");
+        saw_input = true;
+        println!("> {line}");
+        if !repl.handle(&line) {
+            return;
+        }
+    }
+    if !saw_input {
+        println!("(no stdin input — running the built-in demo script)\n");
+        for line in DEMO.lines() {
+            println!("> {line}");
+            if !repl.handle(line) {
+                return;
+            }
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //! * `guarded` ([`chase_guarded`]) — weakly/restrictedly guarded TGDs (Section 5);
 //! * `sqo` ([`chase_sqo`]) — semantic query optimization with the chase
 //!   (universal plans, equivalence under constraints, rewriting enumeration);
+//! * `serve` ([`chase_serve`]) — the serving layer: long-lived incremental
+//!   chase sessions with warm re-chase over update batches, certain-answer
+//!   queries, and snapshot/restore forking;
 //! * `corpus` ([`chase_corpus`]) — every example of the paper plus synthetic
 //!   workload generators.
 //!
@@ -38,6 +41,7 @@ pub use chase_corpus as corpus;
 pub use chase_engine as engine;
 pub use chase_guarded as guarded;
 pub use chase_plan as plan;
+pub use chase_serve as serve;
 pub use chase_sqo as sqo;
 pub use chase_termination as termination;
 
@@ -77,11 +81,13 @@ pub mod prelude {
         Position, Schema, Subst, Sym, Term, Tgd,
     };
     pub use chase_engine::{
-        chase, chase_default, chase_parallel, core_chase, core_of, find_terminating_sequence,
-        is_core, BfsOutcome, ChaseConfig, ChaseMode, ChaseResult, CoreChaseResult, Matcher,
-        MonitorGraph, ParallelConfig, StopReason, Strategy,
+        chase, chase_default, chase_parallel, chase_resume, core_chase, core_of,
+        find_terminating_sequence, is_core, BfsOutcome, ChaseConfig, ChaseMode, ChaseResult,
+        CoreChaseResult, EngineState, Matcher, MonitorGraph, ParallelConfig, ResumeOutcome,
+        StopReason, Strategy,
     };
     pub use chase_plan::JoinProgram;
+    pub use chase_serve::{ChaseOutcome, ChaseSession, ServeError, SessionConfig, SessionSnapshot};
     pub use chase_termination::{
         affected_positions, analyze, c_chase_graph, chase_graph, check, data_dependent_terminates,
         dependency_graph, irrelevant_constraints, is_c_stratified, is_inductively_restricted,

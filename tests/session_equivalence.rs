@@ -1,0 +1,261 @@
+//! The serving layer's correctness contract: a [`ChaseSession`] that
+//! absorbs update batches `B1..Bn` warm must be indistinguishable — up to
+//! core isomorphism and certain answers — from chasing `B1 ∪ … ∪ Bn` from
+//! scratch.
+//!
+//! Warm and cold runs generally do *not* produce equal instances: the warm
+//! session chases earlier batches before later ones arrive, so it can
+//! invent nulls a from-scratch chase of the union never needs (a base fact
+//! arriving in a later batch may satisfy a TGD the warm session already
+//! fired). What the chase actually promises is a *universal model*, and
+//! universal models of the same base facts have isomorphic cores. These
+//! tests pin exactly that, over paper-corpus-derived and seeded random
+//! families, plus the exact equality of certain answers — the observable a
+//! serving deployment actually exposes.
+
+use chase::prelude::*;
+use chase_core::homomorphism::hom_equivalent;
+use chase_corpus::random::{
+    random_instance, random_tgds, random_travel_stream, update_stream, RandomInstanceConfig,
+    RandomTgdConfig, RandomTravelConfig, UpdateStreamConfig,
+};
+use chase_engine::chase;
+use chase_serve::ChaseSession;
+
+/// Chase the union of all batches from scratch.
+fn scratch_chase(set: &ConstraintSet, batches: &[Vec<Atom>], cfg: &ChaseConfig) -> ChaseResult {
+    let mut union = Instance::new();
+    for b in batches {
+        union.extend(b.iter().cloned());
+    }
+    chase(&union, set, cfg)
+}
+
+/// Drive a fresh session over the stream and return it.
+fn warm_session(set: &ConstraintSet, batches: &[Vec<Atom>], cfg: &SessionConfig) -> ChaseSession {
+    let mut s = ChaseSession::with_config(set.clone(), cfg.clone());
+    for (i, b) in batches.iter().enumerate() {
+        let out = s
+            .apply(b.iter().cloned())
+            .unwrap_or_else(|e| panic!("batch {i} refused: {e}"));
+        assert_eq!(
+            out.reason,
+            StopReason::Satisfied,
+            "batch {i} did not quiesce"
+        );
+    }
+    s
+}
+
+/// The pin: warm-session result and from-scratch result have isomorphic
+/// cores, and the given queries return exactly the same certain answers.
+fn assert_session_equivalent(
+    name: &str,
+    set: &ConstraintSet,
+    batches: &[Vec<Atom>],
+    queries: &[&str],
+) {
+    let scfg = SessionConfig::default();
+    let mut session = warm_session(set, batches, &scfg);
+    let scratch = scratch_chase(set, batches, &scfg.chase);
+    assert!(
+        scratch.terminated(),
+        "{name}: from-scratch chase must terminate for this pin"
+    );
+    let warm_core = core_of(session.instance());
+    let cold_core = core_of(&scratch.instance);
+    assert_eq!(
+        warm_core.len(),
+        cold_core.len(),
+        "{name}: cores differ in size\nwarm: {warm_core}\ncold: {cold_core}"
+    );
+    assert!(
+        hom_equivalent(&warm_core, &cold_core),
+        "{name}: cores are not hom-equivalent (hence not isomorphic)\nwarm: {warm_core}\ncold: {cold_core}"
+    );
+    for q_text in queries {
+        let q = ConjunctiveQuery::parse(q_text).unwrap();
+        let warm_answers = session.query(&q).unwrap();
+        let cold_answers = q.evaluate_certain(&scratch.instance);
+        assert_eq!(
+            warm_answers, cold_answers,
+            "{name}: certain answers differ for {q_text}"
+        );
+    }
+}
+
+/// Travel corpus (the terminating part of Figure 9: airport extraction and
+/// rail symmetry) over seeded travel update streams.
+#[test]
+fn travel_streams_match_from_scratch() {
+    let set = ConstraintSet::parse(
+        "fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2)\n\
+         rail(C1,C2,D) -> rail(C2,C1,D)",
+    )
+    .unwrap();
+    for seed in 0..3 {
+        let stream = random_travel_stream(
+            &RandomTravelConfig {
+                cities: 16,
+                flights: 60,
+                rails: 40,
+                seed,
+            },
+            5,
+        );
+        assert_session_equivalent(
+            &format!("travel(seed {seed})"),
+            &set,
+            &stream,
+            &[
+                "airports(C) <- hasAirport(C)",
+                "back(X,D) <- rail(city0,X,D), rail(X,city0,D)",
+            ],
+        );
+    }
+}
+
+/// Transitive closure over random edge streams: null-free, so this also
+/// exercises exact-instance agreement through the core check.
+#[test]
+fn transitive_closure_streams_match_from_scratch() {
+    let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+    for seed in 0..3 {
+        let edges = random_instance(
+            &set,
+            &RandomInstanceConfig {
+                facts: 30,
+                domain: 8,
+                seed,
+            },
+        );
+        let stream = update_stream(&edges, &UpdateStreamConfig { batches: 6, seed });
+        assert_session_equivalent(
+            &format!("tc(seed {seed})"),
+            &set,
+            &stream,
+            &["q(X,Y) <- E(X,Y)", "loop(X) <- E(X,X)"],
+        );
+    }
+}
+
+/// The null-inventing family (intro α1 plus closure): a warm session
+/// invents nulls for S-facts whose base E-edge only arrives in a later
+/// batch, so warm and cold instances genuinely differ — only their cores
+/// agree. This is the pin that makes `core_of` necessary.
+#[test]
+fn null_inventing_streams_match_up_to_core() {
+    let set = ConstraintSet::parse(
+        "S(X) -> E(X,Y)\n\
+         E(X,Y), E(Y,Z) -> E(X,Z)",
+    )
+    .unwrap();
+    // Hand-built stream: S(a) chases before E(a,b) arrives.
+    let batches: Vec<Vec<Atom>> = vec![
+        Instance::parse("S(a). S(b).").unwrap().atoms(),
+        Instance::parse("E(a,b). E(b,c).").unwrap().atoms(),
+        Instance::parse("S(c). E(c,a).").unwrap().atoms(),
+    ];
+    // Sanity: the warm path really does invent more nulls than cold.
+    let warm = warm_session(&set, &batches, &SessionConfig::default());
+    let cold = scratch_chase(&set, &batches, &ChaseConfig::default());
+    assert!(
+        warm.instance().nulls().len() > cold.instance.nulls().len(),
+        "expected the warm path to over-invent nulls (warm {:?} vs cold {:?})",
+        warm.instance().nulls(),
+        cold.instance.nulls()
+    );
+    assert_session_equivalent(
+        "lav_tc",
+        &set,
+        &batches,
+        &["q(X,Y) <- E(X,Y)", "q2(X) <- E(a,X)"],
+    );
+
+    // Seeded variants: random S/E streams over a small domain.
+    for seed in 0..3 {
+        let base = random_instance(
+            &set,
+            &RandomInstanceConfig {
+                facts: 25,
+                domain: 6,
+                seed: 100 + seed,
+            },
+        );
+        let mut with_sources = base.clone();
+        for i in 0..4 {
+            with_sources.insert(Atom::new("S", vec![Term::constant(&format!("c{i}"))]));
+        }
+        let stream = update_stream(&with_sources, &UpdateStreamConfig { batches: 5, seed });
+        assert_session_equivalent(
+            &format!("lav_tc(seed {seed})"),
+            &set,
+            &stream,
+            &["q(X,Y) <- E(X,Y)"],
+        );
+    }
+}
+
+/// EGD keys over nulls: merges force the session's pool rebuild path
+/// mid-stream, the hardest state to keep warm correctly.
+#[test]
+fn egd_merge_streams_match_from_scratch() {
+    let set = ConstraintSet::parse(
+        "S(X) -> E(X,Y)\n\
+         E(X,Y), E(X,Z) -> Y = Z",
+    )
+    .unwrap();
+    // S-facts arrive first (inventing null targets), the real edges later
+    // (merging the nulls away) — every batch boundary crosses a merge.
+    let batches: Vec<Vec<Atom>> = vec![
+        Instance::parse("S(a). S(b). S(c).").unwrap().atoms(),
+        Instance::parse("E(a,u). E(b,v).").unwrap().atoms(),
+        Instance::parse("S(d). E(c,w).").unwrap().atoms(),
+        Instance::parse("E(d,x).").unwrap().atoms(),
+    ];
+    assert_session_equivalent(
+        "egd_keys",
+        &set,
+        &batches,
+        &["q(X,Y) <- E(X,Y)", "q2(Y) <- E(a,Y)"],
+    );
+}
+
+/// Seeded random TGD sets: any seed whose from-scratch chase terminates in
+/// budget must agree with the warm session. Divergent seeds are skipped
+/// (the contract under comparison is about terminating chases).
+#[test]
+fn random_tgd_streams_match_from_scratch() {
+    let mut checked = 0;
+    for seed in 0..8 {
+        let set = random_tgds(&RandomTgdConfig {
+            constraints: 4,
+            predicates: 3,
+            max_arity: 2,
+            body_atoms: (1, 2),
+            head_atoms: (1, 1),
+            existential_prob: 0.2,
+            seed,
+        });
+        let inst = random_instance(
+            &set,
+            &RandomInstanceConfig {
+                facts: 15,
+                domain: 5,
+                seed,
+            },
+        );
+        let cfg = ChaseConfig::with_max_steps(2_000);
+        let scratch = chase(&inst, &set, &cfg);
+        if !scratch.terminated() {
+            continue; // divergent seed: no universal model to compare
+        }
+        let stream = update_stream(&inst, &UpdateStreamConfig { batches: 4, seed });
+        assert_session_equivalent(&format!("random(seed {seed})"), &set, &stream, &[]);
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "too few terminating random seeds ({checked}) — regenerate the family"
+    );
+}

@@ -1,0 +1,160 @@
+//! S2 — merge_storm: EGD-heavy update streams through a warm
+//! `chase-serve` session against from-scratch re-chase.
+//!
+//! The workload shape ([`chase_corpus::random::merge_storm_stream`]): early
+//! batches declare entities, whose attribute TGDs invent labeled nulls;
+//! later batches deliver the ground attribute values, whose key EGDs merge
+//! those nulls away again. Every warm batch therefore fires EGD merges
+//! against an already-chased instance — the path where the store rewrites
+//! only the merged term's occurrences (via `by_pos`) and the engine repairs
+//! its trigger pool from the returned merge delta instead of rebuilding it.
+//! The **cold** baseline re-chases the accumulated union from scratch at
+//! every epoch, paying full re-matching for every merge ever applied.
+
+use chase_bench::{print_table, scaled, Row};
+use chase_core::{Atom, ConstraintSet, Instance};
+use chase_corpus::random::{merge_storm_stream, MergeStormConfig};
+use chase_engine::{chase, ChaseConfig, StopReason};
+use chase_serve::{ChaseSession, SessionConfig};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    set: ConstraintSet,
+    stream: Vec<Vec<Atom>>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mk = |name: &'static str, cfg: MergeStormConfig| {
+        let (set, stream) = merge_storm_stream(&cfg);
+        Workload { name, set, stream }
+    };
+    vec![
+        mk(
+            "storm",
+            MergeStormConfig {
+                entities: scaled(120, 20),
+                attributes: 3,
+                values: 10,
+                batches: scaled(12, 4),
+                seed: 7,
+            },
+        ),
+        mk(
+            "storm_wide",
+            MergeStormConfig {
+                entities: scaled(100, 14),
+                attributes: 6,
+                values: 6,
+                batches: scaled(14, 4),
+                seed: 8,
+            },
+        ),
+        // A tight value pool: most rewritten `Uses` rows collapse onto an
+        // existing duplicate, stressing the collapse bookkeeping.
+        mk(
+            "storm_dense",
+            MergeStormConfig {
+                entities: scaled(150, 24),
+                attributes: 4,
+                values: 3,
+                batches: scaled(12, 4),
+                seed: 9,
+            },
+        ),
+    ]
+}
+
+/// Warm path: one resident session; each batch's merges are applied as
+/// deltas. Returns (steps, merge-rewritten, merge-collapsed).
+fn run_warm(set: &ConstraintSet, stream: &[Vec<Atom>]) -> (usize, usize, usize) {
+    let cfg = SessionConfig {
+        use_sqo: false, // no queries here; measure pure re-chase
+        ..SessionConfig::default()
+    };
+    let mut session = ChaseSession::with_config(set.clone(), cfg);
+    let mut steps = 0;
+    for batch in stream {
+        let out = session.apply(batch.iter().cloned()).expect("batch applies");
+        assert_eq!(out.reason, StopReason::Satisfied, "workload must quiesce");
+        steps += out.steps;
+    }
+    (steps, session.merge_rewritten(), session.merge_collapsed())
+}
+
+/// Cold path: re-chase the accumulated union from scratch at every epoch.
+fn run_cold(set: &ConstraintSet, stream: &[Vec<Atom>]) -> usize {
+    let cfg = ChaseConfig::default();
+    let mut union = Instance::new();
+    let mut last_steps = 0;
+    for batch in stream {
+        union.extend(batch.iter().cloned());
+        let res = chase(&union, set, &cfg);
+        assert_eq!(res.reason, StopReason::Satisfied, "workload must quiesce");
+        last_steps = res.steps;
+    }
+    last_steps
+}
+
+fn print_shape() {
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let epochs = w.stream.len();
+        let t0 = Instant::now();
+        let (warm_steps, rewritten, collapsed) = run_warm(&w.set, &w.stream);
+        let warm_time = t0.elapsed();
+        let t0 = Instant::now();
+        let cold_final_steps = run_cold(&w.set, &w.stream);
+        let cold_time = t0.elapsed();
+        rows.push(Row::new(
+            w.name.to_string(),
+            vec![
+                epochs.to_string(),
+                format!("{warm_steps}/{cold_final_steps}"),
+                format!("{rewritten}/{collapsed}"),
+                format!("{:.2} ms", warm_time.as_secs_f64() * 1e3),
+                format!("{:.2} ms", cold_time.as_secs_f64() * 1e3),
+                format!(
+                    "{:.2}x",
+                    cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9)
+                ),
+            ],
+        ));
+    }
+    print_table(
+        "S2 — EGD merge storms: warm merge-delta session vs from-scratch re-chase",
+        &[
+            "workload",
+            "epochs",
+            "steps warm/cold-final",
+            "merge rewritten/collapsed",
+            "warm total",
+            "cold total",
+            "cold/warm",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_storm");
+    g.sample_size(10);
+    for w in workloads() {
+        g.bench_with_input(BenchmarkId::new(w.name, "warm"), &w, |b, w| {
+            b.iter(|| run_warm(black_box(&w.set), &w.stream))
+        });
+        g.bench_with_input(BenchmarkId::new(w.name, "cold"), &w, |b, w| {
+            b.iter(|| run_cold(black_box(&w.set), &w.stream))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_shape();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

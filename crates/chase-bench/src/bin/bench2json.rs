@@ -170,6 +170,19 @@ fn compare(
     regressions
 }
 
+/// The distinct bench groups (first `/`-segment of the label) among the
+/// failing regressions, sorted — so the gate's failure message names which
+/// bench *group* breached the threshold, not just the raw labels.
+fn breached_groups(regressions: &[(String, f64, f64, f64)]) -> Vec<String> {
+    let mut groups: Vec<String> = regressions
+        .iter()
+        .map(|(label, ..)| label.split('/').next().unwrap_or(label).to_string())
+        .collect();
+    groups.sort();
+    groups.dedup();
+    groups
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -250,7 +263,12 @@ fn main() {
         eprintln!("bench2json: comparing against {path} (threshold {threshold}%)");
         let regressions = compare(&baseline, &results, threshold);
         if !regressions.is_empty() {
-            eprintln!("bench2json: FAIL — median regressions over {threshold}%:");
+            let groups = breached_groups(&regressions);
+            eprintln!(
+                "bench2json: FAIL — median regressions over {threshold}% in bench group{} {}:",
+                if groups.len() == 1 { "" } else { "s" },
+                groups.join(", ")
+            );
             for (label, old, new, delta) in &regressions {
                 eprintln!("  {label}: {old:.0} ns -> {new:.0} ns ({delta:+.1}%)");
             }
@@ -359,5 +377,21 @@ mod tests {
             median_ns: 500.0,
         }];
         assert!(compare(&b, &fine, 0.1).is_empty());
+    }
+
+    #[test]
+    fn failure_output_names_the_breached_groups() {
+        let regressions = vec![
+            ("merge_storm/storm/warm".to_string(), 1000.0, 2000.0, 100.0),
+            ("merge_storm/storm_dense/warm".to_string(), 1.0, 2.0, 100.0),
+            ("instance_micro/merge".to_string(), 10.0, 20.0, 100.0),
+            ("plainlabel".to_string(), 1.0, 2.0, 100.0),
+        ];
+        assert_eq!(
+            breached_groups(&regressions),
+            vec!["instance_micro", "merge_storm", "plainlabel"],
+            "one entry per distinct group, sorted"
+        );
+        assert!(breached_groups(&[]).is_empty());
     }
 }

@@ -21,10 +21,14 @@
 //! * per-predicate cardinality and per-position distinct-value statistics
 //!   for the `chase-plan` join compiler.
 //!
-//! EGD merges ([`Instance::merge_terms`]) are id-remap passes over the
-//! columns: the old rows are replayed in insertion order with `from`'s id
-//! rewritten to `to`'s, through the same id-level insert — no term vector is
-//! re-hashed and no atom materialized.
+//! EGD merges ([`Instance::merge_terms`]) are **delta passes**: the
+//! occurrences of `from` are located through `by_pos`, only those rows are
+//! rewritten in place, and every index and statistic is patched
+//! incrementally — rows that collapse onto already-present rows are removed
+//! and the surviving fact ids compacted, reproducing exactly the state a
+//! from-scratch replay of the rewritten insert stream would build. The
+//! returned [`MergeEffect`] names the rewritten rows so engines can treat
+//! a merge like any other delta.
 //!
 //! The atom-level API ([`Instance::atoms`], [`Instance::iter`],
 //! [`Instance::atom_at`]) materializes [`Atom`]s on demand (an O(arity)
@@ -100,14 +104,67 @@ pub struct Instance {
     /// Distinct-value count per `(pred, position)` — the number of live
     /// `by_pos` buckets, maintained without scanning the key space.
     distinct: FxHashMap<(Sym, u32), u32>,
-    /// Bumped on every merge (which rewrites statistics in place, unlike
-    /// inserts, whose effect the fact count already captures); plan caches
-    /// compare it to decide when to recompile.
+    /// Bumped on every *effective* merge — one that rewrote at least one
+    /// row. A merge whose `from` occurs nowhere leaves the store untouched
+    /// and does not move this counter.
     merges: u64,
     next_null: u32,
     /// Reusable id buffer for the insert path (cleared per call, never
     /// shrunk) — keeps `try_insert` allocation-free after warm-up.
     scratch: Vec<TermId>,
+}
+
+/// The structured outcome of one EGD merge ([`Instance::merge_terms`]).
+///
+/// `rewritten` holds the *post-merge* [`FactId`]s of the rows whose content
+/// changed and survived deduplication, ascending — exactly the delta a
+/// trigger pool has to be re-matched against, which is how `chase-engine`
+/// treats a merge like any other step. `collapsed` counts the rows that
+/// vanished: rewritten rows that collapsed onto an already-present row,
+/// plus present rows absorbed by an earlier rewritten row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeEffect {
+    /// Surviving rewritten facts, by post-merge id, ascending.
+    pub rewritten: Vec<FactId>,
+    /// Facts removed by deduplication during the merge.
+    pub collapsed: usize,
+    /// The merged-away term.
+    pub from: Term,
+    /// The term every `from` occurrence now reads.
+    pub to: Term,
+}
+
+impl MergeEffect {
+    fn noop(from: Term, to: Term) -> MergeEffect {
+        MergeEffect {
+            rewritten: Vec::new(),
+            collapsed: 0,
+            from,
+            to,
+        }
+    }
+
+    /// Did the merge leave the instance untouched (`from` occurred in no
+    /// fact, or `from == to`)? Then no index was modified and no epoch
+    /// moved — callers can skip all maintenance.
+    pub fn is_noop(&self) -> bool {
+        self.rewritten.is_empty() && self.collapsed == 0
+    }
+}
+
+/// Insert `fact` into a bucket kept sorted ascending (every index bucket
+/// stores fact ids in insertion order, which is ascending id order).
+fn bucket_insert(bucket: &mut Vec<FactId>, fact: FactId) {
+    if let Err(i) = bucket.binary_search(&fact) {
+        bucket.insert(i, fact);
+    }
+}
+
+/// Remove `fact` from a sorted bucket, if present.
+fn bucket_remove(bucket: &mut Vec<FactId>, fact: FactId) {
+    if let Ok(i) = bucket.binary_search(&fact) {
+        bucket.remove(i);
+    }
 }
 
 /// Hash of one row's content: predicate, arity, then every id. The dedup
@@ -242,14 +299,7 @@ impl Instance {
             }
         }
         self.by_pred.entry(pred).or_default().push(fact);
-        match self.dedup.entry(hash) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(fact);
-            }
-            std::collections::hash_map::Entry::Occupied(_) => {
-                self.dedup_overflow.entry(hash).or_default().push(fact);
-            }
-        }
+        self.dedup_insert(hash, fact);
         true
     }
 
@@ -388,20 +438,22 @@ impl Instance {
 
     /// Number of distinct terms occurring at `(pred, pos)`, in O(1).
     ///
-    /// Maintained incrementally as `by_pos` buckets are created; after a
-    /// merge the counters are rebuilt alongside the indexes. This is the
-    /// per-position selectivity statistic the join planner divides by.
+    /// Maintained incrementally as `by_pos` buckets are created and (on
+    /// merges) emptied. This is the per-position selectivity statistic the
+    /// join planner divides by.
     pub fn distinct_at(&self, pred: Sym, pos: usize) -> usize {
         self.distinct
             .get(&(pred, pos as u32))
             .map_or(0, |&n| n as usize)
     }
 
-    /// Number of merges ([`Instance::merge_terms`]) performed so far.
+    /// Number of *effective* merges ([`Instance::merge_terms`] calls that
+    /// rewrote at least one row) performed so far.
     ///
-    /// Merges rewrite cardinalities and distinct counts in place without
-    /// necessarily moving the fact count, so plan caches recompile when this
-    /// moves (growth is separately captured by [`Instance::stats_epoch`]).
+    /// Merges maintain every statistic incrementally, so this is a change
+    /// counter for observability — not a recompile trigger; plan caches
+    /// watch [`Instance::stats_epoch`] alone. A merge whose `from` occurs
+    /// in no fact is a true no-op and does not move this counter.
     pub fn merge_epoch(&self) -> u64 {
         self.merges
     }
@@ -420,8 +472,8 @@ impl Instance {
     /// positions set in `mask` (bit `i` = argument position `i`).
     ///
     /// Backfills from the existing `pred`-facts on first registration (O(k))
-    /// and is maintained incrementally by every later insert and rebuilt on
-    /// merges. Registering an already-registered mask is a no-op. Masks with
+    /// and is maintained incrementally by every later insert and merge.
+    /// Registering an already-registered mask is a no-op. Masks with
     /// fewer than two bits are rejected (the positional index already serves
     /// them); positions beyond an atom's arity simply never match.
     pub fn register_composite(&mut self, pred: Sym, mask: u32) {
@@ -614,70 +666,499 @@ impl Instance {
 
     /// Replace every occurrence of `from` by `to` (the EGD merge primitive).
     ///
-    /// An id-remap pass over the columns: the old rows are replayed in
-    /// insertion order with `from`'s id rewritten to `to`'s through the
-    /// id-level insert, so rows that collapse onto existing rows are
-    /// deduplicated and every index is rebuilt — without materializing or
-    /// re-hashing a single atom. Returns the number of facts that were
-    /// rewritten.
-    pub fn merge_terms(&mut self, from: Term, to: Term) -> usize {
+    /// A **delta pass**: the rows containing `from` are located through the
+    /// `(pred, pos, from)` buckets of the positional index, only those rows
+    /// are rewritten in place, and dedup, `by_pred`, `by_pos`, composite
+    /// buckets and the cardinality/distinct statistics are patched
+    /// incrementally — O(occurrences + removed-id compaction), not
+    /// O(instance). Rewritten rows that collapse onto an already-present
+    /// row (and present rows absorbed by an earlier rewritten row) are
+    /// removed and the remaining fact ids compacted, so the resulting store
+    /// is indistinguishable from replaying the whole rewritten insert
+    /// stream from scratch.
+    ///
+    /// A merge whose `from` occurs in no fact (including a variable or
+    /// `from == to`) is a true no-op: no index is touched and
+    /// [`Instance::merge_epoch`] does not move, so plan caches and trigger
+    /// pools stay untouched too.
+    ///
+    /// Returns a [`MergeEffect`] naming the surviving rewritten rows — the
+    /// delta engines re-match triggers against — and the collapse count.
+    ///
+    /// # Panics
+    /// Panics when `from` occurs in some fact but `to` is not ground (the
+    /// rewrite would have to store a variable).
+    pub fn merge_terms(&mut self, from: Term, to: Term) -> MergeEffect {
         if from == to {
-            return 0;
+            return MergeEffect::noop(from, to);
         }
-        // A variable `from` can occur in no fact, but the old atom-level
-        // store still counted the call as a merge (rebuilding everything);
-        // keep that epoch behaviour. A variable `to` is checked at rewrite
-        // time below — replacing an occurring term by a non-ground one
-        // panicked in the old store (the replay hit `insert`'s ground
-        // check) and must not silently store the NEVER sentinel here.
-        let from_id = TermId::from_ground(from).unwrap_or(TermId::NEVER);
-        let to_id = TermId::from_ground(to).unwrap_or(TermId::NEVER);
-        let to_is_ground = to.is_ground();
-        let tables = std::mem::take(&mut self.tables);
-        let table_preds = std::mem::take(&mut self.table_preds);
-        let locs = std::mem::take(&mut self.locs);
-        self.dedup.clear();
-        self.dedup_overflow.clear();
-        self.by_pred.clear();
-        self.by_pos.clear();
-        self.distinct.clear();
-        // Composite registrations survive the merge (read-only matcher code
-        // relies on a registered mask staying queryable); only the buckets
-        // are rebuilt, by the id-level inserts below.
-        for masks in self.composite.values_mut() {
-            for buckets in masks.values_mut() {
-                buckets.clear();
+        // A variable (never-interned) `from` occurs in no fact.
+        let Some(from_id) = TermId::from_ground(from) else {
+            return MergeEffect::noop(from, to);
+        };
+        // The occurrences of `from`, via the positional index: the union of
+        // the `(pred, pos, from)` buckets over every stored column. The
+        // `(pred, pos)` pairs are collected first because two tables can
+        // share a predicate (mixed arities share positional buckets).
+        let mut pairs: Vec<(Sym, u32)> = Vec::new();
+        for (ti, tbl) in self.tables.iter().enumerate() {
+            let pred = self.table_preds[ti];
+            for p in 0..tbl.cols.len() as u32 {
+                if !pairs.contains(&(pred, p)) {
+                    pairs.push((pred, p));
+                }
             }
         }
-        let next_null = self.next_null;
+        let mut touched: Vec<FactId> = Vec::new();
+        for &(pred, p) in &pairs {
+            if let Some(bucket) = self.by_pos.get(&(pred, p, from_id)) {
+                touched.extend_from_slice(bucket);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        if touched.is_empty() {
+            return MergeEffect::noop(from, to);
+        }
+        let to_id = match TermId::from_ground(to) {
+            Some(id) => id,
+            // The old owned-atom store hit `insert`'s ground check when the
+            // replay produced a non-ground atom; the delta path must not
+            // silently store the NEVER sentinel instead.
+            None => panic!("merge target must be ground, got {to} for occurring term {from}"),
+        };
+
+        // Phase 1 — classify, replay-faithfully: walking the touched rows
+        // in id order, the first row to reach a content keeps it and later
+        // duplicates collapse; a rewritten row also *absorbs* a later
+        // untouched row that already carried its post-rewrite content.
+        // Read-only: the store still answers pre-merge probes here.
+        struct RowPlan {
+            fact: FactId,
+            old_hash: u64,
+            new_hash: u64,
+            /// Positions where `from` occurred in this row.
+            from_positions: Vec<u32>,
+            /// `false`: collapses onto an earlier row and is removed.
+            survives: bool,
+        }
+        let mut plans: Vec<RowPlan> = Vec::with_capacity(touched.len());
+        // Untouched rows absorbed by an earlier rewritten row.
+        let mut absorbed: Vec<FactId> = Vec::new();
+        // Contents minted so far this merge: new row hash → the surviving
+        // touched rows now carrying it (chained on hash collision).
+        let mut fresh: FxHashMap<u64, Vec<FactId>> = FxHashMap::default();
         let mut ids = std::mem::take(&mut self.scratch);
-        let mut rewritten = 0;
-        for loc in &locs {
-            let tbl = &tables[loc.table as usize];
+        for &t in &touched {
+            let loc = self.locs[t as usize];
+            let tbl = &self.tables[loc.table as usize];
+            let pred = self.table_preds[loc.table as usize];
             ids.clear();
-            let mut changed = false;
-            for col in &tbl.cols {
+            let mut from_positions = Vec::new();
+            let mut oh = FxHasher::default();
+            let mut nh = FxHasher::default();
+            oh.write_u32(pred.id());
+            nh.write_u32(pred.id());
+            oh.write_u32(tbl.cols.len() as u32);
+            nh.write_u32(tbl.cols.len() as u32);
+            for (p, col) in tbl.cols.iter().enumerate() {
                 let id = col[loc.row as usize];
+                oh.write_u32(id.raw());
                 if id == from_id {
-                    assert!(
-                        to_is_ground,
-                        "merge target must be ground, got {to} for occurring term {from}"
-                    );
-                    changed = true;
+                    from_positions.push(p as u32);
+                    nh.write_u32(to_id.raw());
                     ids.push(to_id);
                 } else {
+                    nh.write_u32(id.raw());
                     ids.push(id);
                 }
             }
-            if changed {
-                rewritten += 1;
+            let (old_hash, new_hash) = (oh.finish(), nh.finish());
+            let mut survives = true;
+            if let Some(owners) = fresh.get(&new_hash) {
+                // An earlier touched row already owns this content (its
+                // stored cells still read `from`, so compare through the
+                // rewrite).
+                survives = !owners
+                    .iter()
+                    .any(|&o| self.row_matches_rewritten(o, pred, &ids, from_id, to_id));
             }
-            self.insert_ids(table_preds[loc.table as usize], &ids);
+            if survives {
+                if let Some(j) = self.probe(new_hash, pred, &ids) {
+                    // A pre-merge row already carries the new content; it
+                    // can only be an untouched row (touched contents still
+                    // contain `from`). Earlier row wins, exactly like the
+                    // replay.
+                    if j < t {
+                        survives = false;
+                    } else {
+                        absorbed.push(j);
+                    }
+                }
+            }
+            if survives {
+                fresh.entry(new_hash).or_default().push(t);
+            }
+            plans.push(RowPlan {
+                fact: t,
+                old_hash,
+                new_hash,
+                from_positions,
+                survives,
+            });
         }
-        self.scratch = ids;
-        self.next_null = self.next_null.max(next_null);
+        let mut removed: Vec<FactId> = absorbed.clone();
+        removed.extend(plans.iter().filter(|p| !p.survives).map(|p| p.fact));
+        removed.sort_unstable();
+
+        // Phase 2 — apply. Dedup first (removals before insertions, since
+        // an absorbed row's entry sits under the exact hash its absorber is
+        // about to claim), while the absorbed rows still hold their cells.
+        for plan in &plans {
+            self.dedup_remove(plan.old_hash, plan.fact);
+        }
+        for &j in &absorbed {
+            let loc = self.locs[j as usize];
+            let tbl = &self.tables[loc.table as usize];
+            ids.clear();
+            ids.extend(tbl.cols.iter().map(|c| c[loc.row as usize]));
+            let hash = row_hash(self.table_preds[loc.table as usize], &ids);
+            self.dedup_remove(hash, j);
+        }
+        for plan in plans.iter().filter(|p| p.survives) {
+            self.dedup_insert(plan.new_hash, plan.fact);
+        }
+
+        // Positional index: every `(pred, pos, from)` bucket empties
+        // wholesale — its members are exactly the touched rows.
+        for &(pred, p) in &pairs {
+            if self.by_pos.remove(&(pred, p, from_id)).is_some() {
+                let d = self
+                    .distinct
+                    .get_mut(&(pred, p))
+                    .expect("live bucket is counted");
+                *d -= 1;
+                if *d == 0 {
+                    self.distinct.remove(&(pred, p));
+                }
+            }
+        }
+        // Survivors move into the `to` buckets at their rewritten
+        // positions; collapsing rows leave every bucket they were in.
+        for plan in &plans {
+            let loc = self.locs[plan.fact as usize];
+            let pred = self.table_preds[loc.table as usize];
+            if plan.survives {
+                for &p in &plan.from_positions {
+                    let bucket = self.by_pos.entry((pred, p, to_id)).or_default();
+                    if bucket.is_empty() {
+                        *self.distinct.entry((pred, p)).or_insert(0) += 1;
+                    }
+                    bucket_insert(bucket, plan.fact);
+                }
+            } else {
+                let tbl = &self.tables[loc.table as usize];
+                ids.clear();
+                ids.extend(tbl.cols.iter().map(|c| c[loc.row as usize]));
+                for (p, &id) in ids.iter().enumerate() {
+                    // The `from` buckets are already gone wholesale.
+                    if id != from_id {
+                        self.remove_pos_entry(pred, p as u32, id, plan.fact);
+                    }
+                }
+            }
+        }
+        for &j in &absorbed {
+            let loc = self.locs[j as usize];
+            let pred = self.table_preds[loc.table as usize];
+            let tbl = &self.tables[loc.table as usize];
+            ids.clear();
+            ids.extend(tbl.cols.iter().map(|c| c[loc.row as usize]));
+            for (p, &id) in ids.iter().enumerate() {
+                self.remove_pos_entry(pred, p as u32, id, j);
+            }
+        }
+
+        // Rewrite the surviving rows' cells in place (after the removals
+        // above, which still needed the collapsing rows' old content).
+        for plan in plans.iter().filter(|p| p.survives) {
+            let loc = self.locs[plan.fact as usize];
+            let tbl = &mut self.tables[loc.table as usize];
+            for &p in &plan.from_positions {
+                tbl.cols[p as usize][loc.row as usize] = to_id;
+            }
+        }
+
+        // Composite buckets: survivors move from their old key to the
+        // rewritten key for every mask covering a `from` position; removed
+        // rows leave all their buckets. Registrations are sticky either way.
+        for plan in &plans {
+            let loc = self.locs[plan.fact as usize];
+            let pred = self.table_preds[loc.table as usize];
+            if !self.composite.contains_key(&pred) {
+                continue;
+            }
+            ids.clear();
+            ids.extend(
+                self.tables[loc.table as usize]
+                    .cols
+                    .iter()
+                    .map(|c| c[loc.row as usize]),
+            );
+            let masks = self.composite.get_mut(&pred).expect("checked above");
+            for (&mask, buckets) in masks.iter_mut() {
+                let Some(current_key) = composite_key_ids(&ids, mask) else {
+                    continue; // out-of-arity mask: this row was never filed
+                };
+                if plan.survives {
+                    // Cells are rewritten, so `current_key` is the *new*
+                    // key; restore `from` at the rewritten slots for the
+                    // old one.
+                    if !plan
+                        .from_positions
+                        .iter()
+                        .any(|&p| p < 32 && mask & (1 << p) != 0)
+                    {
+                        continue; // mask misses every rewritten position
+                    }
+                    let mut old_key = current_key.clone();
+                    let mut slot = 0;
+                    let mut m = mask;
+                    while m != 0 {
+                        if plan.from_positions.contains(&m.trailing_zeros()) {
+                            old_key[slot] = from_id;
+                        }
+                        slot += 1;
+                        m &= m - 1;
+                    }
+                    if let Some(b) = buckets.get_mut(&old_key) {
+                        bucket_remove(b, plan.fact);
+                        if b.is_empty() {
+                            buckets.remove(&old_key);
+                        }
+                    }
+                    bucket_insert(buckets.entry(current_key).or_default(), plan.fact);
+                } else {
+                    // Collapsing row: cells untouched, current key = old key.
+                    if let Some(b) = buckets.get_mut(&current_key) {
+                        bucket_remove(b, plan.fact);
+                        if b.is_empty() {
+                            buckets.remove(&current_key);
+                        }
+                    }
+                }
+            }
+        }
+        for &j in &absorbed {
+            let loc = self.locs[j as usize];
+            let pred = self.table_preds[loc.table as usize];
+            if !self.composite.contains_key(&pred) {
+                continue;
+            }
+            ids.clear();
+            ids.extend(
+                self.tables[loc.table as usize]
+                    .cols
+                    .iter()
+                    .map(|c| c[loc.row as usize]),
+            );
+            let masks = self.composite.get_mut(&pred).expect("checked above");
+            for (&mask, buckets) in masks.iter_mut() {
+                if let Some(key) = composite_key_ids(&ids, mask) {
+                    if let Some(b) = buckets.get_mut(&key) {
+                        bucket_remove(b, j);
+                        if b.is_empty() {
+                            buckets.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Physically drop the removed rows: compact their tables column by
+        // column, then renumber every surviving fact id above the first
+        // removal — locations, all index buckets, and the dedup values.
+        if !removed.is_empty() {
+            for &r in &removed {
+                let loc = self.locs[r as usize];
+                let pred = self.table_preds[loc.table as usize];
+                let bucket = self.by_pred.get_mut(&pred).expect("fact was indexed");
+                bucket_remove(bucket, r);
+                if bucket.is_empty() {
+                    self.by_pred.remove(&pred);
+                }
+            }
+            let mut rows_by_table: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+            for &r in &removed {
+                let loc = self.locs[r as usize];
+                rows_by_table.entry(loc.table).or_default().push(loc.row);
+            }
+            for (&t, rows) in rows_by_table.iter_mut() {
+                rows.sort_unstable();
+                let tbl = &mut self.tables[t as usize];
+                let nrows = tbl.rows as usize;
+                for col in &mut tbl.cols {
+                    let mut next_gone = 0;
+                    let mut w = 0;
+                    for r in 0..nrows {
+                        if next_gone < rows.len() && rows[next_gone] as usize == r {
+                            next_gone += 1;
+                            continue;
+                        }
+                        col[w] = col[r];
+                        w += 1;
+                    }
+                    col.truncate(w);
+                }
+                tbl.rows -= rows.len() as u32;
+            }
+            let mut new_locs = Vec::with_capacity(self.locs.len() - removed.len());
+            let mut next_gone = 0;
+            for (f, loc) in self.locs.iter().enumerate() {
+                if next_gone < removed.len() && removed[next_gone] as usize == f {
+                    next_gone += 1;
+                    continue;
+                }
+                let mut l = *loc;
+                if let Some(rows) = rows_by_table.get(&l.table) {
+                    l.row -= rows.partition_point(|&r| r < l.row) as u32;
+                }
+                new_locs.push(l);
+            }
+            self.locs = new_locs;
+            let first = removed[0];
+            let renumber = |bucket: &mut Vec<FactId>| {
+                if bucket.last().is_none_or(|&l| l < first) {
+                    return; // wholly below the first removal: unchanged
+                }
+                for id in bucket.iter_mut() {
+                    *id -= removed.partition_point(|&r| r < *id) as u32;
+                }
+            };
+            for bucket in self.by_pred.values_mut() {
+                renumber(bucket);
+            }
+            for bucket in self.by_pos.values_mut() {
+                renumber(bucket);
+            }
+            for masks in self.composite.values_mut() {
+                for buckets in masks.values_mut() {
+                    for bucket in buckets.values_mut() {
+                        renumber(bucket);
+                    }
+                }
+            }
+            for id in self.dedup.values_mut() {
+                *id -= removed.partition_point(|&r| r < *id) as u32;
+            }
+            for chain in self.dedup_overflow.values_mut() {
+                for id in chain.iter_mut() {
+                    *id -= removed.partition_point(|&r| r < *id) as u32;
+                }
+            }
+        }
+
+        if let Some(n) = to_id.as_null() {
+            self.next_null = self.next_null.max(n + 1);
+        }
         self.merges += 1;
-        rewritten
+        self.scratch = ids;
+        let rewritten = plans
+            .iter()
+            .filter(|p| p.survives)
+            .map(|p| p.fact - removed.partition_point(|&r| r < p.fact) as u32)
+            .collect();
+        MergeEffect {
+            rewritten,
+            collapsed: removed.len(),
+            from,
+            to,
+        }
+    }
+
+    /// Content equality of `ids` (a row as it will read post-rewrite)
+    /// against the stored row `f` viewed through the same `from → to`
+    /// rewrite. Used by the merge's classification phase, where the store
+    /// still holds pre-merge cells.
+    fn row_matches_rewritten(
+        &self,
+        f: FactId,
+        pred: Sym,
+        ids: &[TermId],
+        from_id: TermId,
+        to_id: TermId,
+    ) -> bool {
+        let loc = self.locs[f as usize];
+        let tbl = &self.tables[loc.table as usize];
+        self.table_preds[loc.table as usize] == pred
+            && tbl.cols.len() == ids.len()
+            && tbl.cols.iter().zip(ids).all(|(col, &want)| {
+                let mut have = col[loc.row as usize];
+                if have == from_id {
+                    have = to_id;
+                }
+                have == want
+            })
+    }
+
+    /// Drop `fact` from the `(pred, pos, id)` bucket, dropping the bucket
+    /// (and its distinct count) when it empties.
+    fn remove_pos_entry(&mut self, pred: Sym, pos: u32, id: TermId, fact: FactId) {
+        let Some(bucket) = self.by_pos.get_mut(&(pred, pos, id)) else {
+            return;
+        };
+        bucket_remove(bucket, fact);
+        if bucket.is_empty() {
+            self.by_pos.remove(&(pred, pos, id));
+            let d = self
+                .distinct
+                .get_mut(&(pred, pos))
+                .expect("live bucket is counted");
+            *d -= 1;
+            if *d == 0 {
+                self.distinct.remove(&(pred, pos));
+            }
+        }
+    }
+
+    /// Drop `fact` from the dedup table under `hash`, keeping the
+    /// primary-slot/overflow-chain invariant (a probe gives up when the
+    /// primary slot is empty, so a surviving chain entry gets promoted).
+    fn dedup_remove(&mut self, hash: u64, fact: FactId) {
+        if self.dedup.get(&hash) == Some(&fact) {
+            match self.dedup_overflow.get_mut(&hash) {
+                Some(chain) if !chain.is_empty() => {
+                    let promoted = chain.remove(0);
+                    if chain.is_empty() {
+                        self.dedup_overflow.remove(&hash);
+                    }
+                    self.dedup.insert(hash, promoted);
+                }
+                _ => {
+                    self.dedup.remove(&hash);
+                    self.dedup_overflow.remove(&hash);
+                }
+            }
+        } else if let Some(chain) = self.dedup_overflow.get_mut(&hash) {
+            chain.retain(|&f| f != fact);
+            if chain.is_empty() {
+                self.dedup_overflow.remove(&hash);
+            }
+        }
+    }
+
+    /// Enter `fact` into the dedup table under `hash`: primary slot if
+    /// free, overflow chain otherwise (the tail of `insert_ids`, shared
+    /// with the merge path).
+    fn dedup_insert(&mut self, hash: u64, fact: FactId) {
+        match self.dedup.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(fact);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.dedup_overflow.entry(hash).or_default().push(fact);
+            }
+        }
     }
 
     /// The schema induced by the facts.
@@ -999,12 +1480,35 @@ mod tests {
             "E",
             vec![Term::constant("a"), Term::constant("b")],
         ));
-        let rewritten = i.merge_terms(Term::null(0), Term::constant("b"));
-        assert_eq!(rewritten, 1);
+        let eff = i.merge_terms(Term::null(0), Term::constant("b"));
+        // The rewritten row (id 0) survives and absorbs the later duplicate.
+        assert_eq!(eff.rewritten, vec![0]);
+        assert_eq!(eff.collapsed, 1);
+        assert!(!eff.is_noop());
+        assert_eq!((eff.from, eff.to), (Term::null(0), Term::constant("b")));
         assert_eq!(i.len(), 1);
         assert!(i.contains(&ca("E", &["a", "b"])));
         // Null counter still advances past the merged null.
         assert!(i.fresh_null().as_null().unwrap() >= 1);
+    }
+
+    #[test]
+    fn merge_effect_names_surviving_rows_post_compaction() {
+        // E(_n0,c) id0, E(b,c) id1, S(_n0) id2: merging _n0→b makes id0
+        // read E(b,c); being earlier, id0 keeps the content and absorbs
+        // the untouched duplicate id1, while id2 rewrites to S(b).
+        let mut i = Instance::new();
+        i.insert(Atom::new("E", vec![Term::null(0), Term::constant("c")]));
+        i.insert(ca("E", &["b", "c"]));
+        i.insert(Atom::new("S", vec![Term::null(0)]));
+        let eff = i.merge_terms(Term::null(0), Term::constant("b"));
+        // id0 rewrites to E(b,c) and absorbs id1; id2 rewrites to S(b) and
+        // compacts from id 2 to id 1.
+        assert_eq!(eff.rewritten, vec![0, 1]);
+        assert_eq!(eff.collapsed, 1);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.atom_at(0), ca("E", &["b", "c"]));
+        assert_eq!(i.atom_at(1), ca("S", &["b"]));
     }
 
     /// The position index must agree with a brute-force scan — the
@@ -1090,14 +1594,20 @@ mod tests {
     }
 
     #[test]
-    fn merge_from_a_variable_is_an_indexed_no_op() {
-        // A variable occurs in no fact: nothing rewrites, but the call
-        // still counts as a merge epoch (like the old store).
+    fn merge_without_occurrences_is_a_true_no_op() {
+        // Nothing to rewrite — whether `from` is a variable or simply a
+        // term occurring in no fact — must leave everything alone: no
+        // index cleared, no merge epoch bumped (so plan caches and trigger
+        // pools see nothing either).
         let mut i = Instance::new();
         i.insert(ca("E", &["a", "b"]));
-        assert_eq!(i.merge_terms(Term::var("X"), Term::constant("c")), 0);
-        assert_eq!(i.merge_epoch(), 1);
+        let eff = i.merge_terms(Term::var("X"), Term::constant("c"));
+        assert!(eff.is_noop());
+        let eff = i.merge_terms(Term::null(9), Term::constant("c"));
+        assert!(eff.is_noop());
+        assert_eq!(i.merge_epoch(), 0, "no-op merges move no epoch");
         assert_eq!(i.len(), 1);
+        assert_index_consistent(&i);
     }
 
     /// `with_pred` must be served by the per-predicate index, not a scan

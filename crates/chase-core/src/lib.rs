@@ -42,7 +42,7 @@ pub use error::CoreError;
 pub use homomorphism::{
     exists_extension, exists_hom, find_all_homs, find_hom, unify_atom, HomConfig, Subst,
 };
-pub use instance::{FactId, FactView, Instance, InstanceView};
+pub use instance::{FactId, FactView, Instance, InstanceView, MergeEffect};
 pub use schema::{PosSet, Position, Schema};
 pub use symbol::Sym;
 pub use term::{Term, TermId};

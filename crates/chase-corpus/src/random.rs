@@ -4,7 +4,7 @@
 //! sets") and by the recognition benchmarks. All generation is driven by an
 //! explicit seed: equal configs produce equal workloads.
 
-use chase_core::{Atom, Constraint, ConstraintSet, Instance, Term, Tgd};
+use chase_core::{Atom, Constraint, ConstraintSet, Egd, Instance, Sym, Term, Tgd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -103,6 +103,144 @@ pub fn random_tgds(cfg: &RandomTgdConfig) -> ConstraintSet {
         out.push(Constraint::Tgd(tgd));
     }
     ConstraintSet::from_constraints(out).expect("consistent generated schema")
+}
+
+/// A random TGD set plus `egds` random key EGDs over the same schema: each
+/// EGD makes one predicate functional from a key position to a value
+/// position (`P(.., X, .., Y, ..), P(.., X, .., Z, ..) -> Y = Z`); arity-1
+/// predicates get the singleton EGD `P(U0), P(V0) -> U0 = V0`. The
+/// EGD-heavy families the merge-delta equivalence tests chase — random
+/// existentials invent nulls, random keys merge them away again.
+pub fn random_egd_mix(cfg: &RandomTgdConfig, egds: usize) -> ConstraintSet {
+    let tgds = random_tgds(cfg);
+    let schema = tgds.schema().expect("consistent generated schema");
+    let preds = schema.predicates();
+    if preds.is_empty() {
+        return tgds;
+    }
+    let mut out: Vec<Constraint> = tgds.iter().cloned().collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed_e9d5_0b5e_55ed);
+    for _ in 0..egds {
+        let p = preds[rng.gen_range(0..preds.len())];
+        let ar = schema.arity(p).expect("predicate in schema");
+        // Two body atoms agreeing on the key position; every other
+        // position gets a side-local variable, and the value position's
+        // pair is equated.
+        let (key, val) = if ar == 1 {
+            (None, 0)
+        } else {
+            let key = rng.gen_range(0..ar);
+            let mut val = rng.gen_range(0..ar - 1);
+            if val >= key {
+                val += 1;
+            }
+            (Some(key), val)
+        };
+        let side = |tag: &str| -> Atom {
+            let terms = (0..ar)
+                .map(|i| {
+                    if Some(i) == key {
+                        Term::var("K")
+                    } else {
+                        Term::var(&format!("{tag}{i}"))
+                    }
+                })
+                .collect();
+            Atom::new(p, terms)
+        };
+        let egd = Egd::new(
+            vec![side("U"), side("V")],
+            Sym::new(&format!("U{val}")),
+            Sym::new(&format!("V{val}")),
+        )
+        .expect("generated EGD is well-formed");
+        out.push(Constraint::Egd(egd));
+    }
+    ConstraintSet::from_constraints(out).expect("consistent generated schema")
+}
+
+/// Shape of a merge-storm workload: an EGD-heavy update stream in which
+/// early batches declare entities (whose attribute TGDs invent labeled
+/// nulls) and later batches deliver the ground attribute values (whose key
+/// EGDs merge those nulls away again) — every batch after the first fires
+/// merges against a warm instance.
+#[derive(Debug, Clone)]
+pub struct MergeStormConfig {
+    /// Number of entities (`e0 … e{n−1}`).
+    pub entities: usize,
+    /// Attribute predicates per entity (`A0 … A{k−1}`, each with its own
+    /// invention TGD and key EGD).
+    pub attributes: usize,
+    /// Ground-value pool size (`v0 … v{m−1}`); small pools make rewritten
+    /// rows collapse onto existing duplicates more often.
+    pub values: usize,
+    /// Number of update batches (≥ 2: values always land strictly after
+    /// their entity's declaration).
+    pub batches: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MergeStormConfig {
+    fn default() -> MergeStormConfig {
+        MergeStormConfig {
+            entities: 60,
+            attributes: 3,
+            values: 8,
+            batches: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// The merge-storm constraint set for `attributes` attribute predicates:
+/// per attribute `j`, an invention TGD `Ent(E) -> Aj(E,V)`, the
+/// cross-table key EGD `Aj(E,V1), Valj(E,V2) -> V1 = V2` (the base table
+/// `Valj` holds the ground values, so even a from-scratch chase must
+/// invent the null first and merge it away afterwards — the merges cannot
+/// be satisfied into nonexistence by base facts), the self-key
+/// `Aj(E,V1), Aj(E,V2) -> V1 = V2`, and a propagation TGD
+/// `Aj(E,V) -> Uses(V)` so each invented null occurs in more than one fact
+/// (merges rewrite surviving rows, not just collapse duplicates).
+pub fn merge_storm_sigma(attributes: usize) -> ConstraintSet {
+    let mut text = String::new();
+    for j in 0..attributes {
+        text.push_str(&format!("Ent(E) -> A{j}(E,V)\n"));
+        text.push_str(&format!("A{j}(E,V1), Val{j}(E,V2) -> V1 = V2\n"));
+        text.push_str(&format!("A{j}(E,V1), A{j}(E,V2) -> V1 = V2\n"));
+        text.push_str(&format!("A{j}(E,V) -> Uses(V)\n"));
+    }
+    ConstraintSet::parse(&text).expect("merge-storm sigma parses")
+}
+
+/// Generate a merge-storm workload: [`merge_storm_sigma`] plus an update
+/// stream in which each entity's `Ent(e)` declaration lands in a random
+/// non-final batch and each of its ground attribute values `Valj(e, v)`
+/// lands in a random strictly later batch. Chasing the stream warm invents
+/// one null per (entity, attribute) and later merges it into the ground
+/// value; a from-scratch chase of any prefix union pays the same
+/// invent-then-merge work for *every* entity again. Deterministic per
+/// seed; each (entity, attribute) gets exactly one ground value, so the
+/// chase never fails on a constant–constant conflict.
+pub fn merge_storm_stream(cfg: &MergeStormConfig) -> (ConstraintSet, Vec<Vec<Atom>>) {
+    let set = merge_storm_sigma(cfg.attributes);
+    let batches = cfg.batches.max(2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = vec![Vec::new(); batches];
+    for e in 0..cfg.entities {
+        let eb = rng.gen_range(0..batches - 1);
+        let ent = Term::constant(&format!("e{e}"));
+        out[eb].push(Atom::new("Ent", vec![ent]));
+        for j in 0..cfg.attributes {
+            let vb = rng.gen_range(eb + 1..batches);
+            let v = rng.gen_range(0..cfg.values.max(1));
+            out[vb].push(Atom::new(
+                format!("Val{j}").as_str(),
+                vec![ent, Term::constant(&format!("v{v}"))],
+            ));
+        }
+    }
+    (set, out)
 }
 
 /// Shape of a random instance.
@@ -375,6 +513,68 @@ mod tests {
         );
         assert_eq!(wide.len(), 4);
         assert_eq!(wide.iter().map(Vec::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn egd_mixes_are_well_formed_and_deterministic() {
+        for seed in 0..10 {
+            let cfg = RandomTgdConfig {
+                constraints: 3,
+                seed,
+                ..RandomTgdConfig::default()
+            };
+            let s = random_egd_mix(&cfg, 2);
+            assert_eq!(s.len(), 5, "3 TGDs + 2 EGDs");
+            assert_eq!(
+                s.iter().filter(|c| matches!(c, Constraint::Egd(_))).count(),
+                2
+            );
+            s.schema().expect("schema consistent");
+            let re = ConstraintSet::parse(&s.to_string()).expect("display parses");
+            assert_eq!(re.to_string(), s.to_string());
+            assert_eq!(s.to_string(), random_egd_mix(&cfg, 2).to_string());
+        }
+    }
+
+    #[test]
+    fn merge_storm_streams_order_values_after_entities() {
+        let cfg = MergeStormConfig {
+            entities: 20,
+            attributes: 2,
+            values: 4,
+            batches: 6,
+            seed: 5,
+        };
+        let (set, stream) = merge_storm_stream(&cfg);
+        assert_eq!(
+            set.len(),
+            8,
+            "2 attributes × (invention, val-key, self-key, propagation)"
+        );
+        assert_eq!(stream, merge_storm_stream(&cfg).1, "deterministic per seed");
+        assert_eq!(stream.len(), 6);
+        let total: usize = stream.iter().map(Vec::len).sum();
+        assert_eq!(total, 20 * (1 + 2), "one Ent plus one value per attribute");
+        // Every ground attribute value lands strictly after its entity.
+        let mut declared_at = std::collections::HashMap::new();
+        for (b, batch) in stream.iter().enumerate() {
+            for a in batch {
+                if a.pred() == chase_core::Sym::new("Ent") {
+                    declared_at.insert(a.terms()[0], b);
+                }
+            }
+        }
+        for (b, batch) in stream.iter().enumerate() {
+            for a in batch {
+                if a.pred() != chase_core::Sym::new("Ent") {
+                    let e = a.terms()[0];
+                    assert!(
+                        declared_at[&e] < b,
+                        "value {a} in batch {b} not after its Ent declaration"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -34,9 +34,14 @@
 //!   chase's "not already satisfied" check never runs twice for the same
 //!   `(constraint, assignment)` pair.
 //!
-//! EGD merges rewrite atoms in place, which can resurrect or invalidate
-//! anything; they conservatively rebuild the pool from scratch and clear the
-//! dead-set (merges are rare in chase workloads; TGD steps dominate).
+//! EGD merges are delta-driven too. The store returns a
+//! [`chase_core::MergeEffect`] naming the rows the merge rewrote, and the
+//! engine repairs its structures from that delta: pooled substitutions and
+//! dead/fired memo keys are remapped through `from ↦ to` (normalized keys
+//! sort by variable *name*, so the substitution renormalizes them in
+//! place), remapped pool triggers are re-validated in full, and the
+//! rewritten rows seed the same semi-naive re-matching and head
+//! revalidation a TGD delta uses — no pool rebuild, no memo wipe.
 //!
 //! All matching work — pool rebuilds, semi-naive delta re-matching, head
 //! revalidation, and the naive reference's full re-enumeration — goes
@@ -67,7 +72,7 @@ use crate::step::{apply_step, StepEffect};
 use crate::trigger::{head_rests, normalize, Matcher};
 use chase_core::fx::{FxHashMap, FxHashSet};
 use chase_core::homomorphism::Subst;
-use chase_core::{Atom, Constraint, ConstraintSet, Instance, Sym, Term};
+use chase_core::{Atom, Constraint, ConstraintSet, Instance, MergeEffect, Sym, Term};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -203,6 +208,12 @@ pub struct StepRecord {
     pub fresh_nulls: Vec<Term>,
     /// Merge performed (EGD steps): `(from, to)`.
     pub merged: Option<(Term, Term)>,
+    /// Facts rewritten by the merge (EGD steps; `0` otherwise) — the size
+    /// of the delta the pool was re-matched against.
+    pub merge_rewritten: usize,
+    /// Facts that collapsed onto existing rows during the merge (EGD
+    /// steps; `0` otherwise).
+    pub merge_collapsed: usize,
 }
 
 /// The outcome of a chase run.
@@ -329,11 +340,12 @@ impl TriggerPool {
 /// chase warm instead of rebuilding pool, memos, and plans from scratch.
 ///
 /// Warm continuation is sound because everything memoized is monotone
-/// between merges: added atoms (chase steps *or* base-fact batches) never
-/// un-satisfy a TGD trigger and never change an EGD trigger's bindings, so
-/// the dead-set stays valid, and EGD merges already rebuild pool and memo
-/// conservatively. Trigger selection stays canonical, so a resumed chase
-/// is some legal chase sequence of the accumulated base facts.
+/// under the chase's own operations: added atoms (chase steps *or*
+/// base-fact batches) never un-satisfy a TGD trigger and never change an
+/// EGD trigger's bindings, and EGD merges rename terms permanently, so the
+/// dead-set stays valid once its keys are remapped through the merge.
+/// Trigger selection stays canonical, so a resumed chase is some legal
+/// chase sequence of the accumulated base facts.
 ///
 /// The state is only meaningful for the `(set, cfg)` pair it was built
 /// with; methods taking them again expect the *same* values (the session
@@ -350,10 +362,11 @@ pub struct EngineState {
     /// membership probes borrow the key instead of cloning it.
     fired: Vec<FxHashSet<TriggerKey>>,
     /// Standard mode, delta engine: triggers known to be satisfied, keyed
-    /// per constraint. Between merges this is monotone — added atoms never
-    /// un-satisfy a TGD trigger and never change an EGD trigger's bindings —
-    /// so membership means the "not already satisfied" check can be skipped
-    /// for good. Cleared on every merge.
+    /// per constraint. This is monotone — added atoms never un-satisfy a
+    /// TGD trigger and never change an EGD trigger's bindings — so
+    /// membership means the "not already satisfied" check can be skipped
+    /// for good. EGD merges remap the keys through `from ↦ to` (a
+    /// satisfied trigger stays satisfied under the renaming).
     dead: Vec<FxHashSet<TriggerKey>>,
     /// The incrementally maintained active-trigger queue (delta engine only).
     pool: TriggerPool,
@@ -363,9 +376,14 @@ pub struct EngineState {
     head_preds: Vec<FxHashSet<Sym>>,
     /// The matching engine every trigger query goes through: compiled
     /// `chase-plan` join programs (planner on) or the classic searcher
-    /// (planner off). Refreshed when the instance's statistics epoch moves
-    /// and invalidated on merges; shared read-only with matcher shards.
+    /// (planner off). Refreshed when the instance's statistics epoch
+    /// moves; shared read-only with matcher shards.
     matcher: Matcher,
+    /// Facts rewritten by EGD merges, cumulative across every run over
+    /// this state (merge-cost observability for the serving layer).
+    merge_rewritten: usize,
+    /// Facts removed by merge deduplication, cumulative.
+    merge_collapsed: usize,
     /// Did the pool's initial full enumeration run yet? (Delta engines
     /// only; the naive reference never builds the pool.)
     pool_built: bool,
@@ -417,6 +435,8 @@ impl EngineState {
             body_preds,
             head_preds,
             matcher,
+            merge_rewritten: 0,
+            merge_collapsed: 0,
             pool_built: false,
             poisoned: None,
         }
@@ -440,6 +460,18 @@ impl EngineState {
     /// Fresh nulls invented across every run over this state.
     pub fn total_fresh_nulls(&self) -> usize {
         self.fresh_nulls
+    }
+
+    /// Facts rewritten by EGD merges across every run over this state —
+    /// the total merge delta the pool was re-matched against.
+    pub fn total_merge_rewritten(&self) -> usize {
+        self.merge_rewritten
+    }
+
+    /// Facts that collapsed onto existing rows during EGD merges across
+    /// every run over this state.
+    pub fn total_merge_collapsed(&self) -> usize {
+        self.merge_collapsed
     }
 
     /// The matcher (plan cache) the state threads through every run — for
@@ -547,6 +579,45 @@ struct Run<'a> {
 /// `(constraint, key, assignment, fireable-now)`.
 type FoundTrigger = (usize, TriggerKey, Subst, bool);
 
+/// Does this normalized key bind some variable to `t`?
+fn key_mentions(key: &TriggerKey, t: Term) -> bool {
+    key.iter().any(|&(_, bound)| bound == t)
+}
+
+/// Substitute `from ↦ to` in a normalized key. Keys sort by variable
+/// *name*, which the substitution leaves untouched, so the result is
+/// normalized too.
+fn remap_key(key: &TriggerKey, from: Term, to: Term) -> TriggerKey {
+    key.iter()
+        .map(|&(v, t)| (v, if t == from { to } else { t }))
+        .collect()
+}
+
+/// Substitute `from ↦ to` in a trigger assignment.
+fn remap_subst(mu: &Subst, from: Term, to: Term) -> Subst {
+    let mut nu = Subst::new();
+    for (v, t) in mu.var_bindings() {
+        nu.bind_var(v, if t == from { to } else { t });
+    }
+    nu
+}
+
+/// Rewrite every key in a memo set through `from ↦ to`. Renamed keys can
+/// collide with existing members; set union is exactly what the dead and
+/// fired memo semantics want (both facts — "satisfied" / "already fired" —
+/// hold for the collided key either way).
+fn remap_key_set(memo: &mut FxHashSet<TriggerKey>, from: Term, to: Term) {
+    let stale: Vec<TriggerKey> = memo
+        .iter()
+        .filter(|k| key_mentions(k, from))
+        .cloned()
+        .collect();
+    for key in stale {
+        memo.remove(&key);
+        memo.insert(remap_key(&key, from, to));
+    }
+}
+
 impl<'a> Run<'a> {
     fn new(
         set: &'a ConstraintSet,
@@ -589,9 +660,10 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Populate the pool from a full enumeration (initial build, and the
-    /// conservative rebuild after every EGD merge — a merge rewrites atoms
-    /// in place, so both pooled triggers and the dead-set may be stale).
+    /// Populate the pool from a full enumeration — the **initial build**
+    /// only. EGD merges used to route through here conservatively; they
+    /// are now repaired incrementally by [`Run::apply_merge_delta`], so a
+    /// running engine never re-enumerates.
     ///
     /// With a worker pool and a large enough instance the enumeration is
     /// sharded over the instance atoms: every body homomorphism of a
@@ -819,6 +891,77 @@ impl<'a> Run<'a> {
         }
     }
 
+    /// Repair the pool and memos after an EGD merge — the delta-shaped
+    /// replacement for the old conservative full rebuild:
+    ///
+    /// 1. **Remap.** The dead memo's keys and every pooled trigger whose
+    ///    key mentions `from` are rewritten through `from ↦ to`
+    ///    (normalized keys sort by variable *name*, so substituting the
+    ///    bound terms renormalizes them in place; equal bound variables
+    ///    imply equal substitutions, so key collisions are idempotent). A
+    ///    remapped pooled trigger is re-admitted only if it is still
+    ///    active under its new bindings — a *full* activity check, because
+    ///    the remapped head instantiation can coincide with an unchanged
+    ///    fact, and an EGD's sides can have become equal — and not already
+    ///    dead (or fired, oblivious mode) under its new name.
+    /// 2. **Re-match.** The surviving rewritten rows are the merge's
+    ///    delta: they get the exact maintenance a TGD step's added atoms
+    ///    get ([`Run::apply_delta`] — head revalidation of pooled
+    ///    triggers, then semi-naive body re-matching, sharded across the
+    ///    worker pool the same way).
+    ///
+    /// Soundness rests on two facts. A body match mentions a rewritten row
+    /// iff its assignment binds `from` (the merged-away null cannot occur
+    /// in a body constant), so remapping the mentioning keys covers every
+    /// stale pool entry. And any body match new after the merge embeds at
+    /// least one row content that is new to the store — a subset of the
+    /// rewritten rows — so delta seeding discovers it.
+    fn apply_merge_delta(&mut self, m: &MergeEffect) {
+        for ci in 0..self.set.len() {
+            remap_key_set(&mut self.st.dead[ci], m.from, m.to);
+            let stale: Vec<TriggerKey> = self.st.pool.pools[ci]
+                .keys()
+                .filter(|k| key_mentions(k, m.from))
+                .cloned()
+                .collect();
+            for key in stale {
+                let mu = self
+                    .st
+                    .pool
+                    .remove(ci, &key)
+                    .expect("stale key just listed");
+                let key = remap_key(&key, m.from, m.to);
+                let mu = remap_subst(&mu, m.from, m.to);
+                let known = self.st.pool.contains(ci, &key)
+                    || match self.cfg.mode {
+                        ChaseMode::Standard => self.st.dead[ci].contains(&key),
+                        ChaseMode::Oblivious => self.st.fired[ci].contains(&key),
+                    };
+                if known {
+                    continue;
+                }
+                let c = &self.set[ci];
+                let fires = match self.cfg.mode {
+                    ChaseMode::Standard => self.st.matcher.is_active(ci, c, &self.st.inst, &mu),
+                    ChaseMode::Oblivious => true,
+                };
+                if fires {
+                    self.st.pool.insert(ci, key, mu);
+                } else if self.cfg.mode == ChaseMode::Standard {
+                    // Inactive under the renaming is inactive for good:
+                    // satisfaction is monotone and the renaming permanent.
+                    self.st.dead[ci].insert(key);
+                }
+            }
+        }
+        let added: Vec<Atom> = m
+            .rewritten
+            .iter()
+            .map(|&f| self.st.inst.atom_at(f))
+            .collect();
+        self.apply_delta(&added);
+    }
+
     /// Next fireable trigger for constraint `ci` under the naive reference:
     /// re-enumerate every body homomorphism and keep the canonically least
     /// fireable one, exactly like the pool (but in O(instance) per call).
@@ -876,7 +1019,7 @@ impl<'a> Run<'a> {
         let ground_body: Vec<Atom> = mu.apply_atoms(c.body());
         let effect = apply_step(&mut self.st.inst, c, &mu);
         self.st.steps += 1;
-        let (added, fresh, merged) = match effect {
+        let (added, fresh, merged, merge_stats) = match effect {
             StepEffect::Tgd {
                 added, fresh_nulls, ..
             } => {
@@ -893,25 +1036,36 @@ impl<'a> Run<'a> {
                     }
                     self.apply_delta(&added);
                 }
-                (added, fresh_nulls, None)
+                (added, fresh_nulls, None, (0, 0))
             }
-            StepEffect::Merged { from, to } => {
-                // A merge rewrites atoms in place: cardinalities and
-                // distinct counts changed under the plans. Refresh sees the
-                // bumped merge epoch and recompiles before the pool rebuild
-                // re-matches everything.
+            StepEffect::Merged(m) => {
+                // Merges maintain statistics incrementally, so the refresh
+                // only recompiles if the collapses moved the stats epoch.
                 let EngineState { matcher, inst, .. } = &mut *self.st;
                 matcher.refresh(self.set, inst);
-                if !self.naive {
-                    self.rebuild_pool();
+                if !m.is_noop() {
+                    // A fired trigger stays fired under the renaming:
+                    // remap the oblivious fired memo in *both* engines, so
+                    // naive and delta traces keep moving together.
+                    if self.cfg.mode == ChaseMode::Oblivious {
+                        for memo in &mut self.st.fired {
+                            remap_key_set(memo, m.from, m.to);
+                        }
+                    }
+                    if !self.naive {
+                        self.apply_merge_delta(&m);
+                    }
                 }
-                (Vec::new(), Vec::new(), Some((from, to)))
+                self.st.merge_rewritten += m.rewritten.len();
+                self.st.merge_collapsed += m.collapsed;
+                let stats = (m.rewritten.len(), m.collapsed);
+                (Vec::new(), Vec::new(), Some((m.from, m.to)), stats)
             }
             StepEffect::Failed => {
                 self.stop = Some(StopReason::Failed);
                 return false;
             }
-            StepEffect::NoOp => (Vec::new(), Vec::new(), None),
+            StepEffect::NoOp => (Vec::new(), Vec::new(), None, (0, 0)),
         };
         self.st.fresh_nulls += fresh.len();
         if let Some(monitor) = &mut self.st.monitor {
@@ -932,6 +1086,8 @@ impl<'a> Run<'a> {
                 added,
                 fresh_nulls: fresh,
                 merged,
+                merge_rewritten: merge_stats.0,
+                merge_collapsed: merge_stats.1,
             });
         }
         if self.stop.is_some() {
@@ -1392,6 +1548,8 @@ mod tests {
                 assert_eq!(a.added, b.added, "{label}");
                 assert_eq!(a.fresh_nulls, b.fresh_nulls, "{label}");
                 assert_eq!(a.merged, b.merged, "{label}");
+                assert_eq!(a.merge_rewritten, b.merge_rewritten, "{label}");
+                assert_eq!(a.merge_collapsed, b.merge_collapsed, "{label}");
             }
         }
     }

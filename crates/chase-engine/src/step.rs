@@ -7,7 +7,7 @@
 //! (Section 2).
 
 use chase_core::homomorphism::Subst;
-use chase_core::{Atom, Constraint, Instance, Term};
+use chase_core::{Atom, Constraint, Instance, MergeEffect, Term};
 
 /// What a single chase step did to the instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,13 +24,11 @@ pub enum StepEffect {
         /// Fresh nulls, one per existential variable.
         fresh_nulls: Vec<Term>,
     },
-    /// An EGD fired and merged `from` into `to` (`from` was a labeled null).
-    Merged {
-        /// The null that was replaced.
-        from: Term,
-        /// The term it was replaced by.
-        to: Term,
-    },
+    /// An EGD fired and merged `from` into `to` (`from` was a labeled
+    /// null). Carries the store's [`MergeEffect`]: the surviving rewritten
+    /// fact ids (the merge's delta) and the collapse count, which the
+    /// delta engine uses to repair its trigger pool without a rebuild.
+    Merged(MergeEffect),
     /// An EGD tried to equate two distinct constants: the chase fails and the
     /// result is undefined.
     Failed,
@@ -83,8 +81,7 @@ pub fn apply_step(inst: &mut Instance, c: &Constraint, mu: &Subst) -> StepEffect
             } else {
                 return StepEffect::Failed;
             };
-            inst.merge_terms(from, to);
-            StepEffect::Merged { from, to }
+            StepEffect::Merged(inst.merge_terms(from, to))
         }
     }
 }
@@ -121,9 +118,14 @@ mod tests {
         let mu = first_active_trigger(&set[0], &inst).unwrap();
         let eff = apply_step(&mut inst, &set[0], &mu);
         match eff {
-            StepEffect::Merged { from, to } => {
-                assert!(from.is_null());
-                assert_eq!(to, Term::constant("b"));
+            StepEffect::Merged(m) => {
+                assert!(m.from.is_null());
+                assert_eq!(m.to, Term::constant("b"));
+                // E(a,_n0) rewrote to E(a,b), which the earlier fact
+                // already carries, so it collapsed and nothing survives
+                // as delta.
+                assert!(m.rewritten.is_empty());
+                assert_eq!(m.collapsed, 1);
             }
             other => panic!("unexpected effect {other:?}"),
         }
@@ -145,9 +147,9 @@ mod tests {
         let mut inst = Instance::parse("E(a,_n0). E(a,_n1).").unwrap();
         let mu = first_active_trigger(&set[0], &inst).unwrap();
         match apply_step(&mut inst, &set[0], &mu) {
-            StepEffect::Merged { from, to } => {
-                assert!(from.is_null() && to.is_null());
-                assert_ne!(from, to);
+            StepEffect::Merged(m) => {
+                assert!(m.from.is_null() && m.to.is_null());
+                assert_ne!(m.from, m.to);
             }
             other => panic!("unexpected effect {other:?}"),
         }

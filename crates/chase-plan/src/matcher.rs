@@ -13,10 +13,13 @@
 //!   the slot's atom unified with a delta fact, the rest completed).
 //!
 //! Plans are recompiled when the instance's [`Instance::stats_epoch`]
-//! changes (each doubling of the fact count), when a merge happened since
-//! compile ([`Instance::merge_epoch`] — merges rewrite the statistics in
-//! place), or when the matcher is handed a different constraint set;
-//! recompilation also registers the composite indexes the new plans want.
+//! changes (each doubling — or merge-driven halving — of the fact count)
+//! or when the matcher is handed a different constraint set; recompilation
+//! also registers the composite indexes the new plans want. Merges are
+//! *not* a recompile trigger on their own: the store maintains its
+//! cardinality and distinct-count statistics incrementally through
+//! [`Instance::merge_terms`], so a merge that leaves the stats epoch alone
+//! leaves the plans exactly as good as they were.
 //! Between refreshes the matcher is plain read-only data (`Sync`), so the
 //! parallel engine's shard functions query it concurrently.
 //!
@@ -99,9 +102,9 @@ struct PlanCache {
     /// executing the wrong programs.
     set: ConstraintSet,
     plans: Vec<ConstraintPlans>,
-    /// `(stats_epoch, merge_epoch)` at compile time; `None` forces a
+    /// [`Instance::stats_epoch`] at compile time; `None` forces a
     /// recompile at the next [`Matcher::refresh`].
-    stamp: Option<(u32, u64)>,
+    stamp: Option<u32>,
     /// How many times the cache has recompiled — the observable behind the
     /// serving layer's "plan caches are reused across update epochs" pin
     /// ([`Matcher::recompile_count`]).
@@ -172,12 +175,14 @@ impl Matcher {
     }
 
     /// Recompile the plans if they are stale — the instance's statistics
-    /// epoch moved (a fact-count doubling), a merge happened since compile
-    /// ([`Instance::merge_epoch`] — merges rewrite statistics in place), the
-    /// constraint set differs from the one compiled for, or
-    /// [`Matcher::invalidate`] was called. Registers any composite indexes
-    /// the fresh plans want. Returns `true` if a recompile happened. No-op
-    /// for unplanned matchers.
+    /// epoch moved (a fact-count doubling, or a merge collapsing the count
+    /// past a power of two), the constraint set differs from the one
+    /// compiled for, or [`Matcher::invalidate`] was called. Merges alone
+    /// don't invalidate: the store keeps its statistics current through
+    /// [`Instance::merge_terms`], so [`Instance::merge_epoch`] is an
+    /// observability counter here, not a staleness input. Registers any
+    /// composite indexes the fresh plans want. Returns `true` if a
+    /// recompile happened. No-op for unplanned matchers.
     ///
     /// Stale plans compiled from the *same* set are never incorrect — the
     /// executor re-verifies every candidate — so skipping refresh only
@@ -187,7 +192,7 @@ impl Matcher {
         let Some(cache) = &mut self.cache else {
             return false;
         };
-        let stamp = (inst.stats_epoch(), inst.merge_epoch());
+        let stamp = inst.stats_epoch();
         // The structural set comparison runs on every call, including the
         // per-step fast path — deliberately: a same-length different set
         // with an unchanged stamp would otherwise keep executing the wrong
@@ -437,16 +442,43 @@ mod tests {
             vec![Term::constant("d"), Term::constant("e")],
         ));
         assert!(m.refresh(&set, &mut inst), "len doubled: epoch moved");
-        // Merges are detected without a manual invalidate.
+        // A merge that keeps the fact count inside the same epoch does NOT
+        // recompile — the store's statistics are maintained incrementally,
+        // so the compiled plans are as good as they were.
         inst.insert(Atom::new("E", vec![Term::constant("d"), Term::null(0)]));
         m.refresh(&set, &mut inst);
-        inst.merge_terms(Term::null(0), Term::constant("e"));
-        assert!(m.refresh(&set, &mut inst), "merge forces recompile");
+        let before = m.recompile_count();
+        let eff = inst.merge_terms(Term::null(0), Term::constant("e"));
+        assert_eq!(eff.collapsed, 1, "E(d,_n0) collapses onto E(d,e)");
+        assert!(
+            !m.refresh(&set, &mut inst),
+            "same-epoch merge: no recompile"
+        );
+        assert_eq!(m.recompile_count(), before);
         m.invalidate();
         assert!(m.refresh(&set, &mut inst), "invalidate forces recompile");
-        assert_eq!(m.recompile_count(), 4, "one count per recompile");
+        assert_eq!(m.recompile_count(), before + 1, "one count per recompile");
         assert!(!Matcher::unplanned().refresh(&set, &mut inst));
         assert_eq!(Matcher::unplanned().recompile_count(), 0);
+    }
+
+    #[test]
+    fn no_occurrence_merge_is_invisible_to_plans() {
+        // Satellite regression: merging away a term that occurs in no fact
+        // must be a true no-op — no merge-epoch bump, no recompile.
+        let set = ConstraintSet::parse("E(X,Y), E(X,Z) -> Y = Z").unwrap();
+        let mut inst = Instance::parse("E(a,b). E(b,c).").unwrap();
+        let mut m = Matcher::planned(&set, &mut inst);
+        let before = m.recompile_count();
+        let epoch = inst.merge_epoch();
+        let eff = inst.merge_terms(Term::null(7), Term::constant("b"));
+        assert!(eff.is_noop());
+        assert_eq!(inst.merge_epoch(), epoch, "no-op merge leaves merge_epoch");
+        assert!(
+            !m.refresh(&set, &mut inst),
+            "no-op merge: nothing to refresh"
+        );
+        assert_eq!(m.recompile_count(), before);
     }
 
     #[test]

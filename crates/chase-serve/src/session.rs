@@ -253,6 +253,19 @@ impl ChaseSession {
         self.state.total_steps()
     }
 
+    /// Total facts rewritten in place by EGD merges across every batch —
+    /// the cumulative size of the merge deltas the engine repaired its
+    /// trigger pool from (no pool rebuilds).
+    pub fn merge_rewritten(&self) -> usize {
+        self.state.total_merge_rewritten()
+    }
+
+    /// Total facts that collapsed onto an existing duplicate during EGD
+    /// merges across every batch.
+    pub fn merge_collapsed(&self) -> usize {
+        self.state.total_merge_collapsed()
+    }
+
     /// Insert a batch of ground base facts and continue the chase warm,
     /// semi-naively from the batch delta. Returns what happened; see
     /// [`ChaseOutcome`]. An empty or all-duplicate batch still counts an
@@ -535,6 +548,35 @@ mod tests {
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.fresh_nulls, b.fresh_nulls);
         assert_eq!(s.instance(), fork.instance());
+    }
+
+    #[test]
+    fn merge_counters_accumulate_and_rewind_with_snapshots() {
+        // F is a key: S(X) invents a null value, a later ground F collapses
+        // it away. The session-level counters expose the merge deltas.
+        let set = ConstraintSet::parse("S(X) -> F(X,Y)\nF(X,Y), F(X,Z) -> Y = Z").unwrap();
+        let mut s = ChaseSession::new(set);
+        s.apply(atoms("S(a). G(a,b).")).unwrap(); // invents F(a,_n0)
+        assert_eq!((s.merge_rewritten(), s.merge_collapsed()), (0, 0));
+        let snap = s.snapshot();
+        // F(a,b) arrives: the EGD merges _n0 → b and F(a,_n0) collapses
+        // onto the freshly inserted duplicate.
+        s.apply(atoms("F(a,b).")).unwrap();
+        assert!(s.is_quiescent());
+        assert_eq!(
+            s.merge_collapsed(),
+            1,
+            "F(a,_n0) collapsed onto F(a,b) during the merge"
+        );
+        let after = (s.merge_rewritten(), s.merge_collapsed());
+        s.restore(&snap);
+        assert_eq!(
+            (s.merge_rewritten(), s.merge_collapsed()),
+            (0, 0),
+            "snapshots carry the merge counters"
+        );
+        s.apply(atoms("F(a,b).")).unwrap();
+        assert_eq!((s.merge_rewritten(), s.merge_collapsed()), after);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! | `snapshot`            | push the current state on the snapshot stack    |
 //! | `restore`             | pop the stack and rewind to that state          |
 //! | `show`                | print the chased instance                       |
-//! | `stats`               | epochs, facts, steps, plan recompiles           |
+//! | `stats`               | epochs, facts, steps, merge costs, recompiles   |
 //! | `quit`                | exit                                            |
 //!
 //! With no input on stdin (as in CI), a built-in demo script runs instead.
@@ -118,10 +118,12 @@ impl Repl {
             },
             "show" => println!("{}", self.session.instance()),
             "stats" => println!(
-                "epochs {}, facts {}, total steps {}, plan recompiles {}, quiescent {}",
+                "epochs {}, facts {}, total steps {}, merge rewritten {}, merge collapsed {}, plan recompiles {}, quiescent {}",
                 self.session.epoch(),
                 self.session.instance().len(),
                 self.session.total_steps(),
+                self.session.merge_rewritten(),
+                self.session.merge_collapsed(),
                 self.session.plan_recompiles(),
                 self.session.is_quiescent()
             ),

@@ -14,7 +14,9 @@
 
 use chase_core::homomorphism::hom_equivalent;
 use chase_corpus::families;
-use chase_corpus::random::{random_instance, random_tgds, RandomInstanceConfig, RandomTgdConfig};
+use chase_corpus::random::{
+    random_egd_mix, random_instance, random_tgds, RandomInstanceConfig, RandomTgdConfig,
+};
 use chase_engine::{
     chase, chase_naive, chase_parallel, ChaseConfig, ChaseMode, ParallelConfig, Strategy,
 };
@@ -291,6 +293,53 @@ proptest! {
         });
         let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 4, seed });
         assert_three_way(&set, &inst, 200)?;
+    }
+
+    #[test]
+    fn egd_heavy_random_families_agree_three_way(
+        seed in any::<u64>(),
+        facts in 1usize..10,
+        egds in 1usize..=3,
+    ) {
+        // Existential-heavy TGDs invent nulls, random key EGDs merge them
+        // away: every engine must repair its trigger state through the
+        // merge delta and still replay the naive trace bit for bit.
+        let set = random_egd_mix(&RandomTgdConfig {
+            constraints: 2,
+            predicates: 3,
+            max_arity: 3,
+            body_atoms: (1, 2),
+            head_atoms: (1, 1),
+            existential_prob: 0.6,
+            seed,
+        }, egds);
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 3, seed });
+        assert_three_way(&set, &inst, 200)?;
+    }
+
+    #[test]
+    fn egd_heavy_random_families_agree_oblivious(
+        seed in any::<u64>(),
+        facts in 1usize..8,
+    ) {
+        // Oblivious mode is the fired-memo path: merges must remap memo
+        // keys identically in the naive and delta engines.
+        let set = random_egd_mix(&RandomTgdConfig {
+            constraints: 2,
+            predicates: 2,
+            max_arity: 3,
+            body_atoms: (1, 2),
+            head_atoms: (1, 1),
+            existential_prob: 0.5,
+            seed,
+        }, 2);
+        let inst = random_instance(&set, &RandomInstanceConfig { facts, domain: 3, seed });
+        let cfg = ChaseConfig {
+            mode: ChaseMode::Oblivious,
+            max_steps: Some(200),
+            ..ChaseConfig::default()
+        };
+        assert_equivalent(&set, &inst, &cfg)?;
     }
 
     #[test]

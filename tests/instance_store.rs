@@ -18,6 +18,7 @@ use chase_core::{Atom, FactId, Instance, Sym, Term, TermId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 /// One ground term from a small pool of constants and nulls (small on
 /// purpose — collisions are where dedup, buckets, and merges do real work).
@@ -39,6 +40,131 @@ fn fact(rng: &mut StdRng) -> Atom {
 fn fact_stream(seed: u64, len: usize) -> Vec<Atom> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len).map(|_| fact(&mut rng)).collect()
+}
+
+/// The atom stream with `from` replaced by `to` everywhere — the input the
+/// replay oracle re-inserts from scratch.
+fn substituted(atoms: &[Atom], from: Term, to: Term) -> Vec<Atom> {
+    atoms
+        .iter()
+        .map(|a| {
+            Atom::new(
+                a.pred(),
+                a.terms()
+                    .iter()
+                    .map(|&t| if t == from { to } else { t })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// A from-scratch store over `atoms` with the same composite registrations
+/// the tests give the incrementally maintained instance.
+fn replay_oracle(atoms: &[Atom]) -> Instance {
+    let mut o = Instance::new();
+    for pred in ["P", "Q", "R"] {
+        o.register_composite(Sym::new(pred), 0b011);
+        o.register_composite(Sym::new(pred), 0b101);
+    }
+    for a in atoms {
+        o.insert(a.clone());
+    }
+    o
+}
+
+/// Compare every observable the planner and the matching paths read between
+/// the incrementally maintained `inst` and the replay `oracle`: the fact
+/// stream, dedup-visible membership, `by_pred`/`by_pos` buckets, composite
+/// buckets (including stale keys mentioning the merged-away `from`), and
+/// the cardinality/distinct statistics the join planner costs with.
+fn same_store(inst: &Instance, oracle: &Instance, merge: (Term, Term)) -> Result<(), String> {
+    macro_rules! check {
+        ($l:expr, $r:expr, $($what:tt)+) => {{
+            let (l, r) = (&$l, &$r);
+            if l != r {
+                return Err(format!(
+                    "{} diverged\n  incremental: {:?}\n       oracle: {:?}",
+                    format!($($what)+), l, r
+                ));
+            }
+        }};
+    }
+    check!(inst.len(), oracle.len(), "len");
+    check!(inst.atoms(), oracle.atoms(), "atoms");
+    check!(inst.domain(), oracle.domain(), "domain");
+    check!(inst.nulls(), oracle.nulls(), "nulls");
+    check!(inst.constants(), oracle.constants(), "constants");
+    // Probe by_pos through candidates() with every term either store has
+    // seen plus both merge endpoints (the `from` probe checks the merged
+    // term's buckets are gone, not merely unreachable).
+    let (from, to) = merge;
+    let mut probes: BTreeSet<Term> = inst.domain();
+    probes.extend(oracle.domain());
+    probes.insert(from);
+    probes.insert(to);
+    let atoms = oracle.atoms();
+    for pred in ["P", "Q", "R"] {
+        let p = Sym::new(pred);
+        check!(
+            inst.pred_cardinality(p),
+            oracle.pred_cardinality(p),
+            "pred_cardinality({pred})"
+        );
+        check!(
+            inst.pred_bucket(p),
+            oracle.pred_bucket(p),
+            "pred_bucket({pred})"
+        );
+        for pos in 0..3usize {
+            check!(
+                inst.distinct_at(p, pos),
+                oracle.distinct_at(p, pos),
+                "distinct_at({pred}, {pos})"
+            );
+            for &t in &probes {
+                check!(
+                    inst.candidates(p, &[(pos, t)]),
+                    oracle.candidates(p, &[(pos, t)]),
+                    "candidates({pred}, {pos}, {t})"
+                );
+            }
+        }
+        check!(
+            inst.registered_composites(p),
+            oracle.registered_composites(p),
+            "registered_composites({pred})"
+        );
+        let norm = |o: Option<&[FactId]>| o.map(<[FactId]>::to_vec).unwrap_or_default();
+        for mask in [0b011u32, 0b101] {
+            let positions: Vec<usize> = (0..32).filter(|i| mask & (1 << i) != 0).collect();
+            for a in atoms.iter().filter(|a| a.pred() == p) {
+                if positions.iter().any(|&i| i >= a.arity()) {
+                    continue;
+                }
+                let key: Vec<Term> = positions.iter().map(|&i| a.terms()[i]).collect();
+                check!(
+                    norm(inst.composite_candidates(p, mask, &key)),
+                    norm(oracle.composite_candidates(p, mask, &key)),
+                    "composite({pred}, {mask:#b}, {key:?})"
+                );
+                // The same key with `to` swapped back to `from` probes the
+                // bucket the merge had to empty out.
+                let stale: Vec<Term> = key
+                    .iter()
+                    .map(|&t| if t == to { from } else { t })
+                    .collect();
+                if stale != key {
+                    check!(
+                        norm(inst.composite_candidates(p, mask, &stale)),
+                        norm(oracle.composite_candidates(p, mask, &stale)),
+                        "stale composite({pred}, {mask:#b}, {stale:?})"
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -176,5 +302,101 @@ proptest! {
         {
             prop_assert!(!inst.domain().contains(&Term::null(merge_null)));
         }
+    }
+
+    #[test]
+    fn incremental_merges_match_the_replay_oracle(
+        seed in any::<u64>(),
+        len in 1usize..40,
+        n0 in 0u32..6,
+        n2 in 0u32..6,
+    ) {
+        // A chained null→null→constant merge sequence (plus one extra
+        // random merge), each step checked against a from-scratch replay:
+        // a fresh store over the pre-merge atom stream with `from`
+        // substituted by `to`, inserted in insertion order. The incremental
+        // delta pass must be observably identical — same fact stream, same
+        // buckets, same statistics — and its MergeEffect must name exactly
+        // the surviving rewritten rows.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5_5a5a_0f0f_f0f0);
+        let n1 = (n0 + 1 + rng.gen_range(0..5u32)) % 6; // any null but n0
+        let c = Term::constant(&format!("pc{}", rng.gen_range(0..12u32)));
+        let g = ground(&mut rng);
+        let merges = [
+            (Term::null(n0), Term::null(n1)),
+            (Term::null(n1), c),
+            (Term::null(n2), g),
+        ];
+        let mut inst = Instance::new();
+        for a in fact_stream(seed, len) {
+            inst.insert(a);
+        }
+        for pred in ["P", "Q", "R"] {
+            inst.register_composite(Sym::new(pred), 0b011);
+            inst.register_composite(Sym::new(pred), 0b101);
+        }
+        for &(from, to) in &merges {
+            if from == to {
+                continue;
+            }
+            let pre_atoms = inst.atoms();
+            let pre_len = inst.len();
+            let pre_epoch = inst.merge_epoch();
+            let occurs = pre_atoms.iter().any(|a| a.terms().contains(&from));
+            let eff = inst.merge_terms(from, to);
+            prop_assert_eq!((eff.from, eff.to), (from, to));
+            prop_assert_eq!(
+                eff.collapsed,
+                pre_len - inst.len(),
+                "collapsed must count exactly the rows the merge removed"
+            );
+            if occurs {
+                prop_assert_eq!(inst.merge_epoch(), pre_epoch + 1);
+            } else {
+                prop_assert!(eff.is_noop(), "no occurrences: merge must be a no-op");
+                prop_assert_eq!(
+                    inst.merge_epoch(),
+                    pre_epoch,
+                    "a no-op merge must not bump merge_epoch"
+                );
+            }
+            prop_assert!(
+                eff.rewritten.windows(2).all(|w| w[0] < w[1]),
+                "rewritten ids must be sorted and unique: {:?}",
+                &eff.rewritten
+            );
+            for &f in &eff.rewritten {
+                prop_assert!((f as usize) < inst.len(), "rewritten id {f} out of range");
+                prop_assert!(
+                    inst.atom_at(f).terms().contains(&to),
+                    "rewritten row {f} = {} does not carry the merge target {}",
+                    inst.atom_at(f),
+                    to
+                );
+            }
+            let oracle = replay_oracle(&substituted(&pre_atoms, from, to));
+            let cmp = same_store(&inst, &oracle, (from, to));
+            prop_assert!(
+                cmp.is_ok(),
+                "after merge {} -> {}: {}",
+                from,
+                to,
+                cmp.unwrap_err()
+            );
+        }
+        // Fresh inserts after the chain must dedup identically against the
+        // rewritten rows — the dedup-table equivalent of the bucket checks.
+        let last = merges[2];
+        let mut oracle = replay_oracle(&inst.atoms());
+        for a in fact_stream(seed.wrapping_mul(31).wrapping_add(7), 10) {
+            prop_assert_eq!(
+                inst.insert(a.clone()),
+                oracle.insert(a.clone()),
+                "post-merge dedup disagrees on {}",
+                a
+            );
+        }
+        let cmp = same_store(&inst, &oracle, last);
+        prop_assert!(cmp.is_ok(), "after post-merge inserts: {}", cmp.unwrap_err());
     }
 }

@@ -81,7 +81,12 @@ fn run_warm(set: &ConstraintSet, stream: &[Vec<Atom>]) -> (usize, usize, usize) 
         assert_eq!(out.reason, StopReason::Satisfied, "workload must quiesce");
         steps += out.steps;
     }
-    (steps, session.merge_rewritten(), session.merge_collapsed())
+    let stats = session.stats();
+    (
+        steps,
+        stats.merge_rewritten as usize,
+        stats.merge_collapsed as usize,
+    )
 }
 
 /// Cold path: re-chase the accumulated union from scratch at every epoch.

@@ -1,0 +1,374 @@
+//! S2 — session_server: load generator for the multi-tenant TCP session
+//! server. N concurrent connections drive seeded chase-corpus update
+//! streams through real framed-protocol sessions and report
+//! **sessions/sec** plus **p50/p99 apply and query latency**.
+//!
+//! The headline measurement is the concurrency claim behind the
+//! copy-on-read design: certain-answer queries are served from the
+//! session's published snapshot on the connection thread, so a reader
+//! never queues behind an in-flight apply. The bench pins that down by
+//! measuring p99 query latency twice over the same loaded sessions —
+//! once **read-only** (no writer traffic at all) and once **write-heavy**
+//! (a dedicated writer connection per session streaming fresh batches the
+//! whole time) — and printing the ratio, which must stay well under the
+//! 2x that a lock-the-session design would blow through.
+
+use chase_bench::{print_table, scaled, Row};
+use chase_corpus::random::{random_travel_stream, RandomTravelConfig};
+use chase_serve::{serve, Client, ConductorConfig, QueryOpts, Server};
+use criterion::Criterion;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The travel-agency sigma every tenant session runs under.
+const SIGMA: &str =
+    "fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2); rail(C1,C2,D) -> rail(C2,C1,D)";
+
+/// Concurrent tenant sessions. Stays >= 4 in quick mode: the latency
+/// comparison is only meaningful under real concurrency.
+fn tenants() -> usize {
+    scaled(8, 4)
+}
+
+fn queries_per_reader() -> usize {
+    scaled(1200, 500)
+}
+
+/// The measured read mix: a star join and a chain join, both over
+/// relations the write-heavy stream never grows, so a read costs the same
+/// in both phases and the p99 comparison isolates contention.
+const READ_MIX: [&str; 2] = [
+    "q(C1,C2) <- fly(C1,C2,D), hasAirport(C1), hasAirport(C2)",
+    "q(C1,C3) <- fly(C1,C2,D1), fly(C2,C3,D2)",
+];
+
+/// Open-loop pacing for the measured readers: a steady per-tenant query
+/// stream rather than a closed loop, so client threads don't measure
+/// their own CPU squeeze on small machines.
+const READ_INTERVAL: Duration = Duration::from_micros(1500);
+
+/// Render a batch of atoms as wire fact text.
+fn batch_text(batch: &[chase_core::Atom]) -> String {
+    let mut s = String::new();
+    for a in batch {
+        s.push_str(&a.to_string());
+        s.push_str(". ");
+    }
+    s
+}
+
+/// A seeded per-tenant update stream.
+fn stream_for(tenant: usize) -> Vec<String> {
+    random_travel_stream(
+        &RandomTravelConfig {
+            cities: scaled(60, 16),
+            flights: scaled(400, 50),
+            rails: scaled(300, 40),
+            seed: 100 + tenant as u64,
+        },
+        scaled(8, 4),
+    )
+    .iter()
+    .map(|b| batch_text(b))
+    .collect()
+}
+
+/// Fresh, never-seen-before write batch for the write-heavy phase: new
+/// rail links each round so every apply moves the instance version and
+/// republishes (duplicate batches would be free and prove nothing). Rail
+/// only — the read mix never touches `rail`, so a read's evaluation cost
+/// is identical in both phases and the comparison isolates *contention*.
+fn fresh_batch(tenant: usize, round: usize) -> String {
+    let n = scaled(24, 8);
+    let mut s = String::new();
+    for i in 0..n {
+        s.push_str(&format!(
+            "rail(w{tenant}_{round}_{i}a,w{tenant}_{round}_{i}b,d)."
+        ));
+        s.push(' ');
+    }
+    s
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+fn fmt_us(d: Duration) -> String {
+    format!("{:.2} µs", d.as_secs_f64() * 1e6)
+}
+
+/// Print a latency distribution in the criterion stand-in's line format so
+/// `bench2json` records it on the trajectory: [p50 p90 p99].
+fn print_latency_line(label: &str, sorted: &[Duration]) {
+    println!(
+        "{label:<60} time: [{} {} {}]",
+        fmt_us(percentile(sorted, 0.50)),
+        fmt_us(percentile(sorted, 0.90)),
+        fmt_us(percentile(sorted, 0.99)),
+    );
+}
+
+/// One tenant's full lifecycle: open, stream every batch, query, close.
+/// Returns per-apply latencies.
+fn run_session(addr: std::net::SocketAddr, _tenant: usize, stream: &[String]) -> Vec<Duration> {
+    let mut c = Client::connect(addr).expect("connect");
+    let s = c.open(SIGMA).expect("open");
+    let mut applies = Vec::with_capacity(stream.len());
+    for batch in stream {
+        let t0 = Instant::now();
+        c.apply(s, batch).expect("apply");
+        applies.push(t0.elapsed());
+    }
+    let ans = c
+        .query(s, "q(C) <- hasAirport(C)", QueryOpts::default())
+        .expect("query");
+    black_box(ans);
+    c.close(s).expect("close");
+    applies
+}
+
+/// Load one session per tenant (left open) and return `(session,
+/// snapshot)` pairs — the snapshot is the loaded baseline the write-heavy
+/// writers periodically rewind to, bounding instance growth.
+fn load_sessions(server: &Server) -> Vec<(u64, u64)> {
+    (0..tenants())
+        .map(|t| {
+            let mut c = Client::connect(server.addr()).expect("connect");
+            let s = c.open(SIGMA).expect("open");
+            for batch in stream_for(t) {
+                c.apply(s, &batch).expect("apply");
+            }
+            // Warm the read mix once: the first sight of a query text pays
+            // the SQO rewriting chase, which belongs to neither measured
+            // phase.
+            for q in READ_MIX {
+                c.query(s, q, QueryOpts::default()).expect("warm query");
+            }
+            let snap = c.snapshot(s).expect("snapshot");
+            (s, snap)
+        })
+        .collect()
+}
+
+/// Per-tenant reader loop: `n` queries over its session, returning each
+/// round trip's latency.
+fn reader(addr: std::net::SocketAddr, session: u64, n: usize) -> Vec<Duration> {
+    let mut c = Client::connect(addr).expect("connect");
+    let mut lat = Vec::with_capacity(n);
+    for i in 0..n {
+        let q = READ_MIX[i % READ_MIX.len()];
+        let t0 = Instant::now();
+        let ans = c.query(session, q, QueryOpts::default()).expect("query");
+        lat.push(t0.elapsed());
+        black_box(ans);
+        let spent = t0.elapsed();
+        if spent < READ_INTERVAL {
+            thread::sleep(READ_INTERVAL - spent);
+        }
+    }
+    lat
+}
+
+/// Query latencies across all tenants with no writer traffic.
+fn measure_read_only(server: &Server, sessions: &[(u64, u64)]) -> Vec<Duration> {
+    let addr = server.addr();
+    let n = queries_per_reader();
+    let handles: Vec<_> = sessions
+        .iter()
+        .map(|&(s, _)| thread::spawn(move || reader(addr, s, n)))
+        .collect();
+    let mut all: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort();
+    all
+}
+
+/// How often each write-heavy writer issues a batch. Open-loop pacing: a
+/// steady update stream per tenant, not a closed CPU-burn loop — on small
+/// machines an unpaced writer fleet would measure the OS scheduler, not
+/// the server.
+const WRITE_INTERVAL: Duration = Duration::from_millis(8);
+
+/// Query + apply latencies across all tenants while a dedicated writer
+/// connection per session streams fresh batches for the entire window,
+/// rewinding to the loaded snapshot every few rounds to bound growth.
+fn measure_write_heavy(server: &Server, sessions: &[(u64, u64)]) -> (Vec<Duration>, Vec<Duration>) {
+    let addr = server.addr();
+    let n = queries_per_reader();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = sessions
+        .iter()
+        .enumerate()
+        .map(|(t, &(s, snap))| {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut lat = Vec::new();
+                let mut round = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let batch = fresh_batch(t, round);
+                    let t0 = Instant::now();
+                    c.apply(s, &batch).expect("apply");
+                    lat.push(t0.elapsed());
+                    round += 1;
+                    if round % 8 == 0 {
+                        c.restore(s, snap).expect("restore");
+                    }
+                    let spent = t0.elapsed();
+                    if spent < WRITE_INTERVAL {
+                        thread::sleep(WRITE_INTERVAL - spent);
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let readers: Vec<_> = sessions
+        .iter()
+        .map(|&(s, _)| thread::spawn(move || reader(addr, s, n)))
+        .collect();
+    let mut queries: Vec<Duration> = readers
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    stop.store(true, Ordering::Relaxed);
+    let mut applies: Vec<Duration> = writers
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    queries.sort();
+    applies.sort();
+    (queries, applies)
+}
+
+fn print_shape() {
+    let server = serve("127.0.0.1:0", ConductorConfig::default()).expect("bind");
+
+    // Throughput: every tenant runs its full session lifecycle once,
+    // concurrently; sessions/sec is tenants over the wall-clock window.
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..tenants())
+        .map(|t| {
+            let addr = server.addr();
+            thread::spawn(move || run_session(addr, t, &stream_for(t)))
+        })
+        .collect();
+    let mut applies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    applies.sort();
+    let window = t0.elapsed();
+    let sessions_per_sec = tenants() as f64 / window.as_secs_f64();
+
+    // Latency under contention: the read-only baseline, then the same
+    // readers racing a write-heavy stream.
+    let sessions = load_sessions(&server);
+    let read_only = measure_read_only(&server, &sessions);
+    let (write_heavy_q, write_heavy_a) = measure_write_heavy(&server, &sessions);
+    let p99_ro = percentile(&read_only, 0.99);
+    let p99_wh = percentile(&write_heavy_q, 0.99);
+    let ratio = p99_wh.as_secs_f64() / p99_ro.as_secs_f64().max(1e-9);
+
+    let rows = vec![
+        Row::new(
+            "session lifecycle",
+            vec![
+                format!("{} tenants", tenants()),
+                format!("{sessions_per_sec:.1} sessions/s"),
+                fmt_us(percentile(&applies, 0.50)),
+                fmt_us(percentile(&applies, 0.99)),
+            ],
+        ),
+        Row::new(
+            "query, read-only",
+            vec![
+                format!("{} reads", read_only.len()),
+                "-".into(),
+                fmt_us(percentile(&read_only, 0.50)),
+                fmt_us(p99_ro),
+            ],
+        ),
+        Row::new(
+            "query, write-heavy",
+            vec![
+                format!("{} reads", write_heavy_q.len()),
+                "-".into(),
+                fmt_us(percentile(&write_heavy_q, 0.50)),
+                fmt_us(p99_wh),
+            ],
+        ),
+        Row::new(
+            "apply, write-heavy",
+            vec![
+                format!("{} writes", write_heavy_a.len()),
+                "-".into(),
+                fmt_us(percentile(&write_heavy_a, 0.50)),
+                fmt_us(percentile(&write_heavy_a, 0.99)),
+            ],
+        ),
+    ];
+    print_table(
+        "S2 — session server load generation (actor-per-session over TCP)",
+        &["phase", "volume", "throughput", "p50", "p99"],
+        &rows,
+    );
+    println!(
+        "p99 query latency write-heavy/read-only: {ratio:.2}x \
+         (reads come off the published snapshot; target < 2x at >= {} sessions)",
+        tenants()
+    );
+
+    // Trajectory lines in the criterion stand-in's format: [p50 p90 p99].
+    print_latency_line("session_server/query_readonly/p50p90p99", &read_only);
+    print_latency_line("session_server/query_writeheavy/p50p90p99", &write_heavy_q);
+    print_latency_line("session_server/apply_writeheavy/p50p90p99", &write_heavy_a);
+
+    for (s, _) in sessions {
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let _ = c.close(s);
+    }
+    server.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    let server = serve("127.0.0.1:0", ConductorConfig::default()).expect("bind");
+    let addr = server.addr();
+    let mut g = c.benchmark_group("session_server");
+    g.sample_size(10);
+    // One tenant's full lifecycle over the wire, batches included.
+    let stream = stream_for(0);
+    g.bench_function("lifecycle/tcp", |b| {
+        b.iter(|| run_session(addr, 0, black_box(&stream)))
+    });
+    // A single framed query round trip against a loaded session.
+    let mut c0 = Client::connect(addr).expect("connect");
+    let s0 = c0.open(SIGMA).expect("open");
+    for batch in &stream {
+        c0.apply(s0, batch).expect("apply");
+    }
+    g.bench_function("query_roundtrip/tcp", |b| {
+        b.iter(|| {
+            c0.query(s0, "q(C) <- hasAirport(C)", QueryOpts::default())
+                .expect("query")
+        })
+    });
+    g.finish();
+    server.shutdown();
+}
+
+fn main() {
+    print_shape();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -480,7 +480,8 @@ impl ConstraintSet {
         Ok(set)
     }
 
-    /// Parse one constraint per non-empty line (`#` starts a comment).
+    /// Parse constraints separated by newlines or `;` (`#` starts a
+    /// comment running to the end of the line).
     ///
     /// # Examples
     ///
@@ -494,6 +495,13 @@ impl ConstraintSet {
     /// ).unwrap();
     /// assert_eq!(sigma.len(), 2);
     /// assert!(sigma[1].as_tgd().unwrap().existentials().len() == 1);
+    ///
+    /// // `;` separates too, so a whole set fits one line of text — the
+    /// // form the chase-serve wire protocol and REPL commands carry.
+    /// let one_line = ConstraintSet::parse(
+    ///     "S(X), E(X,Y) -> E(Y,X); S(X), E(X,Y) -> E(Y,Z), E(Z,X)",
+    /// ).unwrap();
+    /// assert_eq!(one_line.len(), 2);
     /// ```
     pub fn parse(text: &str) -> Result<ConstraintSet, CoreError> {
         crate::parser::parse_constraints(text)

@@ -108,6 +108,12 @@ pub struct Instance {
     /// row. A merge whose `from` occurs nowhere leaves the store untouched
     /// and does not move this counter.
     merges: u64,
+    /// Bumped on every mutation of the fact set: each new fact inserted and
+    /// each effective merge. Two reads of [`Instance::version`] returning
+    /// the same number bracket a window in which the instance was not
+    /// modified — the cheap staleness check behind copy-on-read snapshot
+    /// publication in the serving layer (`chase-serve`).
+    version: u64,
     next_null: u32,
     /// Reusable id buffer for the insert path (cleared per call, never
     /// shrunk) — keeps `try_insert` allocation-free after warm-up.
@@ -300,6 +306,7 @@ impl Instance {
         }
         self.by_pred.entry(pred).or_default().push(fact);
         self.dedup_insert(hash, fact);
+        self.version += 1;
         true
     }
 
@@ -456,6 +463,24 @@ impl Instance {
     /// in no fact is a true no-op and does not move this counter.
     pub fn merge_epoch(&self) -> u64 {
         self.merges
+    }
+
+    /// The mutation version: bumped once per new fact inserted and once per
+    /// effective merge, never decremented.
+    ///
+    /// Equal versions across two observations mean the fact set (and every
+    /// index over it) was not modified in between — which makes a cached
+    /// clone of the instance taken at version `v` still exact while
+    /// `version()` still reads `v`. The `chase-serve` conductor uses this
+    /// as its copy-on-read staleness check: the session actor republishes
+    /// its shared read snapshot only when the version moved, so duplicate
+    /// batches and read-only traffic never pay an O(instance) copy.
+    ///
+    /// The counter is observational only (like [`Instance::merge_epoch`]):
+    /// nothing inside `chase-core` keys off it, and a clone carries its
+    /// parent's version forward.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The statistics epoch: the bit length of the fact count.
@@ -1062,6 +1087,7 @@ impl Instance {
             self.next_null = self.next_null.max(n + 1);
         }
         self.merges += 1;
+        self.version += 1;
         self.scratch = ids;
         let rewritten = plans
             .iter()
@@ -1374,6 +1400,29 @@ mod tests {
         assert!(i.insert(ca("E", &["a", "b"])));
         assert!(!i.insert(ca("E", &["a", "b"])));
         assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn version_moves_exactly_on_mutation() {
+        let mut i = Instance::new();
+        assert_eq!(i.version(), 0);
+        i.insert(ca("E", &["a", "b"]));
+        assert_eq!(i.version(), 1);
+        // Duplicate insert: no mutation, no version movement.
+        i.insert(ca("E", &["a", "b"]));
+        assert_eq!(i.version(), 1);
+        i.insert(ca("E", &["a", "c"]));
+        assert_eq!(i.version(), 2);
+        // A merge whose `from` occurs nowhere is a true no-op.
+        let eff = i.merge_terms(Term::constant("zzz"), Term::constant("b"));
+        assert!(eff.is_noop());
+        assert_eq!(i.version(), 2);
+        // An effective merge bumps once.
+        let eff = i.merge_terms(Term::constant("c"), Term::constant("b"));
+        assert!(!eff.is_noop());
+        assert_eq!(i.version(), 3);
+        // Clones carry the version forward.
+        assert_eq!(i.clone().version(), 3);
     }
 
     #[test]

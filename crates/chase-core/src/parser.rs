@@ -420,7 +420,12 @@ pub fn parse_constraint(text: &str) -> Result<Constraint, CoreError> {
     Ok(c)
 }
 
-/// Parse a constraint set: one constraint per non-empty line.
+/// Parse a constraint set: constraints separated by newlines or `;`.
+///
+/// The `;` separator makes a whole set a single line of text — the form
+/// wire protocols and one-line REPL commands carry — with the same
+/// semantics as the newline-separated layout. `#` and `//` comments run to
+/// the end of the *line*, so a `;` inside a comment separates nothing.
 pub fn parse_constraints(text: &str) -> Result<ConstraintSet, CoreError> {
     let mut items = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -432,18 +437,20 @@ pub fn parse_constraints(text: &str) -> Result<ConstraintSet, CoreError> {
             Some(i) => &line[..i],
             None => line,
         };
-        if line.trim().is_empty() {
-            continue;
+        for piece in line.split(';') {
+            if piece.trim().is_empty() {
+                continue;
+            }
+            let c = parse_constraint(piece).map_err(|e| match e {
+                CoreError::Parse { col, msg, .. } => CoreError::Parse {
+                    line: lineno + 1,
+                    col,
+                    msg,
+                },
+                other => other,
+            })?;
+            items.push(c);
         }
-        let c = parse_constraint(line).map_err(|e| match e {
-            CoreError::Parse { col, msg, .. } => CoreError::Parse {
-                line: lineno + 1,
-                col,
-                msg,
-            },
-            other => other,
-        })?;
-        items.push(c);
     }
     ConstraintSet::from_constraints(items)
 }
@@ -589,6 +596,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn semicolons_separate_constraints_like_newlines() {
+        let one_line = parse_constraints("S(X) -> T(X); T(X) -> S(X);").unwrap();
+        let multi_line = parse_constraints("S(X) -> T(X)\nT(X) -> S(X)").unwrap();
+        assert_eq!(one_line.len(), 2);
+        assert_eq!(one_line, multi_line);
+        // A `;` inside a comment separates nothing.
+        let commented = parse_constraints("S(X) -> T(X) # a; comment").unwrap();
+        assert_eq!(commented.len(), 1);
+        // Mixed separators on one input.
+        let mixed = parse_constraints("S(X) -> T(X); T(X) -> U(X)\nU(X) -> S(X)").unwrap();
+        assert_eq!(mixed.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! The multi-tenant session runtime: one **actor thread per session**,
+//! fronted by a [`Conductor`] that creates, routes and admits sessions.
+//!
+//! ## Actors and mailboxes
+//!
+//! Every open session owns a dedicated thread holding the [`ChaseSession`]
+//! — warm trigger pool, plan cache, rewriting cache and all. The thread
+//! drains a typed mailbox (`SessionMsg`: `Apply`/`Query`/`Snapshot`/
+//! `Restore`/`Stats`/`Close`), so all mutation of a session is serialized
+//! by construction and the engine state needs no locks at all. Callers
+//! hold a [`SessionHandle`] — a cheap clone of the mailbox sender plus the
+//! session's published read surface — and get replies over per-request
+//! channels.
+//!
+//! ## Concurrent reads during an in-flight apply
+//!
+//! After every mutating message the actor *publishes* an
+//! `Arc<`[`Instance`]`>` snapshot of the chased instance — but only when
+//! [`Instance::version`] actually moved, so duplicate-only batches never
+//! pay the copy (**copy-on-read**: readers share the published `Arc`,
+//! writers replace it). [`SessionHandle::query`] evaluates on the *calling*
+//! thread against that published snapshot whenever it is quiescent, so a
+//! certain-answer read admitted while a large apply is chasing inside the
+//! actor returns immediately with exactly the pre-batch state — it never
+//! queues behind the write. Publication happens *before* the apply's reply
+//! is released, so a client that saw its apply acknowledged is guaranteed
+//! to read its own writes.
+//!
+//! ## Admission
+//!
+//! The conductor enforces a **global session cap** (admission fails with
+//! [`ServeError::Capacity`]) and clamps every admitted session's chase
+//! budget to the configured **per-session step budget**, so one runaway
+//! tenant can neither starve the machine of threads nor chase unboundedly.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+
+use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, Instance, Term};
+use chase_engine::StopReason;
+
+use crate::session::{
+    choose_rewriting, ChaseOutcome, ChaseSession, QueryOpts, ServeError, SessionConfig,
+    SessionSnapshot, SessionStats,
+};
+
+/// Admission policy for a [`Conductor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConductorConfig {
+    /// Global cap on concurrently open sessions (each owns one thread).
+    pub max_sessions: usize,
+    /// Per-session chase step budget. Every admitted session's
+    /// `chase.max_steps` is clamped to at most this, whatever the session
+    /// template asks for.
+    pub step_budget: Option<usize>,
+    /// Session template: configuration every admitted session starts from.
+    pub session: SessionConfig,
+}
+
+impl Default for ConductorConfig {
+    fn default() -> ConductorConfig {
+        ConductorConfig {
+            max_sessions: 64,
+            step_budget: Some(100_000),
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// The session's read surface, shared between its actor (publisher) and
+/// every handle (readers).
+struct ReadState {
+    /// The latest published snapshot.
+    published: RwLock<Published>,
+    /// Rewriting decisions for the concurrent read path, keyed by query
+    /// text — the handle-side mirror of the session's own cache, computed
+    /// by the same [`choose_rewriting`].
+    rewrites: Mutex<HashMap<String, Option<ConjunctiveQuery>>>,
+    /// The session's constraint set (for rewriting on the read path).
+    set: ConstraintSet,
+    /// The session's configuration (for rewriting policy).
+    cfg: SessionConfig,
+}
+
+/// One published state: an immutable chased instance plus the flags a
+/// reader needs to decide whether it may answer from it.
+#[derive(Clone)]
+struct Published {
+    /// The chased instance readers evaluate against.
+    instance: Arc<Instance>,
+    /// [`Instance::version`] at publication — the republish filter.
+    version: u64,
+    /// Was the session quiescent (fully chased, unpoisoned) when this was
+    /// published? Only quiescent snapshots may answer queries locally.
+    quiescent: bool,
+    /// Terminal stop, if the session is poisoned.
+    poisoned: Option<StopReason>,
+}
+
+/// The typed mailbox protocol an actor drains. One variant per operation;
+/// every variant that answers carries its own reply sender.
+enum SessionMsg {
+    /// Apply an update batch and continue the chase warm.
+    Apply {
+        batch: Vec<Atom>,
+        reply: Sender<Result<ChaseOutcome, ServeError>>,
+    },
+    /// Answer a query on the actor thread (the quiesce-first slow path;
+    /// quiescent reads bypass the mailbox entirely).
+    Query {
+        q: ConjunctiveQuery,
+        opts: QueryOpts,
+        reply: Sender<Result<Vec<Vec<Term>>, ServeError>>,
+    },
+    /// Take a snapshot into the actor-side store; replies with its id.
+    Snapshot { reply: Sender<u64> },
+    /// Rewind to a stored snapshot.
+    Restore {
+        snapshot: u64,
+        reply: Sender<Result<(), ServeError>>,
+    },
+    /// Read the session's counters.
+    Stats { reply: Sender<SessionStats> },
+    /// Drop the session: the actor breaks its loop and the thread exits.
+    Close,
+}
+
+/// A clonable address of one session: the mailbox sender plus the
+/// published read surface. All methods are `&self`; clones address the
+/// same session.
+#[derive(Clone)]
+pub struct SessionHandle {
+    tx: Sender<SessionMsg>,
+    read: Arc<ReadState>,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle").finish_non_exhaustive()
+    }
+}
+
+impl SessionHandle {
+    /// Apply an update batch, blocking until the warm re-chase finishes.
+    pub fn apply(&self, batch: Vec<Atom>) -> Result<ChaseOutcome, ServeError> {
+        self.apply_async(batch)
+            .recv()
+            .map_err(|_| ServeError::SessionGone)?
+    }
+
+    /// Queue an update batch and return immediately; the receiver yields
+    /// the outcome when the actor finishes chasing it. Queries issued in
+    /// the meantime are answered from the pre-batch snapshot.
+    pub fn apply_async(&self, batch: Vec<Atom>) -> Receiver<Result<ChaseOutcome, ServeError>> {
+        let (reply, rx) = mpsc::channel();
+        if self
+            .tx
+            .send(SessionMsg::Apply {
+                batch,
+                reply: reply.clone(),
+            })
+            .is_err()
+        {
+            // Actor gone: make the receiver yield the error instead of
+            // hanging up empty.
+            let _ = reply.send(Err(ServeError::SessionGone));
+        }
+        rx
+    }
+
+    /// Answer a conjunctive query. When the published snapshot is
+    /// quiescent this evaluates **on the calling thread** against that
+    /// snapshot — concurrent with any in-flight apply, which it does not
+    /// wait for. Otherwise (mid-budget stop pending, or nothing published
+    /// yet after a restore) it falls back to the actor, which quiesces
+    /// first, exactly like [`ChaseSession::query`].
+    pub fn query(
+        &self,
+        q: &ConjunctiveQuery,
+        opts: QueryOpts,
+    ) -> Result<Vec<Vec<Term>>, ServeError> {
+        let published = self.read.published.read().unwrap().clone();
+        if let Some(r) = published.poisoned {
+            return Err(ServeError::Poisoned(r));
+        }
+        if published.quiescent {
+            let target = if opts.sqo { self.rewritten(q) } else { None };
+            let target = target.as_ref().unwrap_or(q);
+            return Ok(if opts.all {
+                target.evaluate(&published.instance)
+            } else {
+                target.evaluate_certain(&published.instance)
+            });
+        }
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(SessionMsg::Query {
+                q: q.clone(),
+                opts,
+                reply,
+            })
+            .map_err(|_| ServeError::SessionGone)?;
+        rx.recv().map_err(|_| ServeError::SessionGone)?
+    }
+
+    /// The read path's cached rewriting decision for `q` (mirrors the
+    /// session-side cache; both call [`choose_rewriting`]).
+    fn rewritten(&self, q: &ConjunctiveQuery) -> Option<ConjunctiveQuery> {
+        if !self.read.cfg.use_sqo {
+            return None;
+        }
+        let key = q.to_string();
+        let mut cache = self.read.rewrites.lock().unwrap();
+        if let Some(cached) = cache.get(&key) {
+            return cached.clone();
+        }
+        let choice = choose_rewriting(q, &self.read.set, &self.read.cfg);
+        cache.insert(key, choice.clone());
+        choice
+    }
+
+    /// Take a server-side snapshot; returns its id for [`SessionHandle::restore`].
+    pub fn snapshot(&self) -> Result<u64, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(SessionMsg::Snapshot { reply })
+            .map_err(|_| ServeError::SessionGone)?;
+        rx.recv().map_err(|_| ServeError::SessionGone)
+    }
+
+    /// Rewind the session to a snapshot taken earlier on it.
+    pub fn restore(&self, snapshot: u64) -> Result<(), ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(SessionMsg::Restore { snapshot, reply })
+            .map_err(|_| ServeError::SessionGone)?;
+        rx.recv().map_err(|_| ServeError::SessionGone)?
+    }
+
+    /// The published instance rendered as fact text (the protocol's
+    /// `Dump`). Served from the read snapshot like [`SessionHandle::query`],
+    /// so it never waits behind an in-flight apply.
+    pub fn dump(&self) -> Result<String, ServeError> {
+        let published = self.read.published.read().unwrap().clone();
+        if let Some(r) = published.poisoned {
+            return Err(ServeError::Poisoned(r));
+        }
+        Ok(published.instance.to_string())
+    }
+
+    /// One coherent reading of the session's counters.
+    pub fn stats(&self) -> Result<SessionStats, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(SessionMsg::Stats { reply })
+            .map_err(|_| ServeError::SessionGone)?;
+        rx.recv().map_err(|_| ServeError::SessionGone)
+    }
+}
+
+/// One live session as the conductor tracks it.
+struct Slot {
+    handle: SessionHandle,
+    thread: thread::JoinHandle<()>,
+}
+
+/// Creates, routes and admits sessions: the server's front object.
+///
+/// `open` spawns a session actor (subject to the global cap and the
+/// per-session step budget), `route` resolves a session id to a
+/// [`SessionHandle`], `close` tears the actor down and frees its slot.
+/// All methods take `&self`; the conductor is shared behind an `Arc`
+/// across connection threads.
+pub struct Conductor {
+    cfg: ConductorConfig,
+    sessions: Mutex<HashMap<u64, Slot>>,
+    next_id: AtomicU64,
+}
+
+impl Conductor {
+    /// A conductor with the given admission policy.
+    pub fn new(cfg: ConductorConfig) -> Conductor {
+        Conductor {
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The admission policy.
+    pub fn config(&self) -> &ConductorConfig {
+        &self.cfg
+    }
+
+    /// Open sessions right now.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// Admit a new session over `sigma`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Capacity`] when [`ConductorConfig::max_sessions`]
+    /// sessions are already open.
+    pub fn open(&self, sigma: ConstraintSet) -> Result<u64, ServeError> {
+        let mut sessions = self.sessions.lock().unwrap();
+        if sessions.len() >= self.cfg.max_sessions {
+            return Err(ServeError::Capacity {
+                max_sessions: self.cfg.max_sessions,
+            });
+        }
+        let mut cfg = self.cfg.session.clone();
+        if let Some(budget) = self.cfg.step_budget {
+            cfg.chase.max_steps = Some(match cfg.chase.max_steps {
+                Some(n) => n.min(budget),
+                None => budget,
+            });
+        }
+        let session = ChaseSession::builder(sigma.clone())
+            .config(cfg.clone())
+            .build();
+        let read = Arc::new(ReadState {
+            published: RwLock::new(Published {
+                instance: Arc::new(session.instance().clone()),
+                version: session.instance().version(),
+                quiescent: true,
+                poisoned: None,
+            }),
+            rewrites: Mutex::new(HashMap::new()),
+            set: sigma,
+            cfg,
+        });
+        let (tx, rx) = mpsc::channel();
+        let actor_read = Arc::clone(&read);
+        let thread = thread::spawn(move || actor(session, actor_read, rx));
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(
+            id,
+            Slot {
+                handle: SessionHandle { tx, read },
+                thread,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Resolve a session id to a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if no such session is open.
+    pub fn route(&self, id: u64) -> Result<SessionHandle, ServeError> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(&id)
+            .map(|s| s.handle.clone())
+            .ok_or(ServeError::UnknownSession(id))
+    }
+
+    /// Close a session: stop its actor, join its thread, free its slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if no such session is open.
+    pub fn close(&self, id: u64) -> Result<(), ServeError> {
+        let slot = self
+            .sessions
+            .lock()
+            .unwrap()
+            .remove(&id)
+            .ok_or(ServeError::UnknownSession(id))?;
+        let _ = slot.handle.tx.send(SessionMsg::Close);
+        let _ = slot.thread.join();
+        Ok(())
+    }
+
+    /// Close every open session (used on server shutdown).
+    pub fn shutdown(&self) {
+        let slots: Vec<Slot> = self
+            .sessions
+            .lock()
+            .unwrap()
+            .drain()
+            .map(|(_, s)| s)
+            .collect();
+        for slot in slots {
+            let _ = slot.handle.tx.send(SessionMsg::Close);
+            let _ = slot.thread.join();
+        }
+    }
+}
+
+impl Drop for Conductor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The session actor: drains the mailbox, serializing all mutation of the
+/// owned [`ChaseSession`], and republishes the read snapshot after every
+/// message that may have moved the instance.
+fn actor(mut session: ChaseSession, read: Arc<ReadState>, rx: Receiver<SessionMsg>) {
+    let mut snapshots: HashMap<u64, SessionSnapshot> = HashMap::new();
+    let mut next_snapshot: u64 = 1;
+    for msg in rx {
+        match msg {
+            SessionMsg::Apply { batch, reply } => {
+                let out = session.apply(batch);
+                // Publish before replying: once the client sees the ack it
+                // is guaranteed to read its own writes from the snapshot.
+                publish(&session, &read);
+                let _ = reply.send(out);
+            }
+            SessionMsg::Query { q, opts, reply } => {
+                let out = session.query((&q, opts));
+                // The query may have quiesced a budget-stopped chase.
+                publish(&session, &read);
+                let _ = reply.send(out);
+            }
+            SessionMsg::Snapshot { reply } => {
+                let id = next_snapshot;
+                next_snapshot += 1;
+                snapshots.insert(id, session.snapshot());
+                let _ = reply.send(id);
+            }
+            SessionMsg::Restore { snapshot, reply } => {
+                let out = match snapshots.get(&snapshot) {
+                    Some(snap) => {
+                        session.restore(snap);
+                        Ok(())
+                    }
+                    None => Err(ServeError::UnknownSnapshot(snapshot)),
+                };
+                publish(&session, &read);
+                let _ = reply.send(out);
+            }
+            SessionMsg::Stats { reply } => {
+                let _ = reply.send(session.stats());
+            }
+            SessionMsg::Close => break,
+        }
+    }
+}
+
+/// Republish the session's read snapshot if anything observable moved.
+/// The [`Instance::version`] comparison is the copy-on-read filter: a
+/// duplicate-only batch leaves the version alone, so readers keep sharing
+/// the old `Arc` and no clone happens.
+fn publish(session: &ChaseSession, read: &ReadState) {
+    let stats = session.stats();
+    let version = session.instance().version();
+    let poisoned = session.poisoned().cloned();
+    let current = read.published.read().unwrap();
+    let stale = current.version != version
+        || current.quiescent != stats.quiescent
+        || current.poisoned != poisoned;
+    if !stale {
+        return;
+    }
+    let fresh_instance = if current.version != version {
+        Arc::new(session.instance().clone())
+    } else {
+        Arc::clone(&current.instance)
+    };
+    drop(current);
+    *read.published.write().unwrap() = Published {
+        instance: fresh_instance,
+        version,
+        quiescent: stats.quiescent,
+        poisoned,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::Instance;
+
+    fn atoms(text: &str) -> Vec<Atom> {
+        Instance::parse(text).unwrap().atoms()
+    }
+
+    fn sigma(text: &str) -> ConstraintSet {
+        ConstraintSet::parse(text).unwrap()
+    }
+
+    #[test]
+    fn open_route_apply_query_close() {
+        let conductor = Conductor::new(ConductorConfig::default());
+        let id = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        let out = h.apply(atoms("e(a,b).")).unwrap();
+        assert_eq!(out.total_facts, 2);
+        let q = ConjunctiveQuery::parse("q(X) <- e(X,b)").unwrap();
+        let ans = h.query(&q, QueryOpts::default()).unwrap();
+        assert_eq!(ans.len(), 1);
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.epoch, 1);
+        assert!(stats.quiescent);
+        conductor.close(id).unwrap();
+        assert_eq!(
+            conductor.route(id).unwrap_err(),
+            ServeError::UnknownSession(id)
+        );
+        // The handle outlives the slot but its actor is gone.
+        assert_eq!(h.stats().unwrap_err(), ServeError::SessionGone);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_freed_by_close() {
+        let conductor = Conductor::new(ConductorConfig {
+            max_sessions: 2,
+            ..ConductorConfig::default()
+        });
+        let a = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let _b = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        assert_eq!(
+            conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap_err(),
+            ServeError::Capacity { max_sessions: 2 }
+        );
+        conductor.close(a).unwrap();
+        conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+    }
+
+    #[test]
+    fn step_budget_clamps_admitted_sessions() {
+        let conductor = Conductor::new(ConductorConfig {
+            step_budget: Some(3),
+            ..ConductorConfig::default()
+        });
+        // Unbounded growth: each fact spawns a longer chain.
+        let id = conductor.open(sigma("e(X,Y) -> e(Y,Z)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        let out = h.apply(atoms("e(a,b).")).unwrap();
+        assert!(matches!(out.reason, StopReason::StepLimit(_)));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let conductor = Conductor::new(ConductorConfig::default());
+        let id = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        h.apply(atoms("e(a,b).")).unwrap();
+        let snap = h.snapshot().unwrap();
+        h.apply(atoms("e(c,d).")).unwrap();
+        assert_eq!(h.stats().unwrap().total_facts, 4);
+        h.restore(snap).unwrap();
+        assert_eq!(h.stats().unwrap().total_facts, 2);
+        // Restored state is published: reads see the rewound instance.
+        let q = ConjunctiveQuery::parse("q(X) <- e(c,X)").unwrap();
+        assert!(h.query(&q, QueryOpts::default()).unwrap().is_empty());
+        assert_eq!(h.restore(99).unwrap_err(), ServeError::UnknownSnapshot(99));
+    }
+
+    #[test]
+    fn queries_during_apply_see_the_pre_batch_snapshot() {
+        let conductor = Conductor::new(ConductorConfig {
+            step_budget: None,
+            ..ConductorConfig::default()
+        });
+        let id = conductor.open(sigma("e(X,Y), e(Y,Z) -> e(X,Z)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        // Seed a small chain, then queue a batch whose transitive closure
+        // takes real work.
+        h.apply(atoms("e(a,b).")).unwrap();
+        let mut big = String::new();
+        for i in 0..60 {
+            big.push_str(&format!("p{i}(x). e(n{i},n{}).", i + 1));
+        }
+        let pending = h.apply_async(atoms(&big));
+        let q = ConjunctiveQuery::parse("q(X) <- e(a,X)").unwrap();
+        // Issued while the apply may still be chasing: must answer from a
+        // coherent snapshot, i.e. either exactly pre-batch or post-batch.
+        let mid = h.query(&q, QueryOpts::default()).unwrap();
+        assert_eq!(mid.len(), 1); // `a` reaches only `b` in both states
+        pending.recv().unwrap().unwrap();
+        let after = h.query(&q, QueryOpts::default()).unwrap();
+        assert_eq!(after.len(), 1);
+        assert!(h.stats().unwrap().total_facts > 120);
+    }
+
+    #[test]
+    fn poisoned_sessions_fail_reads_on_the_fast_path() {
+        let conductor = Conductor::new(ConductorConfig::default());
+        let id = conductor.open(sigma("p(X), p(Y) -> X = Y")).unwrap();
+        let h = conductor.route(id).unwrap();
+        let err = h.apply(atoms("p(a). p(b).")).unwrap();
+        assert_eq!(err.reason, StopReason::Failed);
+        let q = ConjunctiveQuery::parse("q(X) <- p(X)").unwrap();
+        assert_eq!(
+            h.query(&q, QueryOpts::default()).unwrap_err(),
+            ServeError::Poisoned(StopReason::Failed)
+        );
+    }
+
+    #[test]
+    fn duplicate_batches_do_not_republish() {
+        let conductor = Conductor::new(ConductorConfig::default());
+        let id = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        h.apply(atoms("e(a,b).")).unwrap();
+        let before = Arc::as_ptr(&h.read.published.read().unwrap().instance);
+        h.apply(atoms("e(a,b).")).unwrap();
+        let after = Arc::as_ptr(&h.read.published.read().unwrap().instance);
+        assert_eq!(before, after, "duplicate-only batch must not re-clone");
+    }
+}

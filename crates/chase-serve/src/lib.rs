@@ -47,6 +47,14 @@
 //! # Ok::<(), ServeError>(())
 //! ```
 
+pub mod conductor;
+pub mod proto;
+pub mod server;
 pub mod session;
 
-pub use session::{ChaseOutcome, ChaseSession, ServeError, SessionConfig, SessionSnapshot};
+pub use conductor::{Conductor, ConductorConfig, SessionHandle};
+pub use server::{serve, Client, ClientError, Server};
+pub use session::{
+    ChaseOutcome, ChaseSession, QueryOpts, QuerySpec, ServeError, SessionBuilder, SessionConfig,
+    SessionSnapshot, SessionStats,
+};

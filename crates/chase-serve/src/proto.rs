@@ -1,0 +1,894 @@
+//! The session server's wire protocol: versioned request/response enums
+//! with a hand-rolled byte codec over length-prefixed frames.
+//!
+//! ## Framing
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! +----------------+---------+-----+----------------------+
+//! | u32 LE length  | version | tag | fields ...           |
+//! +----------------+---------+-----+----------------------+
+//!        4 bytes      1 byte  1 byte    length - 2 bytes
+//! ```
+//!
+//! The length counts the payload only (version byte onward) and is capped
+//! at [`MAX_FRAME`]; a peer announcing more is rejected *before* any
+//! allocation. Truncated frames, unknown versions or tags, bad UTF-8 and
+//! trailing bytes all surface as [`ProtoError`] values — decoding never
+//! panics, whatever the bytes.
+//!
+//! ## Encoding
+//!
+//! Scalars are little-endian (`u32` for lengths/counts, `u64` for ids and
+//! counters), booleans one byte (`0`/`1`), strings a `u32` length followed
+//! by UTF-8 bytes. Structured chase payloads — constraint sets, fact
+//! batches, conjunctive queries, answer terms — are carried as *text* in
+//! the workspace's own surface syntax and re-parsed server-side, so the
+//! protocol inherits the parsers' validation instead of duplicating it.
+//! One-line constraint sets use the `;` separator (see
+//! [`chase_core::ConstraintSet::parse`]); no escaping is required.
+//!
+//! Counter payloads ([`SessionStats`], [`ChaseOutcome`]) are encoded
+//! field-for-field, so the `Stats` response *is* the session API's
+//! [`SessionStats`] — one struct, printed identically by the REPL client,
+//! the server log and the load-generator bench.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use chase_engine::StopReason;
+
+use crate::session::{ChaseOutcome, QueryOpts, ServeError, SessionStats};
+
+/// Protocol version carried in every frame. Bumped on any incompatible
+/// change to the codec; a server rejects frames from a different version
+/// with [`ProtoError::Version`].
+pub const PROTO_VERSION: u8 = 1;
+
+/// Hard cap on a frame's payload length (16 MiB). A declared length above
+/// this is rejected before any buffer is allocated, so a hostile or
+/// corrupt peer cannot drive allocation with a 4-byte header.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Everything that can go wrong reading or decoding a frame. Decoding is
+/// total: malformed input yields one of these, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The stream ended mid-frame (inside the length prefix or payload).
+    Truncated,
+    /// The payload ran out while a field still needed bytes.
+    Short,
+    /// The frame announced a payload longer than [`MAX_FRAME`].
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// The frame's version byte is not [`PROTO_VERSION`].
+    Version {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The message tag byte is not one this version defines.
+    Tag {
+        /// The tag byte received.
+        got: u8,
+    },
+    /// A string field was not valid UTF-8.
+    Utf8,
+    /// The payload decoded cleanly but bytes were left over.
+    Trailing {
+        /// How many bytes remained.
+        extra: usize,
+    },
+    /// The transport failed (stringified [`io::Error`], kept comparable).
+    Io(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "stream ended mid-frame"),
+            ProtoError::Short => write!(f, "frame payload too short for its fields"),
+            ProtoError::Oversized { len } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {MAX_FRAME}")
+            }
+            ProtoError::Version { got } => {
+                write!(
+                    f,
+                    "protocol version {got} (this build speaks {PROTO_VERSION})"
+                )
+            }
+            ProtoError::Tag { got } => write!(f, "unknown message tag {got}"),
+            ProtoError::Utf8 => write!(f, "string field is not valid UTF-8"),
+            ProtoError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated
+        } else {
+            ProtoError::Io(e.to_string())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one frame: `u32` LE payload length, then the payload bytes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` means the peer closed the stream
+/// cleanly *between* frames; EOF anywhere inside a frame is
+/// [`ProtoError::Truncated`]. An oversized declared length is rejected
+/// without allocating.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len = [0u8; 4];
+    // Hand-rolled read loop so a clean EOF before the first byte is
+    // distinguishable from one mid-prefix.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(ProtoError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Byte cursor primitives
+// ---------------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new(tag: u8) -> Writer {
+        Writer(vec![PROTO_VERSION, tag])
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.0.push(v as u8);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Open a payload, checking the version byte and yielding the tag.
+    fn open(buf: &'a [u8]) -> Result<(u8, Reader<'a>), ProtoError> {
+        let mut r = Reader { buf, pos: 0 };
+        let version = r.u8()?;
+        if version != PROTO_VERSION {
+            return Err(ProtoError::Version { got: version });
+        }
+        let tag = r.u8()?;
+        Ok((tag, r))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Short)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Short);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, ProtoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            got => Err(ProtoError::Tag { got }),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Utf8)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Trailing {
+                extra: self.buf.len() - self.pos,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared sub-codecs
+// ---------------------------------------------------------------------------
+
+fn put_reason(w: &mut Writer, r: &StopReason) {
+    match r {
+        StopReason::Satisfied => w.u8(0),
+        StopReason::Failed => w.u8(1),
+        StopReason::StepLimit(n) => {
+            w.u8(2);
+            w.u64(*n as u64);
+        }
+        StopReason::NullLimit(n) => {
+            w.u8(3);
+            w.u64(*n as u64);
+        }
+        StopReason::MonitorAbort { depth } => {
+            w.u8(4);
+            w.u64(*depth as u64);
+        }
+    }
+}
+
+fn get_reason(r: &mut Reader<'_>) -> Result<StopReason, ProtoError> {
+    Ok(match r.u8()? {
+        0 => StopReason::Satisfied,
+        1 => StopReason::Failed,
+        2 => StopReason::StepLimit(r.u64()? as usize),
+        3 => StopReason::NullLimit(r.u64()? as usize),
+        4 => StopReason::MonitorAbort {
+            depth: r.u64()? as usize,
+        },
+        got => return Err(ProtoError::Tag { got }),
+    })
+}
+
+fn put_opt_reason(w: &mut Writer, r: &Option<StopReason>) {
+    match r {
+        None => w.u8(0),
+        Some(r) => {
+            w.u8(1);
+            put_reason(w, r);
+        }
+    }
+}
+
+fn get_opt_reason(r: &mut Reader<'_>) -> Result<Option<StopReason>, ProtoError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(get_reason(r)?)),
+        got => Err(ProtoError::Tag { got }),
+    }
+}
+
+fn put_outcome(w: &mut Writer, o: &ChaseOutcome) {
+    put_reason(w, &o.reason);
+    w.u64(o.steps as u64);
+    w.u64(o.fresh_nulls as u64);
+    w.u64(o.new_facts as u64);
+    w.u64(o.total_facts as u64);
+    w.u64(o.epoch);
+}
+
+fn get_outcome(r: &mut Reader<'_>) -> Result<ChaseOutcome, ProtoError> {
+    Ok(ChaseOutcome {
+        reason: get_reason(r)?,
+        steps: r.u64()? as usize,
+        fresh_nulls: r.u64()? as usize,
+        new_facts: r.u64()? as usize,
+        total_facts: r.u64()? as usize,
+        epoch: r.u64()?,
+    })
+}
+
+fn put_stats(w: &mut Writer, s: &SessionStats) {
+    w.u64(s.epoch);
+    w.u64(s.total_facts);
+    w.u64(s.total_steps);
+    w.u64(s.plan_recompiles);
+    w.u64(s.merge_rewritten);
+    w.u64(s.merge_collapsed);
+    put_opt_reason(w, &s.last_reason);
+    w.bool(s.quiescent);
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<SessionStats, ProtoError> {
+    Ok(SessionStats {
+        epoch: r.u64()?,
+        total_facts: r.u64()?,
+        total_steps: r.u64()?,
+        plan_recompiles: r.u64()?,
+        merge_rewritten: r.u64()?,
+        merge_collapsed: r.u64()?,
+        last_reason: get_opt_reason(r)?,
+        quiescent: r.bool()?,
+    })
+}
+
+fn put_opts(w: &mut Writer, o: &QueryOpts) {
+    w.bool(o.all);
+    w.bool(o.sqo);
+}
+
+fn get_opts(r: &mut Reader<'_>) -> Result<QueryOpts, ProtoError> {
+    Ok(QueryOpts {
+        all: r.bool()?,
+        sqo: r.bool()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A client-to-server message. Session-addressed variants carry the id the
+/// conductor handed back from [`Request::Open`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Create a session over a constraint set (surface syntax; `;` or
+    /// newline separated). Answered by [`Response::Opened`] or an error if
+    /// the sigma fails to parse or the global session cap is reached.
+    Open {
+        /// The constraint set, in surface syntax.
+        sigma: String,
+    },
+    /// Apply an update batch of ground facts (surface syntax, e.g.
+    /// `e(a,b). e(b,c).`) and continue the chase warm.
+    Apply {
+        /// The target session.
+        session: u64,
+        /// The batch, in fact surface syntax.
+        facts: String,
+    },
+    /// Answer a conjunctive query, e.g. `q(X) <- e(X,Y), e(Y,Z)`.
+    /// Concurrent-safe: served from the session's published snapshot, so
+    /// it does not wait behind an in-flight apply.
+    Query {
+        /// The target session.
+        session: u64,
+        /// The query, in surface syntax.
+        cq: String,
+        /// Evaluation options (certain vs. all, SQO routing).
+        opts: QueryOpts,
+    },
+    /// Take a server-side snapshot; answered with its id for `Restore`.
+    Snapshot {
+        /// The target session.
+        session: u64,
+    },
+    /// Rewind the session to a snapshot taken earlier on it.
+    Restore {
+        /// The target session.
+        session: u64,
+        /// The snapshot id from [`Response::Snapshotted`].
+        snapshot: u64,
+    },
+    /// Fetch the session's [`SessionStats`].
+    Stats {
+        /// The target session.
+        session: u64,
+    },
+    /// Fetch the chased instance as text (the REPL's `show`).
+    Dump {
+        /// The target session.
+        session: u64,
+    },
+    /// Close the session and release its slot under the global cap.
+    Close {
+        /// The target session.
+        session: u64,
+    },
+}
+
+impl Request {
+    /// Encode into a frame payload (version byte + tag + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w;
+        match self {
+            Request::Open { sigma } => {
+                w = Writer::new(1);
+                w.str(sigma);
+            }
+            Request::Apply { session, facts } => {
+                w = Writer::new(2);
+                w.u64(*session);
+                w.str(facts);
+            }
+            Request::Query { session, cq, opts } => {
+                w = Writer::new(3);
+                w.u64(*session);
+                w.str(cq);
+                put_opts(&mut w, opts);
+            }
+            Request::Snapshot { session } => {
+                w = Writer::new(4);
+                w.u64(*session);
+            }
+            Request::Restore { session, snapshot } => {
+                w = Writer::new(5);
+                w.u64(*session);
+                w.u64(*snapshot);
+            }
+            Request::Stats { session } => {
+                w = Writer::new(6);
+                w.u64(*session);
+            }
+            Request::Dump { session } => {
+                w = Writer::new(7);
+                w.u64(*session);
+            }
+            Request::Close { session } => {
+                w = Writer::new(8);
+                w.u64(*session);
+            }
+        }
+        w.0
+    }
+
+    /// Decode a frame payload. Total: malformed bytes yield a
+    /// [`ProtoError`], never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let (tag, mut r) = Reader::open(payload)?;
+        let req = match tag {
+            1 => Request::Open { sigma: r.str()? },
+            2 => Request::Apply {
+                session: r.u64()?,
+                facts: r.str()?,
+            },
+            3 => Request::Query {
+                session: r.u64()?,
+                cq: r.str()?,
+                opts: get_opts(&mut r)?,
+            },
+            4 => Request::Snapshot { session: r.u64()? },
+            5 => Request::Restore {
+                session: r.u64()?,
+                snapshot: r.u64()?,
+            },
+            6 => Request::Stats { session: r.u64()? },
+            7 => Request::Dump { session: r.u64()? },
+            8 => Request::Close { session: r.u64()? },
+            got => return Err(ProtoError::Tag { got }),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+
+    /// Write this request as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_frame(w, &self.encode())
+    }
+
+    /// Read one request frame; `Ok(None)` on clean end-of-stream.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
+        match read_frame(r)? {
+            None => Ok(None),
+            Some(payload) => Request::decode(&payload).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Coarse classification of a server-side failure, carried on the wire
+/// alongside the human-readable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// A sigma, fact batch or query failed to parse.
+    Parse,
+    /// The session hit a terminal stop earlier ([`ServeError::Poisoned`]).
+    Poisoned,
+    /// The global session cap is reached ([`ServeError::Capacity`]).
+    Capacity,
+    /// No such session id ([`ServeError::UnknownSession`]).
+    UnknownSession,
+    /// No such snapshot id ([`ServeError::UnknownSnapshot`]).
+    UnknownSnapshot,
+    /// The session's actor thread is gone ([`ServeError::SessionGone`]).
+    SessionGone,
+    /// Anything else (core rejection, internal failure).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Parse => 0,
+            ErrorCode::Poisoned => 1,
+            ErrorCode::Capacity => 2,
+            ErrorCode::UnknownSession => 3,
+            ErrorCode::UnknownSnapshot => 4,
+            ErrorCode::SessionGone => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorCode, ProtoError> {
+        Ok(match v {
+            0 => ErrorCode::Parse,
+            1 => ErrorCode::Poisoned,
+            2 => ErrorCode::Capacity,
+            3 => ErrorCode::UnknownSession,
+            4 => ErrorCode::UnknownSnapshot,
+            5 => ErrorCode::SessionGone,
+            6 => ErrorCode::Internal,
+            got => return Err(ProtoError::Tag { got }),
+        })
+    }
+}
+
+impl From<&ServeError> for ErrorCode {
+    fn from(e: &ServeError) -> ErrorCode {
+        match e {
+            ServeError::Poisoned(_) => ErrorCode::Poisoned,
+            ServeError::Core(_) => ErrorCode::Internal,
+            ServeError::Capacity { .. } => ErrorCode::Capacity,
+            ServeError::UnknownSession(_) => ErrorCode::UnknownSession,
+            ServeError::UnknownSnapshot(_) => ErrorCode::UnknownSnapshot,
+            ServeError::SessionGone => ErrorCode::SessionGone,
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The session was created; address it with this id.
+    Opened {
+        /// The new session's id.
+        session: u64,
+    },
+    /// The batch was applied; what the warm re-chase did.
+    Applied {
+        /// The apply's [`ChaseOutcome`], field-for-field.
+        outcome: ChaseOutcome,
+    },
+    /// The query's answer tuples, each term in surface syntax.
+    Answers {
+        /// One `Vec<String>` per answer tuple.
+        tuples: Vec<Vec<String>>,
+    },
+    /// A snapshot was taken server-side.
+    Snapshotted {
+        /// Its id, for [`Request::Restore`].
+        snapshot: u64,
+    },
+    /// The session was rewound to the addressed snapshot.
+    Restored,
+    /// The session's counters, *verbatim* [`SessionStats`].
+    Stats {
+        /// The stats struct the session API returns.
+        stats: SessionStats,
+    },
+    /// The chased instance as text.
+    Dump {
+        /// Facts in surface syntax, one per line.
+        text: String,
+    },
+    /// The session was closed and its slot released.
+    Closed,
+    /// The request failed; the session (if any) is otherwise unharmed
+    /// unless the code says poisoned.
+    Error {
+        /// Coarse machine-readable classification.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Build the error response for a [`ServeError`].
+    pub fn from_serve_error(e: &ServeError) -> Response {
+        Response::Error {
+            code: ErrorCode::from(e),
+            message: e.to_string(),
+        }
+    }
+
+    /// Encode into a frame payload (version byte + tag + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w;
+        match self {
+            Response::Opened { session } => {
+                w = Writer::new(1);
+                w.u64(*session);
+            }
+            Response::Applied { outcome } => {
+                w = Writer::new(2);
+                put_outcome(&mut w, outcome);
+            }
+            Response::Answers { tuples } => {
+                w = Writer::new(3);
+                w.u32(tuples.len() as u32);
+                for t in tuples {
+                    w.u32(t.len() as u32);
+                    for term in t {
+                        w.str(term);
+                    }
+                }
+            }
+            Response::Snapshotted { snapshot } => {
+                w = Writer::new(4);
+                w.u64(*snapshot);
+            }
+            Response::Restored => {
+                w = Writer::new(5);
+            }
+            Response::Stats { stats } => {
+                w = Writer::new(6);
+                put_stats(&mut w, stats);
+            }
+            Response::Dump { text } => {
+                w = Writer::new(7);
+                w.str(text);
+            }
+            Response::Closed => {
+                w = Writer::new(8);
+            }
+            Response::Error { code, message } => {
+                w = Writer::new(9);
+                w.u8(code.to_u8());
+                w.str(message);
+            }
+        }
+        w.0
+    }
+
+    /// Decode a frame payload. Total: malformed bytes yield a
+    /// [`ProtoError`], never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let (tag, mut r) = Reader::open(payload)?;
+        let resp = match tag {
+            1 => Response::Opened { session: r.u64()? },
+            2 => Response::Applied {
+                outcome: get_outcome(&mut r)?,
+            },
+            3 => {
+                let n = r.u32()? as usize;
+                let mut tuples = Vec::new();
+                for _ in 0..n {
+                    let k = r.u32()? as usize;
+                    let mut t = Vec::new();
+                    for _ in 0..k {
+                        t.push(r.str()?);
+                    }
+                    tuples.push(t);
+                }
+                Response::Answers { tuples }
+            }
+            4 => Response::Snapshotted { snapshot: r.u64()? },
+            5 => Response::Restored,
+            6 => Response::Stats {
+                stats: get_stats(&mut r)?,
+            },
+            7 => Response::Dump { text: r.str()? },
+            8 => Response::Closed,
+            9 => Response::Error {
+                code: ErrorCode::from_u8(r.u8()?)?,
+                message: r.str()?,
+            },
+            got => return Err(ProtoError::Tag { got }),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// Write this response as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_frame(w, &self.encode())
+    }
+
+    /// Read one response frame; `Ok(None)` on clean end-of-stream.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Response>, ProtoError> {
+        match read_frame(r)? {
+            None => Ok(None),
+            Some(payload) => Response::decode(&payload).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let back = Request::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, req);
+        assert!(Request::read_from(&mut cursor).unwrap().is_none());
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let back = Response::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Open {
+            sigma: "e(X,Y) -> e(Y,X); e(X,Y), e(Y,Z) -> e(X,Z)".into(),
+        });
+        roundtrip_req(Request::Apply {
+            session: 7,
+            facts: "e(a,b). e(b,c).".into(),
+        });
+        roundtrip_req(Request::Query {
+            session: 7,
+            cq: "q(X) <- e(X,Y)".into(),
+            opts: QueryOpts::all_tuples().without_sqo(),
+        });
+        roundtrip_req(Request::Snapshot { session: 1 });
+        roundtrip_req(Request::Restore {
+            session: 1,
+            snapshot: 3,
+        });
+        roundtrip_req(Request::Stats { session: u64::MAX });
+        roundtrip_req(Request::Dump { session: 0 });
+        roundtrip_req(Request::Close { session: 2 });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Opened { session: 9 });
+        roundtrip_resp(Response::Applied {
+            outcome: ChaseOutcome {
+                reason: StopReason::StepLimit(10_000),
+                steps: 10_000,
+                fresh_nulls: 3,
+                new_facts: 42,
+                total_facts: 99,
+                epoch: 5,
+            },
+        });
+        roundtrip_resp(Response::Answers {
+            tuples: vec![vec!["a".into(), "b".into()], vec!["n_1".into()]],
+        });
+        roundtrip_resp(Response::Answers { tuples: vec![] });
+        roundtrip_resp(Response::Snapshotted { snapshot: 4 });
+        roundtrip_resp(Response::Restored);
+        roundtrip_resp(Response::Stats {
+            stats: SessionStats {
+                epoch: 3,
+                total_facts: 20,
+                total_steps: 17,
+                plan_recompiles: 2,
+                merge_rewritten: 1,
+                merge_collapsed: 0,
+                last_reason: Some(StopReason::MonitorAbort { depth: 2 }),
+                quiescent: false,
+            },
+        });
+        roundtrip_resp(Response::Dump {
+            text: "e(a,b).\ne(b,a).\n".into(),
+        });
+        roundtrip_resp(Response::Closed);
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Capacity,
+            message: "session cap reached (8 sessions)".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        // EOF before any byte: clean end-of-stream.
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_frame(&mut empty).unwrap(), None);
+
+        // EOF inside the length prefix.
+        let mut partial = io::Cursor::new(vec![5u8, 0]);
+        assert_eq!(read_frame(&mut partial).unwrap_err(), ProtoError::Truncated);
+
+        // EOF inside the payload.
+        let mut short = io::Cursor::new(vec![5, 0, 0, 0, 1, 2]);
+        assert_eq!(read_frame(&mut short).unwrap_err(), ProtoError::Truncated);
+
+        // Declared length over the cap: rejected before allocation.
+        let mut huge = io::Cursor::new((MAX_FRAME + 1).to_le_bytes().to_vec());
+        assert_eq!(
+            read_frame(&mut huge).unwrap_err(),
+            ProtoError::Oversized { len: MAX_FRAME + 1 }
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_error_without_panicking() {
+        assert_eq!(Request::decode(&[]).unwrap_err(), ProtoError::Short);
+        assert_eq!(
+            Request::decode(&[PROTO_VERSION]).unwrap_err(),
+            ProtoError::Short
+        );
+        assert_eq!(
+            Request::decode(&[99, 1]).unwrap_err(),
+            ProtoError::Version { got: 99 }
+        );
+        assert_eq!(
+            Request::decode(&[PROTO_VERSION, 200]).unwrap_err(),
+            ProtoError::Tag { got: 200 }
+        );
+        // String length field claims more bytes than the payload holds.
+        let mut w = Writer::new(1);
+        w.u32(1000);
+        assert_eq!(Request::decode(&w.0).unwrap_err(), ProtoError::Short);
+        // Bad UTF-8 in a string field.
+        let mut w = Writer::new(1);
+        w.u32(2);
+        w.0.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(Request::decode(&w.0).unwrap_err(), ProtoError::Utf8);
+        // Trailing garbage after a complete message.
+        let mut bytes = Request::Close { session: 1 }.encode();
+        bytes.push(0);
+        assert_eq!(
+            Request::decode(&bytes).unwrap_err(),
+            ProtoError::Trailing { extra: 1 }
+        );
+        // Responses too.
+        assert_eq!(
+            Response::decode(&[PROTO_VERSION, 0]).unwrap_err(),
+            ProtoError::Tag { got: 0 }
+        );
+        let mut w = Writer::new(9);
+        w.u8(250);
+        assert_eq!(
+            Response::decode(&w.0).unwrap_err(),
+            ProtoError::Tag { got: 250 }
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! The TCP front door: a [`Server`] accepting framed [`proto`](crate::proto)
+//! traffic on a `std::net` listener, one thread per connection, all
+//! connections sharing one [`Conductor`] — plus the thin [`Client`] the
+//! REPL example and the load-generator bench speak through.
+//!
+//! Sessions are **server-side and connection-independent**: any connection
+//! may address any session by id, so a tenant can open a session, drop the
+//! link, and pick the warm state up on a new connection. Slots are only
+//! released by an explicit `Close` request or server shutdown.
+//!
+//! Shutdown is cooperative: [`Server::shutdown`] raises a flag, nudges the
+//! accept loop awake with a loopback connect, joins it, then closes every
+//! session through the conductor. Connection threads poll the flag between
+//! frames (socket read timeout) and drain themselves.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use chase_core::{ConjunctiveQuery, ConstraintSet, Instance};
+
+use crate::conductor::{Conductor, ConductorConfig, SessionHandle};
+use crate::proto::{ErrorCode, ProtoError, Request, Response};
+use crate::session::{ChaseOutcome, QueryOpts, ServeError, SessionStats};
+
+/// How often an idle connection thread wakes to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A running session server. Dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loop and closes every session.
+pub struct Server {
+    conductor: Arc<Conductor>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+/// framed protocol traffic with the given admission policy.
+pub fn serve(addr: impl ToSocketAddrs, cfg: ConductorConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let conductor = Arc::new(Conductor::new(cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_conductor = Arc::clone(&conductor);
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conductor = Arc::clone(&accept_conductor);
+            let stop = Arc::clone(&accept_stop);
+            thread::spawn(move || connection(stream, conductor, stop));
+        }
+    });
+    Ok(Server {
+        conductor,
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl Server {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared conductor (for in-process inspection in tests/benches).
+    pub fn conductor(&self) -> &Arc<Conductor> {
+        &self.conductor
+    }
+
+    /// Stop accepting, drain the accept thread, close every session.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the blocking accept() awake so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.conductor.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// One connection: read frames, dispatch against the conductor, write
+/// replies. Exits on client close, malformed traffic, or server shutdown.
+fn connection(stream: TcpStream, conductor: Arc<Conductor>, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Poll for the next frame without committing to a blocking read,
+        // so shutdown is observed between frames.
+        let mut probe = [0u8; 1];
+        match reader.peek(&mut probe) {
+            Ok(0) => return, // client closed cleanly
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A frame has started; a mid-frame stall beyond the timeout is a
+        // dropped client, not an idle one — give up on the connection.
+        let reply = match Request::read_from(&mut reader) {
+            Ok(Some(req)) => respond(&conductor, req),
+            Ok(None) => return,
+            Err(e @ (ProtoError::Oversized { .. } | ProtoError::Version { .. })) => {
+                // Tell the peer why before hanging up; resync is hopeless.
+                let _ = Response::Error {
+                    code: ErrorCode::Internal,
+                    message: e.to_string(),
+                }
+                .write_to(&mut writer);
+                return;
+            }
+            Err(_) => return,
+        };
+        if reply.write_to(&mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+fn parse_error(e: impl std::fmt::Display) -> Response {
+    Response::Error {
+        code: ErrorCode::Parse,
+        message: e.to_string(),
+    }
+}
+
+/// Route one request to the conductor and shape the reply. Total: every
+/// failure becomes a [`Response::Error`], never a dropped connection.
+fn respond(conductor: &Conductor, req: Request) -> Response {
+    fn routed(
+        conductor: &Conductor,
+        session: u64,
+        f: impl FnOnce(SessionHandle) -> Result<Response, ServeError>,
+    ) -> Response {
+        match conductor.route(session).and_then(f) {
+            Ok(resp) => resp,
+            Err(e) => Response::from_serve_error(&e),
+        }
+    }
+
+    match req {
+        Request::Open { sigma } => match ConstraintSet::parse(&sigma) {
+            Err(e) => parse_error(e),
+            Ok(set) => match conductor.open(set) {
+                Ok(session) => Response::Opened { session },
+                Err(e) => Response::from_serve_error(&e),
+            },
+        },
+        Request::Apply { session, facts } => match Instance::parse(&facts) {
+            Err(e) => parse_error(e),
+            Ok(batch) => routed(conductor, session, |h| {
+                h.apply(batch.atoms())
+                    .map(|outcome| Response::Applied { outcome })
+            }),
+        },
+        Request::Query { session, cq, opts } => match ConjunctiveQuery::parse(&cq) {
+            Err(e) => parse_error(e),
+            Ok(q) => routed(conductor, session, |h| {
+                h.query(&q, opts).map(|answers| Response::Answers {
+                    tuples: answers
+                        .into_iter()
+                        .map(|t| t.into_iter().map(|term| term.to_string()).collect())
+                        .collect(),
+                })
+            }),
+        },
+        Request::Snapshot { session } => routed(conductor, session, |h| {
+            h.snapshot()
+                .map(|snapshot| Response::Snapshotted { snapshot })
+        }),
+        Request::Restore { session, snapshot } => routed(conductor, session, |h| {
+            h.restore(snapshot).map(|()| Response::Restored)
+        }),
+        Request::Stats { session } => routed(conductor, session, |h| {
+            h.stats().map(|stats| Response::Stats { stats })
+        }),
+        Request::Dump { session } => routed(conductor, session, |h| {
+            h.dump().map(|text| Response::Dump { text })
+        }),
+        Request::Close { session } => match conductor.close(session) {
+            Ok(()) => Response::Closed,
+            Err(e) => Response::from_serve_error(&e),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// What a [`Client`] call can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The transport or codec failed (disconnect, malformed frame, ...).
+    Proto(ProtoError),
+    /// The server answered with a protocol-level error.
+    Server {
+        /// Machine-readable classification.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response the request does not admit —
+    /// a peer bug, not a user error.
+    Unexpected {
+        /// Debug rendering of the response received.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server { message, .. } => write!(f, "server error: {message}"),
+            ClientError::Unexpected { got } => write!(f, "unexpected response: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Proto(ProtoError::from(e))
+    }
+}
+
+/// A thin, blocking protocol client over one TCP connection: each method
+/// writes one request frame and decodes the one reply frame. All chase
+/// interpretation stays server-side; the client only moves text and
+/// counters.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a session server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// One request/reply round trip; [`Response::Error`] is mapped into
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        req.write_to(&mut self.stream)?;
+        self.stream.flush()?;
+        match Response::read_from(&mut self.stream)? {
+            None => Err(ClientError::Proto(ProtoError::Truncated)),
+            Some(Response::Error { code, message }) => Err(ClientError::Server { code, message }),
+            Some(resp) => Ok(resp),
+        }
+    }
+
+    /// Open a session over a constraint set in surface syntax (`;` or
+    /// newline separated); returns the session id.
+    pub fn open(&mut self, sigma: &str) -> Result<u64, ClientError> {
+        match self.call(&Request::Open {
+            sigma: sigma.into(),
+        })? {
+            Response::Opened { session } => Ok(session),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Apply a batch of facts in surface syntax (e.g. `e(a,b). e(b,c).`).
+    pub fn apply(&mut self, session: u64, facts: &str) -> Result<ChaseOutcome, ClientError> {
+        match self.call(&Request::Apply {
+            session,
+            facts: facts.into(),
+        })? {
+            Response::Applied { outcome } => Ok(outcome),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Answer a conjunctive query; each tuple's terms come back in
+    /// surface syntax.
+    pub fn query(
+        &mut self,
+        session: u64,
+        cq: &str,
+        opts: QueryOpts,
+    ) -> Result<Vec<Vec<String>>, ClientError> {
+        match self.call(&Request::Query {
+            session,
+            cq: cq.into(),
+            opts,
+        })? {
+            Response::Answers { tuples } => Ok(tuples),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Take a server-side snapshot; returns its id.
+    pub fn snapshot(&mut self, session: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Snapshot { session })? {
+            Response::Snapshotted { snapshot } => Ok(snapshot),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Rewind the session to a snapshot id.
+    pub fn restore(&mut self, session: u64, snapshot: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Restore { session, snapshot })? {
+            Response::Restored => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the session's [`SessionStats`].
+    pub fn stats(&mut self, session: u64) -> Result<SessionStats, ClientError> {
+        match self.call(&Request::Stats { session })? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the chased instance as fact text.
+    pub fn dump(&mut self, session: u64) -> Result<String, ClientError> {
+        match self.call(&Request::Dump { session })? {
+            Response::Dump { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Close the session, releasing its slot under the global cap.
+    pub fn close(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Close { session })? {
+            Response::Closed => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(got: Response) -> ClientError {
+    ClientError::Unexpected {
+        got: format!("{got:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_session_lifecycle() {
+        let server = serve("127.0.0.1:0", ConductorConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let s = c.open("rail(X,Y,D) -> rail(Y,X,D)").unwrap();
+        let out = c.apply(s, "rail(berlin,paris,d9).").unwrap();
+        assert_eq!(out.total_facts, 2);
+        let ans = c
+            .query(s, "q(X) <- rail(X,paris,D)", QueryOpts::default())
+            .unwrap();
+        assert_eq!(ans, vec![vec!["berlin".to_string()]]);
+        let snap = c.snapshot(s).unwrap();
+        c.apply(s, "rail(paris,lyon,d2).").unwrap();
+        assert_eq!(c.stats(s).unwrap().total_facts, 4);
+        c.restore(s, snap).unwrap();
+        assert_eq!(c.stats(s).unwrap().total_facts, 2);
+        assert!(c.dump(s).unwrap().contains("rail(berlin,paris,d9)"));
+        c.close(s).unwrap();
+        let err = c.stats(s).unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Server {
+                code: ErrorCode::UnknownSession,
+                ..
+            }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn sessions_survive_reconnects() {
+        let server = serve("127.0.0.1:0", ConductorConfig::default()).unwrap();
+        let s = {
+            let mut c = Client::connect(server.addr()).unwrap();
+            let s = c.open("e(X,Y) -> e(Y,X)").unwrap();
+            c.apply(s, "e(a,b).").unwrap();
+            s
+        }; // connection dropped here
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        assert_eq!(c2.stats(s).unwrap().total_facts, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_surfaces_parse_and_capacity_errors() {
+        let server = serve(
+            "127.0.0.1:0",
+            ConductorConfig {
+                max_sessions: 1,
+                ..ConductorConfig::default()
+            },
+        )
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let err = c.open("this is not sigma").unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Server {
+                code: ErrorCode::Parse,
+                ..
+            }
+        ));
+        let s = c.open("e(X,Y) -> e(Y,X)").unwrap();
+        let err = c.open("e(X,Y) -> e(Y,X)").unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Server {
+                code: ErrorCode::Capacity,
+                ..
+            }
+        ));
+        // Bad facts and bad queries come back as Parse, session unharmed.
+        assert!(c.apply(s, "e(X,").is_err());
+        assert!(c.query(s, "nonsense", QueryOpts::default()).is_err());
+        assert_eq!(c.stats(s).unwrap().epoch, 0);
+        server.shutdown();
+    }
+}

@@ -25,6 +25,7 @@ use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, Instance, Term};
 use chase_engine::{chase_resume, ChaseConfig, EngineState, StopReason};
 use chase_sqo::minimal_rewritings;
 use std::fmt;
+use std::ops::Deref;
 
 /// Session configuration: the engine configuration used for every warm
 /// re-chase, plus the query-rewriting policy.
@@ -59,7 +60,7 @@ impl Default for SessionConfig {
 }
 
 /// What one [`ChaseSession::apply`] did.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaseOutcome {
     /// Why the warm re-chase stopped. [`StopReason::Satisfied`] means the
     /// session is quiescent again; `Failed`/`MonitorAbort` poison the
@@ -80,6 +81,141 @@ pub struct ChaseOutcome {
     pub epoch: u64,
 }
 
+/// One coherent reading of a session's counters, taken at a single point
+/// in time — the redesigned replacement for seven scalar getters, and
+/// *verbatim* the wire protocol's `Stats` response (see
+/// [`crate::proto::Response::Stats`]), so the REPL client, the server and
+/// the load-generator bench all print the same numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Batches applied so far (the session's epoch counter — distinct from
+    /// the instance's `stats_epoch`, which only moves when the data
+    /// doubles).
+    pub epoch: u64,
+    /// Facts in the chased instance right now.
+    pub total_facts: u64,
+    /// Chase steps fired across every batch.
+    pub total_steps: u64,
+    /// Join-plan cache recompiles since the session started — the
+    /// plan-cache-reuse observable (duplicate-only batches must leave this
+    /// unchanged).
+    pub plan_recompiles: u64,
+    /// Facts rewritten in place by EGD merges across every batch — the
+    /// cumulative size of the merge deltas the engine repaired its trigger
+    /// pool from (no pool rebuilds).
+    pub merge_rewritten: u64,
+    /// Facts that collapsed onto an existing duplicate during EGD merges
+    /// across every batch.
+    pub merge_collapsed: u64,
+    /// Why the most recent apply/query chase stopped, if any ran yet.
+    pub last_reason: Option<StopReason>,
+    /// Is the session fully chased (no pending triggers, not poisoned)?
+    pub quiescent: bool,
+}
+
+impl fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epochs {}, facts {}, total steps {}, merge rewritten {}, merge collapsed {}, \
+             plan recompiles {}, quiescent {}, last stop {}",
+            self.epoch,
+            self.total_facts,
+            self.total_steps,
+            self.merge_rewritten,
+            self.merge_collapsed,
+            self.plan_recompiles,
+            self.quiescent,
+            match &self.last_reason {
+                Some(r) => format!("{r:?}"),
+                None => "-".to_string(),
+            }
+        )
+    }
+}
+
+/// Options for [`ChaseSession::query`] — how a conjunctive query is
+/// answered. The default is the certain-answer projection with `chase-sqo`
+/// rewriting enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOpts {
+    /// Keep answer tuples containing labeled nulls (the full evaluation)
+    /// instead of projecting down to the certain answers.
+    pub all: bool,
+    /// Route through `chase-sqo` join-elimination rewriting when the
+    /// session is quiescent and a strictly smaller Σ-equivalent body
+    /// exists. Decisions are cached per query text.
+    pub sqo: bool,
+}
+
+impl Default for QueryOpts {
+    fn default() -> QueryOpts {
+        QueryOpts {
+            all: false,
+            sqo: true,
+        }
+    }
+}
+
+impl QueryOpts {
+    /// Certain answers only (the default).
+    pub fn certain() -> QueryOpts {
+        QueryOpts::default()
+    }
+
+    /// The full evaluation: answer tuples containing labeled nulls are kept.
+    pub fn all_tuples() -> QueryOpts {
+        QueryOpts {
+            all: true,
+            ..QueryOpts::default()
+        }
+    }
+
+    /// Disable `chase-sqo` rewriting for this query.
+    pub fn without_sqo(mut self) -> QueryOpts {
+        self.sqo = false;
+        self
+    }
+}
+
+/// A query plus its options — the one argument of [`ChaseSession::query`].
+///
+/// Built implicitly from `&cq` (default options) or `(&cq, opts)`, so the
+/// common call stays a one-liner while every option remains reachable
+/// through the same entry point:
+///
+/// ```
+/// # use chase_core::{ConjunctiveQuery, ConstraintSet};
+/// # use chase_serve::{ChaseSession, QueryOpts};
+/// # let mut s = ChaseSession::new(ConstraintSet::parse("S(X) -> E(X,Y)").unwrap());
+/// # let q = ConjunctiveQuery::parse("q(X,Y) <- E(X,Y)").unwrap();
+/// let certain = s.query(&q).unwrap();                          // defaults
+/// let full = s.query((&q, QueryOpts::all_tuples())).unwrap();  // with nulls
+/// assert!(certain.len() <= full.len());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec<'q> {
+    /// The conjunctive query to answer.
+    pub q: &'q ConjunctiveQuery,
+    /// How to answer it.
+    pub opts: QueryOpts,
+}
+
+impl<'q> From<&'q ConjunctiveQuery> for QuerySpec<'q> {
+    fn from(q: &'q ConjunctiveQuery) -> QuerySpec<'q> {
+        QuerySpec {
+            q,
+            opts: QueryOpts::default(),
+        }
+    }
+}
+
+impl<'q> From<(&'q ConjunctiveQuery, QueryOpts)> for QuerySpec<'q> {
+    fn from((q, opts): (&'q ConjunctiveQuery, QueryOpts)) -> QuerySpec<'q> {
+        QuerySpec { q, opts }
+    }
+}
+
 /// Errors of the serving layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
@@ -89,6 +225,19 @@ pub enum ServeError {
     Poisoned(StopReason),
     /// Batch rejected: a non-ground atom. The batch was not applied.
     Core(chase_core::CoreError),
+    /// The conductor refused a new session: the global session cap is
+    /// already reached.
+    Capacity {
+        /// The configured cap.
+        max_sessions: usize,
+    },
+    /// No session with this id exists (never created, or already closed).
+    UnknownSession(u64),
+    /// No snapshot with this id exists on the addressed session.
+    UnknownSnapshot(u64),
+    /// The session's actor is gone (its thread exited or panicked); the
+    /// session can no longer be addressed.
+    SessionGone,
 }
 
 impl fmt::Display for ServeError {
@@ -96,6 +245,12 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Poisoned(r) => write!(f, "session poisoned by terminal stop {r:?}"),
             ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Capacity { max_sessions } => {
+                write!(f, "session cap reached ({max_sessions} sessions)")
+            }
+            ServeError::UnknownSession(id) => write!(f, "no session {id}"),
+            ServeError::UnknownSnapshot(id) => write!(f, "no snapshot {id}"),
+            ServeError::SessionGone => write!(f, "session actor is gone"),
         }
     }
 }
@@ -113,35 +268,22 @@ impl From<chase_core::CoreError> for ServeError {
 /// the session exactly (continued runs are bit-identical to the original
 /// timeline); cloning a session ([`ChaseSession::fork`]) is the same
 /// operation without the handle indirection.
+///
+/// A snapshot *is* a frozen session: it dereferences to [`ChaseSession`],
+/// so every read accessor (`instance`, `constraints`, `config`, `stats`)
+/// is written once on the session and available on both. The constraint
+/// set and session configuration travel inside the frozen session —
+/// [`ChaseSession::restore`] checks them, because engine state is indexed
+/// by constraint position and its memos depend on the chase mode, so
+/// restoring under other semantics would silently corrupt matching.
 #[derive(Clone)]
-pub struct SessionSnapshot {
-    /// The constraint set the snapshotted state was built under. Engine
-    /// state (pool, memos) is indexed by constraint position, so restoring
-    /// into a session with a different set would silently corrupt matching;
-    /// [`ChaseSession::restore`] checks this.
-    set: ConstraintSet,
-    /// The session configuration the state evolved under — checked by
-    /// restore too (pool and memo semantics depend on e.g. the chase mode).
-    cfg: SessionConfig,
-    state: EngineState,
-    epoch: u64,
-    last_reason: Option<StopReason>,
-}
+pub struct SessionSnapshot(ChaseSession);
 
-impl SessionSnapshot {
-    /// The instance as of the snapshot.
-    pub fn instance(&self) -> &Instance {
-        self.state.instance()
-    }
+impl Deref for SessionSnapshot {
+    type Target = ChaseSession;
 
-    /// The batch counter as of the snapshot.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// The constraint set the snapshot was taken under.
-    pub fn constraints(&self) -> &ConstraintSet {
-        &self.set
+    fn deref(&self) -> &ChaseSession {
+        &self.0
     }
 }
 
@@ -177,33 +319,83 @@ pub struct ChaseSession {
     rewrites: FxHashMap<String, Option<ConjunctiveQuery>>,
 }
 
-impl ChaseSession {
-    /// A session over the empty instance with the default configuration.
-    pub fn new(set: ConstraintSet) -> ChaseSession {
-        ChaseSession::with_config(set, SessionConfig::default())
+/// Builder for a [`ChaseSession`] — the one construction path behind
+/// [`ChaseSession::new`] and [`ChaseSession::with_config`]:
+///
+/// ```
+/// use chase_core::{ConstraintSet, Instance};
+/// use chase_serve::{ChaseSession, SessionConfig};
+///
+/// let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+/// let session = ChaseSession::builder(set)
+///     .config(SessionConfig::default())
+///     .instance(&Instance::parse("E(a,b). E(b,c).").unwrap())
+///     .build();
+/// assert_eq!(session.instance().len(), 2); // seeded, not yet chased
+/// ```
+#[derive(Clone)]
+pub struct SessionBuilder {
+    set: ConstraintSet,
+    cfg: SessionConfig,
+    instance: Instance,
+}
+
+impl SessionBuilder {
+    /// Use `cfg` as the session configuration (default:
+    /// [`SessionConfig::default`]).
+    pub fn config(mut self, cfg: SessionConfig) -> SessionBuilder {
+        self.cfg = cfg;
+        self
     }
 
-    /// A session over the empty instance with an explicit configuration.
-    pub fn with_config(set: ConstraintSet, cfg: SessionConfig) -> ChaseSession {
-        ChaseSession::with_instance(&Instance::new(), set, cfg)
+    /// Override just the chase configuration, keeping the rest of the
+    /// session configuration as currently set.
+    pub fn chase(mut self, chase: ChaseConfig) -> SessionBuilder {
+        self.cfg.chase = chase;
+        self
     }
 
-    /// A session seeded with `instance` (taken as base facts; the first
+    /// Seed the session with `instance` (taken as base facts; the first
     /// [`ChaseSession::apply`] or [`ChaseSession::query`] chases them).
-    pub fn with_instance(
-        instance: &Instance,
-        set: ConstraintSet,
-        cfg: SessionConfig,
-    ) -> ChaseSession {
-        let state = EngineState::new(instance, &set, &cfg.chase);
+    pub fn instance(mut self, instance: &Instance) -> SessionBuilder {
+        self.instance = instance.clone();
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> ChaseSession {
+        let state = EngineState::new(&self.instance, &self.set, &self.cfg.chase);
         ChaseSession {
-            set,
-            cfg,
+            set: self.set,
+            cfg: self.cfg,
             state,
             epoch: 0,
             last_reason: None,
             rewrites: FxHashMap::default(),
         }
+    }
+}
+
+impl ChaseSession {
+    /// Start building a session over `set`; see [`SessionBuilder`].
+    pub fn builder(set: ConstraintSet) -> SessionBuilder {
+        SessionBuilder {
+            set,
+            cfg: SessionConfig::default(),
+            instance: Instance::new(),
+        }
+    }
+
+    /// A session over the empty instance with the default configuration —
+    /// the one-liner for `builder(set).build()`.
+    pub fn new(set: ConstraintSet) -> ChaseSession {
+        ChaseSession::builder(set).build()
+    }
+
+    /// A session over the empty instance with an explicit configuration —
+    /// shorthand for `builder(set).config(cfg).build()`.
+    pub fn with_config(set: ConstraintSet, cfg: SessionConfig) -> ChaseSession {
+        ChaseSession::builder(set).config(cfg).build()
     }
 
     /// The constraint set the session chases under.
@@ -221,49 +413,26 @@ impl ChaseSession {
         self.state.instance()
     }
 
-    /// Number of batches applied so far.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// Why the most recent apply/query chase stopped, if any ran yet.
-    pub fn last_reason(&self) -> Option<&StopReason> {
-        self.last_reason.as_ref()
-    }
-
-    /// Is the session fully chased (no pending triggers, not poisoned)?
-    pub fn is_quiescent(&self) -> bool {
-        self.state.quiescent()
-    }
-
     /// The terminal stop that poisoned the session, if any.
     pub fn poisoned(&self) -> Option<&StopReason> {
         self.state.poisoned()
     }
 
-    /// How many times the join-plan cache has recompiled since the session
-    /// started — the plan-cache-reuse observable (duplicate-only batches
-    /// must leave this unchanged).
-    pub fn plan_recompiles(&self) -> u64 {
-        self.state.matcher().recompile_count()
-    }
-
-    /// Total chase steps across every batch.
-    pub fn total_steps(&self) -> usize {
-        self.state.total_steps()
-    }
-
-    /// Total facts rewritten in place by EGD merges across every batch —
-    /// the cumulative size of the merge deltas the engine repaired its
-    /// trigger pool from (no pool rebuilds).
-    pub fn merge_rewritten(&self) -> usize {
-        self.state.total_merge_rewritten()
-    }
-
-    /// Total facts that collapsed onto an existing duplicate during EGD
-    /// merges across every batch.
-    pub fn merge_collapsed(&self) -> usize {
-        self.state.total_merge_collapsed()
+    /// One coherent snapshot of every session counter — epochs, steps,
+    /// merge work, plan recompiles, quiescence, and the last stop reason.
+    /// This is the only counter accessor; it is also, verbatim, the wire
+    /// protocol's `Stats` response.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            epoch: self.epoch,
+            total_facts: self.state.instance().len() as u64,
+            total_steps: self.state.total_steps() as u64,
+            plan_recompiles: self.state.matcher().recompile_count(),
+            merge_rewritten: self.state.total_merge_rewritten() as u64,
+            merge_collapsed: self.state.total_merge_collapsed() as u64,
+            last_reason: self.last_reason.clone(),
+            quiescent: self.state.quiescent(),
+        }
     }
 
     /// Insert a batch of ground base facts and continue the chase warm,
@@ -297,9 +466,15 @@ impl ChaseSession {
         })
     }
 
-    /// *Certain-answer* evaluation of a conjunctive query against the
-    /// chased instance: answer tuples free of labeled nulls, sorted and
-    /// deduplicated.
+    /// Answer a conjunctive query against the chased instance — the single
+    /// query entry point. Pass `&q` for the defaults (certain answers,
+    /// `chase-sqo` routing on) or `(&q, opts)` to select the full
+    /// evaluation or disable rewriting; see [`QuerySpec`] and [`QueryOpts`].
+    ///
+    /// By default the result is the *certain-answer* projection: answer
+    /// tuples free of labeled nulls, sorted and deduplicated. With
+    /// [`QueryOpts::all_tuples`] tuples containing labeled nulls are kept
+    /// (the full evaluation).
     ///
     /// Pending work (a freshly seeded session, or a previous budget stop)
     /// is chased first, so queries always see the most-chased state. When
@@ -308,26 +483,38 @@ impl ChaseSession {
     /// result is still *sound* (every returned tuple is a certain answer)
     /// but may be incomplete.
     ///
-    /// With [`SessionConfig::use_sqo`] (the default), evaluation on a
-    /// quiescent instance is routed through `chase-sqo`: if a strictly
-    /// smaller Σ-equivalent rewriting of the query exists, the rewriting is
-    /// evaluated instead — same answers (the instance satisfies Σ), fewer
-    /// joins. Decisions are cached per query text.
+    /// With [`QueryOpts::sqo`] *and* [`SessionConfig::use_sqo`] (both
+    /// default), evaluation on a quiescent instance is routed through
+    /// `chase-sqo`: if a strictly smaller Σ-equivalent rewriting of the
+    /// query exists, the rewriting is evaluated instead — same answers
+    /// (the instance satisfies Σ), fewer joins. Decisions are cached per
+    /// query text.
     ///
     /// # Errors
     /// [`ServeError::Poisoned`] on a failed/aborted session.
-    pub fn query(&mut self, q: &ConjunctiveQuery) -> Result<Vec<Vec<Term>>, ServeError> {
+    pub fn query<'q>(
+        &mut self,
+        spec: impl Into<QuerySpec<'q>>,
+    ) -> Result<Vec<Vec<Term>>, ServeError> {
+        let QuerySpec { q, opts } = spec.into();
         self.quiesce()?;
-        let target = self.rewritten(q).unwrap_or_else(|| q.clone());
-        Ok(target.evaluate_certain(self.state.instance()))
+        let target = if opts.sqo { self.rewritten(q) } else { None };
+        let target = target.unwrap_or_else(|| q.clone());
+        Ok(if opts.all {
+            target.evaluate(self.state.instance())
+        } else {
+            target.evaluate_certain(self.state.instance())
+        })
     }
 
-    /// Like [`ChaseSession::query`], but keeps answer tuples containing
-    /// labeled nulls (the full evaluation, not just the certain part).
+    /// Like [`ChaseSession::query`] with defaults, but keeps answer tuples
+    /// containing labeled nulls.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query((&q, QueryOpts::all_tuples()))` — the unified entry point"
+    )]
     pub fn query_all(&mut self, q: &ConjunctiveQuery) -> Result<Vec<Vec<Term>>, ServeError> {
-        self.quiesce()?;
-        let target = self.rewritten(q).unwrap_or_else(|| q.clone());
-        Ok(target.evaluate(self.state.instance()))
+        self.query((q, QueryOpts::all_tuples()))
     }
 
     /// Chase pending work before answering (no-op when quiescent).
@@ -357,21 +544,7 @@ impl ChaseSession {
         if let Some(cached) = self.rewrites.get(&key) {
             return cached.clone();
         }
-        let choice = minimal_rewritings(
-            q,
-            &self.set,
-            &self.cfg.sqo_chase,
-            self.cfg.sqo_max_plan_atoms,
-        )
-        .ok()
-        .and_then(|mut v| {
-            if v.is_empty() {
-                None
-            } else {
-                Some(v.remove(0))
-            }
-        })
-        .filter(|r| r.body().len() < q.body().len());
+        let choice = choose_rewriting(q, &self.set, &self.cfg);
         self.rewrites.insert(key, choice.clone());
         choice
     }
@@ -379,13 +552,7 @@ impl ChaseSession {
     /// Snapshot the full engine state — O(instance + pool), no re-chasing
     /// or recompiling on either side of the copy.
     pub fn snapshot(&self) -> SessionSnapshot {
-        SessionSnapshot {
-            set: self.set.clone(),
-            cfg: self.cfg.clone(),
-            state: self.state.clone(),
-            epoch: self.epoch,
-            last_reason: self.last_reason.clone(),
-        }
+        SessionSnapshot(self.clone())
     }
 
     /// Rewind the session to a snapshot (taken from this session or a
@@ -399,16 +566,16 @@ impl ChaseSession {
     /// under other semantics would silently corrupt trigger matching.
     pub fn restore(&mut self, snap: &SessionSnapshot) {
         assert!(
-            snap.set == self.set,
+            snap.0.set == self.set,
             "snapshot taken under a different constraint set than this session's"
         );
         assert!(
-            snap.cfg == self.cfg,
+            snap.0.cfg == self.cfg,
             "snapshot taken under a different session configuration than this session's"
         );
-        self.state = snap.state.clone();
-        self.epoch = snap.epoch;
-        self.last_reason = snap.last_reason.clone();
+        self.state = snap.0.state.clone();
+        self.epoch = snap.0.epoch;
+        self.last_reason = snap.0.last_reason.clone();
     }
 
     /// Fork the session: an independent session over a copy of the warm
@@ -416,6 +583,28 @@ impl ChaseSession {
     pub fn fork(&self) -> ChaseSession {
         self.clone()
     }
+}
+
+/// The `chase-sqo` rewriting choice for `q` under `set` and the session's
+/// rewriting policy: the first minimal rewriting when it is a *strict*
+/// shrink of the body, `None` otherwise (or when the rewriting chase was
+/// cut off). Shared by [`ChaseSession`]'s per-session cache and the
+/// conductor's concurrent read path, so both route queries identically.
+pub(crate) fn choose_rewriting(
+    q: &ConjunctiveQuery,
+    set: &ConstraintSet,
+    cfg: &SessionConfig,
+) -> Option<ConjunctiveQuery> {
+    minimal_rewritings(q, set, &cfg.sqo_chase, cfg.sqo_max_plan_atoms)
+        .ok()
+        .and_then(|mut v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        })
+        .filter(|r| r.body().len() < q.body().len())
 }
 
 #[cfg(test)]
@@ -436,7 +625,7 @@ mod tests {
         assert_eq!(o1.epoch, 1);
         let o2 = s.apply(atoms("E(c,d).")).unwrap();
         assert_eq!(o2.new_facts, 1);
-        assert!(s.is_quiescent());
+        assert!(s.stats().quiescent);
         // Same final instance as chasing the union from scratch (null-free
         // and confluent here, so equality outright).
         let union = Instance::parse("E(a,b). E(b,c). E(c,d).").unwrap();
@@ -450,7 +639,7 @@ mod tests {
         let mut s = ChaseSession::new(set);
         s.apply(atoms("E(a,b). E(b,c). E(c,d).")).unwrap();
         let stats_epoch = s.instance().stats_epoch();
-        let recompiles = s.plan_recompiles();
+        let recompiles = s.stats().plan_recompiles;
         let facts = s.instance().len();
 
         let empty = s.apply(Vec::new()).unwrap();
@@ -467,11 +656,11 @@ mod tests {
             "duplicates must not advance the statistics epoch"
         );
         assert_eq!(
-            s.plan_recompiles(),
+            s.stats().plan_recompiles,
             recompiles,
             "duplicates must not recompile plans"
         );
-        assert_eq!(s.epoch(), 3, "epochs still count the batches");
+        assert_eq!(s.stats().epoch, 3, "epochs still count the batches");
     }
 
     #[test]
@@ -523,7 +712,7 @@ mod tests {
         ];
         assert!(matches!(s.apply(bad), Err(ServeError::Core(_))));
         assert_eq!(s.instance().len(), facts, "batch must not half-apply");
-        assert_eq!(s.epoch(), 1, "rejected batches are not epochs");
+        assert_eq!(s.stats().epoch, 1, "rejected batches are not epochs");
     }
 
     #[test]
@@ -539,7 +728,7 @@ mod tests {
         s.restore(&snap);
         assert_eq!(s.instance(), snap.instance());
         assert_eq!(s.instance(), &frozen);
-        assert_eq!(s.epoch(), snap.epoch());
+        assert_eq!(s.stats().epoch, snap.stats().epoch);
         // The restored timeline replays identically to a fork that never
         // diverged — pool and memo state came back with the snapshot.
         let mut fork = s.fork();
@@ -557,26 +746,32 @@ mod tests {
         let set = ConstraintSet::parse("S(X) -> F(X,Y)\nF(X,Y), F(X,Z) -> Y = Z").unwrap();
         let mut s = ChaseSession::new(set);
         s.apply(atoms("S(a). G(a,b).")).unwrap(); // invents F(a,_n0)
-        assert_eq!((s.merge_rewritten(), s.merge_collapsed()), (0, 0));
+        assert_eq!(
+            (s.stats().merge_rewritten, s.stats().merge_collapsed),
+            (0, 0)
+        );
         let snap = s.snapshot();
         // F(a,b) arrives: the EGD merges _n0 → b and F(a,_n0) collapses
         // onto the freshly inserted duplicate.
         s.apply(atoms("F(a,b).")).unwrap();
-        assert!(s.is_quiescent());
+        assert!(s.stats().quiescent);
         assert_eq!(
-            s.merge_collapsed(),
+            s.stats().merge_collapsed,
             1,
             "F(a,_n0) collapsed onto F(a,b) during the merge"
         );
-        let after = (s.merge_rewritten(), s.merge_collapsed());
+        let after = (s.stats().merge_rewritten, s.stats().merge_collapsed);
         s.restore(&snap);
         assert_eq!(
-            (s.merge_rewritten(), s.merge_collapsed()),
+            (s.stats().merge_rewritten, s.stats().merge_collapsed),
             (0, 0),
             "snapshots carry the merge counters"
         );
         s.apply(atoms("F(a,b).")).unwrap();
-        assert_eq!((s.merge_rewritten(), s.merge_collapsed()), after);
+        assert_eq!(
+            (s.stats().merge_rewritten, s.stats().merge_collapsed),
+            after
+        );
     }
 
     #[test]
@@ -635,12 +830,12 @@ mod tests {
     fn query_on_a_seeded_session_chases_first() {
         let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
         let inst = Instance::parse("E(a,b). E(b,c).").unwrap();
-        let mut s = ChaseSession::with_instance(&inst, set, SessionConfig::default());
-        assert!(!s.is_quiescent());
+        let mut s = ChaseSession::builder(set).instance(&inst).build();
+        assert!(!s.stats().quiescent);
         let q = ConjunctiveQuery::parse("q(X) <- E(a,X)").unwrap();
         let ans = s.query(&q).unwrap();
         assert_eq!(ans.len(), 2, "query sees the chased closure");
-        assert!(s.is_quiescent());
+        assert!(s.stats().quiescent);
     }
 
     #[test]
@@ -655,7 +850,7 @@ mod tests {
             certain,
             vec![vec![Term::constant("a"), Term::constant("b")]]
         );
-        let all = s.query_all(&q).unwrap();
+        let all = s.query((&q, QueryOpts::all_tuples())).unwrap();
         assert_eq!(all.len(), 2);
     }
 }

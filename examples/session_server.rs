@@ -1,6 +1,12 @@
-//! session_server: a minimal stdin-driven REPL over a [`ChaseSession`] —
-//! the `chase-serve` API end to end: batched inserts with warm re-chase,
-//! certain-answer queries, and snapshot/restore.
+//! session_server: a stdin-driven REPL that speaks the `chase-serve`
+//! **wire protocol** to a session server over TCP — the serving layer end
+//! to end: a conductor admitting actor-per-session tenants, batched
+//! inserts with warm re-chase, certain-answer queries served from the
+//! published snapshot, and server-side snapshot/restore.
+//!
+//! By default the example starts its own loopback server on an ephemeral
+//! port and connects to it, so it exercises the real framed protocol even
+//! when run standalone (as in CI):
 //!
 //! ```sh
 //! cargo run --example session_server
@@ -8,18 +14,27 @@
 //! query q(X) <- rail(X,berlin,D)' | cargo run --example session_server
 //! ```
 //!
+//! Modes:
+//!
+//! * *(default)* — serve on `127.0.0.1:0` in-process and connect to it;
+//! * `--serve <addr>` — run a server only (e.g. `127.0.0.1:7474`), no REPL;
+//! * `--connect <addr>` — REPL against an already-running server.
+//!
 //! Commands (one per line; `#` starts a comment):
 //!
-//! | command               | effect                                          |
-//! |-----------------------|-------------------------------------------------|
-//! | `sigma <constraints>` | restart the session under a new constraint set  |
-//! | `insert <facts>`      | apply the facts as one update batch (warm)      |
-//! | `query <cq>`          | certain answers of `q(X) <- body` on the chase  |
-//! | `snapshot`            | push the current state on the snapshot stack    |
-//! | `restore`             | pop the stack and rewind to that state          |
-//! | `show`                | print the chased instance                       |
-//! | `stats`               | epochs, facts, steps, merge costs, recompiles   |
-//! | `quit`                | exit                                            |
+//! | command               | effect                                           |
+//! |-----------------------|--------------------------------------------------|
+//! | `sigma <constraints>` | open a fresh session under a new constraint set  |
+//! | `insert <facts>`      | apply the facts as one update batch (warm)       |
+//! | `query <cq>`          | certain answers of `q(X) <- body` on the chase   |
+//! | `snapshot`            | take a server-side snapshot (stacked)            |
+//! | `restore`             | pop the stack and rewind to that snapshot        |
+//! | `show`                | print the chased instance (from the server)      |
+//! | `stats`               | the session's `SessionStats`, verbatim           |
+//! | `quit`                | close the session and exit                       |
+//!
+//! A `sigma` line holds one constraint set; separate constraints with `;`
+//! (first-class in the grammar — no escape tricks needed).
 //!
 //! With no input on stdin (as in CI), a built-in demo script runs instead.
 
@@ -29,7 +44,7 @@ use std::io::BufRead;
 /// The demo script run when stdin has no input — the travel-agency serving
 /// scenario from PAPER.md's "Serving layer" section.
 const DEMO: &str = "\
-sigma fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2)\\nrail(C1,C2,D) -> rail(C2,C1,D)
+sigma fly(C1,C2,D) -> hasAirport(C1), hasAirport(C2); rail(C1,C2,D) -> rail(C2,C1,D)
 insert fly(berlin,paris,d9). rail(paris,lyon,d2).
 query airports(C) <- hasAirport(C)
 snapshot
@@ -42,16 +57,19 @@ query reach(X) <- rail(X,lyon,D)
 quit";
 
 struct Repl {
-    session: ChaseSession,
-    snapshots: Vec<SessionSnapshot>,
+    client: Client,
+    session: u64,
+    snapshots: Vec<u64>,
 }
 
 impl Repl {
-    fn new(set: ConstraintSet) -> Repl {
-        Repl {
-            session: ChaseSession::new(set),
+    fn new(mut client: Client, sigma: &str) -> Result<Repl, ClientError> {
+        let session = client.open(sigma)?;
+        Ok(Repl {
+            client,
+            session,
             snapshots: Vec::new(),
-        }
+        })
     }
 
     /// Handle one command line; returns `false` on `quit`.
@@ -62,72 +80,68 @@ impl Repl {
         }
         let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
         match cmd {
-            "sigma" => {
-                // Literal "\n" separates constraints so a set fits one line.
-                match ConstraintSet::parse(&rest.replace("\\n", "\n")) {
-                    Ok(set) => {
-                        println!("session restarted under {} constraints", set.len());
-                        self.session = ChaseSession::new(set);
-                        self.snapshots.clear();
-                    }
-                    Err(e) => println!("error: {e}"),
+            "sigma" => match self.client.open(rest) {
+                Ok(id) => {
+                    let _ = self.client.close(self.session);
+                    self.session = id;
+                    self.snapshots.clear();
+                    println!("session #{id} opened under the new constraint set");
                 }
-            }
-            "insert" => match Instance::parse(rest) {
-                Ok(batch) => match self.session.apply(batch.atoms()) {
-                    Ok(out) => println!(
-                        "epoch {}: +{} facts, {} chase steps, {} fresh nulls, {:?} ({} total)",
-                        out.epoch,
-                        out.new_facts,
-                        out.steps,
-                        out.fresh_nulls,
-                        out.reason,
-                        out.total_facts
-                    ),
-                    Err(e) => println!("error: {e}"),
-                },
-                Err(e) => println!("parse error: {e}"),
+                Err(e) => println!("error: {e}"),
             },
-            "query" => match ConjunctiveQuery::parse(rest) {
-                Ok(q) => match self.session.query(&q) {
-                    Ok(answers) => {
-                        println!("{} certain answer(s):", answers.len());
-                        for tuple in answers {
-                            let terms: Vec<String> = tuple.iter().map(|t| t.to_string()).collect();
-                            println!("  ({})", terms.join(", "));
-                        }
+            "insert" => match self.client.apply(self.session, rest) {
+                Ok(out) => println!(
+                    "epoch {}: +{} facts, {} chase steps, {} fresh nulls, {:?} ({} total)",
+                    out.epoch,
+                    out.new_facts,
+                    out.steps,
+                    out.fresh_nulls,
+                    out.reason,
+                    out.total_facts
+                ),
+                Err(e) => println!("error: {e}"),
+            },
+            "query" => match self.client.query(self.session, rest, QueryOpts::default()) {
+                Ok(answers) => {
+                    println!("{} certain answer(s):", answers.len());
+                    for tuple in answers {
+                        println!("  ({})", tuple.join(", "));
                     }
-                    Err(e) => println!("error: {e}"),
-                },
-                Err(e) => println!("parse error: {e}"),
+                }
+                Err(e) => println!("error: {e}"),
             },
-            "snapshot" => {
-                self.snapshots.push(self.session.snapshot());
-                println!("snapshot #{} taken", self.snapshots.len());
-            }
+            "snapshot" => match self.client.snapshot(self.session) {
+                Ok(id) => {
+                    self.snapshots.push(id);
+                    println!("snapshot #{id} taken server-side");
+                }
+                Err(e) => println!("error: {e}"),
+            },
             "restore" => match self.snapshots.pop() {
-                Some(snap) => {
-                    self.session.restore(&snap);
-                    println!(
-                        "restored to epoch {} ({} facts)",
-                        snap.epoch(),
-                        snap.instance().len()
-                    );
-                }
+                Some(id) => match self.client.restore(self.session, id) {
+                    Ok(()) => match self.client.stats(self.session) {
+                        Ok(stats) => println!(
+                            "restored to snapshot #{id} (epoch {}, {} facts)",
+                            stats.epoch, stats.total_facts
+                        ),
+                        Err(e) => println!("restored to snapshot #{id}; stats failed: {e}"),
+                    },
+                    Err(e) => println!("error: {e}"),
+                },
                 None => println!("error: no snapshot on the stack"),
             },
-            "show" => println!("{}", self.session.instance()),
-            "stats" => println!(
-                "epochs {}, facts {}, total steps {}, merge rewritten {}, merge collapsed {}, plan recompiles {}, quiescent {}",
-                self.session.epoch(),
-                self.session.instance().len(),
-                self.session.total_steps(),
-                self.session.merge_rewritten(),
-                self.session.merge_collapsed(),
-                self.session.plan_recompiles(),
-                self.session.is_quiescent()
-            ),
-            "quit" | "exit" => return false,
+            "show" => match self.client.dump(self.session) {
+                Ok(text) => println!("{text}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "stats" => match self.client.stats(self.session) {
+                Ok(stats) => println!("{stats}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "quit" | "exit" => {
+                let _ = self.client.close(self.session);
+                return false;
+            }
             other => println!(
                 "unknown command {other:?} (sigma/insert/query/snapshot/restore/show/stats/quit)"
             ),
@@ -137,10 +151,39 @@ impl Repl {
 }
 
 fn main() {
-    // Default constraint set until a `sigma` command replaces it.
-    let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").expect("default set parses");
-    let mut repl = Repl::new(set);
-    println!("chase-serve session server — commands: sigma/insert/query/snapshot/restore/show/stats/quit");
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    // Server-only mode: bind, print the address, serve until killed.
+    if let Some(addr) = flag("--serve") {
+        let server = serve(addr.as_str(), ConductorConfig::default()).expect("bind");
+        println!("serving chase sessions on {}", server.addr());
+        loop {
+            std::thread::park();
+        }
+    }
+
+    // REPL mode: connect to the given server, or spin up a loopback one.
+    let (client, _local) = match flag("--connect") {
+        Some(addr) => (Client::connect(addr.as_str()).expect("connect"), None),
+        None => {
+            let server = serve("127.0.0.1:0", ConductorConfig::default()).expect("bind loopback");
+            let client = Client::connect(server.addr()).expect("connect loopback");
+            println!("(loopback server on {})", server.addr());
+            (client, Some(server))
+        }
+    };
+
+    // Default constraint set until a `sigma` command replaces the session.
+    let mut repl = Repl::new(client, "E(X,Y), E(Y,Z) -> E(X,Z)").expect("open default session");
+    println!(
+        "chase-serve session client — commands: sigma/insert/query/snapshot/restore/show/stats/quit"
+    );
 
     let mut saw_input = false;
     for line in std::io::stdin().lock().lines() {

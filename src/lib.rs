@@ -18,7 +18,8 @@
 //!   (universal plans, equivalence under constraints, rewriting enumeration);
 //! * `serve` ([`chase_serve`]) — the serving layer: long-lived incremental
 //!   chase sessions with warm re-chase over update batches, certain-answer
-//!   queries, and snapshot/restore forking;
+//!   queries, snapshot/restore forking, and a multi-tenant TCP session
+//!   server (actor-per-session runtime behind a framed wire protocol);
 //! * `corpus` ([`chase_corpus`]) — every example of the paper plus synthetic
 //!   workload generators.
 //!
@@ -87,7 +88,11 @@ pub mod prelude {
         StopReason, Strategy,
     };
     pub use chase_plan::JoinProgram;
-    pub use chase_serve::{ChaseOutcome, ChaseSession, ServeError, SessionConfig, SessionSnapshot};
+    pub use chase_serve::{
+        serve, ChaseOutcome, ChaseSession, Client, ClientError, Conductor, ConductorConfig,
+        QueryOpts, QuerySpec, ServeError, SessionBuilder, SessionConfig, SessionHandle,
+        SessionSnapshot, SessionStats,
+    };
     pub use chase_termination::{
         affected_positions, analyze, c_chase_graph, chase_graph, check, data_dependent_terminates,
         dependency_graph, irrelevant_constraints, is_c_stratified, is_inductively_restricted,

@@ -13,8 +13,9 @@
 //! whole time) — and printing the ratio, which must stay well under the
 //! 2x that a lock-the-session design would blow through.
 
-use chase_bench::{print_table, scaled, Row};
+use chase_bench::{print_table, quick, scaled, Row};
 use chase_corpus::random::{random_travel_stream, RandomTravelConfig};
+use chase_obs::{Histogram, HistogramSnapshot, Phase};
 use chase_serve::{serve, Client, ConductorConfig, QueryOpts, Server};
 use criterion::Criterion;
 use std::hint::black_box;
@@ -93,45 +94,36 @@ fn fresh_batch(tenant: usize, round: usize) -> String {
     s
 }
 
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
-}
-
-fn fmt_us(d: Duration) -> String {
-    format!("{:.2} µs", d.as_secs_f64() * 1e6)
+fn fmt_us(ns: u64) -> String {
+    format!("{:.2} µs", ns as f64 / 1e3)
 }
 
 /// Print a latency distribution in the criterion stand-in's line format so
 /// `bench2json` records it on the trajectory: [p50 p90 p99].
-fn print_latency_line(label: &str, sorted: &[Duration]) {
+fn print_latency_line(label: &str, snap: &HistogramSnapshot) {
     println!(
         "{label:<60} time: [{} {} {}]",
-        fmt_us(percentile(sorted, 0.50)),
-        fmt_us(percentile(sorted, 0.90)),
-        fmt_us(percentile(sorted, 0.99)),
+        fmt_us(snap.percentile(0.50)),
+        fmt_us(snap.percentile(0.90)),
+        fmt_us(snap.percentile(0.99)),
     );
 }
 
 /// One tenant's full lifecycle: open, stream every batch, query, close.
-/// Returns per-apply latencies.
-fn run_session(addr: std::net::SocketAddr, _tenant: usize, stream: &[String]) -> Vec<Duration> {
+/// Per-apply latencies land in `applies` (shared, lock-free).
+fn run_session(addr: std::net::SocketAddr, stream: &[String], applies: &Histogram) {
     let mut c = Client::connect(addr).expect("connect");
     let s = c.open(SIGMA).expect("open");
-    let mut applies = Vec::with_capacity(stream.len());
     for batch in stream {
         let t0 = Instant::now();
         c.apply(s, batch).expect("apply");
-        applies.push(t0.elapsed());
+        applies.record_duration(t0.elapsed());
     }
     let ans = c
         .query(s, "q(C) <- hasAirport(C)", QueryOpts::default())
         .expect("query");
     black_box(ans);
     c.close(s).expect("close");
-    applies
 }
 
 /// Load one session per tenant (left open) and return `(session,
@@ -157,39 +149,39 @@ fn load_sessions(server: &Server) -> Vec<(u64, u64)> {
         .collect()
 }
 
-/// Per-tenant reader loop: `n` queries over its session, returning each
-/// round trip's latency.
-fn reader(addr: std::net::SocketAddr, session: u64, n: usize) -> Vec<Duration> {
+/// Per-tenant reader loop: `n` queries over its session, each round trip's
+/// latency recorded into the shared histogram.
+fn reader(addr: std::net::SocketAddr, session: u64, n: usize, lat: &Histogram) {
     let mut c = Client::connect(addr).expect("connect");
-    let mut lat = Vec::with_capacity(n);
     for i in 0..n {
         let q = READ_MIX[i % READ_MIX.len()];
         let t0 = Instant::now();
         let ans = c.query(session, q, QueryOpts::default()).expect("query");
-        lat.push(t0.elapsed());
+        lat.record_duration(t0.elapsed());
         black_box(ans);
         let spent = t0.elapsed();
         if spent < READ_INTERVAL {
             thread::sleep(READ_INTERVAL - spent);
         }
     }
-    lat
 }
 
 /// Query latencies across all tenants with no writer traffic.
-fn measure_read_only(server: &Server, sessions: &[(u64, u64)]) -> Vec<Duration> {
+fn measure_read_only(server: &Server, sessions: &[(u64, u64)]) -> HistogramSnapshot {
     let addr = server.addr();
     let n = queries_per_reader();
+    let lat = Arc::new(Histogram::new());
     let handles: Vec<_> = sessions
         .iter()
-        .map(|&(s, _)| thread::spawn(move || reader(addr, s, n)))
+        .map(|&(s, _)| {
+            let lat = Arc::clone(&lat);
+            thread::spawn(move || reader(addr, s, n, &lat))
+        })
         .collect();
-    let mut all: Vec<Duration> = handles
-        .into_iter()
-        .flat_map(|h| h.join().unwrap())
-        .collect();
-    all.sort();
-    all
+    for h in handles {
+        h.join().unwrap();
+    }
+    lat.snapshot()
 }
 
 /// How often each write-heavy writer issues a batch. Open-loop pacing: a
@@ -201,24 +193,29 @@ const WRITE_INTERVAL: Duration = Duration::from_millis(8);
 /// Query + apply latencies across all tenants while a dedicated writer
 /// connection per session streams fresh batches for the entire window,
 /// rewinding to the loaded snapshot every few rounds to bound growth.
-fn measure_write_heavy(server: &Server, sessions: &[(u64, u64)]) -> (Vec<Duration>, Vec<Duration>) {
+fn measure_write_heavy(
+    server: &Server,
+    sessions: &[(u64, u64)],
+) -> (HistogramSnapshot, HistogramSnapshot) {
     let addr = server.addr();
     let n = queries_per_reader();
     let stop = Arc::new(AtomicBool::new(false));
+    let applies = Arc::new(Histogram::new());
+    let queries = Arc::new(Histogram::new());
     let writers: Vec<_> = sessions
         .iter()
         .enumerate()
         .map(|(t, &(s, snap))| {
             let stop = Arc::clone(&stop);
+            let lat = Arc::clone(&applies);
             thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("connect");
-                let mut lat = Vec::new();
                 let mut round = 0;
                 while !stop.load(Ordering::Relaxed) {
                     let batch = fresh_batch(t, round);
                     let t0 = Instant::now();
                     c.apply(s, &batch).expect("apply");
-                    lat.push(t0.elapsed());
+                    lat.record_duration(t0.elapsed());
                     round += 1;
                     if round % 8 == 0 {
                         c.restore(s, snap).expect("restore");
@@ -228,26 +225,24 @@ fn measure_write_heavy(server: &Server, sessions: &[(u64, u64)]) -> (Vec<Duratio
                         thread::sleep(WRITE_INTERVAL - spent);
                     }
                 }
-                lat
             })
         })
         .collect();
     let readers: Vec<_> = sessions
         .iter()
-        .map(|&(s, _)| thread::spawn(move || reader(addr, s, n)))
+        .map(|&(s, _)| {
+            let lat = Arc::clone(&queries);
+            thread::spawn(move || reader(addr, s, n, &lat))
+        })
         .collect();
-    let mut queries: Vec<Duration> = readers
-        .into_iter()
-        .flat_map(|h| h.join().unwrap())
-        .collect();
+    for h in readers {
+        h.join().unwrap();
+    }
     stop.store(true, Ordering::Relaxed);
-    let mut applies: Vec<Duration> = writers
-        .into_iter()
-        .flat_map(|h| h.join().unwrap())
-        .collect();
-    queries.sort();
-    applies.sort();
-    (queries, applies)
+    for h in writers {
+        h.join().unwrap();
+    }
+    (queries.snapshot(), applies.snapshot())
 }
 
 fn print_shape() {
@@ -256,17 +251,18 @@ fn print_shape() {
     // Throughput: every tenant runs its full session lifecycle once,
     // concurrently; sessions/sec is tenants over the wall-clock window.
     let t0 = Instant::now();
+    let lifecycle = Arc::new(Histogram::new());
     let handles: Vec<_> = (0..tenants())
         .map(|t| {
             let addr = server.addr();
-            thread::spawn(move || run_session(addr, t, &stream_for(t)))
+            let lat = Arc::clone(&lifecycle);
+            thread::spawn(move || run_session(addr, &stream_for(t), &lat))
         })
         .collect();
-    let mut applies: Vec<Duration> = handles
-        .into_iter()
-        .flat_map(|h| h.join().unwrap())
-        .collect();
-    applies.sort();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let applies = lifecycle.snapshot();
     let window = t0.elapsed();
     let sessions_per_sec = tenants() as f64 / window.as_secs_f64();
 
@@ -275,9 +271,9 @@ fn print_shape() {
     let sessions = load_sessions(&server);
     let read_only = measure_read_only(&server, &sessions);
     let (write_heavy_q, write_heavy_a) = measure_write_heavy(&server, &sessions);
-    let p99_ro = percentile(&read_only, 0.99);
-    let p99_wh = percentile(&write_heavy_q, 0.99);
-    let ratio = p99_wh.as_secs_f64() / p99_ro.as_secs_f64().max(1e-9);
+    let p99_ro = read_only.percentile(0.99);
+    let p99_wh = write_heavy_q.percentile(0.99);
+    let ratio = p99_wh as f64 / (p99_ro as f64).max(1.0);
 
     let rows = vec![
         Row::new(
@@ -285,35 +281,35 @@ fn print_shape() {
             vec![
                 format!("{} tenants", tenants()),
                 format!("{sessions_per_sec:.1} sessions/s"),
-                fmt_us(percentile(&applies, 0.50)),
-                fmt_us(percentile(&applies, 0.99)),
+                fmt_us(applies.percentile(0.50)),
+                fmt_us(applies.percentile(0.99)),
             ],
         ),
         Row::new(
             "query, read-only",
             vec![
-                format!("{} reads", read_only.len()),
+                format!("{} reads", read_only.count()),
                 "-".into(),
-                fmt_us(percentile(&read_only, 0.50)),
+                fmt_us(read_only.percentile(0.50)),
                 fmt_us(p99_ro),
             ],
         ),
         Row::new(
             "query, write-heavy",
             vec![
-                format!("{} reads", write_heavy_q.len()),
+                format!("{} reads", write_heavy_q.count()),
                 "-".into(),
-                fmt_us(percentile(&write_heavy_q, 0.50)),
+                fmt_us(write_heavy_q.percentile(0.50)),
                 fmt_us(p99_wh),
             ],
         ),
         Row::new(
             "apply, write-heavy",
             vec![
-                format!("{} writes", write_heavy_a.len()),
+                format!("{} writes", write_heavy_a.count()),
                 "-".into(),
-                fmt_us(percentile(&write_heavy_a, 0.50)),
-                fmt_us(percentile(&write_heavy_a, 0.99)),
+                fmt_us(write_heavy_a.percentile(0.50)),
+                fmt_us(write_heavy_a.percentile(0.99)),
             ],
         ),
     ];
@@ -333,6 +329,43 @@ fn print_shape() {
     print_latency_line("session_server/query_writeheavy/p50p90p99", &write_heavy_q);
     print_latency_line("session_server/apply_writeheavy/p50p90p99", &write_heavy_a);
 
+    // Per-stage engine phase timings, aggregated over every still-open
+    // session's recorder via the conductor (full-budget runs only: quick
+    // mode's workload is too small for stable per-stage percentiles).
+    let exposition = server.conductor().metrics_text();
+    if !quick() {
+        let snap = server.conductor().metrics_snapshot();
+        let rows: Vec<Row> = Phase::ALL
+            .iter()
+            .map(|p| {
+                let h = snap
+                    .histogram(&format!("chase_phase_ns{{phase=\"{}\"}}", p.name()))
+                    .cloned()
+                    .unwrap_or_default();
+                Row::new(
+                    p.name(),
+                    vec![
+                        format!("{}", h.count()),
+                        fmt_us(h.percentile(0.50)),
+                        fmt_us(h.percentile(0.90)),
+                        fmt_us(h.percentile(0.99)),
+                    ],
+                )
+            })
+            .collect();
+        print_table(
+            "S2 — per-stage chase phase timings (chase-obs recorders, all sessions)",
+            &["phase", "samples", "p50", "p90", "p99"],
+            &rows,
+        );
+    }
+
+    // Machine-readable exposition dump for bench2json to embed into the
+    // trajectory point.
+    println!("metrics_exposition_begin");
+    print!("{exposition}");
+    println!("metrics_exposition_end");
+
     for (s, _) in sessions {
         let mut c = Client::connect(server.addr()).expect("connect");
         let _ = c.close(s);
@@ -347,8 +380,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     // One tenant's full lifecycle over the wire, batches included.
     let stream = stream_for(0);
+    let sink = Histogram::new();
     g.bench_function("lifecycle/tcp", |b| {
-        b.iter(|| run_session(addr, 0, black_box(&stream)))
+        b.iter(|| run_session(addr, black_box(&stream), &sink))
     });
     // A single framed query round trip against a loaded session.
     let mut c0 = Client::connect(addr).expect("connect");

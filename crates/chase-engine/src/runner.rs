@@ -73,6 +73,7 @@ use crate::trigger::{head_rests, normalize, Matcher};
 use chase_core::fx::{FxHashMap, FxHashSet};
 use chase_core::homomorphism::Subst;
 use chase_core::{Atom, Constraint, ConstraintSet, Instance, MergeEffect, Sym, Term};
+use chase_obs::{EventKind, Phase, PhaseTimer, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -392,6 +393,13 @@ pub struct EngineState {
     /// Budget stops are *not* terminal — a later resume gets a fresh
     /// budget — but a failed or aborted state cannot be chased further.
     poisoned: Option<StopReason>,
+    /// Telemetry sink: per-phase wall-clock histograms and the event ring.
+    /// Strictly write-only from the engine's point of view — nothing here
+    /// is ever read back into trigger selection, so recording cannot
+    /// perturb the deterministic trace. Defaults to the process-global
+    /// recorder ([`chase_obs::global`], enabled by `CHASE_OBS`); `Clone`
+    /// shares the sink, so forks and snapshots keep feeding one recorder.
+    recorder: Recorder,
 }
 
 impl EngineState {
@@ -419,8 +427,9 @@ impl EngineState {
             })
             .collect();
         let mut inst = instance.clone();
+        let recorder = chase_obs::global().clone();
         let matcher = if cfg.use_planner {
-            Matcher::planned(set, &mut inst)
+            Matcher::planned_with(set, &mut inst, recorder.clone())
         } else {
             Matcher::unplanned()
         };
@@ -439,7 +448,22 @@ impl EngineState {
             merge_collapsed: 0,
             pool_built: false,
             poisoned: None,
+            recorder,
         }
+    }
+
+    /// Install a telemetry recorder for this state (and its matcher),
+    /// replacing the process-global default. The recorder only *observes* —
+    /// phase timings and events never feed back into trigger selection —
+    /// so traces are bit-identical whether it is enabled or not.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.matcher.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The telemetry recorder this state reports into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The current instance (chased as far as the runs so far got).
@@ -618,6 +642,21 @@ fn remap_key_set(memo: &mut FxHashSet<TriggerKey>, from: Term, to: Term) {
     }
 }
 
+/// Sampling mask for the *per-step* telemetry sites — the
+/// [`Phase::HeadRevalidate`], [`Phase::DeltaMatch`] and [`Phase::Insert`]
+/// timers plus the [`EventKind::StepFired`] event. Timing every step costs
+/// a handful of clock reads per chase step, which dominates micro-chases
+/// (the CI overhead gate caps the recording-on vs -off median delta on
+/// `ex4_strategies` at 5%); instead, one step in 64 records the full
+/// decomposition and the rest skip even the clock reads. The gate is keyed
+/// on the deterministic step counter, so sampling is write-only and
+/// reproducible — it can never perturb trigger selection — and step 0
+/// always samples, so even a two-fact session surfaces nonzero phase
+/// percentiles. The rare, heavy sites ([`Phase::MergeRepair`],
+/// [`Phase::PoolMaintain`], [`Phase::PlanCompile`] and all other events)
+/// record every occurrence.
+const OBS_SAMPLE_MASK: u64 = 63;
+
 impl<'a> Run<'a> {
     fn new(
         set: &'a ConstraintSet,
@@ -646,10 +685,29 @@ impl<'a> Run<'a> {
             nulls0,
         };
         if !run.naive && !run.st.pool_built {
+            let _t = run.st.recorder.phase(Phase::PoolMaintain);
             run.rebuild_pool();
             run.st.pool_built = true;
         }
         run
+    }
+
+    /// Does the current step land on the [`OBS_SAMPLE_MASK`] sampling
+    /// grid? Decides whether this step's per-step telemetry records.
+    #[inline]
+    fn step_sampled(&self) -> bool {
+        self.st.steps as u64 & OBS_SAMPLE_MASK == 0
+    }
+
+    /// A [`Recorder::phase`] timer when this step is sampled, a disarmed
+    /// guard (no clock read, nothing recorded) otherwise.
+    #[inline]
+    fn sampled_phase(&self, phase: Phase) -> PhaseTimer {
+        if self.step_sampled() {
+            self.st.recorder.phase(phase)
+        } else {
+            PhaseTimer::disarmed()
+        }
     }
 
     /// Is `(ci, µ)` fireable right now, honoring the chase mode?
@@ -796,6 +854,7 @@ impl<'a> Run<'a> {
         // worker pool; the merged dead-list is a set, so shard boundaries
         // cannot influence the outcome.
         if self.cfg.mode == ChaseMode::Standard {
+            let _t = self.sampled_phase(Phase::HeadRevalidate);
             for ci in 0..self.set.len() {
                 if self.st.head_preds[ci].is_disjoint(&delta_preds) {
                     continue;
@@ -850,6 +909,7 @@ impl<'a> Run<'a> {
         // worker running the semi-naive search for its shard through the
         // shared position index; the merge below is keyed by normalized
         // assignment, so cross-shard duplicates collapse deterministically.
+        let _t = self.sampled_phase(Phase::DeltaMatch);
         let affected: Vec<usize> = (0..self.set.len())
             .filter(|&ci| !self.st.body_preds[ci].is_disjoint(&delta_preds))
             .collect();
@@ -917,6 +977,7 @@ impl<'a> Run<'a> {
     /// least one row content that is new to the store — a subset of the
     /// rewritten rows — so delta seeding discovers it.
     fn apply_merge_delta(&mut self, m: &MergeEffect) {
+        let repair = self.st.recorder.phase(Phase::MergeRepair);
         for ci in 0..self.set.len() {
             remap_key_set(&mut self.st.dead[ci], m.from, m.to);
             let stale: Vec<TriggerKey> = self.st.pool.pools[ci]
@@ -959,6 +1020,9 @@ impl<'a> Run<'a> {
             .iter()
             .map(|&f| self.st.inst.atom_at(f))
             .collect();
+        // The delta re-match below times itself; close the repair phase
+        // first so the two don't double-count.
+        drop(repair);
         self.apply_delta(&added);
     }
 
@@ -1017,8 +1081,23 @@ impl<'a> Run<'a> {
             self.st.fired[ci].insert(key.clone());
         }
         let ground_body: Vec<Atom> = mu.apply_atoms(c.body());
+        // One sampling decision covers the whole step: taken before the
+        // counter moves, so the insert timer and the StepFired event
+        // describe the same (sampled) step.
+        let sampled = self.step_sampled();
+        let insert = if sampled {
+            self.st.recorder.phase(Phase::Insert)
+        } else {
+            PhaseTimer::disarmed()
+        };
         let effect = apply_step(&mut self.st.inst, c, &mu);
+        drop(insert);
         self.st.steps += 1;
+        if sampled {
+            self.st
+                .recorder
+                .event(EventKind::StepFired, ci as u64, self.st.steps as u64);
+        }
         let (added, fresh, merged, merge_stats) = match effect {
             StepEffect::Tgd {
                 added, fresh_nulls, ..
@@ -1039,6 +1118,11 @@ impl<'a> Run<'a> {
                 (added, fresh_nulls, None, (0, 0))
             }
             StepEffect::Merged(m) => {
+                self.st.recorder.event(
+                    EventKind::EgdMerge,
+                    m.rewritten.len() as u64,
+                    m.collapsed as u64,
+                );
                 // Merges maintain statistics incrementally, so the refresh
                 // only recompiles if the collapses moved the stats epoch.
                 let EngineState { matcher, inst, .. } = &mut *self.st;
@@ -1194,8 +1278,18 @@ impl<'a> Run<'a> {
             // fired trigger consumed but its effect unapplied, and a
             // monitor abort would re-trip immediately — neither state can
             // be chased further.
+            let depth = match reason {
+                StopReason::MonitorAbort { depth } => depth as u64,
+                _ => 0,
+            };
+            self.st.recorder.event(EventKind::Poison, depth, 0);
             self.st.poisoned = Some(reason.clone());
         }
+        self.st.recorder.event(
+            EventKind::ResumeEnd,
+            (self.st.steps - self.steps0) as u64,
+            self.st.pool.total as u64,
+        );
         ResumeOutcome {
             reason,
             steps: self.st.steps - self.steps0,
@@ -1205,6 +1299,11 @@ impl<'a> Run<'a> {
     }
 
     fn run(mut self) -> ResumeOutcome {
+        self.st.recorder.event(
+            EventKind::ResumeBegin,
+            self.st.steps as u64,
+            self.st.pool.total as u64,
+        );
         // `cfg` outlives `&mut self`, so the strategy's vectors can be
         // borrowed across the run without cloning.
         let cfg = self.cfg;

@@ -1,0 +1,284 @@
+//! Fixed-bucket log-scale latency histograms.
+//!
+//! The layout is the classic HDR scheme: values below [`SUB_COUNT`] land in
+//! exact unit-width buckets; above that, each power-of-two octave is split
+//! into [`SUB_COUNT`] linear sub-buckets, so the relative quantisation error
+//! is bounded by `1 / SUB_COUNT` (6.25%) across the full `u64` range while
+//! the whole table stays under 8 KiB. Recording is lock-free (one relaxed
+//! `fetch_add` per sample plus min/max maintenance); reads go through
+//! [`Histogram::snapshot`], and snapshots merge bucket-wise, so per-thread or
+//! per-session histograms aggregate without locks on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave; also the width of the exact low range.
+pub const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count: 16 exact buckets + 60 octaves × 16 sub-buckets.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB_COUNT as usize) + SUB_COUNT as usize;
+
+/// Bucket index for a recorded value (monotone in `v`).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_COUNT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (v >> shift) & (SUB_COUNT - 1);
+        (((msb - SUB_BITS + 1) << SUB_BITS) | sub as u32) as usize
+    }
+}
+
+/// Inclusive upper edge of bucket `i` — the value reported for any sample
+/// that landed there, making every percentile an upper bound on the truth.
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB_COUNT as usize {
+        i as u64
+    } else {
+        let octave = (i >> SUB_BITS) as u32;
+        let msb = octave + SUB_BITS - 1;
+        let sub = (i as u64) & (SUB_COUNT - 1);
+        let shift = msb - SUB_BITS;
+        let low = (1u64 << msb) | (sub << shift);
+        low + ((1u64 << shift) - 1)
+    }
+}
+
+/// A concurrent fixed-bucket log-scale histogram of `u64` samples
+/// (conventionally nanoseconds).
+///
+/// ```
+/// use chase_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in [10, 20, 30, 40, 1_000] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 5);
+/// assert_eq!(snap.min(), 10);
+/// // Percentiles are upper bounds with ≤ 6.25% relative error.
+/// assert!(snap.percentile(0.50) >= 30);
+/// assert!(snap.percentile(0.99) >= 1_000);
+/// ```
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, sum={})", s.count(), s.sum())
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the distribution, safe to merge and query.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]: mergeable, queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Fold another snapshot into this one bucket-wise.
+    ///
+    /// ```
+    /// use chase_obs::Histogram;
+    /// let (a, b) = (Histogram::new(), Histogram::new());
+    /// a.record(1);
+    /// b.record(1_000_000);
+    /// let mut merged = a.snapshot();
+    /// merged.merge(&b.snapshot());
+    /// assert_eq!(merged.count(), 2);
+    /// assert_eq!(merged.min(), 1);
+    /// ```
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        // Wrapping to match the relaxed atomic accumulation in `record`
+        // (only reachable with pathological non-latency sample values).
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (0 when empty).
+    ///
+    /// Rank selection matches `sorted[((n - 1) as f64 * q).round()]` on the
+    /// sorted sample vector; the returned value is the upper edge of the
+    /// bucket holding that sample, clamped to the observed maximum, so it
+    /// over-reports by at most `1/16` relative error.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum > rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_total() {
+        let mut prev = 0;
+        // Exhaustive over the low range, sampled across the rest.
+        for v in (0..4096u64).chain((12..64).flat_map(|e| {
+            let base = 1u64 << e;
+            [base - 1, base, base + base / 3, base + base / 2]
+        })) {
+            let i = bucket_of(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= prev, "bucket_of not monotone at {v}");
+            assert!(bucket_high(i) >= v, "upper edge below value at {v}");
+            prev = i;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn exact_low_range() {
+        let h = Histogram::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(s.percentile(1.0), SUB_COUNT - 1);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), SUB_COUNT - 1);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(
+            (
+                s.count(),
+                s.sum(),
+                s.min(),
+                s.max(),
+                s.mean(),
+                s.percentile(0.5)
+            ),
+            (0, 0, 0, 0, 0, 0)
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Telemetry for the chase workspace, hand-rolled with zero dependencies.
+//!
+//! Three layers, composable but separable:
+//!
+//! * [`Histogram`] / [`HistogramSnapshot`] — fixed-bucket log-scale latency
+//!   histograms (HDR layout: 16 linear sub-buckets per octave, ≤ 6.25%
+//!   relative error) with lock-free recording and mergeable snapshots;
+//! * [`MetricsRegistry`] / [`RegistrySnapshot`] — named counters, gauges,
+//!   and histograms with a Prometheus-style `name{label} value` text
+//!   exposition ([`RegistrySnapshot::render`]);
+//! * [`Recorder`] / [`PhaseTimer`] / [`EventRing`] — the engine-facing
+//!   surface: per-[`Phase`] wall-clock timers and a bounded ring of
+//!   structured [`Event`]s, with a disabled path that costs one branch per
+//!   site and never reads the clock.
+//!
+//! Everything recorded here is an *observation*: timestamps and counters
+//! never feed back into trigger selection, so the chase's deterministic
+//! trace is bit-identical with recording on or off (pinned by the
+//! equivalence suites).
+//!
+//! ```
+//! use chase_obs::{EventKind, MetricsRegistry, Phase, Recorder};
+//!
+//! // A session-side registry plus an engine-side recorder.
+//! let reg = MetricsRegistry::new();
+//! let rec = Recorder::enabled(256);
+//!
+//! reg.counter("applies_total").inc();
+//! reg.histogram("apply_ns").record_duration(std::time::Duration::from_micros(42));
+//! {
+//!     let _t = rec.phase(Phase::Insert);
+//!     // ... engine work ...
+//! }
+//! rec.event(EventKind::StepFired, 0, 1);
+//!
+//! // Aggregate both into one exposition.
+//! let mut snap = reg.snapshot();
+//! rec.export_phases("chase_phase_ns", &mut snap);
+//! let text = snap.render();
+//! assert!(text.contains("applies_total 1"));
+//! assert!(text.contains("chase_phase_ns_count{phase=\"insert\"} 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod recorder;
+mod registry;
+mod ring;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS, SUB_COUNT};
+pub use recorder::{global, Phase, PhaseTimer, Recorder};
+pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
+pub use ring::{Event, EventKind, EventRing};

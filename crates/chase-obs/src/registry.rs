@@ -1,0 +1,293 @@
+//! Named metrics: atomic counters and gauges, shared histograms, and
+//! mergeable snapshots with a Prometheus-style text exposition.
+//!
+//! Metric names may carry labels inline in the conventional
+//! `name{key="value"}` form; histogram snapshots expand into `_count`,
+//! `_sum_ns`, `_p50_ns`, `_p90_ns`, and `_p99_ns` series with the label set
+//! preserved (the suffix is spliced in before the `{`).
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle (cheap to clone; all clones
+/// share the same cell).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge handle (cheap to clone; clones share the cell).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is currently lower.
+    pub fn raise_to(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Handles are created on first use and shared thereafter, so any component
+/// holding the registry (or a clone of a handle) feeds the same series.
+///
+/// ```
+/// use chase_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter("requests_total").add(3);
+/// reg.gauge("sessions_open").set(2);
+/// reg.histogram("apply_ns").record(1500);
+/// let text = reg.snapshot().render();
+/// assert!(text.contains("requests_total 3"));
+/// assert!(text.contains("sessions_open 2"));
+/// assert!(text.contains("apply_ns_count 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at 0 on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created at 0 on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A mergeable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Splice a suffix into a metric name, keeping any `{label}` block last:
+/// `("apply_ns{sid=\"3\"}", "_p99")` → `apply_ns_p99{sid="3"}`.
+fn suffixed(name: &str, suffix: &str) -> String {
+    match name.find('{') {
+        Some(i) => format!("{}{}{}", &name[..i], suffix, &name[i..]),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+impl RegistrySnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    pub fn new() -> RegistrySnapshot {
+        RegistrySnapshot::default()
+    }
+
+    /// Set or overwrite a counter value.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_string(), v);
+    }
+
+    /// Set or overwrite a gauge value.
+    pub fn set_gauge(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Set or overwrite a histogram series.
+    pub fn set_histogram(&mut self, name: &str, h: HistogramSnapshot) {
+        self.histograms.insert(name.to_string(), h);
+    }
+
+    /// Look up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Look up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Look up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate histograms (name, snapshot), sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold `other` into this snapshot: counters and gauges add, histograms
+    /// merge bucket-wise. Used to aggregate per-session registries into a
+    /// server-wide view.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .and_modify(|h| h.merge(v))
+                .or_insert_with(|| v.clone());
+        }
+    }
+
+    /// Render the snapshot as Prometheus-style `name{label} value` text,
+    /// one metric per line, sorted by name within each metric class.
+    ///
+    /// ```
+    /// use chase_obs::{Histogram, RegistrySnapshot};
+    ///
+    /// let mut snap = RegistrySnapshot::new();
+    /// snap.set_counter("steps_total", 42);
+    /// let h = Histogram::new();
+    /// h.record(100);
+    /// snap.set_histogram("query_ns{tenant=\"a\"}", h.snapshot());
+    /// let text = snap.render();
+    /// assert!(text.contains("steps_total 42"));
+    /// assert!(text.contains("query_ns_count{tenant=\"a\"} 1"));
+    /// assert!(text.contains("query_ns_p99_ns{tenant=\"a\"} 100"));
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "{} {}", suffixed(name, "_count"), h.count());
+            let _ = writeln!(out, "{} {}", suffixed(name, "_sum_ns"), h.sum());
+            let _ = writeln!(out, "{} {}", suffixed(name, "_p50_ns"), h.percentile(0.50));
+            let _ = writeln!(out, "{} {}", suffixed(name, "_p90_ns"), h.percentile(0.90));
+            let _ = writeln!(out, "{} {}", suffixed(name, "_p99_ns"), h.percentile(0.99));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        let g = reg.gauge("y");
+        g.set(5);
+        g.add(-2);
+        g.raise_to(4);
+        assert_eq!(reg.gauge("y").get(), 4);
+    }
+
+    #[test]
+    fn merge_adds_and_folds() {
+        let r1 = MetricsRegistry::new();
+        r1.counter("c").add(1);
+        r1.gauge("g").set(2);
+        r1.histogram("h").record(10);
+        let r2 = MetricsRegistry::new();
+        r2.counter("c").add(10);
+        r2.histogram("h").record(20);
+        r2.histogram("only2").record(5);
+
+        let mut snap = r1.snapshot();
+        snap.merge(&r2.snapshot());
+        assert_eq!(snap.counter("c"), Some(11));
+        assert_eq!(snap.gauge("g"), Some(2));
+        assert_eq!(snap.histogram("h").unwrap().count(), 2);
+        assert_eq!(snap.histogram("only2").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn suffix_splices_before_labels() {
+        assert_eq!(suffixed("a_ns", "_p50"), "a_ns_p50");
+        assert_eq!(suffixed("a_ns{k=\"v\"}", "_p50"), "a_ns_p50{k=\"v\"}");
+    }
+}

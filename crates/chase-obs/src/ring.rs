@@ -1,0 +1,175 @@
+//! A bounded ring of structured engine events.
+//!
+//! Events are observations *about* the chase, never inputs *to* it: nothing
+//! in the engine reads the ring back, and timestamps live only here, so the
+//! deterministic trace is untouched by recording (the equivalence suites pin
+//! this). When the ring is full the oldest event is dropped and counted; a
+//! capacity of zero drops everything, which makes "events compiled in but
+//! retained nowhere" a valid configuration.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What happened. The taxonomy mirrors the engine's observable transitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A trigger fired (TGD or EGD step applied).
+    StepFired,
+    /// An EGD merge collapsed two terms.
+    EgdMerge,
+    /// The matcher recompiled its join plans.
+    PlanRecompile,
+    /// A resume (warm continuation of the chase) began.
+    ResumeBegin,
+    /// A resume finished.
+    ResumeEnd,
+    /// The serving layer published a new instance snapshot.
+    SnapshotPublish,
+    /// A session was poisoned (hard failure or monitor abort).
+    Poison,
+}
+
+/// One recorded event: a kind, a coarse timestamp, and two payload words
+/// whose meaning depends on the kind (constraint index, step count, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the owning recorder was created.
+    pub at_ns: u64,
+    /// The event kind.
+    pub kind: EventKind,
+    /// First payload word (kind-dependent).
+    pub a: u64,
+    /// Second payload word (kind-dependent).
+    pub b: u64,
+}
+
+/// A bounded, thread-safe event ring.
+///
+/// ```
+/// use chase_obs::{Event, EventKind, EventRing};
+///
+/// let ring = EventRing::new(2);
+/// for i in 0..3 {
+///     ring.push(Event { at_ns: i, kind: EventKind::StepFired, a: i, b: 0 });
+/// }
+/// let events = ring.snapshot();
+/// assert_eq!(events.len(), 2); // oldest event evicted
+/// assert_eq!(events[0].at_ns, 1);
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct EventRing {
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring retaining at most `capacity` events (0 retains none).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            cap: capacity,
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&self, ev: Event) {
+        let mut inner = self.inner.lock().unwrap();
+        if self.cap == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        if inner.buf.len() == self.cap {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(ev);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// Whether the ring currently holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events evicted or rejected since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().buf.iter().copied().collect()
+    }
+
+    /// Remove and return the retained events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            at_ns: i,
+            kind: EventKind::StepFired,
+            a: i,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let ring = EventRing::new(3);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        let got: Vec<u64> = ring.snapshot().iter().map(|e| e.at_ns).collect();
+        assert_eq!(got, vec![7, 8, 9]);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn capacity_zero_drops_everything() {
+        let ring = EventRing::new(0);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        assert!(ring.is_empty());
+        assert_eq!(ring.snapshot(), vec![]);
+        assert_eq!(ring.dropped(), 5);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_count() {
+        let ring = EventRing::new(2);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        ring.push(ev(2));
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+}

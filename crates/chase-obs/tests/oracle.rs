@@ -1,0 +1,79 @@
+//! Property test: `Histogram` against a sorted-`Vec` oracle.
+//!
+//! Samples deliberately cluster on bucket boundaries (powers of two, the
+//! exact low range, boundary ± 1) because those are where an off-by-one in
+//! the index or upper-edge math would bite. The pinned contract: count, sum,
+//! min, and max are exact; every percentile is an upper bound on the
+//! oracle's rank-selected sample with at most `1/16` relative error.
+
+use chase_obs::Histogram;
+use proptest::prelude::*;
+
+/// Deterministic scale-mixed sample vector (LCG-driven).
+fn samples(seed: u64, len: usize) -> Vec<u64> {
+    let mut x = seed | 1;
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let v = match i % 4 {
+            0 => x % 16,                             // exact low range
+            1 => 1u64 << (x % 64),                   // octave boundaries
+            2 => (1u64 << (x % 64)).wrapping_sub(1), // just below a boundary
+            _ => x >> (x % 64),                      // log-uniform-ish spread
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// The bench's historical percentile convention on a sorted vector.
+fn oracle_pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(((sorted.len() - 1) as f64) * q).round() as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn histogram_matches_sorted_vec_oracle(
+        seed in any::<u64>(),
+        len in 0usize..400,
+        split in 0usize..400,
+    ) {
+        let vals = samples(seed, len);
+        // Record through two histograms and merge, so merge is under test
+        // on every case, not just record/percentile.
+        let split = split.min(vals.len());
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for &v in &vals[..split] {
+            a.record(v);
+        }
+        for &v in &vals[split..] {
+            b.record(v);
+        }
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count(), vals.len() as u64);
+        prop_assert_eq!(snap.sum(), vals.iter().fold(0u64, |s, &v| s.wrapping_add(v)));
+        prop_assert_eq!(snap.min(), sorted.first().copied().unwrap_or(0));
+        prop_assert_eq!(snap.max(), sorted.last().copied().unwrap_or(0));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let o = oracle_pct(&sorted, q);
+            let h = snap.percentile(q);
+            prop_assert!(h >= o, "p{}: histogram {} below oracle {}", q, h, o);
+            prop_assert!(
+                h <= o + o / 16 + 1,
+                "p{}: histogram {} above the 1/16 error bound for oracle {}",
+                q, h, o
+            );
+        }
+    }
+}

@@ -34,6 +34,7 @@ use crate::exec::{exists_match, for_each_match};
 use crate::plan::{compile, JoinProgram};
 use chase_core::homomorphism::{exists_extension, for_each_hom, unify_atom, Subst};
 use chase_core::{Atom, Constraint, ConstraintSet, Instance, Sym};
+use chase_obs::{EventKind, Phase, Recorder};
 
 /// Compiled programs for one constraint.
 #[derive(Debug, Clone)]
@@ -118,6 +119,10 @@ struct PlanCache {
 pub struct Matcher {
     /// `None` = unplanned.
     cache: Option<PlanCache>,
+    /// Telemetry sink for plan-compile timings and recompile events;
+    /// write-only (never consulted by planning), so it cannot perturb plan
+    /// choice or enumeration order. Disabled by default.
+    recorder: Recorder,
 }
 
 // Shared read-only across the parallel engine's matcher threads between
@@ -130,12 +135,21 @@ const _: () = {
 impl Matcher {
     /// A planner-off matcher: every query runs the classic searcher.
     pub fn unplanned() -> Matcher {
-        Matcher { cache: None }
+        Matcher {
+            cache: None,
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// A planner-on matcher for `set`, compiled against `inst`'s current
     /// statistics (and registering the composite indexes the plans want).
     pub fn planned(set: &ConstraintSet, inst: &mut Instance) -> Matcher {
+        Matcher::planned_with(set, inst, Recorder::disabled())
+    }
+
+    /// [`Matcher::planned`], with a telemetry recorder installed before the
+    /// initial compile so the first `PlanCompile` phase is captured too.
+    pub fn planned_with(set: &ConstraintSet, inst: &mut Instance, recorder: Recorder) -> Matcher {
         let mut m = Matcher {
             cache: Some(PlanCache {
                 set: set.clone(),
@@ -143,9 +157,15 @@ impl Matcher {
                 stamp: None,
                 recompiles: 0,
             }),
+            recorder,
         };
         m.refresh(set, inst);
         m
+    }
+
+    /// Install a telemetry recorder (timing of future plan compiles).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Is the planner on?
@@ -205,8 +225,11 @@ impl Matcher {
         if cache.set != *set {
             cache.set = set.clone();
         }
+        let _t = self.recorder.phase(Phase::PlanCompile);
         cache.plans = set.iter().map(|c| compile_constraint(c, inst)).collect();
         cache.recompiles += 1;
+        self.recorder
+            .event(EventKind::PlanRecompile, cache.recompiles, u64::from(stamp));
         for cp in &cache.plans {
             let programs = std::iter::once(&cp.body)
                 .chain(&cp.body_delta)

@@ -38,9 +38,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
+use std::time::Instant;
 
 use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, Instance, Term};
 use chase_engine::StopReason;
+use chase_obs::{
+    Counter, EventKind, Gauge, Histogram, MetricsRegistry, Recorder, RegistrySnapshot,
+};
 
 use crate::session::{
     choose_rewriting, ChaseOutcome, ChaseSession, QueryOpts, ServeError, SessionConfig,
@@ -70,9 +74,47 @@ impl Default for ConductorConfig {
     }
 }
 
+/// Series names in the conductor-wide registry (see [`Conductor::metrics`]).
+const M_SESSIONS_OPEN: &str = "chase_sessions_open";
+const M_SESSIONS_PEAK: &str = "chase_sessions_peak";
+const M_SESSIONS_OPENED: &str = "chase_sessions_opened_total";
+const M_SESSIONS_REJECTED: &str = "chase_sessions_rejected_total";
+const M_APPLY_NS: &str = "chase_apply_ns";
+const M_QUERY_NS: &str = "chase_query_ns";
+const M_MAILBOX_DEPTH: &str = "chase_mailbox_depth";
+const M_PUBLISH: &str = "chase_snapshot_publish_total";
+const M_PUBLISH_SKIPPED: &str = "chase_snapshot_publish_skipped_total";
+const M_PHASE_NS: &str = "chase_phase_ns";
+const M_EVENTS_DROPPED: &str = "chase_events_dropped_total";
+
+/// Handles into the conductor-wide [`MetricsRegistry`] plus the session's
+/// engine recorder, shared by the session's actor and every
+/// [`SessionHandle`] clone. All fields are cheap-to-clone views onto
+/// conductor-owned series — per-session work lands in the server-wide
+/// aggregate without extra locking.
+#[derive(Clone)]
+struct HandleMetrics {
+    /// Blocking-apply round-trip latency (send → chased → acked).
+    apply_ns: Arc<Histogram>,
+    /// Query latency, fast path and actor path alike.
+    query_ns: Arc<Histogram>,
+    /// Messages currently queued across every session mailbox.
+    mailbox_depth: Gauge,
+    /// Snapshot publications that actually replaced the published state.
+    publishes: Counter,
+    /// Publications filtered out by the version compare (the other half of
+    /// the republish ratio).
+    publish_skipped: Counter,
+    /// The session's engine recorder (phase histograms + event ring),
+    /// readable without touching the actor thread.
+    recorder: Recorder,
+}
+
 /// The session's read surface, shared between its actor (publisher) and
 /// every handle (readers).
 struct ReadState {
+    /// Conductor-wide metric handles this session reports into.
+    metrics: HandleMetrics,
     /// The latest published snapshot.
     published: RwLock<Published>,
     /// Rewriting decisions for the concurrent read path, keyed by query
@@ -144,11 +186,27 @@ impl std::fmt::Debug for SessionHandle {
 }
 
 impl SessionHandle {
+    /// Send into the mailbox, keeping the conductor-wide depth gauge in
+    /// step. On failure (actor gone) nothing was queued, so the increment
+    /// is rolled back.
+    fn post(&self, msg: SessionMsg) -> Result<(), mpsc::SendError<SessionMsg>> {
+        self.read.metrics.mailbox_depth.add(1);
+        let out = self.tx.send(msg);
+        if out.is_err() {
+            self.read.metrics.mailbox_depth.add(-1);
+        }
+        out
+    }
+
     /// Apply an update batch, blocking until the warm re-chase finishes.
     pub fn apply(&self, batch: Vec<Atom>) -> Result<ChaseOutcome, ServeError> {
-        self.apply_async(batch)
+        let t0 = Instant::now();
+        let out = self
+            .apply_async(batch)
             .recv()
-            .map_err(|_| ServeError::SessionGone)?
+            .map_err(|_| ServeError::SessionGone)?;
+        self.read.metrics.apply_ns.record_duration(t0.elapsed());
+        out
     }
 
     /// Queue an update batch and return immediately; the receiver yields
@@ -157,8 +215,7 @@ impl SessionHandle {
     pub fn apply_async(&self, batch: Vec<Atom>) -> Receiver<Result<ChaseOutcome, ServeError>> {
         let (reply, rx) = mpsc::channel();
         if self
-            .tx
-            .send(SessionMsg::Apply {
+            .post(SessionMsg::Apply {
                 batch,
                 reply: reply.clone(),
             })
@@ -182,6 +239,19 @@ impl SessionHandle {
         q: &ConjunctiveQuery,
         opts: QueryOpts,
     ) -> Result<Vec<Vec<Term>>, ServeError> {
+        let t0 = Instant::now();
+        let out = self.query_inner(q, opts);
+        self.read.metrics.query_ns.record_duration(t0.elapsed());
+        out
+    }
+
+    /// [`SessionHandle::query`] minus the latency accounting, so both the
+    /// fast path and the actor fallback land in one histogram.
+    fn query_inner(
+        &self,
+        q: &ConjunctiveQuery,
+        opts: QueryOpts,
+    ) -> Result<Vec<Vec<Term>>, ServeError> {
         let published = self.read.published.read().unwrap().clone();
         if let Some(r) = published.poisoned {
             return Err(ServeError::Poisoned(r));
@@ -196,13 +266,12 @@ impl SessionHandle {
             });
         }
         let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(SessionMsg::Query {
-                q: q.clone(),
-                opts,
-                reply,
-            })
-            .map_err(|_| ServeError::SessionGone)?;
+        self.post(SessionMsg::Query {
+            q: q.clone(),
+            opts,
+            reply,
+        })
+        .map_err(|_| ServeError::SessionGone)?;
         rx.recv().map_err(|_| ServeError::SessionGone)?
     }
 
@@ -225,8 +294,7 @@ impl SessionHandle {
     /// Take a server-side snapshot; returns its id for [`SessionHandle::restore`].
     pub fn snapshot(&self) -> Result<u64, ServeError> {
         let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(SessionMsg::Snapshot { reply })
+        self.post(SessionMsg::Snapshot { reply })
             .map_err(|_| ServeError::SessionGone)?;
         rx.recv().map_err(|_| ServeError::SessionGone)
     }
@@ -234,8 +302,7 @@ impl SessionHandle {
     /// Rewind the session to a snapshot taken earlier on it.
     pub fn restore(&self, snapshot: u64) -> Result<(), ServeError> {
         let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(SessionMsg::Restore { snapshot, reply })
+        self.post(SessionMsg::Restore { snapshot, reply })
             .map_err(|_| ServeError::SessionGone)?;
         rx.recv().map_err(|_| ServeError::SessionGone)?
     }
@@ -254,8 +321,7 @@ impl SessionHandle {
     /// One coherent reading of the session's counters.
     pub fn stats(&self) -> Result<SessionStats, ServeError> {
         let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(SessionMsg::Stats { reply })
+        self.post(SessionMsg::Stats { reply })
             .map_err(|_| ServeError::SessionGone)?;
         rx.recv().map_err(|_| ServeError::SessionGone)
     }
@@ -278,6 +344,24 @@ pub struct Conductor {
     cfg: ConductorConfig,
     sessions: Mutex<HashMap<u64, Slot>>,
     next_id: AtomicU64,
+    /// The server-wide aggregate registry: session lifecycle gauges and
+    /// counters, apply/query latency histograms, publish counters. Every
+    /// session reports into these shared series via [`HandleMetrics`].
+    metrics: MetricsRegistry,
+}
+
+/// Conductor-wide session lifecycle counters, served without touching any
+/// actor thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Sessions open right now.
+    pub open: usize,
+    /// High-water mark of concurrently open sessions.
+    pub peak: u64,
+    /// Sessions ever admitted.
+    pub opened_total: u64,
+    /// Admissions refused by the capacity cap.
+    pub rejected_total: u64,
 }
 
 impl Conductor {
@@ -287,6 +371,7 @@ impl Conductor {
             cfg,
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -309,6 +394,7 @@ impl Conductor {
     pub fn open(&self, sigma: ConstraintSet) -> Result<u64, ServeError> {
         let mut sessions = self.sessions.lock().unwrap();
         if sessions.len() >= self.cfg.max_sessions {
+            self.metrics.counter(M_SESSIONS_REJECTED).inc();
             return Err(ServeError::Capacity {
                 max_sessions: self.cfg.max_sessions,
             });
@@ -324,6 +410,14 @@ impl Conductor {
             .config(cfg.clone())
             .build();
         let read = Arc::new(ReadState {
+            metrics: HandleMetrics {
+                apply_ns: self.metrics.histogram(M_APPLY_NS),
+                query_ns: self.metrics.histogram(M_QUERY_NS),
+                mailbox_depth: self.metrics.gauge(M_MAILBOX_DEPTH),
+                publishes: self.metrics.counter(M_PUBLISH),
+                publish_skipped: self.metrics.counter(M_PUBLISH_SKIPPED),
+                recorder: session.recorder().clone(),
+            },
             published: RwLock::new(Published {
                 instance: Arc::new(session.instance().clone()),
                 version: session.instance().version(),
@@ -345,6 +439,12 @@ impl Conductor {
                 thread,
             },
         );
+        // Still under the sessions lock, so open/peak can never observe a
+        // torn admission.
+        self.metrics.counter(M_SESSIONS_OPENED).inc();
+        let open = sessions.len() as i64;
+        self.metrics.gauge(M_SESSIONS_OPEN).set(open);
+        self.metrics.gauge(M_SESSIONS_PEAK).raise_to(open);
         Ok(id)
     }
 
@@ -368,30 +468,80 @@ impl Conductor {
     ///
     /// [`ServeError::UnknownSession`] if no such session is open.
     pub fn close(&self, id: u64) -> Result<(), ServeError> {
-        let slot = self
-            .sessions
-            .lock()
-            .unwrap()
-            .remove(&id)
-            .ok_or(ServeError::UnknownSession(id))?;
-        let _ = slot.handle.tx.send(SessionMsg::Close);
+        let slot = {
+            let mut sessions = self.sessions.lock().unwrap();
+            let slot = sessions.remove(&id).ok_or(ServeError::UnknownSession(id))?;
+            self.metrics
+                .gauge(M_SESSIONS_OPEN)
+                .set(sessions.len() as i64);
+            slot
+        };
+        let _ = slot.handle.post(SessionMsg::Close);
         let _ = slot.thread.join();
         Ok(())
     }
 
     /// Close every open session (used on server shutdown).
     pub fn shutdown(&self) {
-        let slots: Vec<Slot> = self
+        let slots: Vec<Slot> = {
+            let mut sessions = self.sessions.lock().unwrap();
+            let slots = sessions.drain().map(|(_, s)| s).collect();
+            self.metrics.gauge(M_SESSIONS_OPEN).set(0);
+            slots
+        };
+        for slot in slots {
+            let _ = slot.handle.post(SessionMsg::Close);
+            let _ = slot.thread.join();
+        }
+    }
+
+    /// Fleet-level lifecycle counters, read straight off the aggregate
+    /// registry — no actor mailbox is touched.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            open: self.session_count(),
+            peak: self.metrics.gauge(M_SESSIONS_PEAK).get().max(0) as u64,
+            opened_total: self.metrics.counter(M_SESSIONS_OPENED).get(),
+            rejected_total: self.metrics.counter(M_SESSIONS_REJECTED).get(),
+        }
+    }
+
+    /// The server-wide aggregate registry (session gauges, apply/query
+    /// latency histograms, publish counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// One server-wide metrics snapshot: the aggregate registry plus every
+    /// *open* session's engine phase histograms (merged into one
+    /// `chase_phase_ns{phase="…"}` family) and event-ring drop counts.
+    ///
+    /// Reads only lock-free recorder sinks and the session map — never an
+    /// actor mailbox — so a metrics scrape cannot block behind a tenant's
+    /// in-flight apply. Sessions closed before the scrape no longer
+    /// contribute their phase timings.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let recorders: Vec<Recorder> = self
             .sessions
             .lock()
             .unwrap()
-            .drain()
-            .map(|(_, s)| s)
+            .values()
+            .map(|s| s.handle.read.metrics.recorder.clone())
             .collect();
-        for slot in slots {
-            let _ = slot.handle.tx.send(SessionMsg::Close);
-            let _ = slot.thread.join();
+        let mut snap = self.metrics.snapshot();
+        for rec in recorders {
+            let mut one = RegistrySnapshot::new();
+            rec.export_phases(M_PHASE_NS, &mut one);
+            one.set_counter(M_EVENTS_DROPPED, rec.events_dropped());
+            snap.merge(&one);
         }
+        snap
+    }
+
+    /// [`Conductor::metrics_snapshot`] rendered as Prometheus-style text
+    /// exposition (the payload behind the protocol's `Metrics` request).
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().render()
     }
 }
 
@@ -407,7 +557,8 @@ impl Drop for Conductor {
 fn actor(mut session: ChaseSession, read: Arc<ReadState>, rx: Receiver<SessionMsg>) {
     let mut snapshots: HashMap<u64, SessionSnapshot> = HashMap::new();
     let mut next_snapshot: u64 = 1;
-    for msg in rx {
+    for msg in &rx {
+        read.metrics.mailbox_depth.add(-1);
         match msg {
             SessionMsg::Apply { batch, reply } => {
                 let out = session.apply(batch);
@@ -445,6 +596,11 @@ fn actor(mut session: ChaseSession, read: Arc<ReadState>, rx: Receiver<SessionMs
             SessionMsg::Close => break,
         }
     }
+    // Anything still queued behind the Close is dropped with the receiver;
+    // return its contribution to the depth gauge.
+    for _ in rx.try_iter() {
+        read.metrics.mailbox_depth.add(-1);
+    }
 }
 
 /// Republish the session's read snapshot if anything observable moved.
@@ -460,6 +616,7 @@ fn publish(session: &ChaseSession, read: &ReadState) {
         || current.quiescent != stats.quiescent
         || current.poisoned != poisoned;
     if !stale {
+        read.metrics.publish_skipped.inc();
         return;
     }
     let fresh_instance = if current.version != version {
@@ -474,6 +631,12 @@ fn publish(session: &ChaseSession, read: &ReadState) {
         quiescent: stats.quiescent,
         poisoned,
     };
+    read.metrics.publishes.inc();
+    read.metrics.recorder.event(
+        EventKind::SnapshotPublish,
+        version,
+        u64::from(stats.quiescent),
+    );
 }
 
 #[cfg(test)]
@@ -596,6 +759,55 @@ mod tests {
             h.query(&q, QueryOpts::default()).unwrap_err(),
             ServeError::Poisoned(StopReason::Failed)
         );
+    }
+
+    #[test]
+    fn fleet_stats_track_admission_lifecycle() {
+        let conductor = Conductor::new(ConductorConfig {
+            max_sessions: 2,
+            ..ConductorConfig::default()
+        });
+        let a = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let b = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        assert!(conductor.open(sigma("e(X,Y) -> e(Y,X)")).is_err());
+        conductor.close(a).unwrap();
+        let s = conductor.stats();
+        assert_eq!(s.open, 1);
+        assert_eq!(s.peak, 2);
+        assert_eq!(s.opened_total, 2);
+        assert_eq!(s.rejected_total, 1);
+        conductor.close(b).unwrap();
+        assert_eq!(conductor.stats().open, 0);
+        assert_eq!(conductor.stats().peak, 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_merges_latency_and_phases() {
+        let conductor = Conductor::new(ConductorConfig::default());
+        let id = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        h.apply(atoms("e(a,b).")).unwrap();
+        let q = ConjunctiveQuery::parse("q(X) <- e(X,b)").unwrap();
+        h.query(&q, QueryOpts::default()).unwrap();
+        h.apply(atoms("e(a,b).")).unwrap(); // duplicate: publish skipped
+
+        let snap = conductor.metrics_snapshot();
+        assert_eq!(snap.gauge(M_SESSIONS_OPEN), Some(1));
+        assert_eq!(snap.gauge(M_MAILBOX_DEPTH), Some(0));
+        let apply = snap.histogram(M_APPLY_NS).unwrap();
+        assert_eq!(apply.count(), 2);
+        assert!(apply.percentile(0.5) > 0);
+        assert_eq!(snap.histogram(M_QUERY_NS).unwrap().count(), 1);
+        assert_eq!(snap.counter(M_PUBLISH), Some(1));
+        assert!(snap.counter(M_PUBLISH_SKIPPED).unwrap() >= 1);
+        // The session's engine phases surface under the labeled family.
+        let insert = snap.histogram("chase_phase_ns{phase=\"insert\"}").unwrap();
+        assert!(insert.count() > 0);
+
+        let text = conductor.metrics_text();
+        assert!(text.contains("chase_sessions_open 1"));
+        assert!(text.contains("chase_apply_ns_p99_ns"));
+        assert!(text.contains("chase_phase_ns_p50_ns{phase=\"insert\"}"));
     }
 
     #[test]

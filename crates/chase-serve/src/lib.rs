@@ -52,7 +52,7 @@ pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use conductor::{Conductor, ConductorConfig, SessionHandle};
+pub use conductor::{Conductor, ConductorConfig, FleetStats, SessionHandle};
 pub use server::{serve, Client, ClientError, Server};
 pub use session::{
     ChaseOutcome, ChaseSession, QueryOpts, QuerySpec, ServeError, SessionBuilder, SessionConfig,

@@ -428,6 +428,10 @@ pub enum Request {
         /// The target session.
         session: u64,
     },
+    /// Fetch the server-wide metrics exposition (not session-addressed):
+    /// conductor gauges, apply/query latency histograms and every open
+    /// session's engine phase timings, as Prometheus-style text.
+    Metrics,
 }
 
 impl Request {
@@ -471,6 +475,9 @@ impl Request {
                 w = Writer::new(8);
                 w.u64(*session);
             }
+            Request::Metrics => {
+                w = Writer::new(9);
+            }
         }
         w.0
     }
@@ -498,6 +505,7 @@ impl Request {
             6 => Request::Stats { session: r.u64()? },
             7 => Request::Dump { session: r.u64()? },
             8 => Request::Close { session: r.u64()? },
+            9 => Request::Metrics,
             got => return Err(ProtoError::Tag { got }),
         };
         r.finish()?;
@@ -619,6 +627,11 @@ pub enum Response {
     },
     /// The session was closed and its slot released.
     Closed,
+    /// The server-wide metrics exposition.
+    Metrics {
+        /// Prometheus-style `name{label} value` lines, one per metric.
+        text: String,
+    },
     /// The request failed; the session (if any) is otherwise unharmed
     /// unless the code says poisoned.
     Error {
@@ -683,6 +696,10 @@ impl Response {
                 w.u8(code.to_u8());
                 w.str(message);
             }
+            Response::Metrics { text } => {
+                w = Writer::new(10);
+                w.str(text);
+            }
         }
         w.0
     }
@@ -720,6 +737,7 @@ impl Response {
                 code: ErrorCode::from_u8(r.u8()?)?,
                 message: r.str()?,
             },
+            10 => Response::Metrics { text: r.str()? },
             got => return Err(ProtoError::Tag { got }),
         };
         r.finish()?;
@@ -783,6 +801,7 @@ mod tests {
         roundtrip_req(Request::Stats { session: u64::MAX });
         roundtrip_req(Request::Dump { session: 0 });
         roundtrip_req(Request::Close { session: 2 });
+        roundtrip_req(Request::Metrics);
     }
 
     #[test]
@@ -820,6 +839,9 @@ mod tests {
             text: "e(a,b).\ne(b,a).\n".into(),
         });
         roundtrip_resp(Response::Closed);
+        roundtrip_resp(Response::Metrics {
+            text: "chase_sessions_open 2\nchase_apply_ns_p50_ns 1500\n".into(),
+        });
         roundtrip_resp(Response::Error {
             code: ErrorCode::Capacity,
             message: "session cap reached (8 sessions)".into(),

@@ -214,6 +214,9 @@ fn respond(conductor: &Conductor, req: Request) -> Response {
             Ok(()) => Response::Closed,
             Err(e) => Response::from_serve_error(&e),
         },
+        Request::Metrics => Response::Metrics {
+            text: conductor.metrics_text(),
+        },
     }
 }
 
@@ -372,6 +375,16 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Fetch the server-wide metrics exposition: Prometheus-style
+    /// `name{label} value` text covering conductor gauges, apply/query
+    /// latency histograms and every open session's engine phase timings.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 fn unexpected(got: Response) -> ClientError {
@@ -410,6 +423,30 @@ mod tests {
                 ..
             }
         ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_over_live_tcp_expose_phases_and_gauges() {
+        let server = serve("127.0.0.1:0", ConductorConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let s = c
+            .open("e(X,Y) -> e(Y,X); e(X,Y), e(Y,Z) -> e(X,Z)")
+            .unwrap();
+        c.apply(s, "e(a,b). e(b,c). e(c,d).").unwrap();
+        c.query(s, "q(X) <- e(a,X)", QueryOpts::default()).unwrap();
+        let text = c.metrics().unwrap();
+        assert!(text.contains("chase_sessions_open 1"), "{text}");
+        assert!(text.contains("chase_sessions_opened_total 1"), "{text}");
+        // Per-stage latency made it across the wire with nonzero medians.
+        let p50 = |name: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix(name).map(|v| v.trim().parse().unwrap()))
+                .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+        };
+        assert!(p50("chase_phase_ns_p50_ns{phase=\"insert\"} ") > 0);
+        assert!(p50("chase_phase_ns_p99_ns{phase=\"insert\"} ") > 0);
+        assert!(p50("chase_apply_ns_p50_ns ") > 0);
         server.shutdown();
     }
 

@@ -23,6 +23,7 @@
 use chase_core::fx::FxHashMap;
 use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, Instance, Term};
 use chase_engine::{chase_resume, ChaseConfig, EngineState, StopReason};
+use chase_obs::{Recorder, RegistrySnapshot};
 use chase_sqo::minimal_rewritings;
 use std::fmt;
 use std::ops::Deref;
@@ -287,6 +288,9 @@ impl Deref for SessionSnapshot {
     }
 }
 
+/// Events retained per session by the engine's telemetry ring.
+const SESSION_EVENT_RING: usize = 256;
+
 /// A long-lived incremental chase session. See the [module docs](self).
 ///
 /// # Examples
@@ -364,7 +368,12 @@ impl SessionBuilder {
 
     /// Build the session.
     pub fn build(self) -> ChaseSession {
-        let state = EngineState::new(&self.instance, &self.set, &self.cfg.chase);
+        let mut state = EngineState::new(&self.instance, &self.set, &self.cfg.chase);
+        // Sessions are long-lived and observable by construction: install a
+        // live recorder (phase histograms + a bounded event ring) in place
+        // of the env-gated process-global one. Recording is write-only for
+        // the engine, so this cannot perturb the deterministic trace.
+        state.set_recorder(Recorder::enabled(SESSION_EVENT_RING));
         ChaseSession {
             set: self.set,
             cfg: self.cfg,
@@ -507,16 +516,6 @@ impl ChaseSession {
         })
     }
 
-    /// Like [`ChaseSession::query`] with defaults, but keeps answer tuples
-    /// containing labeled nulls.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `query((&q, QueryOpts::all_tuples()))` — the unified entry point"
-    )]
-    pub fn query_all(&mut self, q: &ConjunctiveQuery) -> Result<Vec<Vec<Term>>, ServeError> {
-        self.query((q, QueryOpts::all_tuples()))
-    }
-
     /// Chase pending work before answering (no-op when quiescent).
     fn quiesce(&mut self) -> Result<(), ServeError> {
         if let Some(r) = self.state.poisoned() {
@@ -547,6 +546,45 @@ impl ChaseSession {
         let choice = choose_rewriting(q, &self.set, &self.cfg);
         self.rewrites.insert(key, choice.clone());
         choice
+    }
+
+    /// The telemetry recorder the session's engine reports into. All
+    /// snapshots and forks of a session share one recorder (telemetry is
+    /// not part of the rewindable state — restoring a snapshot does not
+    /// rewind the histograms).
+    pub fn recorder(&self) -> &Recorder {
+        self.state.recorder()
+    }
+
+    /// The session's metrics as a mergeable registry snapshot: per-phase
+    /// engine latency histograms (`chase_phase_ns{phase="…"}`) plus the
+    /// headline counters from [`ChaseSession::stats`]. The conductor merges
+    /// these across sessions into the server-wide exposition.
+    ///
+    /// ```
+    /// use chase_core::{ConstraintSet, Instance};
+    /// use chase_serve::ChaseSession;
+    ///
+    /// let mut s = ChaseSession::new(ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap());
+    /// s.apply(Instance::parse("E(a,b). E(b,c).").unwrap().atoms()).unwrap();
+    /// let snap = s.metrics_snapshot();
+    /// assert_eq!(snap.counter("chase_session_epochs_total"), Some(1));
+    /// let inserts = snap.histogram("chase_phase_ns{phase=\"insert\"}").unwrap();
+    /// assert!(inserts.count() > 0, "the transitive step was timed");
+    /// ```
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::new();
+        let stats = self.stats();
+        snap.set_counter("chase_session_epochs_total", stats.epoch);
+        snap.set_counter("chase_session_steps_total", stats.total_steps);
+        snap.set_counter("chase_session_plan_recompiles_total", stats.plan_recompiles);
+        snap.set_counter("chase_session_merge_rewritten_total", stats.merge_rewritten);
+        snap.set_counter("chase_session_merge_collapsed_total", stats.merge_collapsed);
+        snap.set_gauge("chase_session_facts", stats.total_facts as i64);
+        let rec = self.state.recorder();
+        rec.export_phases("chase_phase_ns", &mut snap);
+        snap.set_counter("chase_events_dropped_total", rec.events_dropped());
+        snap
     }
 
     /// Snapshot the full engine state — O(instance + pool), no re-chasing

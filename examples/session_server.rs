@@ -31,6 +31,7 @@
 //! | `restore`             | pop the stack and rewind to that snapshot        |
 //! | `show`                | print the chased instance (from the server)      |
 //! | `stats`               | the session's `SessionStats`, verbatim           |
+//! | `\metrics`            | server-wide Prometheus-style metrics exposition  |
 //! | `quit`                | close the session and exit                       |
 //!
 //! A `sigma` line holds one constraint set; separate constraints with `;`
@@ -54,6 +55,7 @@ stats
 restore
 stats
 query reach(X) <- rail(X,lyon,D)
+\\metrics
 quit";
 
 struct Repl {
@@ -138,12 +140,16 @@ impl Repl {
                 Ok(stats) => println!("{stats}"),
                 Err(e) => println!("error: {e}"),
             },
+            "\\metrics" | "metrics" => match self.client.metrics() {
+                Ok(text) => print!("{text}"),
+                Err(e) => println!("error: {e}"),
+            },
             "quit" | "exit" => {
                 let _ = self.client.close(self.session);
                 return false;
             }
             other => println!(
-                "unknown command {other:?} (sigma/insert/query/snapshot/restore/show/stats/quit)"
+                "unknown command {other:?} (sigma/insert/query/snapshot/restore/show/stats/\\metrics/quit)"
             ),
         }
         true
@@ -182,7 +188,7 @@ fn main() {
     // Default constraint set until a `sigma` command replaces the session.
     let mut repl = Repl::new(client, "E(X,Y), E(Y,Z) -> E(X,Z)").expect("open default session");
     println!(
-        "chase-serve session client — commands: sigma/insert/query/snapshot/restore/show/stats/quit"
+        "chase-serve session client — commands: sigma/insert/query/snapshot/restore/show/stats/\\metrics/quit"
     );
 
     let mut saw_input = false;

@@ -16,6 +16,9 @@
 //! * `guarded` ([`chase_guarded`]) — weakly/restrictedly guarded TGDs (Section 5);
 //! * `sqo` ([`chase_sqo`]) — semantic query optimization with the chase
 //!   (universal plans, equivalence under constraints, rewriting enumeration);
+//! * `obs` ([`chase_obs`]) — zero-dependency observability: phase timers,
+//!   log-scale latency histograms, bounded event rings, and named metric
+//!   registries with a Prometheus-style text exposition;
 //! * `serve` ([`chase_serve`]) — the serving layer: long-lived incremental
 //!   chase sessions with warm re-chase over update batches, certain-answer
 //!   queries, snapshot/restore forking, and a multi-tenant TCP session
@@ -41,6 +44,7 @@ pub use chase_core as core;
 pub use chase_corpus as corpus;
 pub use chase_engine as engine;
 pub use chase_guarded as guarded;
+pub use chase_obs as obs;
 pub use chase_plan as plan;
 pub use chase_serve as serve;
 pub use chase_sqo as sqo;
@@ -87,10 +91,11 @@ pub mod prelude {
         CoreChaseResult, EngineState, Matcher, MonitorGraph, ParallelConfig, ResumeOutcome,
         StopReason, Strategy,
     };
+    pub use chase_obs::{Histogram, MetricsRegistry, Phase, Recorder};
     pub use chase_plan::JoinProgram;
     pub use chase_serve::{
         serve, ChaseOutcome, ChaseSession, Client, ClientError, Conductor, ConductorConfig,
-        QueryOpts, QuerySpec, ServeError, SessionBuilder, SessionConfig, SessionHandle,
+        FleetStats, QueryOpts, QuerySpec, ServeError, SessionBuilder, SessionConfig, SessionHandle,
         SessionSnapshot, SessionStats,
     };
     pub use chase_termination::{

@@ -1,0 +1,104 @@
+//! Telemetry is write-only: recording must never perturb the chase.
+//!
+//! The chase-obs recorder threads through the engine's hottest paths
+//! (phase timers in the delta re-match, head revalidation, insert and
+//! merge repair; events per sampled step). Its contract is that it only
+//! *observes* — the trigger selected at every step, and therefore the
+//! trace, the step count and the final instance, are bit-identical whether
+//! recording is on or off. These tests pin that contract on workloads long
+//! enough to cross the per-step sampling boundary (`OBS_SAMPLE_MASK`
+//! spaces full-decomposition steps 64 apart) and on an EGD workload where
+//! merge repair runs, and additionally assert that the enabled recorder
+//! really recorded — a vacuously green determinism check would also pass
+//! if instrumentation silently disappeared.
+
+use chase_core::{ConstraintSet, Instance};
+use chase_engine::{chase_resume, ChaseConfig, EngineState, ResumeOutcome};
+use chase_obs::{EventKind, Phase, Recorder};
+
+/// Chase `inst` under `set` twice — recorder disabled and enabled — and
+/// return both outcomes plus the final instances and the live recorder.
+fn run_both(
+    set: &ConstraintSet,
+    inst: &Instance,
+    cfg: &ChaseConfig,
+) -> (ResumeOutcome, Instance, ResumeOutcome, Instance, Recorder) {
+    let mut cold = EngineState::new(inst, set, cfg);
+    cold.set_recorder(Recorder::disabled());
+    let out_off = chase_resume(&mut cold, set, cfg);
+    let inst_off = cold.into_instance();
+
+    let rec = Recorder::enabled(256);
+    let mut warm = EngineState::new(inst, set, cfg);
+    warm.set_recorder(rec.clone());
+    let out_on = chase_resume(&mut warm, set, cfg);
+    let inst_on = warm.into_instance();
+    (out_off, inst_off, out_on, inst_on, rec)
+}
+
+fn assert_identical(set: &ConstraintSet, inst: &Instance) -> Recorder {
+    let cfg = ChaseConfig {
+        keep_trace: true,
+        ..ChaseConfig::default()
+    };
+    let (off, inst_off, on, inst_on, rec) = run_both(set, inst, &cfg);
+    assert_eq!(
+        off.reason, on.reason,
+        "stop reason must not depend on recording"
+    );
+    assert_eq!(
+        off.steps, on.steps,
+        "step count must not depend on recording"
+    );
+    assert_eq!(
+        off.fresh_nulls, on.fresh_nulls,
+        "null invention must not depend on recording"
+    );
+    assert_eq!(
+        format!("{:?}", off.trace),
+        format!("{:?}", on.trace),
+        "traces must be bit-identical with recording on"
+    );
+    assert_eq!(
+        format!("{inst_off}"),
+        format!("{inst_on}"),
+        "final instances must be identical"
+    );
+    rec
+}
+
+#[test]
+fn tgd_trace_identical_across_sampling_boundary() {
+    // Transitive closure over a 14-node chain: ~90 steps, so the run
+    // crosses the 64-step sampling grid and mixes sampled and unsampled
+    // steps.
+    let set = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+    let facts: Vec<String> = (0..14).map(|i| format!("E(n{i},n{}).", i + 1)).collect();
+    let inst = Instance::parse(&facts.join(" ")).unwrap();
+
+    let rec = assert_identical(&set, &inst);
+
+    // The enabled run must have genuinely recorded: inserts from both
+    // sampled steps, a resume bracket, and sampled step events.
+    assert!(rec.phase_snapshot(Phase::Insert).count() >= 2);
+    assert!(rec.phase_snapshot(Phase::DeltaMatch).count() >= 1);
+    let events = rec.events();
+    assert!(events.iter().any(|e| e.kind == EventKind::ResumeBegin));
+    assert!(events.iter().any(|e| e.kind == EventKind::ResumeEnd));
+    assert!(events.iter().any(|e| e.kind == EventKind::StepFired));
+}
+
+#[test]
+fn egd_merge_trace_identical() {
+    // TGD growth plus an EGD collapsing the invented null onto a constant:
+    // the null also lives in `S`, so the merge rewrites a surviving row and
+    // merge repair (plus the EgdMerge event) runs on the enabled side.
+    let set = ConstraintSet::parse("P(X) -> R(X,Y), S(Y); R(X,Y), R(X,Z) -> Y = Z; S(Y) -> Q(Y)")
+        .unwrap();
+    let inst = Instance::parse("P(a). P(b). R(a,c1). R(b,c2).").unwrap();
+
+    let rec = assert_identical(&set, &inst);
+
+    assert!(rec.phase_snapshot(Phase::MergeRepair).count() >= 1);
+    assert!(rec.events().iter().any(|e| e.kind == EventKind::EgdMerge));
+}

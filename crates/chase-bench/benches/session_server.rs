@@ -16,7 +16,9 @@
 use chase_bench::{print_table, quick, scaled, Row};
 use chase_corpus::random::{random_travel_stream, RandomTravelConfig};
 use chase_obs::{Histogram, HistogramSnapshot, Phase};
-use chase_serve::{serve, Client, ConductorConfig, QueryOpts, Server};
+use chase_serve::{
+    serve, ChaseSession, Client, ConductorConfig, DurabilityConfig, QueryOpts, Server,
+};
 use criterion::Criterion;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -396,8 +398,52 @@ fn bench(c: &mut Criterion) {
                 .expect("query")
         })
     });
+
+    // Durable reopen, both recovery paths. `wal_replay` reopens a session
+    // whose whole stream sits in the log (compaction disabled), re-running
+    // every batch through the warm apply path; `snapshot_reopen` reopens
+    // after a persist, so recovery is one columnar snapshot load and an
+    // empty-log replay. The gap between the two is what periodic
+    // compaction buys at restart time.
+    let replay_dir = durable_dir("wal-replay", false);
+    g.bench_function("wal_replay/reopen", |b| {
+        b.iter(|| ChaseSession::open(black_box(&replay_dir)).expect("reopen"))
+    });
+    let snap_dir = durable_dir("snapshot-reopen", true);
+    g.bench_function("snapshot_reopen/reopen", |b| {
+        b.iter(|| ChaseSession::open(black_box(&snap_dir)).expect("reopen"))
+    });
     g.finish();
     server.shutdown();
+    std::fs::remove_dir_all(&replay_dir).ok();
+    std::fs::remove_dir_all(&snap_dir).ok();
+}
+
+/// Prepare a durable session directory holding tenant 0's full stream —
+/// as a WAL to replay (`persisted = false`) or compacted into a snapshot
+/// (`persisted = true`).
+fn durable_dir(name: &str, persisted: bool) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chase-bench-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let sigma = chase_core::ConstraintSet::parse(SIGMA).expect("sigma");
+    let mut s = ChaseSession::builder(sigma)
+        .durable(&dir)
+        .durability(DurabilityConfig {
+            snapshot_every_batches: 0,
+            snapshot_every_bytes: 0,
+            ..DurabilityConfig::default()
+        })
+        .try_build()
+        .expect("durable session");
+    for batch in stream_for(0) {
+        let atoms = chase_core::Instance::parse(&batch).expect("batch").atoms();
+        s.apply(atoms).expect("apply");
+    }
+    if persisted {
+        s.persist().expect("persist");
+    }
+    dir
 }
 
 fn main() {

@@ -58,35 +58,35 @@ type CompositeBuckets = FxHashMap<Vec<TermId>, Vec<FactId>>;
 /// (the store tolerates one predicate at several arities, like the old
 /// atom-level store did — each gets its own table).
 #[derive(Clone, Default)]
-struct PredTable {
+pub(crate) struct PredTable {
     /// One flat id vector per argument position; all the same length.
-    cols: Vec<Vec<TermId>>,
+    pub(crate) cols: Vec<Vec<TermId>>,
     /// Row count (kept explicitly so zero-arity predicates work).
-    rows: u32,
+    pub(crate) rows: u32,
 }
 
 /// Where a [`FactId`] lives: which table, which row.
 #[derive(Clone, Copy)]
-struct FactLoc {
-    table: u32,
-    row: u32,
+pub(crate) struct FactLoc {
+    pub(crate) table: u32,
+    pub(crate) row: u32,
 }
 
 /// A database instance: a finite set of ground atoms over constants and
 /// labeled nulls, stored columnar (see the module docs).
 #[derive(Clone, Default)]
 pub struct Instance {
-    tables: Vec<PredTable>,
+    pub(crate) tables: Vec<PredTable>,
     /// Predicate of each table (parallel to `tables`; split out so location
     /// lookups resolving a predicate touch a dense array). Table lookup on
     /// insert is a linear scan of this vector — the number of distinct
     /// `(pred, arity)` pairs is schema-bounded and small, and a scan keeps
     /// the per-instance footprint down (tiny instances are built by the
     /// million in the brute-force oracles).
-    table_preds: Vec<Sym>,
+    pub(crate) table_preds: Vec<Sym>,
     /// [`FactId`] → location, in insertion order. Its length is the fact
     /// count.
-    locs: Vec<FactLoc>,
+    pub(crate) locs: Vec<FactLoc>,
     /// Dedup: row-content hash → the fact with that hash. Collisions (rare;
     /// the hash covers predicate, arity and every id) chain into
     /// `dedup_overflow`. Probes compare against the columns, so neither hit
@@ -114,7 +114,7 @@ pub struct Instance {
     /// modified — the cheap staleness check behind copy-on-read snapshot
     /// publication in the serving layer (`chase-serve`).
     version: u64,
-    next_null: u32,
+    pub(crate) next_null: u32,
     /// Reusable id buffer for the insert path (cleared per call, never
     /// shrunk) — keeps `try_insert` allocation-free after warm-up.
     scratch: Vec<TermId>,

@@ -32,6 +32,7 @@ pub mod homomorphism;
 pub mod instance;
 pub mod parser;
 pub mod schema;
+pub mod snapshot;
 pub mod symbol;
 pub mod term;
 
@@ -44,5 +45,6 @@ pub use homomorphism::{
 };
 pub use instance::{FactId, FactView, Instance, InstanceView, MergeEffect};
 pub use schema::{PosSet, Position, Schema};
+pub use snapshot::{crc32, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use symbol::Sym;
 pub use term::{Term, TermId};

@@ -30,17 +30,26 @@ pub enum Phase {
     PoolMaintain,
     /// Compiling join plans in the matcher.
     PlanCompile,
+    /// Encoding and appending a batch record to a session's write-ahead log.
+    WalAppend,
+    /// Waiting on the OS to flush WAL appends durable (`fsync`).
+    WalFsync,
+    /// Replaying WAL records through the warm resume path at reopen.
+    WalReplay,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 9] = [
         Phase::DeltaMatch,
         Phase::HeadRevalidate,
         Phase::Insert,
         Phase::MergeRepair,
         Phase::PoolMaintain,
         Phase::PlanCompile,
+        Phase::WalAppend,
+        Phase::WalFsync,
+        Phase::WalReplay,
     ];
 
     /// The snake_case name used in metric labels.
@@ -52,6 +61,9 @@ impl Phase {
             Phase::MergeRepair => "merge_repair",
             Phase::PoolMaintain => "pool_maintain",
             Phase::PlanCompile => "plan_compile",
+            Phase::WalAppend => "wal_append",
+            Phase::WalFsync => "wal_fsync",
+            Phase::WalReplay => "wal_replay",
         }
     }
 }

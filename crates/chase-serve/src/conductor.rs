@@ -34,6 +34,7 @@
 //! tenant can neither starve the machine of threads nor chase unboundedly.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
@@ -41,7 +42,7 @@ use std::thread;
 use std::time::Instant;
 
 use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, Instance, Term};
-use chase_engine::StopReason;
+use chase_engine::{ChaseMode, StopReason};
 use chase_obs::{
     Counter, EventKind, Gauge, Histogram, MetricsRegistry, Recorder, RegistrySnapshot,
 };
@@ -50,6 +51,7 @@ use crate::session::{
     choose_rewriting, ChaseOutcome, ChaseSession, QueryOpts, ServeError, SessionConfig,
     SessionSnapshot, SessionStats,
 };
+use crate::wal::{self, DurabilityConfig};
 
 /// Admission policy for a [`Conductor`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +64,15 @@ pub struct ConductorConfig {
     pub step_budget: Option<usize>,
     /// Session template: configuration every admitted session starts from.
     pub session: SessionConfig,
+    /// Make sessions durable under this root: each admitted session logs
+    /// to `<root>/session-<id>` and [`Conductor::new`] **warm-restarts**
+    /// every session directory it finds there (same ids, snapshot loaded,
+    /// WAL-since-snapshot replayed). `None` (the default) keeps every
+    /// session in memory.
+    pub durable_root: Option<PathBuf>,
+    /// Fsync policy and snapshot-compaction thresholds for durable
+    /// sessions (ignored without [`ConductorConfig::durable_root`]).
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ConductorConfig {
@@ -70,6 +81,8 @@ impl Default for ConductorConfig {
             max_sessions: 64,
             step_budget: Some(100_000),
             session: SessionConfig::default(),
+            durable_root: None,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -86,6 +99,8 @@ const M_PUBLISH: &str = "chase_snapshot_publish_total";
 const M_PUBLISH_SKIPPED: &str = "chase_snapshot_publish_skipped_total";
 const M_PHASE_NS: &str = "chase_phase_ns";
 const M_EVENTS_DROPPED: &str = "chase_events_dropped_total";
+const M_SESSIONS_REOPENED: &str = "chase_sessions_reopened_total";
+const M_REOPEN_FAILED: &str = "chase_sessions_reopen_failed_total";
 
 /// Handles into the conductor-wide [`MetricsRegistry`] plus the session's
 /// engine recorder, shared by the session's actor and every
@@ -166,6 +181,11 @@ enum SessionMsg {
     },
     /// Read the session's counters.
     Stats { reply: Sender<SessionStats> },
+    /// Force a durability point (snapshot + WAL compaction); replies with
+    /// the epoch the on-disk state now covers.
+    Persist {
+        reply: Sender<Result<u64, ServeError>>,
+    },
     /// Drop the session: the actor breaks its loop and the thread exits.
     Close,
 }
@@ -325,6 +345,17 @@ impl SessionHandle {
             .map_err(|_| ServeError::SessionGone)?;
         rx.recv().map_err(|_| ServeError::SessionGone)
     }
+
+    /// Force a durability point now ([`ChaseSession::persist`]): snapshot
+    /// the session's state and compact its write-ahead log. Returns the
+    /// epoch the on-disk state covers; [`ServeError::Durability`] on an
+    /// in-memory session.
+    pub fn persist(&self) -> Result<u64, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.post(SessionMsg::Persist { reply })
+            .map_err(|_| ServeError::SessionGone)?;
+        rx.recv().map_err(|_| ServeError::SessionGone)?
+    }
 }
 
 /// One live session as the conductor tracks it.
@@ -366,13 +397,70 @@ pub struct FleetStats {
 
 impl Conductor {
     /// A conductor with the given admission policy.
+    ///
+    /// With [`ConductorConfig::durable_root`] set, construction is a **warm
+    /// restart**: every `session-<id>` directory under the root is reopened
+    /// through [`ChaseSession::open_with`] — newest snapshot loaded, the
+    /// write-ahead log since it replayed — and served again under its old
+    /// id; id allocation continues past the highest reopened id. A
+    /// directory that fails to reopen is left untouched on disk and
+    /// counted in `chase_sessions_reopen_failed_total` rather than taking
+    /// the whole server down.
     pub fn new(cfg: ConductorConfig) -> Conductor {
-        Conductor {
+        let conductor = Conductor {
             cfg,
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             metrics: MetricsRegistry::new(),
+        };
+        conductor.reopen_durable_sessions();
+        conductor
+    }
+
+    /// Scan the durable root and bring every reopenable session back up.
+    fn reopen_durable_sessions(&self) {
+        let Some(root) = &self.cfg.durable_root else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(root) else {
+            return; // nothing persisted yet; `open` creates the root lazily
+        };
+        let mut found: Vec<(u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let id: u64 = name.strip_prefix("session-")?.parse().ok()?;
+                let path = e.path();
+                wal::is_session_dir(&path).then_some((id, path))
+            })
+            .collect();
+        found.sort();
+        let mut max_id = 0;
+        let mut sessions = self.sessions.lock().unwrap();
+        for (id, dir) in found {
+            max_id = max_id.max(id);
+            if sessions.len() >= self.cfg.max_sessions {
+                self.metrics.counter(M_REOPEN_FAILED).inc();
+                continue;
+            }
+            match ChaseSession::open_with(&dir, self.cfg.durability) {
+                Ok(session) => {
+                    let sigma = session.constraints().clone();
+                    let cfg = session.config().clone();
+                    sessions.insert(id, self.spawn_slot(session, sigma, cfg));
+                    self.metrics.counter(M_SESSIONS_OPENED).inc();
+                    self.metrics.counter(M_SESSIONS_REOPENED).inc();
+                }
+                Err(_) => {
+                    self.metrics.counter(M_REOPEN_FAILED).inc();
+                }
+            }
         }
+        let open = sessions.len() as i64;
+        self.metrics.gauge(M_SESSIONS_OPEN).set(open);
+        self.metrics.gauge(M_SESSIONS_PEAK).raise_to(open);
+        drop(sessions);
+        self.next_id.store(max_id + 1, Ordering::Relaxed);
     }
 
     /// The admission policy.
@@ -406,9 +494,32 @@ impl Conductor {
                 None => budget,
             });
         }
-        let session = ChaseSession::builder(sigma.clone())
-            .config(cfg.clone())
-            .build();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut builder = ChaseSession::builder(sigma.clone()).config(cfg.clone());
+        if let Some(root) = &self.cfg.durable_root {
+            builder = builder
+                .durable(root.join(format!("session-{id}")))
+                .durability(self.cfg.durability);
+        }
+        let session = builder.try_build()?;
+        sessions.insert(id, self.spawn_slot(session, sigma, cfg));
+        // Still under the sessions lock, so open/peak can never observe a
+        // torn admission.
+        self.metrics.counter(M_SESSIONS_OPENED).inc();
+        let open = sessions.len() as i64;
+        self.metrics.gauge(M_SESSIONS_OPEN).set(open);
+        self.metrics.gauge(M_SESSIONS_PEAK).raise_to(open);
+        Ok(id)
+    }
+
+    /// Wire a built (or reopened) session into its actor thread and read
+    /// surface — the shared tail of [`Conductor::open`] and warm restart.
+    fn spawn_slot(&self, session: ChaseSession, sigma: ConstraintSet, cfg: SessionConfig) -> Slot {
+        // An empty unpoisoned instance is vacuously quiescent even before
+        // the trigger pool exists; a reopened non-quiescent state (snapshot
+        // without replay) must route queries through the actor's quiesce.
+        let quiescent = session.stats().quiescent
+            || (session.instance().is_empty() && session.poisoned().is_none());
         let read = Arc::new(ReadState {
             metrics: HandleMetrics {
                 apply_ns: self.metrics.histogram(M_APPLY_NS),
@@ -421,8 +532,8 @@ impl Conductor {
             published: RwLock::new(Published {
                 instance: Arc::new(session.instance().clone()),
                 version: session.instance().version(),
-                quiescent: true,
-                poisoned: None,
+                quiescent,
+                poisoned: session.poisoned().cloned(),
             }),
             rewrites: Mutex::new(HashMap::new()),
             set: sigma,
@@ -431,21 +542,10 @@ impl Conductor {
         let (tx, rx) = mpsc::channel();
         let actor_read = Arc::clone(&read);
         let thread = thread::spawn(move || actor(session, actor_read, rx));
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        sessions.insert(
-            id,
-            Slot {
-                handle: SessionHandle { tx, read },
-                thread,
-            },
-        );
-        // Still under the sessions lock, so open/peak can never observe a
-        // torn admission.
-        self.metrics.counter(M_SESSIONS_OPENED).inc();
-        let open = sessions.len() as i64;
-        self.metrics.gauge(M_SESSIONS_OPEN).set(open);
-        self.metrics.gauge(M_SESSIONS_PEAK).raise_to(open);
-        Ok(id)
+        Slot {
+            handle: SessionHandle { tx, read },
+            thread,
+        }
     }
 
     /// Resolve a session id to a handle.
@@ -581,6 +681,19 @@ fn actor(mut session: ChaseSession, read: Arc<ReadState>, rx: Receiver<SessionMs
             }
             SessionMsg::Restore { snapshot, reply } => {
                 let out = match snapshots.get(&snapshot) {
+                    // Guard what `ChaseSession::restore` would panic on — a
+                    // panicking actor takes the whole session down, a reply
+                    // only fails the one request.
+                    Some(_)
+                        if session.is_durable()
+                            && session.config().chase.mode == ChaseMode::Oblivious =>
+                    {
+                        Err(ServeError::Durability(
+                            "restore on a durable oblivious session is unsupported \
+                             (its log cannot be re-anchored)"
+                                .to_string(),
+                        ))
+                    }
                     Some(snap) => {
                         session.restore(snap);
                         Ok(())
@@ -592,6 +705,9 @@ fn actor(mut session: ChaseSession, read: Arc<ReadState>, rx: Receiver<SessionMs
             }
             SessionMsg::Stats { reply } => {
                 let _ = reply.send(session.stats());
+            }
+            SessionMsg::Persist { reply } => {
+                let _ = reply.send(session.persist());
             }
             SessionMsg::Close => break,
         }

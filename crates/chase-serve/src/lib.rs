@@ -51,6 +51,7 @@ pub mod conductor;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod wal;
 
 pub use conductor::{Conductor, ConductorConfig, FleetStats, SessionHandle};
 pub use server::{serve, Client, ClientError, Server};
@@ -58,3 +59,4 @@ pub use session::{
     ChaseOutcome, ChaseSession, QueryOpts, QuerySpec, ServeError, SessionBuilder, SessionConfig,
     SessionSnapshot, SessionStats,
 };
+pub use wal::{DurabilityConfig, DurabilityStats, FsyncPolicy, WalRecord};

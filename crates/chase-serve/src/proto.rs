@@ -432,6 +432,13 @@ pub enum Request {
     /// conductor gauges, apply/query latency histograms and every open
     /// session's engine phase timings, as Prometheus-style text.
     Metrics,
+    /// Force a durability point on a durable session: snapshot + WAL
+    /// compaction (the REPL's `\persist`). Errors with
+    /// [`ErrorCode::Durability`] on a server without a durable root.
+    Persist {
+        /// The target session.
+        session: u64,
+    },
 }
 
 impl Request {
@@ -478,6 +485,10 @@ impl Request {
             Request::Metrics => {
                 w = Writer::new(9);
             }
+            Request::Persist { session } => {
+                w = Writer::new(10);
+                w.u64(*session);
+            }
         }
         w.0
     }
@@ -506,6 +517,7 @@ impl Request {
             7 => Request::Dump { session: r.u64()? },
             8 => Request::Close { session: r.u64()? },
             9 => Request::Metrics,
+            10 => Request::Persist { session: r.u64()? },
             got => return Err(ProtoError::Tag { got }),
         };
         r.finish()?;
@@ -548,6 +560,10 @@ pub enum ErrorCode {
     SessionGone,
     /// Anything else (core rejection, internal failure).
     Internal,
+    /// A durability operation failed ([`ServeError::Durability`]): the
+    /// write-ahead log or a snapshot could not be read or written, or the
+    /// session/server is not durable at all.
+    Durability,
 }
 
 impl ErrorCode {
@@ -560,6 +576,7 @@ impl ErrorCode {
             ErrorCode::UnknownSnapshot => 4,
             ErrorCode::SessionGone => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::Durability => 7,
         }
     }
 
@@ -572,6 +589,7 @@ impl ErrorCode {
             4 => ErrorCode::UnknownSnapshot,
             5 => ErrorCode::SessionGone,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::Durability,
             got => return Err(ProtoError::Tag { got }),
         })
     }
@@ -586,6 +604,7 @@ impl From<&ServeError> for ErrorCode {
             ServeError::UnknownSession(_) => ErrorCode::UnknownSession,
             ServeError::UnknownSnapshot(_) => ErrorCode::UnknownSnapshot,
             ServeError::SessionGone => ErrorCode::SessionGone,
+            ServeError::Durability(_) => ErrorCode::Durability,
         }
     }
 }
@@ -631,6 +650,11 @@ pub enum Response {
     Metrics {
         /// Prometheus-style `name{label} value` lines, one per metric.
         text: String,
+    },
+    /// A durability point was taken ([`Request::Persist`]).
+    Persisted {
+        /// The epoch the on-disk state now covers.
+        epoch: u64,
     },
     /// The request failed; the session (if any) is otherwise unharmed
     /// unless the code says poisoned.
@@ -700,6 +724,10 @@ impl Response {
                 w = Writer::new(10);
                 w.str(text);
             }
+            Response::Persisted { epoch } => {
+                w = Writer::new(11);
+                w.u64(*epoch);
+            }
         }
         w.0
     }
@@ -738,6 +766,7 @@ impl Response {
                 message: r.str()?,
             },
             10 => Response::Metrics { text: r.str()? },
+            11 => Response::Persisted { epoch: r.u64()? },
             got => return Err(ProtoError::Tag { got }),
         };
         r.finish()?;
@@ -802,6 +831,7 @@ mod tests {
         roundtrip_req(Request::Dump { session: 0 });
         roundtrip_req(Request::Close { session: 2 });
         roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Persist { session: 11 });
     }
 
     #[test]
@@ -845,6 +875,11 @@ mod tests {
         roundtrip_resp(Response::Error {
             code: ErrorCode::Capacity,
             message: "session cap reached (8 sessions)".into(),
+        });
+        roundtrip_resp(Response::Persisted { epoch: 17 });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Durability,
+            message: "durability: server has no durable root".into(),
         });
     }
 

@@ -217,6 +217,9 @@ fn respond(conductor: &Conductor, req: Request) -> Response {
         Request::Metrics => Response::Metrics {
             text: conductor.metrics_text(),
         },
+        Request::Persist { session } => routed(conductor, session, |h| {
+            h.persist().map(|epoch| Response::Persisted { epoch })
+        }),
     }
 }
 
@@ -382,6 +385,16 @@ impl Client {
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         match self.call(&Request::Metrics)? {
             Response::Metrics { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Force a durability point on a durable session (snapshot + WAL
+    /// compaction); returns the epoch the on-disk state now covers. Errors
+    /// with [`ErrorCode::Durability`] when the server has no durable root.
+    pub fn persist(&mut self, session: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Persist { session })? {
+            Response::Persisted { epoch } => Ok(epoch),
             other => Err(unexpected(other)),
         }
     }

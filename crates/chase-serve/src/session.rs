@@ -20,13 +20,16 @@
 //! from-scratch chase (pinned by `tests/session_equivalence.rs` at the
 //! workspace root) and certain answers agree exactly.
 
+use crate::wal::{self, DurabilityConfig, DurabilityStats, Wal};
 use chase_core::fx::FxHashMap;
-use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, Instance, Term};
-use chase_engine::{chase_resume, ChaseConfig, EngineState, StopReason};
-use chase_obs::{Recorder, RegistrySnapshot};
+use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, CoreError, Instance, Term};
+use chase_engine::{chase_resume, ChaseConfig, ChaseMode, EngineState, StopReason};
+use chase_obs::{Phase, Recorder, RegistrySnapshot};
 use chase_sqo::minimal_rewritings;
 use std::fmt;
+use std::io;
 use std::ops::Deref;
+use std::path::{Path, PathBuf};
 
 /// Session configuration: the engine configuration used for every warm
 /// re-chase, plus the query-rewriting policy.
@@ -239,6 +242,13 @@ pub enum ServeError {
     /// The session's actor is gone (its thread exited or panicked); the
     /// session can no longer be addressed.
     SessionGone,
+    /// A durability operation failed: the write-ahead log or a snapshot
+    /// could not be read or written, a durable directory's manifest does
+    /// not match the requested session, or the log itself is inconsistent
+    /// (an epoch discontinuity, records after a poisoning batch). Carries
+    /// a rendered description rather than the `io::Error` so the error
+    /// type stays `Clone + PartialEq` for the wire protocol.
+    Durability(String),
 }
 
 impl fmt::Display for ServeError {
@@ -252,6 +262,7 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSession(id) => write!(f, "no session {id}"),
             ServeError::UnknownSnapshot(id) => write!(f, "no snapshot {id}"),
             ServeError::SessionGone => write!(f, "session actor is gone"),
+            ServeError::Durability(msg) => write!(f, "durability: {msg}"),
         }
     }
 }
@@ -309,7 +320,6 @@ const SESSION_EVENT_RING: usize = 256;
 /// let reach = session.query(&q).unwrap();
 /// assert_eq!(reach.len(), 2); // b and c
 /// ```
-#[derive(Clone)]
 pub struct ChaseSession {
     set: ConstraintSet,
     cfg: SessionConfig,
@@ -321,6 +331,41 @@ pub struct ChaseSession {
     /// not beneficial (or the rewriting chase was cut off). Survives
     /// across epochs — the constraint set never changes under a session.
     rewrites: FxHashMap<String, Option<ConjunctiveQuery>>,
+    /// The durability attachment (WAL handle, snapshot thresholds,
+    /// counters), present on sessions built with [`SessionBuilder::durable`]
+    /// or reopened with [`ChaseSession::open`]. Boxed: most sessions are
+    /// in-memory and pay one pointer for the feature.
+    durable: Option<Box<Durable>>,
+}
+
+/// Everything a durable session owns beyond its in-memory state.
+struct Durable {
+    dir: PathBuf,
+    wal: Wal,
+    cfg: DurabilityConfig,
+    stats: DurabilityStats,
+    /// Batches applied since the last snapshot (compaction trigger).
+    batches_since_snapshot: u32,
+}
+
+impl Clone for ChaseSession {
+    /// Clones (and therefore [`ChaseSession::fork`]s and
+    /// [`ChaseSession::snapshot`]s) are **in-memory**: the write-ahead log
+    /// stays with the original session. Two sessions appending to one log
+    /// would interleave incompatible histories, so the copy simply is not
+    /// durable — persist a fork by building it a durable directory of its
+    /// own.
+    fn clone(&self) -> ChaseSession {
+        ChaseSession {
+            set: self.set.clone(),
+            cfg: self.cfg.clone(),
+            state: self.state.clone(),
+            epoch: self.epoch,
+            last_reason: self.last_reason.clone(),
+            rewrites: self.rewrites.clone(),
+            durable: None,
+        }
+    }
 }
 
 /// Builder for a [`ChaseSession`] — the one construction path behind
@@ -342,6 +387,8 @@ pub struct SessionBuilder {
     set: ConstraintSet,
     cfg: SessionConfig,
     instance: Instance,
+    durable_dir: Option<PathBuf>,
+    durability: DurabilityConfig,
 }
 
 impl SessionBuilder {
@@ -366,23 +413,135 @@ impl SessionBuilder {
         self
     }
 
+    /// Make the session durable in directory `dir` (created if missing).
+    ///
+    /// A fresh directory gets a `MANIFEST` (the constraint set and full
+    /// session configuration) and an empty write-ahead log; from then on
+    /// every applied batch is logged before it is applied, and snapshots
+    /// compact the log per the [`DurabilityConfig`] thresholds. A directory
+    /// that already holds a manifest is **resumed**: the manifest must
+    /// match the builder's constraint set and configuration exactly, the
+    /// builder must not also seed an instance, and the built session comes
+    /// back warm — newest valid snapshot loaded, WAL-since-snapshot
+    /// replayed ([`ChaseSession::open`] is the shorthand that reads the
+    /// manifest instead of requiring Σ up front).
+    ///
+    /// ```
+    /// use chase_core::{ConstraintSet, Instance};
+    /// use chase_serve::{ChaseSession, ServeError};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("chase-doc-durable-{}", std::process::id()));
+    /// let sigma = ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+    /// let mut s = ChaseSession::builder(sigma).durable(&dir).try_build()?;
+    /// s.apply(Instance::parse("E(a,b). E(b,c).").unwrap().atoms())?;
+    /// drop(s); // or crash — the batch is already on disk
+    ///
+    /// let reopened = ChaseSession::open(&dir)?;
+    /// assert_eq!(reopened.stats().epoch, 1);
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// # Ok::<(), ServeError>(())
+    /// ```
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> SessionBuilder {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Tune fsync policy and snapshot-compaction thresholds (only
+    /// meaningful together with [`SessionBuilder::durable`]).
+    pub fn durability(mut self, cfg: DurabilityConfig) -> SessionBuilder {
+        self.durability = cfg;
+        self
+    }
+
     /// Build the session.
+    ///
+    /// # Panics
+    /// Panics if the builder is durable and setting up or resuming the
+    /// durable directory fails; use [`SessionBuilder::try_build`] to handle
+    /// that as an error.
     pub fn build(self) -> ChaseSession {
-        let mut state = EngineState::new(&self.instance, &self.set, &self.cfg.chase);
-        // Sessions are long-lived and observable by construction: install a
-        // live recorder (phase histograms + a bounded event ring) in place
-        // of the env-gated process-global one. Recording is write-only for
-        // the engine, so this cannot perturb the deterministic trace.
-        state.set_recorder(Recorder::enabled(SESSION_EVENT_RING));
-        ChaseSession {
-            set: self.set,
-            cfg: self.cfg,
-            state,
-            epoch: 0,
-            last_reason: None,
-            rewrites: FxHashMap::default(),
+        self.try_build().expect("building the session failed")
+    }
+
+    /// Build the session, reporting durability problems as
+    /// [`ServeError::Durability`] instead of panicking. Infallible for
+    /// in-memory builders.
+    pub fn try_build(self) -> Result<ChaseSession, ServeError> {
+        let Some(dir) = self.durable_dir else {
+            return Ok(build_in_memory(self.set, self.cfg, &self.instance));
+        };
+        std::fs::create_dir_all(&dir).map_err(dur_err)?;
+        match wal::read_manifest(&dir).map_err(ServeError::Durability)? {
+            Some((set, cfg)) => {
+                if set != self.set {
+                    return Err(ServeError::Durability(format!(
+                        "{} was created under a different constraint set",
+                        dir.display()
+                    )));
+                }
+                if cfg != self.cfg {
+                    return Err(ServeError::Durability(format!(
+                        "{} was created under a different session configuration",
+                        dir.display()
+                    )));
+                }
+                if !self.instance.is_empty() {
+                    return Err(ServeError::Durability(
+                        "cannot seed an instance into an existing durable directory \
+                         (its log already determines the state)"
+                            .to_string(),
+                    ));
+                }
+                ChaseSession::open_inner(dir, set, cfg, self.durability)
+            }
+            None => {
+                wal::write_manifest(&dir, &self.set, &self.cfg).map_err(dur_err)?;
+                let (wal, records, _) = Wal::open(&dir).map_err(dur_err)?;
+                debug_assert!(records.is_empty(), "fresh durable dir has a non-empty WAL");
+                let mut session = build_in_memory(self.set, self.cfg, &self.instance);
+                // A seeded instance is covered by an immediate snapshot so
+                // reopen reconstructs it (seeds never pass through the WAL).
+                let mut durable = Durable {
+                    dir,
+                    wal,
+                    cfg: self.durability,
+                    stats: DurabilityStats::default(),
+                    batches_since_snapshot: 0,
+                };
+                if !session.state.instance().is_empty() {
+                    wal::write_snapshot(&durable.dir, 0, session.state.instance())
+                        .map_err(dur_err)?;
+                    durable.stats.snapshots_written = 1;
+                }
+                session.durable = Some(Box::new(durable));
+                Ok(session)
+            }
         }
     }
+}
+
+/// The in-memory construction every build path bottoms out in.
+fn build_in_memory(set: ConstraintSet, cfg: SessionConfig, instance: &Instance) -> ChaseSession {
+    let mut state = EngineState::new(instance, &set, &cfg.chase);
+    // Sessions are long-lived and observable by construction: install a
+    // live recorder (phase histograms + a bounded event ring) in place
+    // of the env-gated process-global one. Recording is write-only for
+    // the engine, so this cannot perturb the deterministic trace.
+    state.set_recorder(Recorder::enabled(SESSION_EVENT_RING));
+    ChaseSession {
+        set,
+        cfg,
+        state,
+        epoch: 0,
+        last_reason: None,
+        rewrites: FxHashMap::default(),
+        durable: None,
+    }
+}
+
+/// Render an `io::Error` into the serve layer's clonable error type.
+fn dur_err(e: io::Error) -> ServeError {
+    ServeError::Durability(e.to_string())
 }
 
 impl ChaseSession {
@@ -392,6 +551,8 @@ impl ChaseSession {
             set,
             cfg: SessionConfig::default(),
             instance: Instance::new(),
+            durable_dir: None,
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -405,6 +566,212 @@ impl ChaseSession {
     /// shorthand for `builder(set).config(cfg).build()`.
     pub fn with_config(set: ConstraintSet, cfg: SessionConfig) -> ChaseSession {
         ChaseSession::builder(set).config(cfg).build()
+    }
+
+    /// Reopen a durable session from its directory — the warm-restart
+    /// entry point. The constraint set and session configuration come from
+    /// the directory's `MANIFEST`; the state comes back by loading the
+    /// newest valid snapshot and replaying the write-ahead log records past
+    /// its epoch through the ordinary warm apply path (timed under the
+    /// `wal_replay` phase). A torn or corrupt log tail is truncated
+    /// (those records were never acknowledged); an unreadable snapshot is
+    /// skipped in favor of an older one or full replay.
+    ///
+    /// ```
+    /// use chase_core::{ConjunctiveQuery, ConstraintSet, Instance};
+    /// use chase_serve::{ChaseSession, ServeError};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("chase-doc-open-{}", std::process::id()));
+    /// let sigma = ConstraintSet::parse("rail(X,Y,D) -> rail(Y,X,D)").unwrap();
+    /// let mut s = ChaseSession::builder(sigma).durable(&dir).try_build()?;
+    /// s.apply(Instance::parse("rail(berlin,paris,d9).").unwrap().atoms())?;
+    /// drop(s); // simulate losing the process
+    ///
+    /// let mut back = ChaseSession::open(&dir)?;
+    /// let q = ConjunctiveQuery::parse("q(X) <- rail(X,berlin,D)").unwrap();
+    /// assert_eq!(back.query(&q)?.len(), 1); // the symmetric closure survived
+    /// assert_eq!(back.durability().unwrap().replayed_records, 1);
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// # Ok::<(), ServeError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// [`ServeError::Durability`] when the directory has no manifest, the
+    /// manifest or log cannot be read, or the log is inconsistent (epoch
+    /// discontinuity, records following a poisoning batch).
+    pub fn open(dir: impl AsRef<Path>) -> Result<ChaseSession, ServeError> {
+        ChaseSession::open_with(dir, DurabilityConfig::default())
+    }
+
+    /// [`ChaseSession::open`] with explicit durability knobs for the
+    /// reopened session.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        durability: DurabilityConfig,
+    ) -> Result<ChaseSession, ServeError> {
+        let dir = dir.as_ref().to_path_buf();
+        let (set, cfg) = wal::read_manifest(&dir)
+            .map_err(ServeError::Durability)?
+            .ok_or_else(|| {
+                ServeError::Durability(format!(
+                    "{} is not a durable session directory (no MANIFEST)",
+                    dir.display()
+                ))
+            })?;
+        ChaseSession::open_inner(dir, set, cfg, durability)
+    }
+
+    /// The shared resume path behind [`ChaseSession::open`] and resuming
+    /// [`SessionBuilder::durable`] builds.
+    fn open_inner(
+        dir: PathBuf,
+        set: ConstraintSet,
+        cfg: SessionConfig,
+        durability: DurabilityConfig,
+    ) -> Result<ChaseSession, ServeError> {
+        let (wal, records, truncated_bytes) = Wal::open(&dir).map_err(dur_err)?;
+        let loaded = wal::load_newest_snapshot(&dir);
+        let loaded_snapshot = loaded.is_some();
+        let (snapshot_epoch, seed) = loaded.unwrap_or_else(|| (0, Instance::new()));
+        let mut session = build_in_memory(set, cfg, &seed);
+        session.epoch = snapshot_epoch;
+        let mut replayed_records = 0u64;
+        let recorder = session.state.recorder().clone();
+        {
+            for record in &records {
+                if record.epoch <= snapshot_epoch {
+                    // Covered by the snapshot: a crash between writing the
+                    // snapshot and truncating the log leaves this overlap.
+                    continue;
+                }
+                // One wal_replay sample per record, so the phase count in
+                // the metrics exposition *is* the replayed-record count.
+                let _t = recorder.phase(Phase::WalReplay);
+                if session.state.poisoned().is_some() {
+                    return Err(ServeError::Durability(format!(
+                        "WAL records continue past the poisoning batch at epoch {}",
+                        session.epoch
+                    )));
+                }
+                if record.epoch != session.epoch + 1 {
+                    return Err(ServeError::Durability(format!(
+                        "WAL epoch discontinuity: expected {}, found {}",
+                        session.epoch + 1,
+                        record.epoch
+                    )));
+                }
+                let batch = Instance::parse(&record.batch)
+                    .map_err(|e| {
+                        ServeError::Durability(format!(
+                            "WAL record for epoch {} does not parse: {e}",
+                            record.epoch
+                        ))
+                    })?
+                    .atoms();
+                session.apply_inner(batch)?;
+                replayed_records += 1;
+            }
+        }
+        session.durable = Some(Box::new(Durable {
+            dir,
+            wal,
+            cfg: durability,
+            stats: DurabilityStats {
+                replayed_records,
+                truncated_bytes,
+                loaded_snapshot,
+                snapshot_epoch,
+                ..DurabilityStats::default()
+            },
+            batches_since_snapshot: 0,
+        }));
+        Ok(session)
+    }
+
+    /// Is this session durable (building it attached a write-ahead log)?
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durability counters (`None` on an in-memory session): WAL
+    /// appends/bytes/fsyncs from this process, what the open replayed or
+    /// truncated, snapshots written. Also exported by
+    /// [`ChaseSession::metrics_snapshot`] as `chase_wal_*` /
+    /// `chase_snapshot*` series.
+    pub fn durability(&self) -> Option<DurabilityStats> {
+        self.durable.as_ref().map(|d| d.stats)
+    }
+
+    /// Force a durability point now: write a snapshot at the current epoch
+    /// and compact the write-ahead log (the REPL's `\persist`). Returns the
+    /// epoch the on-disk state now covers.
+    ///
+    /// Oblivious-mode sessions cannot snapshot chased state (resuming an
+    /// oblivious engine from a bare instance would re-fire old triggers),
+    /// so for them `persist` flushes the log instead — same durability,
+    /// replay-from-log recovery. A poisoned Standard session likewise only
+    /// flushes: the poisoning is reproduced at reopen by replaying its
+    /// batch rather than baked into a snapshot.
+    ///
+    /// # Errors
+    /// [`ServeError::Durability`] if the session is not durable or the
+    /// snapshot/flush fails (a failed snapshot loses nothing: the log
+    /// still holds every batch).
+    pub fn persist(&mut self) -> Result<u64, ServeError> {
+        if self.durable.is_none() {
+            return Err(ServeError::Durability(
+                "session is not durable (build it with SessionBuilder::durable)".to_string(),
+            ));
+        }
+        if self.cfg.chase.mode == ChaseMode::Oblivious || self.state.poisoned().is_some() {
+            let d = self.durable.as_mut().unwrap();
+            d.wal.fsync().map_err(dur_err)?;
+            d.stats.wal_fsyncs += 1;
+            return Ok(self.epoch);
+        }
+        self.snapshot_to_disk().map_err(dur_err)?;
+        Ok(self.epoch)
+    }
+
+    /// Write `snapshot-<epoch>.csnp` for the current state, then compact:
+    /// drop every WAL record (all are ≤ the snapshot's epoch), remove
+    /// snapshots from abandoned futures (restore rewinds the epoch), prune
+    /// old generations. Callers decide whether a failure is fatal.
+    fn snapshot_to_disk(&mut self) -> io::Result<()> {
+        let d = self
+            .durable
+            .as_mut()
+            .expect("snapshot_to_disk on in-memory session");
+        wal::write_snapshot(&d.dir, self.epoch, self.state.instance())?;
+        wal::remove_snapshots_above(&d.dir, self.epoch);
+        d.wal.truncate_all()?;
+        wal::prune_snapshots(&d.dir, d.cfg.keep_snapshots);
+        d.stats.snapshots_written += 1;
+        d.stats.snapshot_epoch = self.epoch;
+        d.batches_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Count this batch against the compaction thresholds and snapshot if
+    /// one is due. Snapshot failures are counted, not raised — the WAL
+    /// still holds everything, so a missed compaction costs replay time at
+    /// the next open, never data.
+    fn maybe_snapshot(&mut self) {
+        if self.cfg.chase.mode == ChaseMode::Oblivious || self.state.poisoned().is_some() {
+            return;
+        }
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        d.batches_since_snapshot += 1;
+        let cfg = d.cfg;
+        let due = (cfg.snapshot_every_batches > 0
+            && d.batches_since_snapshot >= cfg.snapshot_every_batches)
+            || (cfg.snapshot_every_bytes > 0 && d.wal.len() >= cfg.snapshot_every_bytes);
+        if due && self.snapshot_to_disk().is_err() {
+            let d = self.durable.as_mut().unwrap();
+            d.stats.snapshot_errors += 1;
+        }
     }
 
     /// The constraint set the session chases under.
@@ -449,12 +816,62 @@ impl ChaseSession {
     /// [`ChaseOutcome`]. An empty or all-duplicate batch still counts an
     /// epoch but performs no matching work and recompiles no plans.
     ///
+    /// On a durable session the batch is **logged first**: it is appended
+    /// to the write-ahead log (and fsynced, per the [`FsyncPolicy`]) before
+    /// any of it is applied, so a crash at any point leaves either a log
+    /// that replays the batch or one that never mentions it — never a
+    /// half-applied state. [`ServeError::Durability`] on a durable apply
+    /// means the batch was not applied.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Poisoned`] if an earlier batch ended in an EGD failure
     /// or monitor abort; [`ServeError::Core`] (batch unapplied) if the
     /// batch contains a non-ground atom.
+    ///
+    /// [`FsyncPolicy`]: crate::wal::FsyncPolicy
     pub fn apply(
+        &mut self,
+        batch: impl IntoIterator<Item = Atom>,
+    ) -> Result<ChaseOutcome, ServeError> {
+        if self.durable.is_none() {
+            return self.apply_inner(batch);
+        }
+        if let Some(r) = self.state.poisoned() {
+            return Err(ServeError::Poisoned(r.clone()));
+        }
+        let batch: Vec<Atom> = batch.into_iter().collect();
+        // Validate groundness *before* the append so a rejected batch never
+        // reaches the log: every logged record corresponds to exactly one
+        // applied epoch, which is what lets replay assert epoch continuity.
+        if let Some(bad) = batch.iter().find(|a| !a.is_ground()) {
+            return Err(ServeError::Core(CoreError::NonGroundAtom(bad.to_string())));
+        }
+        let text = render_batch(&batch);
+        let recorder = self.state.recorder().clone();
+        {
+            let d = self.durable.as_mut().unwrap();
+            let bytes = {
+                let _t = recorder.phase(Phase::WalAppend);
+                d.wal.append(self.epoch + 1, &text).map_err(dur_err)?
+            };
+            d.stats.wal_appends += 1;
+            d.stats.wal_bytes += bytes;
+            if d.wal.fsync_due(d.cfg.fsync) {
+                let _t = recorder.phase(Phase::WalFsync);
+                d.wal.fsync().map_err(dur_err)?;
+                d.stats.wal_fsyncs += 1;
+            }
+        }
+        let out = self.apply_inner(batch)?;
+        self.maybe_snapshot();
+        Ok(out)
+    }
+
+    /// The in-memory apply: the whole of a non-durable [`ChaseSession::apply`],
+    /// and the part of a durable one that runs *after* the write-ahead
+    /// append — which is exactly why WAL replay goes through it.
+    fn apply_inner(
         &mut self,
         batch: impl IntoIterator<Item = Atom>,
     ) -> Result<ChaseOutcome, ServeError> {
@@ -584,6 +1001,16 @@ impl ChaseSession {
         let rec = self.state.recorder();
         rec.export_phases("chase_phase_ns", &mut snap);
         snap.set_counter("chase_events_dropped_total", rec.events_dropped());
+        if let Some(d) = &self.durable {
+            snap.set_counter("chase_wal_appends_total", d.stats.wal_appends);
+            snap.set_counter("chase_wal_bytes_total", d.stats.wal_bytes);
+            snap.set_counter("chase_wal_fsyncs_total", d.stats.wal_fsyncs);
+            snap.set_counter("chase_wal_replayed_total", d.stats.replayed_records);
+            snap.set_counter("chase_wal_truncated_bytes_total", d.stats.truncated_bytes);
+            snap.set_counter("chase_snapshots_total", d.stats.snapshots_written);
+            snap.set_counter("chase_snapshot_errors_total", d.stats.snapshot_errors);
+            snap.set_gauge("chase_snapshot_epoch", d.stats.snapshot_epoch as i64);
+        }
         snap
     }
 
@@ -597,12 +1024,29 @@ impl ChaseSession {
     /// fork). The rewriting cache is kept — the constraint set didn't
     /// change, so cached decisions stay valid.
     ///
+    /// On a **durable** session the on-disk log must be rewound too — it
+    /// records batches the restore just abandoned. Restoring re-anchors the
+    /// directory: a fresh snapshot of the restored state is written and the
+    /// write-ahead log is truncated, so a reopen comes back at the restored
+    /// timeline.
+    ///
     /// # Panics
     /// Panics if the snapshot was taken under a different constraint set
     /// or session configuration: engine state is indexed by constraint
     /// position and its memos depend on the chase mode, so restoring it
     /// under other semantics would silently corrupt trigger matching.
+    /// Panics on a durable *oblivious* session — its chased state cannot be
+    /// snapshotted (see [`ChaseSession::persist`]), so the on-disk log
+    /// cannot be re-anchored to the restored state — and if re-anchoring
+    /// fails, since continuing would let the log diverge from the state.
     pub fn restore(&mut self, snap: &SessionSnapshot) {
+        if self.durable.is_some() {
+            assert!(
+                self.cfg.chase.mode != ChaseMode::Oblivious,
+                "restore on a durable oblivious session is unsupported: \
+                 its log cannot be re-anchored to the restored state"
+            );
+        }
         assert!(
             snap.0.set == self.set,
             "snapshot taken under a different constraint set than this session's"
@@ -614,13 +1058,32 @@ impl ChaseSession {
         self.state = snap.0.state.clone();
         self.epoch = snap.0.epoch;
         self.last_reason = snap.0.last_reason.clone();
+        if self.durable.is_some() {
+            self.snapshot_to_disk()
+                .expect("re-anchoring the durable log after restore failed");
+        }
     }
 
     /// Fork the session: an independent session over a copy of the warm
-    /// state. Cheap in the same sense as [`ChaseSession::snapshot`].
+    /// state. Cheap in the same sense as [`ChaseSession::snapshot`]. Forks
+    /// of a durable session are in-memory (the log stays with the
+    /// original); give a fork its own [`SessionBuilder::durable`] directory
+    /// to persist it.
     pub fn fork(&self) -> ChaseSession {
         self.clone()
     }
+}
+
+/// Render a batch into the WAL's on-disk text: the fact surface syntax,
+/// one `pred(args).` per atom — exactly what [`Instance::parse`] reads
+/// back at replay. Labeled nulls round-trip (`_n3` ↔ null 3).
+fn render_batch(batch: &[Atom]) -> String {
+    let mut out = String::new();
+    for atom in batch {
+        out.push_str(&atom.to_string());
+        out.push_str(". ");
+    }
+    out
 }
 
 /// The `chase-sqo` rewriting choice for `q` under `set` and the session's

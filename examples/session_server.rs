@@ -18,17 +18,23 @@
 //!
 //! * *(default)* — serve on `127.0.0.1:0` in-process and connect to it;
 //! * `--serve <addr>` — run a server only (e.g. `127.0.0.1:7474`), no REPL;
-//! * `--connect <addr>` — REPL against an already-running server.
+//! * `--connect <addr>` — REPL against an already-running server;
+//! * `--durable <dir>` — make the server durable (with the default or
+//!   `--serve` mode): sessions log to `<dir>/session-<id>` and a restarted
+//!   server **warm-restarts** every session it finds there, same ids. This
+//!   is the crash-recovery path `docs/OPERATIONS.md` walks through.
 //!
 //! Commands (one per line; `#` starts a comment):
 //!
 //! | command               | effect                                           |
 //! |-----------------------|--------------------------------------------------|
 //! | `sigma <constraints>` | open a fresh session under a new constraint set  |
+//! | `attach <id>`         | address an existing session (e.g. warm-restarted)|
 //! | `insert <facts>`      | apply the facts as one update batch (warm)       |
 //! | `query <cq>`          | certain answers of `q(X) <- body` on the chase   |
 //! | `snapshot`            | take a server-side snapshot (stacked)            |
 //! | `restore`             | pop the stack and rewind to that snapshot        |
+//! | `\persist`            | force a durability point (snapshot + compact WAL)|
 //! | `show`                | print the chased instance (from the server)      |
 //! | `stats`               | the session's `SessionStats`, verbatim           |
 //! | `\metrics`            | server-wide Prometheus-style metrics exposition  |
@@ -112,6 +118,20 @@ impl Repl {
                 }
                 Err(e) => println!("error: {e}"),
             },
+            "attach" => match rest.trim().parse::<u64>() {
+                Ok(id) => match self.client.stats(id) {
+                    Ok(stats) => {
+                        if id != self.session {
+                            let _ = self.client.close(self.session);
+                            self.session = id;
+                            self.snapshots.clear();
+                        }
+                        println!("attached to session #{id} ({stats})");
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(_) => println!("error: attach takes a numeric session id"),
+            },
             "snapshot" => match self.client.snapshot(self.session) {
                 Ok(id) => {
                     self.snapshots.push(id);
@@ -140,6 +160,12 @@ impl Repl {
                 Ok(stats) => println!("{stats}"),
                 Err(e) => println!("error: {e}"),
             },
+            "\\persist" | "persist" => match self.client.persist(self.session) {
+                Ok(epoch) => println!(
+                    "persisted: on-disk snapshot now covers epoch {epoch}, WAL compacted"
+                ),
+                Err(e) => println!("error: {e}"),
+            },
             "\\metrics" | "metrics" => match self.client.metrics() {
                 Ok(text) => print!("{text}"),
                 Err(e) => println!("error: {e}"),
@@ -149,7 +175,7 @@ impl Repl {
                 return false;
             }
             other => println!(
-                "unknown command {other:?} (sigma/insert/query/snapshot/restore/show/stats/\\metrics/quit)"
+                "unknown command {other:?} (sigma/attach/insert/query/snapshot/restore/\\persist/show/stats/\\metrics/quit)"
             ),
         }
         true
@@ -165,9 +191,21 @@ fn main() {
             .cloned()
     };
 
+    // Durable servers log every session under this root and warm-restart
+    // whatever a previous process left there.
+    let conductor_cfg = || ConductorConfig {
+        durable_root: flag("--durable").map(std::path::PathBuf::from),
+        ..ConductorConfig::default()
+    };
+
     // Server-only mode: bind, print the address, serve until killed.
     if let Some(addr) = flag("--serve") {
-        let server = serve(addr.as_str(), ConductorConfig::default()).expect("bind");
+        let cfg = conductor_cfg();
+        let server = serve(addr.as_str(), cfg).expect("bind");
+        let restarted = server.conductor().session_count();
+        if restarted > 0 {
+            println!("warm-restarted {restarted} durable session(s)");
+        }
         println!("serving chase sessions on {}", server.addr());
         loop {
             std::thread::park();
@@ -178,7 +216,7 @@ fn main() {
     let (client, _local) = match flag("--connect") {
         Some(addr) => (Client::connect(addr.as_str()).expect("connect"), None),
         None => {
-            let server = serve("127.0.0.1:0", ConductorConfig::default()).expect("bind loopback");
+            let server = serve("127.0.0.1:0", conductor_cfg()).expect("bind loopback");
             let client = Client::connect(server.addr()).expect("connect loopback");
             println!("(loopback server on {})", server.addr());
             (client, Some(server))
@@ -188,7 +226,7 @@ fn main() {
     // Default constraint set until a `sigma` command replaces the session.
     let mut repl = Repl::new(client, "E(X,Y), E(Y,Z) -> E(X,Z)").expect("open default session");
     println!(
-        "chase-serve session client — commands: sigma/insert/query/snapshot/restore/show/stats/\\metrics/quit"
+        "chase-serve session client — commands: sigma/attach/insert/query/snapshot/restore/\\persist/show/stats/\\metrics/quit"
     );
 
     let mut saw_input = false;

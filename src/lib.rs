@@ -21,8 +21,10 @@
 //!   registries with a Prometheus-style text exposition;
 //! * `serve` ([`chase_serve`]) — the serving layer: long-lived incremental
 //!   chase sessions with warm re-chase over update batches, certain-answer
-//!   queries, snapshot/restore forking, and a multi-tenant TCP session
-//!   server (actor-per-session runtime behind a framed wire protocol);
+//!   queries, snapshot/restore forking, a multi-tenant TCP session
+//!   server (actor-per-session runtime behind a framed wire protocol),
+//!   and durable sessions (write-ahead log + columnar snapshots with
+//!   warm restart);
 //! * `corpus` ([`chase_corpus`]) — every example of the paper plus synthetic
 //!   workload generators.
 //!
@@ -95,8 +97,9 @@ pub mod prelude {
     pub use chase_plan::JoinProgram;
     pub use chase_serve::{
         serve, ChaseOutcome, ChaseSession, Client, ClientError, Conductor, ConductorConfig,
-        FleetStats, QueryOpts, QuerySpec, ServeError, SessionBuilder, SessionConfig, SessionHandle,
-        SessionSnapshot, SessionStats,
+        DurabilityConfig, DurabilityStats, FleetStats, FsyncPolicy, QueryOpts, QuerySpec,
+        ServeError, SessionBuilder, SessionConfig, SessionHandle, SessionSnapshot, SessionStats,
+        WalRecord,
     };
     pub use chase_termination::{
         affected_positions, analyze, c_chase_graph, chase_graph, check, data_dependent_terminates,

@@ -12,10 +12,17 @@
 //! (a dedicated writer connection per session streaming fresh batches the
 //! whole time) — and printing the ratio, which must stay well under the
 //! 2x that a lock-the-session design would blow through.
+//!
+//! The **high-tenancy** group then pushes fleet size instead of per-tenant
+//! load: thousands of mostly-idle sessions opened over pipelined frames,
+//! on both the bounded worker pool and the legacy thread-per-session
+//! scheduler, recording the crossover where one parked OS thread per
+//! tenant stops being viable.
 
 use chase_bench::{print_table, quick, scaled, Row};
 use chase_corpus::random::{random_travel_stream, RandomTravelConfig};
 use chase_obs::{Histogram, HistogramSnapshot, Phase};
+use chase_serve::proto::{Request, Response};
 use chase_serve::{
     serve, ChaseSession, Client, ConductorConfig, DurabilityConfig, QueryOpts, Server,
 };
@@ -316,7 +323,7 @@ fn print_shape() {
         ),
     ];
     print_table(
-        "S2 — session server load generation (actor-per-session over TCP)",
+        "S2 — session server load generation (pooled sessions over TCP)",
         &["phase", "volume", "throughput", "p50", "p99"],
         &rows,
     );
@@ -373,6 +380,154 @@ fn print_shape() {
         let _ = c.close(s);
     }
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// High tenancy: pool vs legacy thread-per-session
+// ---------------------------------------------------------------------------
+
+/// The tenant counts each scheduler is pushed to. The pool's top count is
+/// the acceptance floor (>= 2k concurrent sessions); the thread model is
+/// pushed past the pool's *lowest* count so the crossover — where one
+/// parked OS thread per session stops being viable — lands on the
+/// trajectory rather than in a comment.
+fn high_tenancy_grid() -> Vec<(&'static str, usize, ConductorConfig)> {
+    let pool = |n: usize| ConductorConfig {
+        max_sessions: n + 8,
+        ..ConductorConfig::default()
+    };
+    let threads = |n: usize| ConductorConfig {
+        max_sessions: n + 8,
+        workers: 0,
+        ..ConductorConfig::default()
+    };
+    let pool_counts: &[usize] = if quick() { &[512, 2048] } else { &[2048, 8192] };
+    let thread_counts: &[usize] = if quick() { &[512, 1024] } else { &[2048, 4096] };
+    let mut grid = Vec::new();
+    for &n in pool_counts {
+        grid.push(("pool", n, pool(n)));
+    }
+    for &n in thread_counts {
+        grid.push(("threads", n, threads(n)));
+    }
+    grid
+}
+
+/// Pipelined frames kept in flight while loading the tenant fleet.
+const PIPELINE_CHUNK: usize = 64;
+
+struct TenancyPoint {
+    model: &'static str,
+    n: usize,
+    opens_per_sec: f64,
+    touch: HistogramSnapshot,
+}
+
+/// One high-tenancy round: open `n` sessions over pipelined frames on a
+/// single connection, give each exactly one small write, then measure
+/// sequential stats round trips against a sample of the (now mostly idle)
+/// fleet — the latency a tenant sees when thousands of neighbours hold
+/// sessions open.
+fn high_tenancy_round(model: &'static str, n: usize, cfg: ConductorConfig) -> TenancyPoint {
+    let server = serve("127.0.0.1:0", cfg).expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    // Open + touch the whole fleet, pipelined: with one parked OS thread
+    // per session this is where the legacy model starts to hurt.
+    let t0 = Instant::now();
+    let mut sessions: Vec<u64> = Vec::with_capacity(n);
+    while sessions.len() < n {
+        let k = PIPELINE_CHUNK.min(n - sessions.len());
+        let reqs: Vec<Request> = (0..k)
+            .map(|_| Request::Open {
+                sigma: SIGMA.into(),
+            })
+            .collect();
+        for reply in c.pipeline(&reqs).expect("pipelined opens") {
+            match reply.expect("open") {
+                Response::Opened { session } => sessions.push(session),
+                other => panic!("unexpected open reply: {other:?}"),
+            }
+        }
+    }
+    for chunk in sessions.chunks(PIPELINE_CHUNK) {
+        let reqs: Vec<Request> = chunk
+            .iter()
+            .map(|&s| Request::Apply {
+                session: s,
+                facts: format!("fly(a{s},b{s},d)."),
+            })
+            .collect();
+        for reply in c.pipeline(&reqs).expect("pipelined applies") {
+            reply.expect("apply");
+        }
+    }
+    let opens_per_sec = n as f64 / t0.elapsed().as_secs_f64();
+
+    // Sampled round-trip latency across the resident fleet.
+    let touch = Histogram::new();
+    let sample = 256.min(n);
+    for i in 0..sample {
+        let s = sessions[(i * n) / sample];
+        let t0 = Instant::now();
+        let stats = c.stats(s).expect("stats");
+        touch.record_duration(t0.elapsed());
+        black_box(stats);
+    }
+    server.shutdown();
+    TenancyPoint {
+        model,
+        n,
+        opens_per_sec,
+        touch: touch.snapshot(),
+    }
+}
+
+/// Drive both schedulers across the tenant grid and print the crossover:
+/// trajectory lines per (model, count) plus a human-readable table.
+fn high_tenancy() {
+    let points: Vec<TenancyPoint> = high_tenancy_grid()
+        .into_iter()
+        .map(|(model, n, cfg)| high_tenancy_round(model, n, cfg))
+        .collect();
+    let rows: Vec<Row> = points
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("{}_s{}", p.model, p.n),
+                vec![
+                    format!("{} sessions", p.n),
+                    format!("{:.0} opens/s", p.opens_per_sec),
+                    fmt_us(p.touch.percentile(0.50)),
+                    fmt_us(p.touch.percentile(0.99)),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "S2 — high tenancy: bounded worker pool vs thread-per-session",
+        &["scheduler", "fleet", "load rate", "touch p50", "touch p99"],
+        &rows,
+    );
+    // The crossover, stated: the pool at its top count vs the thread model
+    // at its top count (the largest fleet it still sustains).
+    let top = |model: &str| points.iter().rev().find(|p| p.model == model).unwrap();
+    let (pool, threads) = (top("pool"), top("threads"));
+    println!(
+        "high_tenancy crossover: pool holds {} sessions (touch p99 {}), \
+         thread model stops at {} parked threads (touch p99 {}) — \
+         past that, one OS thread per idle tenant is the bottleneck",
+        pool.n,
+        fmt_us(pool.touch.percentile(0.99)),
+        threads.n,
+        fmt_us(threads.touch.percentile(0.99)),
+    );
+    for p in &points {
+        print_latency_line(
+            &format!("session_server/high_tenancy/{}_s{}", p.model, p.n),
+            &p.touch,
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -448,6 +603,7 @@ fn durable_dir(name: &str, persisted: bool) -> std::path::PathBuf {
 
 fn main() {
     print_shape();
+    high_tenancy();
     let mut c = Criterion::default().configure_from_args();
     bench(&mut c);
     c.final_summary();

@@ -1,45 +1,71 @@
-//! The multi-tenant session runtime: one **actor thread per session**,
-//! fronted by a [`Conductor`] that creates, routes and admits sessions.
+//! The multi-tenant session runtime: sessions as mailbox-driven state
+//! machines scheduled over a **bounded worker pool**, fronted by a
+//! [`Conductor`] that creates, routes, admits and evicts sessions.
 //!
-//! ## Actors and mailboxes
+//! ## Pool scheduling
 //!
-//! Every open session owns a dedicated thread holding the [`ChaseSession`]
-//! — warm trigger pool, plan cache, rewriting cache and all. The thread
-//! drains a typed mailbox (`SessionMsg`: `Apply`/`Query`/`Snapshot`/
-//! `Restore`/`Stats`/`Close`), so all mutation of a session is serialized
-//! by construction and the engine state needs no locks at all. Callers
-//! hold a [`SessionHandle`] — a cheap clone of the mailbox sender plus the
-//! session's published read surface — and get replies over per-request
-//! channels.
+//! Every open session owns a [`ChaseSession`] — warm trigger pool, plan
+//! cache, rewriting cache and all — plus a typed mailbox (`SessionMsg`:
+//! `Apply`/`Query`/`Snapshot`/`Restore`/`Stats`/`Persist`). With
+//! [`ConductorConfig::workers`] > 0 (the default: `min(cores, 8)`) no
+//! session owns a thread: posting into an idle session's mailbox links the
+//! session onto a conductor-level **run queue**, and a pool worker pulls
+//! it, drains its mailbox up to [`ConductorConfig::dispatch_budget`]
+//! messages, then requeues it if more arrived. A `scheduled` flag per
+//! mailbox guarantees a session is owned by at most one worker at a time,
+//! so all mutation stays serialized by construction — thousands of
+//! mostly-idle tenants cost queue entries, not parked OS threads.
+//!
+//! `workers: 0` is the **legacy escape hatch** (kept for one release): one
+//! dedicated actor thread per session, exactly the PR-7 runtime.
 //!
 //! ## Concurrent reads during an in-flight apply
 //!
-//! After every mutating message the actor *publishes* an
+//! After every mutating message the dispatcher *publishes* an
 //! `Arc<`[`Instance`]`>` snapshot of the chased instance — but only when
 //! [`Instance::version`] actually moved, so duplicate-only batches never
 //! pay the copy (**copy-on-read**: readers share the published `Arc`,
 //! writers replace it). [`SessionHandle::query`] evaluates on the *calling*
 //! thread against that published snapshot whenever it is quiescent, so a
-//! certain-answer read admitted while a large apply is chasing inside the
-//! actor returns immediately with exactly the pre-batch state — it never
+//! certain-answer read admitted while a large apply is chasing inside a
+//! worker returns immediately with exactly the pre-batch state — it never
 //! queues behind the write. Publication happens *before* the apply's reply
 //! is released, so a client that saw its apply acknowledged is guaranteed
-//! to read its own writes.
+//! to read its own writes. These invariants are identical in pool and
+//! legacy modes; `process` is the single shared dispatcher.
+//!
+//! ## Eviction
+//!
+//! With [`ConductorConfig::evict_after`] set (pool mode only), a janitor
+//! thread tears down sessions idle past the TTL, oldest-touch first in
+//! effect: **durable** sessions [`ChaseSession::persist`] *before*
+//! teardown and transparently warm-restart from their `durable_root`
+//! directory at the next [`Conductor::route`]; **non-durable** sessions
+//! lose their state and later touches fail with [`ServeError::Evicted`].
+//! A session mid-dispatch or with queued messages is never evicted.
+//!
+//! ## Panic containment
+//!
+//! A panic while processing one session's message is caught by the
+//! worker: the session is marked poisoned (reads fail with
+//! [`ServeError::Poisoned`]), its mailbox is killed (later posts fail with
+//! [`ServeError::SessionGone`]) and it is never requeued — the worker and
+//! every other session keep serving.
 //!
 //! ## Admission
 //!
 //! The conductor enforces a **global session cap** (admission fails with
 //! [`ServeError::Capacity`]) and clamps every admitted session's chase
 //! budget to the configured **per-session step budget**, so one runaway
-//! tenant can neither starve the machine of threads nor chase unboundedly.
+//! tenant can neither starve the machine nor chase unboundedly.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use chase_core::{Atom, ConjunctiveQuery, ConstraintSet, Instance, Term};
 use chase_engine::{ChaseMode, StopReason};
@@ -53,10 +79,10 @@ use crate::session::{
 };
 use crate::wal::{self, DurabilityConfig};
 
-/// Admission policy for a [`Conductor`].
+/// Admission and scheduling policy for a [`Conductor`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConductorConfig {
-    /// Global cap on concurrently open sessions (each owns one thread).
+    /// Global cap on concurrently open sessions.
     pub max_sessions: usize,
     /// Per-session chase step budget. Every admitted session's
     /// `chase.max_steps` is clamped to at most this, whatever the session
@@ -73,6 +99,21 @@ pub struct ConductorConfig {
     /// Fsync policy and snapshot-compaction thresholds for durable
     /// sessions (ignored without [`ConductorConfig::durable_root`]).
     pub durability: DurabilityConfig,
+    /// Pool workers sharing all session mailboxes. The default is
+    /// `min(available cores, 8)`. **`0` selects the legacy
+    /// thread-per-session runtime** (one parked OS thread per open
+    /// session) — an escape hatch kept for one release.
+    pub workers: usize,
+    /// Messages a worker drains from one session's mailbox per dispatch
+    /// before requeueing it — the fairness knob: lower bounds per-tenant
+    /// latency under contention, higher amortizes scheduling.
+    pub dispatch_budget: usize,
+    /// Evict sessions idle (no message or route) for at least this long.
+    /// Durable sessions persist first and warm-restart transparently on
+    /// the next touch; non-durable sessions are discarded and answer
+    /// [`ServeError::Evicted`] thereafter. `None` (default) never evicts.
+    /// Requires the pool (`workers > 0`); ignored in legacy mode.
+    pub evict_after: Option<Duration>,
 }
 
 impl Default for ConductorConfig {
@@ -83,8 +124,19 @@ impl Default for ConductorConfig {
             session: SessionConfig::default(),
             durable_root: None,
             durability: DurabilityConfig::default(),
+            workers: default_workers(),
+            dispatch_budget: 32,
+            evict_after: None,
         }
     }
+}
+
+/// The default worker-pool width: every core up to 8.
+fn default_workers() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Series names in the conductor-wide registry (see [`Conductor::metrics`]).
@@ -101,9 +153,16 @@ const M_PHASE_NS: &str = "chase_phase_ns";
 const M_EVENTS_DROPPED: &str = "chase_events_dropped_total";
 const M_SESSIONS_REOPENED: &str = "chase_sessions_reopened_total";
 const M_REOPEN_FAILED: &str = "chase_sessions_reopen_failed_total";
+const M_POOL_WORKERS: &str = "chase_pool_workers";
+const M_POOL_QUEUE_DEPTH: &str = "chase_pool_queue_depth";
+const M_POOL_DISPATCHES: &str = "chase_pool_dispatches_total";
+const M_POOL_MESSAGES: &str = "chase_pool_messages_total";
+const M_POOL_PANICS: &str = "chase_pool_panics_total";
+const M_EVICTIONS: &str = "chase_evictions_total";
+const M_EVICTIONS_RESTORED: &str = "chase_evictions_restored_total";
 
 /// Handles into the conductor-wide [`MetricsRegistry`] plus the session's
-/// engine recorder, shared by the session's actor and every
+/// engine recorder, shared by the session's dispatcher and every
 /// [`SessionHandle`] clone. All fields are cheap-to-clone views onto
 /// conductor-owned series — per-session work lands in the server-wide
 /// aggregate without extra locking.
@@ -111,7 +170,7 @@ const M_REOPEN_FAILED: &str = "chase_sessions_reopen_failed_total";
 struct HandleMetrics {
     /// Blocking-apply round-trip latency (send → chased → acked).
     apply_ns: Arc<Histogram>,
-    /// Query latency, fast path and actor path alike.
+    /// Query latency, fast path and mailbox path alike.
     query_ns: Arc<Histogram>,
     /// Messages currently queued across every session mailbox.
     mailbox_depth: Gauge,
@@ -121,12 +180,12 @@ struct HandleMetrics {
     /// the republish ratio).
     publish_skipped: Counter,
     /// The session's engine recorder (phase histograms + event ring),
-    /// readable without touching the actor thread.
+    /// readable without touching the dispatcher.
     recorder: Recorder,
 }
 
-/// The session's read surface, shared between its actor (publisher) and
-/// every handle (readers).
+/// The session's read surface, shared between its dispatcher (publisher)
+/// and every handle (readers).
 struct ReadState {
     /// Conductor-wide metric handles this session reports into.
     metrics: HandleMetrics,
@@ -157,22 +216,22 @@ struct Published {
     poisoned: Option<StopReason>,
 }
 
-/// The typed mailbox protocol an actor drains. One variant per operation;
-/// every variant that answers carries its own reply sender.
+/// The typed mailbox protocol a dispatcher drains. One variant per
+/// operation; every variant that answers carries its own reply sender.
 enum SessionMsg {
     /// Apply an update batch and continue the chase warm.
     Apply {
         batch: Vec<Atom>,
         reply: Sender<Result<ChaseOutcome, ServeError>>,
     },
-    /// Answer a query on the actor thread (the quiesce-first slow path;
+    /// Answer a query on the dispatcher (the quiesce-first slow path;
     /// quiescent reads bypass the mailbox entirely).
     Query {
         q: ConjunctiveQuery,
         opts: QueryOpts,
         reply: Sender<Result<Vec<Vec<Term>>, ServeError>>,
     },
-    /// Take a snapshot into the actor-side store; replies with its id.
+    /// Take a snapshot into the session-side store; replies with its id.
     Snapshot { reply: Sender<u64> },
     /// Rewind to a stored snapshot.
     Restore {
@@ -186,16 +245,92 @@ enum SessionMsg {
     Persist {
         reply: Sender<Result<u64, ServeError>>,
     },
-    /// Drop the session: the actor breaks its loop and the thread exits.
+    /// Panic inside the dispatcher — the fault-injection hook behind
+    /// [`SessionHandle::inject_panic`]. Never sent in production.
+    InjectPanic,
+    /// Drop the session: the legacy actor breaks its loop and the thread
+    /// exits. Unused in pool mode (teardown kills the mailbox directly).
     Close,
 }
 
-/// A clonable address of one session: the mailbox sender plus the
+/// What the session owns besides its read surface: the engine state and
+/// the server-side snapshot store, guarded by one lock whose single
+/// holder is whichever worker (or legacy actor) is dispatching it.
+struct SessionCore {
+    session: ChaseSession,
+    snapshots: HashMap<u64, SessionSnapshot>,
+    next_snapshot: u64,
+}
+
+/// Mailbox state: the queue plus the scheduling flags that make the run
+/// queue race-free. `scheduled` is true exactly while the session is on
+/// the run queue or inside a worker's dispatch — the single-drainer
+/// invariant. `dead` kills the mailbox (close, eviction, panic): posts
+/// fail, queued messages are dropped.
+#[derive(Default)]
+struct MailboxState {
+    queue: VecDeque<SessionMsg>,
+    scheduled: bool,
+    dead: bool,
+}
+
+/// One pooled session: core + mailbox + read surface + idle clock.
+struct SessionCell {
+    core: Mutex<SessionCore>,
+    mailbox: Mutex<MailboxState>,
+    read: Arc<ReadState>,
+    /// Was this session durable at spawn (decides the eviction path).
+    durable: bool,
+    /// Milliseconds since the pool epoch at the last touch (post or
+    /// route) — the eviction clock.
+    last_touch: AtomicU64,
+}
+
+/// State shared by every pool worker, the janitor, and all handles.
+struct PoolShared {
+    run_queue: Mutex<VecDeque<Arc<SessionCell>>>,
+    available: Condvar,
+    stop: AtomicBool,
+    dispatch_budget: usize,
+    /// Zero point of every cell's `last_touch` clock.
+    epoch: Instant,
+    queue_depth: Gauge,
+    dispatches: Counter,
+    messages: Counter,
+    panics: Counter,
+}
+
+impl PoolShared {
+    /// Current millis on the touch clock.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Link a session onto the run queue and wake one worker.
+    fn enqueue(&self, cell: Arc<SessionCell>) {
+        self.run_queue.lock().unwrap().push_back(cell);
+        self.queue_depth.add(1);
+        self.available.notify_one();
+    }
+}
+
+/// How a session may address its messages: a dedicated actor thread
+/// (legacy) or a pooled cell on the conductor's run queue.
+#[derive(Clone)]
+enum Backend {
+    Thread(Sender<SessionMsg>),
+    Pool {
+        cell: Arc<SessionCell>,
+        shared: Arc<PoolShared>,
+    },
+}
+
+/// A clonable address of one session: its mailbox backend plus the
 /// published read surface. All methods are `&self`; clones address the
 /// same session.
 #[derive(Clone)]
 pub struct SessionHandle {
-    tx: Sender<SessionMsg>,
+    backend: Backend,
     read: Arc<ReadState>,
 }
 
@@ -207,15 +342,48 @@ impl std::fmt::Debug for SessionHandle {
 
 impl SessionHandle {
     /// Send into the mailbox, keeping the conductor-wide depth gauge in
-    /// step. On failure (actor gone) nothing was queued, so the increment
-    /// is rolled back.
-    fn post(&self, msg: SessionMsg) -> Result<(), mpsc::SendError<SessionMsg>> {
-        self.read.metrics.mailbox_depth.add(1);
-        let out = self.tx.send(msg);
-        if out.is_err() {
-            self.read.metrics.mailbox_depth.add(-1);
+    /// step. Pool mode additionally links the session onto the run queue
+    /// when it was idle. `Err` means the session is gone (closed, evicted
+    /// or panicked) and nothing was queued.
+    fn post(&self, msg: SessionMsg) -> Result<(), ()> {
+        match &self.backend {
+            Backend::Thread(tx) => {
+                self.read.metrics.mailbox_depth.add(1);
+                if tx.send(msg).is_err() {
+                    self.read.metrics.mailbox_depth.add(-1);
+                    return Err(());
+                }
+                Ok(())
+            }
+            Backend::Pool { cell, shared } => {
+                let wake = {
+                    let mut mb = cell.mailbox.lock().unwrap();
+                    if mb.dead {
+                        return Err(());
+                    }
+                    mb.queue.push_back(msg);
+                    self.read.metrics.mailbox_depth.add(1);
+                    if mb.scheduled {
+                        false
+                    } else {
+                        mb.scheduled = true;
+                        true
+                    }
+                };
+                cell.last_touch.store(shared.now_ms(), Ordering::Relaxed);
+                if wake {
+                    shared.enqueue(Arc::clone(cell));
+                }
+                Ok(())
+            }
         }
-        out
+    }
+
+    /// Reset the session's idle clock (routing counts as a touch).
+    fn touch(&self) {
+        if let Backend::Pool { cell, shared } = &self.backend {
+            cell.last_touch.store(shared.now_ms(), Ordering::Relaxed);
+        }
     }
 
     /// Apply an update batch, blocking until the warm re-chase finishes.
@@ -230,8 +398,8 @@ impl SessionHandle {
     }
 
     /// Queue an update batch and return immediately; the receiver yields
-    /// the outcome when the actor finishes chasing it. Queries issued in
-    /// the meantime are answered from the pre-batch snapshot.
+    /// the outcome when the dispatcher finishes chasing it. Queries issued
+    /// in the meantime are answered from the pre-batch snapshot.
     pub fn apply_async(&self, batch: Vec<Atom>) -> Receiver<Result<ChaseOutcome, ServeError>> {
         let (reply, rx) = mpsc::channel();
         if self
@@ -241,7 +409,7 @@ impl SessionHandle {
             })
             .is_err()
         {
-            // Actor gone: make the receiver yield the error instead of
+            // Session gone: make the receiver yield the error instead of
             // hanging up empty.
             let _ = reply.send(Err(ServeError::SessionGone));
         }
@@ -252,7 +420,7 @@ impl SessionHandle {
     /// quiescent this evaluates **on the calling thread** against that
     /// snapshot — concurrent with any in-flight apply, which it does not
     /// wait for. Otherwise (mid-budget stop pending, or nothing published
-    /// yet after a restore) it falls back to the actor, which quiesces
+    /// yet after a restore) it falls back to the mailbox, which quiesces
     /// first, exactly like [`ChaseSession::query`].
     pub fn query(
         &self,
@@ -266,7 +434,7 @@ impl SessionHandle {
     }
 
     /// [`SessionHandle::query`] minus the latency accounting, so both the
-    /// fast path and the actor fallback land in one histogram.
+    /// fast path and the mailbox fallback land in one histogram.
     fn query_inner(
         &self,
         q: &ConjunctiveQuery,
@@ -356,33 +524,59 @@ impl SessionHandle {
             .map_err(|_| ServeError::SessionGone)?;
         rx.recv().map_err(|_| ServeError::SessionGone)?
     }
+
+    /// Fault-injection hook: make the session's next dispatch panic, so
+    /// tests can pin the worker's panic containment. Hidden, test-only.
+    #[doc(hidden)]
+    pub fn inject_panic(&self) {
+        let _ = self.post(SessionMsg::InjectPanic);
+    }
 }
 
-/// One live session as the conductor tracks it.
+/// One live session as the conductor tracks it. Pooled sessions have no
+/// thread of their own.
 struct Slot {
     handle: SessionHandle,
-    thread: thread::JoinHandle<()>,
+    thread: Option<thread::JoinHandle<()>>,
 }
 
-/// Creates, routes and admits sessions: the server's front object.
+/// Why a session id no longer resolves even though it once did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EvictedKind {
+    /// Persisted to its durable dir; the next route warm-restarts it.
+    Durable,
+    /// In-memory state discarded; the id answers [`ServeError::Evicted`].
+    Transient,
+}
+
+/// Creates, routes, admits and evicts sessions: the server's front object.
 ///
-/// `open` spawns a session actor (subject to the global cap and the
-/// per-session step budget), `route` resolves a session id to a
-/// [`SessionHandle`], `close` tears the actor down and frees its slot.
-/// All methods take `&self`; the conductor is shared behind an `Arc`
-/// across connection threads.
+/// `open` admits a session (subject to the global cap and the per-session
+/// step budget), `route` resolves a session id to a [`SessionHandle`] —
+/// transparently warm-restarting a TTL-evicted durable session — and
+/// `close` tears a session down and frees its slot. All methods take
+/// `&self`; the conductor is shared behind an `Arc` across connection
+/// threads.
 pub struct Conductor {
     cfg: ConductorConfig,
-    sessions: Mutex<HashMap<u64, Slot>>,
+    sessions: Arc<Mutex<HashMap<u64, Slot>>>,
+    /// Sessions torn down by the TTL janitor, by kind — consulted by
+    /// `route` to decide between warm-restart and [`ServeError::Evicted`].
+    evicted: Arc<Mutex<HashMap<u64, EvictedKind>>>,
     next_id: AtomicU64,
     /// The server-wide aggregate registry: session lifecycle gauges and
-    /// counters, apply/query latency histograms, publish counters. Every
-    /// session reports into these shared series via [`HandleMetrics`].
+    /// counters, apply/query latency histograms, publish counters, pool
+    /// and eviction series. Every session reports into these shared
+    /// series via [`HandleMetrics`].
     metrics: MetricsRegistry,
+    /// Pool scheduling state; `None` in legacy thread-per-session mode.
+    pool: Option<Arc<PoolShared>>,
+    /// Worker + janitor threads, joined at shutdown.
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 /// Conductor-wide session lifecycle counters, served without touching any
-/// actor thread.
+/// session mailbox.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetStats {
     /// Sessions open right now.
@@ -396,7 +590,10 @@ pub struct FleetStats {
 }
 
 impl Conductor {
-    /// A conductor with the given admission policy.
+    /// A conductor with the given admission and scheduling policy.
+    ///
+    /// With [`ConductorConfig::workers`] > 0 this spawns the worker pool
+    /// (and, with [`ConductorConfig::evict_after`], the eviction janitor).
     ///
     /// With [`ConductorConfig::durable_root`] set, construction is a **warm
     /// restart**: every `session-<id>` directory under the root is reopened
@@ -407,13 +604,39 @@ impl Conductor {
     /// counted in `chase_sessions_reopen_failed_total` rather than taking
     /// the whole server down.
     pub fn new(cfg: ConductorConfig) -> Conductor {
+        let metrics = MetricsRegistry::new();
+        let pool = (cfg.workers > 0).then(|| {
+            Arc::new(PoolShared {
+                run_queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                stop: AtomicBool::new(false),
+                dispatch_budget: cfg.dispatch_budget.max(1),
+                epoch: Instant::now(),
+                queue_depth: metrics.gauge(M_POOL_QUEUE_DEPTH),
+                dispatches: metrics.counter(M_POOL_DISPATCHES),
+                messages: metrics.counter(M_POOL_MESSAGES),
+                panics: metrics.counter(M_POOL_PANICS),
+            })
+        });
+        let mut threads = Vec::new();
+        if let Some(shared) = &pool {
+            metrics.gauge(M_POOL_WORKERS).set(cfg.workers as i64);
+            for _ in 0..cfg.workers {
+                let shared = Arc::clone(shared);
+                threads.push(thread::spawn(move || pool_worker(shared)));
+            }
+        }
         let conductor = Conductor {
             cfg,
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Arc::new(Mutex::new(HashMap::new())),
+            evicted: Arc::new(Mutex::new(HashMap::new())),
             next_id: AtomicU64::new(1),
-            metrics: MetricsRegistry::new(),
+            metrics,
+            pool,
+            threads: Mutex::new(threads),
         };
         conductor.reopen_durable_sessions();
+        conductor.spawn_janitor();
         conductor
     }
 
@@ -461,6 +684,21 @@ impl Conductor {
         self.metrics.gauge(M_SESSIONS_PEAK).raise_to(open);
         drop(sessions);
         self.next_id.store(max_id + 1, Ordering::Relaxed);
+    }
+
+    /// Start the TTL janitor (pool mode with `evict_after` only).
+    fn spawn_janitor(&self) {
+        let (Some(shared), Some(ttl)) = (&self.pool, self.cfg.evict_after) else {
+            return;
+        };
+        let shared = Arc::clone(shared);
+        let sessions = Arc::clone(&self.sessions);
+        let evicted = Arc::clone(&self.evicted);
+        let evictions = self.metrics.counter(M_EVICTIONS);
+        let open_gauge = self.metrics.gauge(M_SESSIONS_OPEN);
+        let handle =
+            thread::spawn(move || janitor(shared, sessions, evicted, ttl, evictions, open_gauge));
+        self.threads.lock().unwrap().push(handle);
     }
 
     /// The admission policy.
@@ -512,12 +750,14 @@ impl Conductor {
         Ok(id)
     }
 
-    /// Wire a built (or reopened) session into its actor thread and read
-    /// surface — the shared tail of [`Conductor::open`] and warm restart.
+    /// Wire a built (or reopened) session into its slot — pooled cell or
+    /// legacy actor thread — the shared tail of [`Conductor::open`], warm
+    /// restart, and post-eviction reopen.
     fn spawn_slot(&self, session: ChaseSession, sigma: ConstraintSet, cfg: SessionConfig) -> Slot {
         // An empty unpoisoned instance is vacuously quiescent even before
         // the trigger pool exists; a reopened non-quiescent state (snapshot
-        // without replay) must route queries through the actor's quiesce.
+        // without replay) must route queries through the dispatcher's
+        // quiesce.
         let quiescent = session.stats().quiescent
             || (session.instance().is_empty() && session.poisoned().is_none());
         let read = Arc::new(ReadState {
@@ -539,30 +779,101 @@ impl Conductor {
             set: sigma,
             cfg,
         });
-        let (tx, rx) = mpsc::channel();
-        let actor_read = Arc::clone(&read);
-        let thread = thread::spawn(move || actor(session, actor_read, rx));
-        Slot {
-            handle: SessionHandle { tx, read },
-            thread,
+        let durable = session.is_durable();
+        let core = SessionCore {
+            session,
+            snapshots: HashMap::new(),
+            next_snapshot: 1,
+        };
+        match &self.pool {
+            Some(shared) => {
+                let cell = Arc::new(SessionCell {
+                    core: Mutex::new(core),
+                    mailbox: Mutex::new(MailboxState::default()),
+                    read: Arc::clone(&read),
+                    durable,
+                    last_touch: AtomicU64::new(shared.now_ms()),
+                });
+                Slot {
+                    handle: SessionHandle {
+                        backend: Backend::Pool {
+                            cell,
+                            shared: Arc::clone(shared),
+                        },
+                        read,
+                    },
+                    thread: None,
+                }
+            }
+            None => {
+                let (tx, rx) = mpsc::channel();
+                let actor_read = Arc::clone(&read);
+                let thread = thread::spawn(move || actor(core, actor_read, rx));
+                Slot {
+                    handle: SessionHandle {
+                        backend: Backend::Thread(tx),
+                        read,
+                    },
+                    thread: Some(thread),
+                }
+            }
         }
     }
 
-    /// Resolve a session id to a handle.
+    /// Resolve a session id to a handle. A durable session evicted by the
+    /// TTL janitor is **transparently warm-restarted** from its directory
+    /// (counted in `chase_evictions_restored_total`); a non-durable
+    /// evicted id fails with [`ServeError::Evicted`].
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownSession`] if no such session is open.
+    /// [`ServeError::UnknownSession`] if no such session was ever open (or
+    /// it was explicitly closed); [`ServeError::Evicted`] for a TTL-evicted
+    /// in-memory session; [`ServeError::Capacity`] when a warm-restart
+    /// would exceed the session cap.
     pub fn route(&self, id: u64) -> Result<SessionHandle, ServeError> {
-        self.sessions
-            .lock()
-            .unwrap()
-            .get(&id)
-            .map(|s| s.handle.clone())
-            .ok_or(ServeError::UnknownSession(id))
+        let mut sessions = self.sessions.lock().unwrap();
+        if let Some(slot) = sessions.get(&id) {
+            slot.handle.touch();
+            return Ok(slot.handle.clone());
+        }
+        let kind = self.evicted.lock().unwrap().get(&id).copied();
+        match kind {
+            None => Err(ServeError::UnknownSession(id)),
+            Some(EvictedKind::Transient) => Err(ServeError::Evicted(id)),
+            Some(EvictedKind::Durable) => {
+                if sessions.len() >= self.cfg.max_sessions {
+                    self.metrics.counter(M_SESSIONS_REJECTED).inc();
+                    return Err(ServeError::Capacity {
+                        max_sessions: self.cfg.max_sessions,
+                    });
+                }
+                let root = self
+                    .cfg
+                    .durable_root
+                    .as_ref()
+                    .ok_or(ServeError::UnknownSession(id))?;
+                let dir = root.join(format!("session-{id}"));
+                let session = ChaseSession::open_with(&dir, self.cfg.durability)?;
+                let sigma = session.constraints().clone();
+                let cfg = session.config().clone();
+                let slot = self.spawn_slot(session, sigma, cfg);
+                let handle = slot.handle.clone();
+                sessions.insert(id, slot);
+                self.evicted.lock().unwrap().remove(&id);
+                self.metrics.counter(M_EVICTIONS_RESTORED).inc();
+                let open = sessions.len() as i64;
+                self.metrics.gauge(M_SESSIONS_OPEN).set(open);
+                self.metrics.gauge(M_SESSIONS_PEAK).raise_to(open);
+                Ok(handle)
+            }
+        }
     }
 
-    /// Close a session: stop its actor, join its thread, free its slot.
+    /// Close a session and free its slot. Legacy mode joins the actor
+    /// thread (queued messages finish first); pool mode kills the mailbox
+    /// — queued-but-unstarted messages fail with
+    /// [`ServeError::SessionGone`], the in-flight one (if any) completes.
     ///
     /// # Errors
     ///
@@ -576,12 +887,12 @@ impl Conductor {
                 .set(sessions.len() as i64);
             slot
         };
-        let _ = slot.handle.post(SessionMsg::Close);
-        let _ = slot.thread.join();
+        retire(slot);
         Ok(())
     }
 
-    /// Close every open session (used on server shutdown).
+    /// Close every open session and stop the pool (used on server
+    /// shutdown).
     pub fn shutdown(&self) {
         let slots: Vec<Slot> = {
             let mut sessions = self.sessions.lock().unwrap();
@@ -590,13 +901,20 @@ impl Conductor {
             slots
         };
         for slot in slots {
-            let _ = slot.handle.post(SessionMsg::Close);
-            let _ = slot.thread.join();
+            retire(slot);
+        }
+        if let Some(shared) = &self.pool {
+            shared.stop.store(true, Ordering::Release);
+            shared.available.notify_all();
+        }
+        let threads: Vec<_> = self.threads.lock().unwrap().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
         }
     }
 
     /// Fleet-level lifecycle counters, read straight off the aggregate
-    /// registry — no actor mailbox is touched.
+    /// registry — no session mailbox is touched.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
             open: self.session_count(),
@@ -607,7 +925,7 @@ impl Conductor {
     }
 
     /// The server-wide aggregate registry (session gauges, apply/query
-    /// latency histograms, publish counters).
+    /// latency histograms, publish counters, pool/eviction series).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
@@ -616,10 +934,10 @@ impl Conductor {
     /// *open* session's engine phase histograms (merged into one
     /// `chase_phase_ns{phase="…"}` family) and event-ring drop counts.
     ///
-    /// Reads only lock-free recorder sinks and the session map — never an
-    /// actor mailbox — so a metrics scrape cannot block behind a tenant's
-    /// in-flight apply. Sessions closed before the scrape no longer
-    /// contribute their phase timings.
+    /// Reads only lock-free recorder sinks and the session map — never a
+    /// session mailbox — so a metrics scrape cannot block behind a
+    /// tenant's in-flight apply. Sessions closed before the scrape no
+    /// longer contribute their phase timings.
     pub fn metrics_snapshot(&self) -> RegistrySnapshot {
         let recorders: Vec<Recorder> = self
             .sessions
@@ -651,71 +969,295 @@ impl Drop for Conductor {
     }
 }
 
-/// The session actor: drains the mailbox, serializing all mutation of the
-/// owned [`ChaseSession`], and republishes the read snapshot after every
-/// message that may have moved the instance.
-fn actor(mut session: ChaseSession, read: Arc<ReadState>, rx: Receiver<SessionMsg>) {
-    let mut snapshots: HashMap<u64, SessionSnapshot> = HashMap::new();
-    let mut next_snapshot: u64 = 1;
+/// Tear one slot down: join the legacy actor, or kill the pooled mailbox.
+fn retire(slot: Slot) {
+    let Slot { handle, thread } = slot;
+    match &handle.backend {
+        Backend::Thread(_) => {
+            let _ = handle.post(SessionMsg::Close);
+            if let Some(t) = thread {
+                let _ = t.join();
+            }
+        }
+        Backend::Pool { cell, .. } => {
+            kill_mailbox(cell);
+        }
+    }
+}
+
+/// Mark a pooled mailbox dead and drop everything still queued, returning
+/// the queue's contribution to the depth gauge. Posts fail from here on;
+/// the cell is never requeued (a worker holding it notices `dead` and
+/// drops out).
+fn kill_mailbox(cell: &SessionCell) {
+    let mut mb = cell.mailbox.lock().unwrap();
+    mb.dead = true;
+    mb.scheduled = false;
+    let dropped = mb.queue.len();
+    mb.queue.clear();
+    cell.read.metrics.mailbox_depth.add(-(dropped as i64));
+}
+
+/// The shared dispatcher: one message against one session, identical in
+/// pool and legacy modes. Publishes **before** releasing the reply for
+/// every mutating message — the read-your-writes guarantee.
+fn process(core: &mut SessionCore, read: &ReadState, msg: SessionMsg) -> Flow {
+    match msg {
+        SessionMsg::Apply { batch, reply } => {
+            let out = core.session.apply(batch);
+            // Publish before replying: once the client sees the ack it
+            // is guaranteed to read its own writes from the snapshot.
+            publish(&core.session, read);
+            let _ = reply.send(out);
+        }
+        SessionMsg::Query { q, opts, reply } => {
+            let out = core.session.query((&q, opts));
+            // The query may have quiesced a budget-stopped chase.
+            publish(&core.session, read);
+            let _ = reply.send(out);
+        }
+        SessionMsg::Snapshot { reply } => {
+            let id = core.next_snapshot;
+            core.next_snapshot += 1;
+            core.snapshots.insert(id, core.session.snapshot());
+            let _ = reply.send(id);
+        }
+        SessionMsg::Restore { snapshot, reply } => {
+            let out = match core.snapshots.get(&snapshot) {
+                // Guard what `ChaseSession::restore` would panic on — a
+                // panic poisons the whole session, a reply only fails the
+                // one request.
+                Some(_)
+                    if core.session.is_durable()
+                        && core.session.config().chase.mode == ChaseMode::Oblivious =>
+                {
+                    Err(ServeError::Durability(
+                        "restore on a durable oblivious session is unsupported \
+                         (its log cannot be re-anchored)"
+                            .to_string(),
+                    ))
+                }
+                Some(snap) => {
+                    core.session.restore(snap);
+                    Ok(())
+                }
+                None => Err(ServeError::UnknownSnapshot(snapshot)),
+            };
+            publish(&core.session, read);
+            let _ = reply.send(out);
+        }
+        SessionMsg::Stats { reply } => {
+            let _ = reply.send(core.session.stats());
+        }
+        SessionMsg::Persist { reply } => {
+            let _ = reply.send(core.session.persist());
+        }
+        SessionMsg::InjectPanic => panic!("injected dispatch panic (test hook)"),
+        SessionMsg::Close => return Flow::Stop,
+    }
+    Flow::Continue
+}
+
+/// Whether the dispatcher should keep going after a message.
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// The legacy session actor (`workers: 0`): drains its own mailbox on a
+/// dedicated thread through the same [`process`] dispatcher.
+fn actor(mut core: SessionCore, read: Arc<ReadState>, rx: Receiver<SessionMsg>) {
     for msg in &rx {
         read.metrics.mailbox_depth.add(-1);
-        match msg {
-            SessionMsg::Apply { batch, reply } => {
-                let out = session.apply(batch);
-                // Publish before replying: once the client sees the ack it
-                // is guaranteed to read its own writes from the snapshot.
-                publish(&session, &read);
-                let _ = reply.send(out);
-            }
-            SessionMsg::Query { q, opts, reply } => {
-                let out = session.query((&q, opts));
-                // The query may have quiesced a budget-stopped chase.
-                publish(&session, &read);
-                let _ = reply.send(out);
-            }
-            SessionMsg::Snapshot { reply } => {
-                let id = next_snapshot;
-                next_snapshot += 1;
-                snapshots.insert(id, session.snapshot());
-                let _ = reply.send(id);
-            }
-            SessionMsg::Restore { snapshot, reply } => {
-                let out = match snapshots.get(&snapshot) {
-                    // Guard what `ChaseSession::restore` would panic on — a
-                    // panicking actor takes the whole session down, a reply
-                    // only fails the one request.
-                    Some(_)
-                        if session.is_durable()
-                            && session.config().chase.mode == ChaseMode::Oblivious =>
-                    {
-                        Err(ServeError::Durability(
-                            "restore on a durable oblivious session is unsupported \
-                             (its log cannot be re-anchored)"
-                                .to_string(),
-                        ))
-                    }
-                    Some(snap) => {
-                        session.restore(snap);
-                        Ok(())
-                    }
-                    None => Err(ServeError::UnknownSnapshot(snapshot)),
-                };
-                publish(&session, &read);
-                let _ = reply.send(out);
-            }
-            SessionMsg::Stats { reply } => {
-                let _ = reply.send(session.stats());
-            }
-            SessionMsg::Persist { reply } => {
-                let _ = reply.send(session.persist());
-            }
-            SessionMsg::Close => break,
+        if let Flow::Stop = process(&mut core, &read, msg) {
+            break;
         }
     }
     // Anything still queued behind the Close is dropped with the receiver;
     // return its contribution to the depth gauge.
     for _ in rx.try_iter() {
         read.metrics.mailbox_depth.add(-1);
+    }
+}
+
+/// One pool worker: pull a scheduled session, dispatch it, repeat.
+fn pool_worker(shared: Arc<PoolShared>) {
+    loop {
+        let cell = {
+            let mut queue = shared.run_queue.lock().unwrap();
+            loop {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(cell) = queue.pop_front() {
+                    shared.queue_depth.add(-1);
+                    break cell;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        dispatch(&cell, &shared);
+    }
+}
+
+/// Drain one session's mailbox up to the dispatch budget. The session's
+/// `scheduled` flag is already set (we are its single drainer); it is
+/// cleared when the mailbox runs dry, or the session is requeued when the
+/// budget expires with messages left. A panic in [`process`] poisons the
+/// session, kills its mailbox and bumps `chase_pool_panics_total` — the
+/// worker survives.
+fn dispatch(cell: &Arc<SessionCell>, shared: &Arc<PoolShared>) {
+    shared.dispatches.inc();
+    let mut core = cell.core.lock().unwrap();
+    for _ in 0..shared.dispatch_budget {
+        let msg = {
+            let mut mb = cell.mailbox.lock().unwrap();
+            if mb.dead {
+                let dropped = mb.queue.len();
+                mb.queue.clear();
+                mb.scheduled = false;
+                cell.read.metrics.mailbox_depth.add(-(dropped as i64));
+                return;
+            }
+            match mb.queue.pop_front() {
+                Some(m) => m,
+                None => {
+                    mb.scheduled = false;
+                    return;
+                }
+            }
+        };
+        cell.read.metrics.mailbox_depth.add(-1);
+        shared.messages.inc();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process(&mut core, &cell.read, msg)
+        }));
+        match outcome {
+            Ok(Flow::Continue) => {}
+            Ok(Flow::Stop) => {
+                // `Close` is never posted to pooled sessions, but honor it.
+                kill_mailbox(cell);
+                return;
+            }
+            Err(_) => {
+                shared.panics.inc();
+                // Poison the read surface so fast-path reads fail loudly,
+                // then kill the mailbox: later posts get SessionGone and
+                // the session is never requeued.
+                cell.read.published.write().unwrap().poisoned = Some(StopReason::Failed);
+                kill_mailbox(cell);
+                return;
+            }
+        }
+    }
+    drop(core);
+    // Budget spent: hand the session back if more work arrived meanwhile
+    // (`scheduled` stays true across the requeue — still our claim).
+    let requeue = {
+        let mut mb = cell.mailbox.lock().unwrap();
+        if mb.dead {
+            let dropped = mb.queue.len();
+            mb.queue.clear();
+            mb.scheduled = false;
+            cell.read.metrics.mailbox_depth.add(-(dropped as i64));
+            false
+        } else if mb.queue.is_empty() {
+            mb.scheduled = false;
+            false
+        } else {
+            true
+        }
+    };
+    if requeue {
+        shared.enqueue(Arc::clone(cell));
+    }
+}
+
+/// The eviction janitor: periodically tear down sessions idle past the
+/// TTL. Durable sessions persist **before** teardown (WAL + snapshot on
+/// disk first, slot freed second — a kill between the two only costs the
+/// compaction); non-durable sessions are discarded and their id recorded
+/// so routes answer [`ServeError::Evicted`].
+fn janitor(
+    shared: Arc<PoolShared>,
+    sessions: Arc<Mutex<HashMap<u64, Slot>>>,
+    evicted: Arc<Mutex<HashMap<u64, EvictedKind>>>,
+    ttl: Duration,
+    evictions: Counter,
+    open_gauge: Gauge,
+) {
+    let tick = (ttl / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
+    let nap = tick.min(Duration::from_millis(25));
+    let mut slept = Duration::ZERO;
+    loop {
+        thread::sleep(nap);
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        slept += nap;
+        if slept < tick {
+            continue;
+        }
+        slept = Duration::ZERO;
+        sweep(&shared, &sessions, &evicted, ttl, &evictions, &open_gauge);
+    }
+}
+
+/// One janitor pass over the fleet. Runs under the sessions-map lock so a
+/// concurrent `route` can never observe a half-evicted session (and a
+/// durable reopen can never race the persist).
+fn sweep(
+    shared: &PoolShared,
+    sessions: &Mutex<HashMap<u64, Slot>>,
+    evicted: &Mutex<HashMap<u64, EvictedKind>>,
+    ttl: Duration,
+    evictions: &Counter,
+    open_gauge: &Gauge,
+) {
+    let ttl_ms = ttl.as_millis() as u64;
+    let now = shared.now_ms();
+    let mut sessions = sessions.lock().unwrap();
+    let idle: Vec<u64> = sessions
+        .iter()
+        .filter_map(|(id, slot)| {
+            let Backend::Pool { cell, .. } = &slot.handle.backend else {
+                return None;
+            };
+            let touched = cell.last_touch.load(Ordering::Relaxed);
+            (now.saturating_sub(touched) >= ttl_ms).then_some(*id)
+        })
+        .collect();
+    for id in idle {
+        let Some(slot) = sessions.get(&id) else {
+            continue;
+        };
+        let Backend::Pool { cell, .. } = &slot.handle.backend else {
+            continue;
+        };
+        {
+            // Busy sessions (queued messages, or claimed by a worker) are
+            // never evicted; `dead` means a close raced us.
+            let mut mb = cell.mailbox.lock().unwrap();
+            if mb.dead || mb.scheduled || !mb.queue.is_empty() {
+                continue;
+            }
+            mb.dead = true;
+        }
+        let cell = Arc::clone(cell);
+        let slot = sessions.remove(&id).unwrap();
+        let kind = if cell.durable {
+            // Persist-before-teardown: the on-disk state must cover the
+            // session before its slot disappears. A failed persist is
+            // tolerable — the WAL already holds every acknowledged batch.
+            let _ = cell.core.lock().unwrap().session.persist();
+            EvictedKind::Durable
+        } else {
+            EvictedKind::Transient
+        };
+        evicted.lock().unwrap().insert(id, kind);
+        evictions.inc();
+        open_gauge.set(sessions.len() as i64);
+        drop(slot);
     }
 }
 
@@ -768,6 +1310,15 @@ mod tests {
         ConstraintSet::parse(text).unwrap()
     }
 
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chase-conductor-test-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn open_route_apply_query_close() {
         let conductor = Conductor::new(ConductorConfig::default());
@@ -786,7 +1337,7 @@ mod tests {
             conductor.route(id).unwrap_err(),
             ServeError::UnknownSession(id)
         );
-        // The handle outlives the slot but its actor is gone.
+        // The handle outlives the slot but its mailbox is dead.
         assert_eq!(h.stats().unwrap_err(), ServeError::SessionGone);
     }
 
@@ -919,11 +1470,16 @@ mod tests {
         // The session's engine phases surface under the labeled family.
         let insert = snap.histogram("chase_phase_ns{phase=\"insert\"}").unwrap();
         assert!(insert.count() > 0);
+        // The pool reports its shape and work.
+        assert!(snap.gauge(M_POOL_WORKERS).unwrap() >= 1);
+        assert!(snap.counter(M_POOL_DISPATCHES).unwrap() > 0);
+        assert!(snap.counter(M_POOL_MESSAGES).unwrap() > 0);
 
         let text = conductor.metrics_text();
         assert!(text.contains("chase_sessions_open 1"));
         assert!(text.contains("chase_apply_ns_p99_ns"));
         assert!(text.contains("chase_phase_ns_p50_ns{phase=\"insert\"}"));
+        assert!(text.contains("chase_pool_workers"));
     }
 
     #[test]
@@ -936,5 +1492,123 @@ mod tests {
         h.apply(atoms("e(a,b).")).unwrap();
         let after = Arc::as_ptr(&h.read.published.read().unwrap().instance);
         assert_eq!(before, after, "duplicate-only batch must not re-clone");
+    }
+
+    #[test]
+    fn many_sessions_share_a_small_pool() {
+        // 24 sessions, 2 workers: every apply completes (no starvation)
+        // and reads see their own writes immediately after the ack.
+        let conductor = Conductor::new(ConductorConfig {
+            workers: 2,
+            dispatch_budget: 4,
+            max_sessions: 64,
+            ..ConductorConfig::default()
+        });
+        let mut pending = Vec::new();
+        for i in 0..24 {
+            let id = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+            let h = conductor.route(id).unwrap();
+            pending.push((id, h.apply_async(atoms(&format!("e(a{i},b{i})."))), h));
+        }
+        let q = ConjunctiveQuery::parse("q(X,Y) <- e(X,Y)").unwrap();
+        for (_, rx, h) in &pending {
+            rx.recv().unwrap().unwrap();
+            assert_eq!(h.query(&q, QueryOpts::default()).unwrap().len(), 2);
+        }
+        let snap = conductor.metrics_snapshot();
+        assert_eq!(snap.gauge(M_POOL_WORKERS), Some(2));
+        assert!(snap.counter(M_POOL_MESSAGES).unwrap() >= 24);
+    }
+
+    #[test]
+    fn legacy_thread_mode_still_serves() {
+        let conductor = Conductor::new(ConductorConfig {
+            workers: 0,
+            ..ConductorConfig::default()
+        });
+        let id = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        h.apply(atoms("e(a,b).")).unwrap();
+        let q = ConjunctiveQuery::parse("q(X) <- e(X,b)").unwrap();
+        assert_eq!(h.query(&q, QueryOpts::default()).unwrap().len(), 1);
+        conductor.close(id).unwrap();
+    }
+
+    #[test]
+    fn a_panicking_dispatch_poisons_only_its_session() {
+        let conductor = Conductor::new(ConductorConfig {
+            workers: 1,
+            ..ConductorConfig::default()
+        });
+        let a = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let b = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let ha = conductor.route(a).unwrap();
+        let hb = conductor.route(b).unwrap();
+        ha.apply(atoms("e(a,b).")).unwrap();
+        ha.inject_panic();
+        // The single worker survives the panic and keeps serving b.
+        hb.apply(atoms("e(c,d).")).unwrap();
+        let q = ConjunctiveQuery::parse("q(X) <- e(X,d)").unwrap();
+        assert_eq!(hb.query(&q, QueryOpts::default()).unwrap().len(), 1);
+        // a is poisoned on the fast path and gone on the mailbox path.
+        let q = ConjunctiveQuery::parse("q(X) <- e(X,b)").unwrap();
+        assert_eq!(
+            ha.query(&q, QueryOpts::default()).unwrap_err(),
+            ServeError::Poisoned(StopReason::Failed)
+        );
+        assert_eq!(ha.stats().unwrap_err(), ServeError::SessionGone);
+        assert_eq!(conductor.metrics_snapshot().counter(M_POOL_PANICS), Some(1));
+        // The slot is still admitted until closed; close frees it.
+        conductor.close(a).unwrap();
+    }
+
+    #[test]
+    fn idle_transient_sessions_are_evicted() {
+        let conductor = Conductor::new(ConductorConfig {
+            workers: 2,
+            evict_after: Some(Duration::from_millis(80)),
+            ..ConductorConfig::default()
+        });
+        let id = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        h.apply(atoms("e(a,b).")).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while conductor.session_count() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(conductor.session_count(), 0, "janitor never evicted");
+        assert_eq!(conductor.route(id).unwrap_err(), ServeError::Evicted(id));
+        assert_eq!(conductor.metrics_snapshot().counter(M_EVICTIONS), Some(1));
+    }
+
+    #[test]
+    fn evicted_durable_sessions_warm_restart_on_route() {
+        let dir = temp_dir("evict-reopen");
+        let conductor = Conductor::new(ConductorConfig {
+            workers: 2,
+            evict_after: Some(Duration::from_millis(80)),
+            durable_root: Some(dir.clone()),
+            ..ConductorConfig::default()
+        });
+        let id = conductor.open(sigma("e(X,Y) -> e(Y,X)")).unwrap();
+        let h = conductor.route(id).unwrap();
+        h.apply(atoms("e(a,b).")).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while conductor.session_count() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(conductor.session_count(), 0, "janitor never evicted");
+        // Routing the evicted id transparently reopens from disk.
+        let h2 = conductor.route(id).unwrap();
+        let stats = h2.stats().unwrap();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.total_facts, 2);
+        let q = ConjunctiveQuery::parse("q(X) <- e(X,b)").unwrap();
+        assert_eq!(h2.query(&q, QueryOpts::default()).unwrap().len(), 1);
+        let snap = conductor.metrics_snapshot();
+        assert!(snap.counter(M_EVICTIONS).unwrap() >= 1);
+        assert!(snap.counter(M_EVICTIONS_RESTORED).unwrap() >= 1);
+        drop(conductor);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

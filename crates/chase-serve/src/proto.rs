@@ -6,10 +6,10 @@
 //! Every message travels as one *frame*:
 //!
 //! ```text
-//! +----------------+---------+-----+----------------------+
-//! | u32 LE length  | version | tag | fields ...           |
-//! +----------------+---------+-----+----------------------+
-//!        4 bytes      1 byte  1 byte    length - 2 bytes
+//! +----------------+---------+----------------+-----+------------------+
+//! | u32 LE length  | version | u64 LE corr id | tag | fields ...       |
+//! +----------------+---------+----------------+-----+------------------+
+//!        4 bytes      1 byte       8 bytes     1 byte  length - 10 bytes
 //! ```
 //!
 //! The length counts the payload only (version byte onward) and is capped
@@ -17,6 +17,19 @@
 //! allocation. Truncated frames, unknown versions or tags, bad UTF-8 and
 //! trailing bytes all surface as [`ProtoError`] values — decoding never
 //! panics, whatever the bytes.
+//!
+//! ## Correlation and pipelining
+//!
+//! Since version 2 every frame carries a **u64 correlation id** between
+//! the version byte and the tag. The server echoes a request's id on its
+//! reply verbatim, so a client may keep any number of requests in flight
+//! on one connection and associate replies by id instead of by arrival
+//! order (the `Client::pipeline` batch API does exactly that). The server
+//! still processes one connection's requests strictly in order — the id
+//! adds association, not reordering. A version-1 peer (no correlation
+//! field) is answered with one final error frame and a hangup, never
+//! silence: its version byte fails the check below and the server replies
+//! before closing.
 //!
 //! ## Encoding
 //!
@@ -43,8 +56,9 @@ use crate::session::{ChaseOutcome, QueryOpts, ServeError, SessionStats};
 
 /// Protocol version carried in every frame. Bumped on any incompatible
 /// change to the codec; a server rejects frames from a different version
-/// with [`ProtoError::Version`].
-pub const PROTO_VERSION: u8 = 1;
+/// with [`ProtoError::Version`]. Version 2 added the u64 correlation id
+/// after the version byte.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Hard cap on a frame's payload length (16 MiB). A declared length above
 /// this is rejected before any buffer is allocated, so a hostile or
@@ -167,8 +181,11 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
 struct Writer(Vec<u8>);
 
 impl Writer {
-    fn new(tag: u8) -> Writer {
-        Writer(vec![PROTO_VERSION, tag])
+    fn new(tag: u8, corr: u64) -> Writer {
+        let mut w = Writer(vec![PROTO_VERSION]);
+        w.u64(corr);
+        w.u8(tag);
+        w
     }
 
     fn u8(&mut self, v: u8) {
@@ -199,15 +216,17 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    /// Open a payload, checking the version byte and yielding the tag.
-    fn open(buf: &'a [u8]) -> Result<(u8, Reader<'a>), ProtoError> {
+    /// Open a payload, checking the version byte and yielding the
+    /// correlation id and tag.
+    fn open(buf: &'a [u8]) -> Result<(u64, u8, Reader<'a>), ProtoError> {
         let mut r = Reader { buf, pos: 0 };
         let version = r.u8()?;
         if version != PROTO_VERSION {
             return Err(ProtoError::Version { got: version });
         }
+        let corr = r.u64()?;
         let tag = r.u8()?;
-        Ok((tag, r))
+        Ok((corr, tag, r))
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
@@ -442,61 +461,62 @@ pub enum Request {
 }
 
 impl Request {
-    /// Encode into a frame payload (version byte + tag + fields).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode into a frame payload (version byte + correlation id + tag +
+    /// fields). The server echoes `corr` on the reply.
+    pub fn encode(&self, corr: u64) -> Vec<u8> {
         let mut w;
         match self {
             Request::Open { sigma } => {
-                w = Writer::new(1);
+                w = Writer::new(1, corr);
                 w.str(sigma);
             }
             Request::Apply { session, facts } => {
-                w = Writer::new(2);
+                w = Writer::new(2, corr);
                 w.u64(*session);
                 w.str(facts);
             }
             Request::Query { session, cq, opts } => {
-                w = Writer::new(3);
+                w = Writer::new(3, corr);
                 w.u64(*session);
                 w.str(cq);
                 put_opts(&mut w, opts);
             }
             Request::Snapshot { session } => {
-                w = Writer::new(4);
+                w = Writer::new(4, corr);
                 w.u64(*session);
             }
             Request::Restore { session, snapshot } => {
-                w = Writer::new(5);
+                w = Writer::new(5, corr);
                 w.u64(*session);
                 w.u64(*snapshot);
             }
             Request::Stats { session } => {
-                w = Writer::new(6);
+                w = Writer::new(6, corr);
                 w.u64(*session);
             }
             Request::Dump { session } => {
-                w = Writer::new(7);
+                w = Writer::new(7, corr);
                 w.u64(*session);
             }
             Request::Close { session } => {
-                w = Writer::new(8);
+                w = Writer::new(8, corr);
                 w.u64(*session);
             }
             Request::Metrics => {
-                w = Writer::new(9);
+                w = Writer::new(9, corr);
             }
             Request::Persist { session } => {
-                w = Writer::new(10);
+                w = Writer::new(10, corr);
                 w.u64(*session);
             }
         }
         w.0
     }
 
-    /// Decode a frame payload. Total: malformed bytes yield a
-    /// [`ProtoError`], never a panic.
-    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
-        let (tag, mut r) = Reader::open(payload)?;
+    /// Decode a frame payload into its correlation id and request. Total:
+    /// malformed bytes yield a [`ProtoError`], never a panic.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
+        let (corr, tag, mut r) = Reader::open(payload)?;
         let req = match tag {
             1 => Request::Open { sigma: r.str()? },
             2 => Request::Apply {
@@ -521,16 +541,16 @@ impl Request {
             got => return Err(ProtoError::Tag { got }),
         };
         r.finish()?;
-        Ok(req)
+        Ok((corr, req))
     }
 
-    /// Write this request as one frame.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        write_frame(w, &self.encode())
+    /// Write this request as one frame carrying `corr`.
+    pub fn write_to(&self, w: &mut impl Write, corr: u64) -> io::Result<()> {
+        write_frame(w, &self.encode(corr))
     }
 
     /// Read one request frame; `Ok(None)` on clean end-of-stream.
-    pub fn read_from(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
+    pub fn read_from(r: &mut impl Read) -> Result<Option<(u64, Request)>, ProtoError> {
         match read_frame(r)? {
             None => Ok(None),
             Some(payload) => Request::decode(&payload).map(Some),
@@ -564,6 +584,10 @@ pub enum ErrorCode {
     /// write-ahead log or a snapshot could not be read or written, or the
     /// session/server is not durable at all.
     Durability,
+    /// The session idled past the server's TTL and, being non-durable, was
+    /// discarded ([`ServeError::Evicted`]). Durable sessions never surface
+    /// this — they warm-restart transparently on the next touch.
+    Evicted,
 }
 
 impl ErrorCode {
@@ -577,6 +601,7 @@ impl ErrorCode {
             ErrorCode::SessionGone => 5,
             ErrorCode::Internal => 6,
             ErrorCode::Durability => 7,
+            ErrorCode::Evicted => 8,
         }
     }
 
@@ -590,6 +615,7 @@ impl ErrorCode {
             5 => ErrorCode::SessionGone,
             6 => ErrorCode::Internal,
             7 => ErrorCode::Durability,
+            8 => ErrorCode::Evicted,
             got => return Err(ProtoError::Tag { got }),
         })
     }
@@ -605,6 +631,7 @@ impl From<&ServeError> for ErrorCode {
             ServeError::UnknownSnapshot(_) => ErrorCode::UnknownSnapshot,
             ServeError::SessionGone => ErrorCode::SessionGone,
             ServeError::Durability(_) => ErrorCode::Durability,
+            ServeError::Evicted(_) => ErrorCode::Evicted,
         }
     }
 }
@@ -675,20 +702,21 @@ impl Response {
         }
     }
 
-    /// Encode into a frame payload (version byte + tag + fields).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode into a frame payload (version byte + correlation id + tag +
+    /// fields). `corr` echoes the request this answers.
+    pub fn encode(&self, corr: u64) -> Vec<u8> {
         let mut w;
         match self {
             Response::Opened { session } => {
-                w = Writer::new(1);
+                w = Writer::new(1, corr);
                 w.u64(*session);
             }
             Response::Applied { outcome } => {
-                w = Writer::new(2);
+                w = Writer::new(2, corr);
                 put_outcome(&mut w, outcome);
             }
             Response::Answers { tuples } => {
-                w = Writer::new(3);
+                w = Writer::new(3, corr);
                 w.u32(tuples.len() as u32);
                 for t in tuples {
                     w.u32(t.len() as u32);
@@ -698,44 +726,44 @@ impl Response {
                 }
             }
             Response::Snapshotted { snapshot } => {
-                w = Writer::new(4);
+                w = Writer::new(4, corr);
                 w.u64(*snapshot);
             }
             Response::Restored => {
-                w = Writer::new(5);
+                w = Writer::new(5, corr);
             }
             Response::Stats { stats } => {
-                w = Writer::new(6);
+                w = Writer::new(6, corr);
                 put_stats(&mut w, stats);
             }
             Response::Dump { text } => {
-                w = Writer::new(7);
+                w = Writer::new(7, corr);
                 w.str(text);
             }
             Response::Closed => {
-                w = Writer::new(8);
+                w = Writer::new(8, corr);
             }
             Response::Error { code, message } => {
-                w = Writer::new(9);
+                w = Writer::new(9, corr);
                 w.u8(code.to_u8());
                 w.str(message);
             }
             Response::Metrics { text } => {
-                w = Writer::new(10);
+                w = Writer::new(10, corr);
                 w.str(text);
             }
             Response::Persisted { epoch } => {
-                w = Writer::new(11);
+                w = Writer::new(11, corr);
                 w.u64(*epoch);
             }
         }
         w.0
     }
 
-    /// Decode a frame payload. Total: malformed bytes yield a
-    /// [`ProtoError`], never a panic.
-    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
-        let (tag, mut r) = Reader::open(payload)?;
+    /// Decode a frame payload into its correlation id and response. Total:
+    /// malformed bytes yield a [`ProtoError`], never a panic.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
+        let (corr, tag, mut r) = Reader::open(payload)?;
         let resp = match tag {
             1 => Response::Opened { session: r.u64()? },
             2 => Response::Applied {
@@ -770,16 +798,16 @@ impl Response {
             got => return Err(ProtoError::Tag { got }),
         };
         r.finish()?;
-        Ok(resp)
+        Ok((corr, resp))
     }
 
-    /// Write this response as one frame.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        write_frame(w, &self.encode())
+    /// Write this response as one frame echoing `corr`.
+    pub fn write_to(&self, w: &mut impl Write, corr: u64) -> io::Result<()> {
+        write_frame(w, &self.encode(corr))
     }
 
     /// Read one response frame; `Ok(None)` on clean end-of-stream.
-    pub fn read_from(r: &mut impl Read) -> Result<Option<Response>, ProtoError> {
+    pub fn read_from(r: &mut impl Read) -> Result<Option<(u64, Response)>, ProtoError> {
         match read_frame(r)? {
             None => Ok(None),
             Some(payload) => Response::decode(&payload).map(Some),
@@ -792,19 +820,23 @@ mod tests {
     use super::*;
 
     fn roundtrip_req(req: Request) {
+        let corr = 0xDEAD_BEEF_CAFE_F00D ^ req.encode(0).len() as u64;
         let mut buf = Vec::new();
-        req.write_to(&mut buf).unwrap();
+        req.write_to(&mut buf, corr).unwrap();
         let mut cursor = io::Cursor::new(buf);
-        let back = Request::read_from(&mut cursor).unwrap().unwrap();
+        let (back_corr, back) = Request::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(back_corr, corr);
         assert_eq!(back, req);
         assert!(Request::read_from(&mut cursor).unwrap().is_none());
     }
 
     fn roundtrip_resp(resp: Response) {
+        let corr = u64::MAX - resp.encode(0).len() as u64;
         let mut buf = Vec::new();
-        resp.write_to(&mut buf).unwrap();
+        resp.write_to(&mut buf, corr).unwrap();
         let mut cursor = io::Cursor::new(buf);
-        let back = Response::read_from(&mut cursor).unwrap().unwrap();
+        let (back_corr, back) = Response::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(back_corr, corr);
         assert_eq!(back, resp);
     }
 
@@ -908,6 +940,7 @@ mod tests {
     #[test]
     fn malformed_payloads_error_without_panicking() {
         assert_eq!(Request::decode(&[]).unwrap_err(), ProtoError::Short);
+        // Version byte alone: the correlation id is missing.
         assert_eq!(
             Request::decode(&[PROTO_VERSION]).unwrap_err(),
             ProtoError::Short
@@ -916,36 +949,63 @@ mod tests {
             Request::decode(&[99, 1]).unwrap_err(),
             ProtoError::Version { got: 99 }
         );
+        // Correlation id present but the tag is unknown.
+        let mut bad_tag = vec![PROTO_VERSION];
+        bad_tag.extend_from_slice(&7u64.to_le_bytes());
+        bad_tag.push(200);
         assert_eq!(
-            Request::decode(&[PROTO_VERSION, 200]).unwrap_err(),
+            Request::decode(&bad_tag).unwrap_err(),
             ProtoError::Tag { got: 200 }
         );
+        // Correlation id truncated mid-field.
+        let mut short_corr = vec![PROTO_VERSION];
+        short_corr.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(Request::decode(&short_corr).unwrap_err(), ProtoError::Short);
         // String length field claims more bytes than the payload holds.
-        let mut w = Writer::new(1);
+        let mut w = Writer::new(1, 42);
         w.u32(1000);
         assert_eq!(Request::decode(&w.0).unwrap_err(), ProtoError::Short);
         // Bad UTF-8 in a string field.
-        let mut w = Writer::new(1);
+        let mut w = Writer::new(1, 42);
         w.u32(2);
         w.0.extend_from_slice(&[0xff, 0xfe]);
         assert_eq!(Request::decode(&w.0).unwrap_err(), ProtoError::Utf8);
         // Trailing garbage after a complete message.
-        let mut bytes = Request::Close { session: 1 }.encode();
+        let mut bytes = Request::Close { session: 1 }.encode(3);
         bytes.push(0);
         assert_eq!(
             Request::decode(&bytes).unwrap_err(),
             ProtoError::Trailing { extra: 1 }
         );
         // Responses too.
+        let mut zero_tag = vec![PROTO_VERSION];
+        zero_tag.extend_from_slice(&0u64.to_le_bytes());
+        zero_tag.push(0);
         assert_eq!(
-            Response::decode(&[PROTO_VERSION, 0]).unwrap_err(),
+            Response::decode(&zero_tag).unwrap_err(),
             ProtoError::Tag { got: 0 }
         );
-        let mut w = Writer::new(9);
+        let mut w = Writer::new(9, 0);
         w.u8(250);
         assert_eq!(
             Response::decode(&w.0).unwrap_err(),
             ProtoError::Tag { got: 250 }
+        );
+    }
+
+    #[test]
+    fn v1_frames_are_rejected_with_a_version_error() {
+        // A hand-built version-1 frame (no correlation id): the old layout
+        // was [version=1][tag][fields]. The decoder must answer with a
+        // clean Version error rather than misparse the tag as corr bytes.
+        let v1_payload = [1u8, 9, 0]; // v1 Metrics-shaped bytes
+        assert_eq!(
+            Request::decode(&v1_payload).unwrap_err(),
+            ProtoError::Version { got: 1 }
+        );
+        assert_eq!(
+            Response::decode(&v1_payload).unwrap_err(),
+            ProtoError::Version { got: 1 }
         );
     }
 }

@@ -5,8 +5,15 @@
 //!
 //! Sessions are **server-side and connection-independent**: any connection
 //! may address any session by id, so a tenant can open a session, drop the
-//! link, and pick the warm state up on a new connection. Slots are only
-//! released by an explicit `Close` request or server shutdown.
+//! link, and pick the warm state up on a new connection. Slots are released
+//! by an explicit `Close` request, idle-TTL eviction (when the conductor is
+//! configured with `evict_after`), or server shutdown.
+//!
+//! Requests may be **pipelined**: every frame carries a u64 correlation id
+//! that the server echoes in the matching reply, so a client can keep many
+//! requests in flight on one connection ([`Client::pipeline`]). The server
+//! still processes each connection's frames in order — the id associates,
+//! it does not reorder.
 //!
 //! Shutdown is cooperative: [`Server::shutdown`] raises a flag, nudges the
 //! accept loop awake with a loopback connect, joins it, then closes every
@@ -130,21 +137,24 @@ fn connection(stream: TcpStream, conductor: Arc<Conductor>, stop: Arc<AtomicBool
         }
         // A frame has started; a mid-frame stall beyond the timeout is a
         // dropped client, not an idle one — give up on the connection.
-        let reply = match Request::read_from(&mut reader) {
-            Ok(Some(req)) => respond(&conductor, req),
+        let (corr, reply) = match Request::read_from(&mut reader) {
+            Ok(Some((corr, req))) => (corr, respond(&conductor, req)),
             Ok(None) => return,
             Err(e @ (ProtoError::Oversized { .. } | ProtoError::Version { .. })) => {
                 // Tell the peer why before hanging up; resync is hopeless.
+                // A v1 frame carries no correlation id, so reply with 0 —
+                // the pinned contract is "one final error frame, never
+                // silence", not id association.
                 let _ = Response::Error {
                     code: ErrorCode::Internal,
                     message: e.to_string(),
                 }
-                .write_to(&mut writer);
+                .write_to(&mut writer, 0);
                 return;
             }
             Err(_) => return,
         };
-        if reply.write_to(&mut writer).is_err() {
+        if reply.write_to(&mut writer, corr).is_err() {
             return;
         }
     }
@@ -274,9 +284,11 @@ impl From<io::Error> for ClientError {
 /// A thin, blocking protocol client over one TCP connection: each method
 /// writes one request frame and decodes the one reply frame. All chase
 /// interpretation stays server-side; the client only moves text and
-/// counters.
+/// counters. [`Client::pipeline`] keeps a whole batch of requests in
+/// flight before reading any reply.
 pub struct Client {
     stream: TcpStream,
+    next_corr: u64,
 }
 
 impl Client {
@@ -284,19 +296,79 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            next_corr: 1,
+        })
+    }
+
+    fn fresh_corr(&mut self) -> u64 {
+        let corr = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1);
+        corr
     }
 
     /// One request/reply round trip; [`Response::Error`] is mapped into
     /// [`ClientError::Server`].
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        req.write_to(&mut self.stream)?;
+        let corr = self.fresh_corr();
+        req.write_to(&mut self.stream, corr)?;
         self.stream.flush()?;
         match Response::read_from(&mut self.stream)? {
             None => Err(ClientError::Proto(ProtoError::Truncated)),
-            Some(Response::Error { code, message }) => Err(ClientError::Server { code, message }),
-            Some(resp) => Ok(resp),
+            Some((echo, _)) if echo != corr => Err(ClientError::Unexpected {
+                got: format!("correlation id {echo} in reply to request {corr}"),
+            }),
+            Some((_, Response::Error { code, message })) => {
+                Err(ClientError::Server { code, message })
+            }
+            Some((_, resp)) => Ok(resp),
         }
+    }
+
+    /// Write every request before reading any reply, then associate the
+    /// replies to their requests by correlation id. The outer `Err` is a
+    /// connection-level failure (nothing more can be read); the inner
+    /// per-request results map [`Response::Error`] to
+    /// [`ClientError::Server`] exactly like [`Client::call`]. Results come
+    /// back in **request order** regardless of the order replies arrived.
+    pub fn pipeline(
+        &mut self,
+        reqs: &[Request],
+    ) -> Result<Vec<Result<Response, ClientError>>, ClientError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.next_corr;
+        for req in reqs {
+            let corr = self.fresh_corr();
+            req.write_to(&mut self.stream, corr)?;
+        }
+        self.stream.flush()?;
+        let mut slots: Vec<Option<Result<Response, ClientError>>> =
+            (0..reqs.len()).map(|_| None).collect();
+        for _ in 0..reqs.len() {
+            let (corr, resp) = Response::read_from(&mut self.stream)?
+                .ok_or(ClientError::Proto(ProtoError::Truncated))?;
+            let idx = corr.wrapping_sub(base);
+            let slot = usize::try_from(idx)
+                .ok()
+                .and_then(|i| slots.get_mut(i))
+                .ok_or_else(|| ClientError::Unexpected {
+                    got: format!("correlation id {corr} outside pipelined batch"),
+                })?;
+            if slot.is_some() {
+                return Err(ClientError::Unexpected {
+                    got: format!("duplicate reply for correlation id {corr}"),
+                });
+            }
+            *slot = Some(match resp {
+                Response::Error { code, message } => Err(ClientError::Server { code, message }),
+                resp => Ok(resp),
+            });
+        }
+        // Every slot is filled: n distinct in-range ids over n slots.
+        Ok(slots.into_iter().map(|s| s.unwrap()).collect())
     }
 
     /// Open a session over a constraint set in surface syntax (`;` or
@@ -474,6 +546,57 @@ mod tests {
         }; // connection dropped here
         let mut c2 = Client::connect(server.addr()).unwrap();
         assert_eq!(c2.stats(s).unwrap().total_facts, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_request_order() {
+        let server = serve("127.0.0.1:0", ConductorConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let s = c.open("e(X,Y) -> e(Y,X)").unwrap();
+        let reqs = vec![
+            Request::Apply {
+                session: s,
+                facts: "e(a,b).".into(),
+            },
+            Request::Query {
+                session: s,
+                cq: "q(X) <- e(b,X)".into(),
+                opts: QueryOpts::default(),
+            },
+            Request::Stats { session: s },
+            Request::Apply {
+                session: s,
+                facts: "e(X,".into(), // parse error mid-batch
+            },
+            Request::Stats { session: s },
+        ];
+        let replies = c.pipeline(&reqs).unwrap();
+        assert_eq!(replies.len(), 5);
+        assert!(matches!(replies[0], Ok(Response::Applied { .. })));
+        // Read-your-writes under pipelining: the query queued behind the
+        // apply on the same connection sees the applied batch.
+        match &replies[1] {
+            Ok(Response::Answers { tuples }) => {
+                assert_eq!(tuples, &vec![vec!["a".to_string()]]);
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        assert!(matches!(
+            replies[2],
+            Ok(Response::Stats { ref stats }) if stats.total_facts == 2
+        ));
+        assert!(matches!(
+            replies[3],
+            Err(ClientError::Server {
+                code: ErrorCode::Parse,
+                ..
+            })
+        ));
+        // The error did not desynchronize the stream.
+        assert!(matches!(replies[4], Ok(Response::Stats { .. })));
+        // And the connection is still usable for plain calls afterwards.
+        assert_eq!(c.stats(s).unwrap().total_facts, 2);
         server.shutdown();
     }
 

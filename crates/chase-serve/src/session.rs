@@ -249,6 +249,10 @@ pub enum ServeError {
     /// a rendered description rather than the `io::Error` so the error
     /// type stays `Clone + PartialEq` for the wire protocol.
     Durability(String),
+    /// The session idled past the conductor's `evict_after` TTL and, being
+    /// non-durable, was discarded. (A durable session warm-restarts
+    /// transparently instead of ever surfacing this.)
+    Evicted(u64),
 }
 
 impl fmt::Display for ServeError {
@@ -263,6 +267,11 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSnapshot(id) => write!(f, "no snapshot {id}"),
             ServeError::SessionGone => write!(f, "session actor is gone"),
             ServeError::Durability(msg) => write!(f, "durability: {msg}"),
+            ServeError::Evicted(id) => write!(
+                f,
+                "session {id} was evicted after idling past the server's TTL \
+                 (non-durable state discarded)"
+            ),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! session_server: a stdin-driven REPL that speaks the `chase-serve`
 //! **wire protocol** to a session server over TCP — the serving layer end
-//! to end: a conductor admitting actor-per-session tenants, batched
+//! to end: a conductor scheduling tenant sessions on a bounded worker
+//! pool, batched
 //! inserts with warm re-chase, certain-answer queries served from the
 //! published snapshot, and server-side snapshot/restore.
 //!
@@ -22,7 +23,12 @@
 //! * `--durable <dir>` — make the server durable (with the default or
 //!   `--serve` mode): sessions log to `<dir>/session-<id>` and a restarted
 //!   server **warm-restarts** every session it finds there, same ids. This
-//!   is the crash-recovery path `docs/OPERATIONS.md` walks through.
+//!   is the crash-recovery path `docs/OPERATIONS.md` walks through;
+//! * `--workers <n>` — size the session worker pool (`0` = legacy
+//!   thread-per-session scheduler, kept for one release);
+//! * `--evict-after <secs>` — TTL for idle sessions (pool mode): durable
+//!   ones persist + tear down and warm-restart transparently on the next
+//!   touch (`attach <id>` works), non-durable ones answer `Evicted`.
 //!
 //! Commands (one per line; `#` starts a comment):
 //!
@@ -192,9 +198,17 @@ fn main() {
     };
 
     // Durable servers log every session under this root and warm-restart
-    // whatever a previous process left there.
+    // whatever a previous process left there. `--workers 0` selects the
+    // legacy thread-per-session scheduler; `--evict-after` puts a TTL on
+    // idle sessions (pool mode only).
     let conductor_cfg = || ConductorConfig {
         durable_root: flag("--durable").map(std::path::PathBuf::from),
+        workers: flag("--workers")
+            .map(|v| v.parse().expect("--workers takes a count"))
+            .unwrap_or_else(|| ConductorConfig::default().workers),
+        evict_after: flag("--evict-after").map(|v| {
+            std::time::Duration::from_secs_f64(v.parse().expect("--evict-after takes seconds"))
+        }),
         ..ConductorConfig::default()
     };
 

@@ -2,9 +2,12 @@
 //!
 //! * **The wire.** Every [`Request`]/[`Response`] round-trips bit-exactly
 //!   through the framed codec (property-tested over seeded random
-//!   messages), and *no* byte-level corruption — truncation at every
-//!   prefix, random flips, oversized length prefixes — can make decoding
-//!   panic: malformed input always comes back as a [`ProtoError`] value.
+//!   messages), correlation ids are echoed verbatim and associate replies
+//!   even when they arrive out of request order, and *no* byte-level
+//!   corruption — truncation at every prefix, random flips, oversized
+//!   length prefixes — can make decoding panic: malformed input always
+//!   comes back as a [`ProtoError`] value. A v1 (no-correlation) client is
+//!   answered with a clean version error frame, never silence.
 //!
 //! * **The clock.** A query admitted while an apply is chasing inside the
 //!   session's actor is answered from the *published* snapshot: it sees
@@ -13,18 +16,39 @@
 //!   instance (read-your-writes).
 //!
 //! Plus the full loopback TCP lifecycle: multi-tenant isolation under
-//! concurrent connections and every protocol error path.
+//! concurrent connections and every protocol error path — each concurrency
+//! test run against **both** schedulers (the pooled run queue and the
+//! legacy `workers: 0` thread-per-session escape hatch), so their
+//! equivalence is pinned rather than assumed.
 //!
 //! The vendored proptest stand-in has no collection strategies, so random
 //! messages are generated from a `u64` seed through a `StdRng`, like the
 //! `chase-corpus` random families.
 
 use chase::prelude::*;
-use chase::serve::proto::{read_frame, ErrorCode, ProtoError, Request, Response, MAX_FRAME};
+use chase::serve::proto::{
+    read_frame, write_frame, ErrorCode, ProtoError, Request, Response, MAX_FRAME,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::io::Cursor;
+
+/// The two conductor scheduling modes every concurrency test must agree
+/// across: the bounded worker pool (default) and the legacy
+/// thread-per-session escape hatch (`workers: 0`, kept for one release).
+fn scheduler_modes() -> [(&'static str, ConductorConfig); 2] {
+    [
+        ("pool", ConductorConfig::default()),
+        (
+            "legacy-threads",
+            ConductorConfig {
+                workers: 0,
+                ..ConductorConfig::default()
+            },
+        ),
+    ]
+}
 
 // ---------------------------------------------------------------------------
 // Seeded message generators
@@ -155,26 +179,66 @@ fn response(rng: &mut StdRng) -> Response {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
 
-    /// Every message round-trips bit-exactly through encode/frame/decode,
-    /// including back-to-back frames sharing one stream.
+    /// Every message round-trips bit-exactly through encode/frame/decode —
+    /// including its correlation id, echoed verbatim over the full u64
+    /// range — with back-to-back frames sharing one stream.
     #[test]
     fn codec_round_trips(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let reqs: Vec<Request> = (0..8).map(|_| request(&mut rng)).collect();
-        let resps: Vec<Response> = (0..8).map(|_| response(&mut rng)).collect();
+        let reqs: Vec<(u64, Request)> = (0..8)
+            .map(|_| (rng.next_u64(), request(&mut rng)))
+            .collect();
+        let resps: Vec<(u64, Response)> = (0..8)
+            .map(|_| (rng.next_u64(), response(&mut rng)))
+            .collect();
         let mut stream = Vec::new();
-        for r in &reqs {
-            r.write_to(&mut stream).unwrap();
+        for (corr, r) in &reqs {
+            r.write_to(&mut stream, *corr).unwrap();
         }
         let mut cursor = Cursor::new(stream);
-        for r in &reqs {
+        for (corr, r) in &reqs {
             let got = Request::read_from(&mut cursor).unwrap();
-            prop_assert_eq!(got.as_ref(), Some(r));
+            prop_assert_eq!(got.as_ref(), Some(&(*corr, r.clone())));
         }
         prop_assert_eq!(Request::read_from(&mut cursor).unwrap(), None);
-        for r in &resps {
-            let bytes = r.encode();
-            prop_assert_eq!(&Response::decode(&bytes).unwrap(), r);
+        for (corr, r) in &resps {
+            let bytes = r.encode(*corr);
+            prop_assert_eq!(&Response::decode(&bytes).unwrap(), &(*corr, r.clone()));
+        }
+    }
+
+    /// Correlation ids associate replies with their requests even when the
+    /// replies arrive in a different order than the requests were issued:
+    /// shuffling the reply stream loses nothing and confuses nothing.
+    #[test]
+    fn out_of_order_replies_associate_by_correlation_id(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..10usize);
+        let base = rng.next_u64();
+        // Distinct ids (sequential from a random base, as Client issues).
+        let resps: Vec<(u64, Response)> = (0..n)
+            .map(|i| (base.wrapping_add(i as u64), response(&mut rng)))
+            .collect();
+        // Serve the replies in a shuffled order.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut stream = Vec::new();
+        for &i in &order {
+            resps[i].1.write_to(&mut stream, resps[i].0).unwrap();
+        }
+        // Reassociate by id: every reply lands on its own request slot.
+        let mut cursor = Cursor::new(stream);
+        let mut slots: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        while let Some((corr, resp)) = Response::read_from(&mut cursor).unwrap() {
+            let idx = usize::try_from(corr.wrapping_sub(base)).unwrap();
+            prop_assert!(idx < n, "correlation id outside the batch");
+            prop_assert!(slots[idx].is_none(), "duplicate correlation id");
+            slots[idx] = Some(resp);
+        }
+        for (i, slot) in slots.into_iter().enumerate() {
+            prop_assert_eq!(slot.as_ref(), Some(&resps[i].1));
         }
     }
 
@@ -184,7 +248,10 @@ proptest! {
     #[test]
     fn corruption_never_panics(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let payloads = [request(&mut rng).encode(), response(&mut rng).encode()];
+        let payloads = [
+            request(&mut rng).encode(rng.next_u64()),
+            response(&mut rng).encode(rng.next_u64()),
+        ];
         for (which, payload) in payloads.iter().enumerate() {
             for cut in 0..payload.len() {
                 let err_req = Request::decode(&payload[..cut]).is_err();
@@ -256,12 +323,19 @@ fn normalized(mut answers: Vec<Vec<Term>>) -> Vec<Vec<Term>> {
 /// A query answered while an apply is chasing inside the actor sees
 /// exactly the pre-batch snapshot; after the apply's acknowledgement, the
 /// post-batch instance (read-your-writes). Nothing in between is ever
-/// observable.
+/// observable — under either scheduler.
 #[test]
 fn query_mid_apply_sees_exactly_the_pre_batch_snapshot() {
+    for (mode, cfg) in scheduler_modes() {
+        eprintln!("scheduler mode: {mode}");
+        query_mid_apply_in(cfg);
+    }
+}
+
+fn query_mid_apply_in(cfg: ConductorConfig) {
     let conductor = Conductor::new(ConductorConfig {
         step_budget: None,
-        ..ConductorConfig::default()
+        ..cfg
     });
     let id = conductor
         .open(ConstraintSet::parse("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap())
@@ -320,10 +394,17 @@ fn query_mid_apply_sees_exactly_the_pre_batch_snapshot() {
 
 /// Concurrent tenants over real connections: every tenant's chased state
 /// stays its own (no cross-session leakage), and the conductor serves all
-/// of them to completion.
+/// of them to completion — under either scheduler.
 #[test]
 fn concurrent_tenants_are_isolated() {
-    let server = serve("127.0.0.1:0", ConductorConfig::default()).unwrap();
+    for (mode, cfg) in scheduler_modes() {
+        eprintln!("scheduler mode: {mode}");
+        concurrent_tenants_in(cfg);
+    }
+}
+
+fn concurrent_tenants_in(cfg: ConductorConfig) {
+    let server = serve("127.0.0.1:0", cfg).unwrap();
     let addr = server.addr();
     let handles: Vec<_> = (0..6)
         .map(|t| {
@@ -445,5 +526,35 @@ fn query_opts_select_evaluation_over_the_wire() {
         .unwrap();
     assert_eq!(all.len(), 1, "the full evaluation keeps the null tuple");
     c.close(s).unwrap();
+    server.shutdown();
+}
+
+/// A v1 (pre-correlation-id) client talking to the new server gets a
+/// clean version error frame followed by hangup — never a hang, never
+/// silence. The v1 payload layout was `[version][tag][fields]` with no
+/// correlation id, so its Metrics request was the two bytes `[1, 9]`.
+#[test]
+fn v1_clients_get_a_clean_version_error_not_a_hang() {
+    let server = serve("127.0.0.1:0", ConductorConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    write_frame(&mut stream, &[1u8, 9]).unwrap();
+    // The server replies with exactly one error frame...
+    let payload = read_frame(&mut stream)
+        .expect("a reply frame, not a hang")
+        .expect("a reply frame, not silence");
+    let (corr, resp) = Response::decode(&payload).unwrap();
+    assert_eq!(corr, 0, "a v1 frame has no id to echo; the reply carries 0");
+    match resp {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Internal);
+            assert!(message.contains("version"), "unhelpful message: {message}");
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    // ...then hangs up (resync with a v1 peer is hopeless).
+    assert_eq!(read_frame(&mut stream).unwrap(), None);
     server.shutdown();
 }
